@@ -1,0 +1,44 @@
+//! Criterion bench: feature extraction and classifier inference (the
+//! modeled 5.5 ms Xavier cost lives in `lkas-platform`; this measures
+//! the substitute's real cost on this machine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkas_imaging::isp::{IspConfig, IspPipeline};
+use lkas_imaging::sensor::{Sensor, SensorConfig};
+use lkas_nn::classifiers::{ClassifierSpec, RoadClassifier};
+use lkas_nn::features::extract;
+use lkas_scene::camera::Camera;
+use lkas_scene::render::SceneRenderer;
+use lkas_scene::situation::TABLE3_SITUATIONS;
+use lkas_scene::track::Track;
+
+fn bench_classifiers(c: &mut Criterion) {
+    let cam = Camera::default_automotive();
+    let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+    let frame = SceneRenderer::new(cam.clone()).render(&track, 50.0, 0.0, 0.0);
+    let raw = Sensor::new(SensorConfig::default(), 1).capture(&frame, 1.0);
+    let rgb = IspPipeline::new(IspConfig::S0).process(&raw);
+
+    // A small-but-functional classifier for inference cost.
+    let spec = ClassifierSpec {
+        train_per_class: 20,
+        val_per_class: 4,
+        epochs: 10,
+        camera: cam.clone(),
+        ..ClassifierSpec::default()
+    };
+    let (road, _) = RoadClassifier::train(&spec, 7);
+    let features = extract(&rgb, &cam);
+
+    let mut group = c.benchmark_group("classifiers");
+    group.sample_size(30);
+    group.bench_function("feature_extraction", |b| b.iter(|| extract(&rgb, &cam)));
+    group.bench_function("road_classify_frame", |b| b.iter(|| road.classify(&rgb)));
+    group.bench_function("road_classify_features", |b| {
+        b.iter(|| road.classify_features(&features))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

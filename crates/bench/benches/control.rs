@@ -1,0 +1,38 @@
+//! Criterion bench: controller design (per-(v,h,τ) LQR + observer),
+//! runtime control step, and the CQLF search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkas_control::controller::Measurement;
+use lkas_control::design::{design_controller, ControllerConfig};
+use lkas_control::stability::find_cqlf;
+
+fn bench_control(c: &mut Criterion) {
+    let cfg = ControllerConfig { speed_kmph: 50.0, h_ms: 25.0, tau_ms: 25.0 };
+    let mut group = c.benchmark_group("control");
+    group.sample_size(20);
+    group.bench_function("design_controller", |b| {
+        b.iter(|| design_controller(&cfg).expect("design"))
+    });
+
+    let controller = design_controller(&cfg).expect("design");
+    group.bench_function("controller_step", |b| {
+        let mut ctl = controller.clone();
+        b.iter(|| ctl.step(&Measurement { y_l: Some(0.1), yaw_rate: 0.01 }))
+    });
+
+    let modes: Vec<_> = [25.0, 25.0, 45.0]
+        .iter()
+        .zip([50.0, 30.0, 30.0])
+        .map(|(&h, v)| {
+            design_controller(&ControllerConfig { speed_kmph: v, h_ms: h, tau_ms: h })
+                .expect("design")
+                .closed_loop_matrix()
+        })
+        .collect();
+    group.sample_size(10);
+    group.bench_function("cqlf_search_3_modes", |b| b.iter(|| find_cqlf(&modes)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_control);
+criterion_main!(benches);

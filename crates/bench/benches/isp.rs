@@ -1,0 +1,31 @@
+//! Criterion bench: ISP configurations S0–S8 on a 512×256 frame.
+//!
+//! The *relative* shape mirrors Table II (full configurations slower
+//! than the approximations); absolute numbers are this machine's, not
+//! the Xavier's.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkas_imaging::isp::{IspConfig, IspPipeline};
+use lkas_imaging::sensor::{Sensor, SensorConfig};
+use lkas_scene::camera::Camera;
+use lkas_scene::render::SceneRenderer;
+use lkas_scene::situation::TABLE3_SITUATIONS;
+use lkas_scene::track::Track;
+
+fn bench_isp(c: &mut Criterion) {
+    let cam = Camera::default_automotive();
+    let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+    let frame = SceneRenderer::new(cam).render(&track, 50.0, 0.0, 0.0);
+    let raw = Sensor::new(SensorConfig::default(), 1).capture(&frame, 1.0);
+
+    let mut group = c.benchmark_group("isp");
+    group.sample_size(20);
+    for cfg in IspConfig::ALL {
+        let pipeline = IspPipeline::new(cfg);
+        group.bench_function(cfg.name(), |b| b.iter(|| pipeline.process(&raw)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_isp);
+criterion_main!(benches);

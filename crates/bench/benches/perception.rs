@@ -1,0 +1,46 @@
+//! Criterion bench: the perception pipeline stages and the Fig. 1
+//! baseline detectors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkas_imaging::isp::{IspConfig, IspPipeline};
+use lkas_imaging::sensor::{Sensor, SensorConfig};
+use lkas_perception::baselines::{DenseScanlineDetector, LaneDetector, SobelHoughDetector};
+use lkas_perception::bev::BirdsEye;
+use lkas_perception::pipeline::{Perception, PerceptionConfig};
+use lkas_perception::roi::Roi;
+use lkas_perception::sliding::sliding_window_search;
+use lkas_perception::threshold::binarize;
+use lkas_scene::camera::Camera;
+use lkas_scene::render::SceneRenderer;
+use lkas_scene::situation::TABLE3_SITUATIONS;
+use lkas_scene::track::Track;
+
+fn bench_perception(c: &mut Criterion) {
+    let cam = Camera::default_automotive();
+    let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+    let frame = SceneRenderer::new(cam.clone()).render(&track, 50.0, 0.0, 0.0);
+    let raw = Sensor::new(SensorConfig::default(), 1).capture(&frame, 1.0);
+    let rgb = IspPipeline::new(IspConfig::S0).process(&raw);
+
+    let birds_eye = BirdsEye::new(cam.clone(), Roi::Roi1).expect("ROI 1 rectifiable");
+    let bev = birds_eye.rectify(&rgb);
+    let mask = binarize(&bev);
+    let pipeline = Perception::new(PerceptionConfig::new(Roi::Roi1), cam.clone());
+
+    let mut group = c.benchmark_group("perception");
+    group.sample_size(30);
+    group.bench_function("bev_rectify", |b| b.iter(|| birds_eye.rectify(&rgb)));
+    group.bench_function("binarize", |b| b.iter(|| binarize(&bev)));
+    group.bench_function("sliding_window", |b| b.iter(|| sliding_window_search(&bev, &mask)));
+    group.bench_function("full_pipeline", |b| b.iter(|| pipeline.process(&rgb)));
+
+    let sobel = SobelHoughDetector::new(cam.clone());
+    let dense = DenseScanlineDetector::new(cam);
+    group.sample_size(10);
+    group.bench_function("baseline_sobel_hough", |b| b.iter(|| sobel.estimate(&rgb)));
+    group.bench_function("baseline_dense_scanline", |b| b.iter(|| dense.estimate(&rgb)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_perception);
+criterion_main!(benches);

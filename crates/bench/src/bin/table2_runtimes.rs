@@ -1,0 +1,108 @@
+//! Table II — the configurable knobs and their profiled runtimes.
+//!
+//! Prints the knob inventory: the nine ISP configurations with their
+//! stage sets and modeled Xavier runtimes, the five ROIs with their
+//! ground extents and pixel trapezoids, and the control knobs. Also
+//! measures *this machine's* actual runtime of each ISP configuration
+//! for comparison (the shape — S0–S2 slow, S3–S8 fast — is asserted by
+//! the platform tests; absolute numbers differ from the Xavier).
+//!
+//! Usage: `cargo run --release -p lkas-bench --bin table2_runtimes`
+
+use lkas_bench::{render_table, write_result};
+use lkas_imaging::isp::{IspConfig, IspPipeline, IspStage};
+use lkas_imaging::sensor::{Sensor, SensorConfig};
+use lkas_perception::roi::Roi;
+use lkas_platform::profiles::{isp_runtime_ms, CONTROL_RUNTIME_MS, PERCEPTION_RUNTIME_MS};
+use lkas_scene::camera::Camera;
+use lkas_scene::render::SceneRenderer;
+use lkas_scene::situation::TABLE3_SITUATIONS;
+use lkas_scene::track::Track;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct IspRow {
+    config: String,
+    stages: String,
+    xavier_model_ms: f64,
+    this_machine_ms: f64,
+}
+
+fn main() {
+    // A representative frame for the local timing measurement.
+    let cam = Camera::default_automotive();
+    let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+    let frame = SceneRenderer::new(cam.clone()).render(&track, 50.0, 0.0, 0.0);
+    let raw = Sensor::new(SensorConfig::default(), 1).capture(&frame, 1.0);
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for cfg in IspConfig::ALL {
+        let stages: Vec<&str> = cfg.stages().iter().map(|s| s.acronym()).collect();
+        let pipeline = IspPipeline::new(cfg);
+        // Warm-up + timed runs.
+        let _ = pipeline.process(&raw);
+        let t0 = Instant::now();
+        const REPS: u32 = 5;
+        for _ in 0..REPS {
+            let _ = pipeline.process(&raw);
+        }
+        let local_ms = t0.elapsed().as_secs_f64() * 1000.0 / REPS as f64;
+        rows.push(vec![
+            cfg.name().to_string(),
+            stages.join(", "),
+            format!("{:.1}", isp_runtime_ms(cfg)),
+            format!("{local_ms:.1}"),
+        ]);
+        json_rows.push(IspRow {
+            config: cfg.name().to_string(),
+            stages: stages.join(","),
+            xavier_model_ms: isp_runtime_ms(cfg),
+            this_machine_ms: local_ms,
+        });
+    }
+    println!("Table II — ISP knobs (paper-profiled Xavier runtimes vs this machine)");
+    println!(
+        "{}",
+        render_table(&["config", "stages", "Xavier model ms", "this machine ms"], &rows)
+    );
+
+    let mut roi_rows = Vec::new();
+    for roi in Roi::ALL {
+        let g = roi.ground_extent();
+        let corners = roi.pixel_corners(&cam);
+        let px: Vec<String> = corners
+            .iter()
+            .map(|(u, v)| format!("({u:.0},{v:.0})"))
+            .collect();
+        roi_rows.push(vec![
+            roi.name().to_string(),
+            format!("{:.0}–{:.0} m", g.x_near, g.x_far),
+            format!("{:+.1}…{:+.1} m", g.y_right, g.y_left),
+            px.join(" "),
+        ]);
+    }
+    println!("Table II — PR knobs (ROIs; pixel corners for the 512×256 camera)");
+    println!(
+        "{}",
+        render_table(&["ROI", "forward", "lateral", "pixel trapezoid"], &roi_rows)
+    );
+    println!(
+        "PR runtime: {PERCEPTION_RUNTIME_MS} ms; control runtime: {CONTROL_RUNTIME_MS} ms; \
+         control knobs: v ∈ {{30, 50}} km/h, (h, τ) derived per schedule."
+    );
+    // Stage inventory sanity print.
+    let all_stages: Vec<&str> = [
+        IspStage::Demosaic,
+        IspStage::Denoise,
+        IspStage::ColorMap,
+        IspStage::GamutMap,
+        IspStage::ToneMap,
+    ]
+    .iter()
+    .map(|s| s.acronym())
+    .collect();
+    println!("ISP stages: {}", all_stages.join(", "));
+    write_result("table2_runtimes", &json_rows);
+}

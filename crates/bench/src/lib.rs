@@ -1,0 +1,228 @@
+//! Shared machinery for the experiment harnesses.
+//!
+//! Every table and figure of the paper has a dedicated binary in
+//! `src/bin/` (see DESIGN.md §5); this library provides their common
+//! pieces: parallel HiL execution, classifier-bundle caching, plain-text
+//! table rendering, and JSON result emission into `results/`.
+
+use lkas::cases::Case;
+use lkas::hil::{HilConfig, HilResult, HilSimulator, SituationSource};
+use lkas::identify::ClassifierBundle;
+use lkas_nn::classifiers::{
+    ClassifierSpec, LaneClassifier, RoadClassifier, SceneClassifier, TrainReport,
+};
+use lkas_scene::track::Track;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Directory where harnesses drop machine-readable results.
+pub const RESULTS_DIR: &str = "results";
+
+/// Directory where trained artifacts (classifier bundles) are cached.
+pub const ARTIFACTS_DIR: &str = "artifacts";
+
+/// Writes a serializable result as pretty JSON under [`RESULTS_DIR`].
+///
+/// # Panics
+///
+/// Panics on I/O or serialization failure (harness binaries want loud
+/// failures).
+pub fn write_result<T: Serialize>(name: &str, value: &T) {
+    std::fs::create_dir_all(RESULTS_DIR).expect("create results dir");
+    let path = Path::new(RESULTS_DIR).join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result file");
+    eprintln!("[written] {}", path.display());
+}
+
+/// Renders a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Classifier training scale used by the harnesses when a full Table IV
+/// run is not requested: enough for ≥95 % accuracy at a fraction of the
+/// generation cost.
+pub fn quick_spec() -> ClassifierSpec {
+    ClassifierSpec { train_per_class: 300, val_per_class: 60, epochs: 60, ..ClassifierSpec::default() }
+}
+
+/// The Table IV dataset scales per classifier: (train, val) totals.
+pub const TABLE4_SCALES: [(usize, usize); 3] = [(5353, 513), (3939, 842), (3892, 811)];
+
+/// Trains the three classifiers at the given spec and returns the bundle
+/// plus the three training reports (road, lane, scene).
+pub fn train_bundle(spec: &ClassifierSpec, seed: u64) -> (ClassifierBundle, [TrainReport; 3]) {
+    eprintln!("[training] road classifier ({} train/class)…", spec.train_per_class);
+    let (road, road_report) = RoadClassifier::train(spec, seed);
+    eprintln!("[training] lane classifier…");
+    let (lane, lane_report) = LaneClassifier::train(spec, seed + 1);
+    eprintln!("[training] scene classifier…");
+    let (scene, scene_report) = SceneClassifier::train(spec, seed + 2);
+    (
+        ClassifierBundle { road, lane, scene },
+        [road_report, lane_report, scene_report],
+    )
+}
+
+/// Loads the cached classifier bundle, or trains one at the quick scale
+/// and caches it.
+pub fn load_or_train_bundle() -> Arc<ClassifierBundle> {
+    let path = PathBuf::from(ARTIFACTS_DIR).join("classifiers.json");
+    if let Ok(json) = std::fs::read_to_string(&path) {
+        if let Ok(bundle) = ClassifierBundle::from_json(&json) {
+            eprintln!("[loaded] {}", path.display());
+            return Arc::new(bundle);
+        }
+        eprintln!("[warning] stale bundle at {}; retraining", path.display());
+    }
+    let (bundle, reports) = train_bundle(&quick_spec(), 42);
+    for (name, r) in ["road", "lane", "scene"].iter().zip(&reports) {
+        eprintln!("[trained] {name}: val accuracy {:.2}%", r.val_accuracy * 100.0);
+    }
+    std::fs::create_dir_all(ARTIFACTS_DIR).expect("create artifacts dir");
+    std::fs::write(&path, bundle.to_json().expect("serialize bundle")).expect("write bundle");
+    eprintln!("[cached] {}", path.display());
+    Arc::new(bundle)
+}
+
+/// A single HiL job for the parallel runner.
+#[derive(Clone)]
+pub struct HilJob {
+    /// Job label (used in progress output).
+    pub label: String,
+    /// Track to drive.
+    pub track: Track,
+    /// Full HiL configuration.
+    pub config: HilConfig,
+}
+
+/// Runs HiL jobs across worker threads, preserving input order.
+pub fn run_parallel(jobs: Vec<HilJob>, threads: usize) -> Vec<HilResult> {
+    let n = jobs.len();
+    let jobs = Arc::new(jobs);
+    let results: Arc<parking_lot::Mutex<Vec<Option<HilResult>>>> =
+        Arc::new(parking_lot::Mutex::new(vec![None; n]));
+    let next = Arc::new(parking_lot::Mutex::new(0usize));
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let jobs = Arc::clone(&jobs);
+            let results = Arc::clone(&results);
+            let next = Arc::clone(&next);
+            scope.spawn(move |_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    if *guard >= jobs.len() {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let job = &jobs[idx];
+                eprintln!("[run {}/{}] {}", idx + 1, jobs.len(), job.label);
+                let result = HilSimulator::new(job.track.clone(), job.config.clone()).run();
+                results.lock()[idx] = Some(result);
+            });
+        }
+    })
+    .expect("HiL worker panicked");
+    Arc::try_unwrap(results)
+        .expect("workers done")
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// Builds a HiL job for a case on a track, wiring the situation source.
+pub fn hil_job(
+    label: impl Into<String>,
+    case: Case,
+    track: Track,
+    bundle: Option<&Arc<ClassifierBundle>>,
+    seed: u64,
+) -> HilJob {
+    let source = match bundle {
+        Some(b) => SituationSource::Trained(Arc::clone(b)),
+        None => SituationSource::Oracle,
+    };
+    HilJob {
+        label: label.into(),
+        track,
+        config: HilConfig::new(case, source).with_seed(seed),
+    }
+}
+
+/// Number of worker threads for parallel sweeps.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// `true` if `--oracle` was passed (skip trained classifiers).
+pub fn oracle_flag() -> bool {
+    std::env::args().any(|a| a == "--oracle")
+}
+
+/// Fetches `--arg value` style overrides from the command line.
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(&["a", "long header"], &[
+            vec!["1".into(), "2".into()],
+            vec!["wide cell".into(), "x".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "all rows equal width:\n{t}");
+    }
+
+    #[test]
+    fn arg_value_parses() {
+        // No flags in the test environment: must be None.
+        assert!(arg_value("--definitely-not-set").is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Situation identification (Sec. III-C).
+//!
+//! Combines the outputs of the three classifiers into the system's
+//! current situation estimate. Only the classifiers invoked in a frame
+//! update their feature group — the others keep their last decision
+//! (that staleness is exactly what the invocation-frequency study of
+//! Sec. IV-E trades against latency).
+
+use lkas_imaging::image::RgbImage;
+use lkas_nn::classifiers::{LaneClassifier, RoadClassifier, SceneClassifier};
+use lkas_nn::features::extract;
+use lkas_platform::schedule::ClassifierSet;
+use lkas_scene::camera::Camera;
+use lkas_scene::situation::{LaneColor, LaneForm, RoadLayout, SceneKind, SituationFeatures};
+use serde::{Deserialize, Serialize};
+
+/// The trained classifier bundle used at runtime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifierBundle {
+    /// Road-layout classifier.
+    pub road: RoadClassifier,
+    /// Lane-type classifier.
+    pub lane: LaneClassifier,
+    /// Scene classifier.
+    pub scene: SceneClassifier,
+}
+
+impl ClassifierBundle {
+    /// Serializes the bundle to JSON (for caching trained classifiers
+    /// between harness runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization errors from `serde_json`.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a bundle from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns deserialization errors from `serde_json`.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Maintains the current situation estimate across frames.
+#[derive(Debug, Clone)]
+pub struct SituationEstimate {
+    current: SituationFeatures,
+}
+
+impl SituationEstimate {
+    /// Starts from the benign default the vehicle boots in (a straight,
+    /// white-continuous, daytime road — the Fig. 7 sector 1).
+    pub fn new() -> Self {
+        SituationEstimate {
+            current: SituationFeatures::new(
+                LaneColor::White,
+                LaneForm::Continuous,
+                RoadLayout::Straight,
+                SceneKind::Day,
+            ),
+        }
+    }
+
+    /// Starts from a known situation.
+    pub fn with_initial(initial: SituationFeatures) -> Self {
+        SituationEstimate { current: initial }
+    }
+
+    /// The current estimate.
+    pub fn current(&self) -> SituationFeatures {
+        self.current
+    }
+
+    /// Updates the feature groups covered by the invoked classifiers
+    /// from a classifier bundle, sharing one feature extraction across
+    /// the classifiers that ran.
+    pub fn update_from_frame(
+        &mut self,
+        bundle: &ClassifierBundle,
+        frame: &RgbImage,
+        camera: &Camera,
+        invoked: ClassifierSet,
+    ) {
+        if invoked.count() == 0 {
+            return;
+        }
+        let features = extract(frame, camera);
+        if invoked.road {
+            self.current.layout = bundle.road.classify_features(&features);
+        }
+        if invoked.lane {
+            let (color, form) = bundle.lane.classify_features(&features);
+            self.current.lane_color = color;
+            self.current.lane_form = form;
+        }
+        if invoked.scene {
+            self.current.scene = bundle.scene.classify_features(&features);
+        }
+    }
+
+    /// Updates from ground truth (the oracle source used by the
+    /// design-time characterization), honoring the same partial-update
+    /// semantics.
+    pub fn update_from_truth(&mut self, truth: &SituationFeatures, invoked: ClassifierSet) {
+        if invoked.road {
+            self.current.layout = truth.layout;
+        }
+        if invoked.lane {
+            self.current.lane_color = truth.lane_color;
+            self.current.lane_form = truth.lane_form;
+        }
+        if invoked.scene {
+            self.current.scene = truth.scene;
+        }
+    }
+}
+
+impl Default for SituationEstimate {
+    fn default() -> Self {
+        SituationEstimate::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> SituationFeatures {
+        SituationFeatures::new(
+            LaneColor::Yellow,
+            LaneForm::Dotted,
+            RoadLayout::LeftTurn,
+            SceneKind::Night,
+        )
+    }
+
+    #[test]
+    fn starts_benign() {
+        let e = SituationEstimate::new();
+        assert_eq!(e.current().layout, RoadLayout::Straight);
+        assert_eq!(e.current().scene, SceneKind::Day);
+    }
+
+    #[test]
+    fn partial_update_only_touches_invoked_groups() {
+        let mut e = SituationEstimate::new();
+        e.update_from_truth(&truth(), ClassifierSet::road_only());
+        assert_eq!(e.current().layout, RoadLayout::LeftTurn);
+        // Lane and scene remain at their defaults.
+        assert_eq!(e.current().lane_color, LaneColor::White);
+        assert_eq!(e.current().scene, SceneKind::Day);
+    }
+
+    #[test]
+    fn full_update_matches_truth() {
+        let mut e = SituationEstimate::new();
+        e.update_from_truth(&truth(), ClassifierSet::all());
+        assert_eq!(e.current(), truth());
+    }
+
+    #[test]
+    fn no_invocation_is_a_noop() {
+        let mut e = SituationEstimate::with_initial(truth());
+        e.update_from_truth(
+            &SituationFeatures::new(
+                LaneColor::White,
+                LaneForm::Continuous,
+                RoadLayout::Straight,
+                SceneKind::Day,
+            ),
+            ClassifierSet::none(),
+        );
+        assert_eq!(e.current(), truth());
+    }
+
+    #[test]
+    fn staleness_across_sequential_updates() {
+        // Round-robin semantics: lane info lags until the lane
+        // classifier runs.
+        let mut e = SituationEstimate::new();
+        e.update_from_truth(&truth(), ClassifierSet::road_only());
+        assert_eq!(e.current().lane_form, LaneForm::Continuous);
+        e.update_from_truth(
+            &truth(),
+            ClassifierSet::single(lkas_platform::profiles::ClassifierKind::Lane),
+        );
+        assert_eq!(e.current().lane_form, LaneForm::Dotted);
+    }
+}

@@ -1,0 +1,356 @@
+//! The configurable knobs (Table II) and per-situation tunings
+//! (Table III).
+
+use lkas_control::design::ControllerConfig;
+use lkas_imaging::isp::IspConfig;
+use lkas_perception::roi::Roi;
+use lkas_platform::schedule::{ClassifierSet, LkasSchedule};
+use lkas_scene::situation::{LaneForm, RoadLayout, SituationFeatures, TABLE3_SITUATIONS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One knob tuning: the three groups of Table II.
+///
+/// The control pair `(h, τ)` is *derived* — it follows from the ISP
+/// configuration and the classifier invocation set through the platform
+/// schedule, see [`KnobTuning::controller_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnobTuning {
+    /// ISP approximation knob.
+    pub isp: IspConfig,
+    /// Perception ROI knob.
+    pub roi: Roi,
+    /// Vehicle speed knob (km/h).
+    pub speed_kmph: f64,
+}
+
+impl KnobTuning {
+    /// Creates a tuning.
+    pub fn new(isp: IspConfig, roi: Roi, speed_kmph: f64) -> Self {
+        KnobTuning { isp, roi, speed_kmph }
+    }
+
+    /// The conservative default: exact ISP, centered ROI, 50 km/h
+    /// (Case 1's static setting).
+    pub fn conservative() -> Self {
+        KnobTuning { isp: IspConfig::S0, roi: Roi::Roi1, speed_kmph: 50.0 }
+    }
+
+    /// The platform schedule this tuning induces when the given
+    /// classifiers run each frame.
+    pub fn schedule(&self, classifiers: ClassifierSet) -> LkasSchedule {
+        LkasSchedule::new(self.isp, classifiers)
+    }
+
+    /// The control design point `[v, h, τ]` for this tuning under the
+    /// given classifier set (Table III's last column).
+    ///
+    /// Following the paper's footnote 5, the designed delay is the
+    /// profiled `τ` *ceiled to the 5 ms simulation step* — actuation in
+    /// the HiL loop lands on that grid, so the design must assume the
+    /// same (this also collapses each `(v, h)` family to one switching
+    /// mode, which is what makes the CQLF argument of Sec. III-D go
+    /// through).
+    pub fn controller_config(&self, classifiers: ClassifierSet) -> ControllerConfig {
+        let timing = self.schedule(classifiers).timing();
+        let tau_design =
+            (timing.tau_ms / lkas_platform::SIM_STEP_MS).ceil() * lkas_platform::SIM_STEP_MS;
+        ControllerConfig {
+            speed_kmph: self.speed_kmph,
+            h_ms: timing.h_ms,
+            tau_ms: tau_design,
+        }
+    }
+}
+
+/// A characterization table: situation → best-QoC knob tuning
+/// (the paper's Table III).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnobTable {
+    entries: Vec<(SituationFeatures, KnobTuning)>,
+}
+
+impl KnobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        KnobTable::default()
+    }
+
+    /// Inserts or replaces the tuning for a situation.
+    pub fn insert(&mut self, situation: SituationFeatures, tuning: KnobTuning) {
+        if let Some(slot) = self.entries.iter_mut().find(|(s, _)| *s == situation) {
+            slot.1 = tuning;
+        } else {
+            self.entries.push((situation, tuning));
+        }
+    }
+
+    /// Looks up the exact tuning for a situation.
+    pub fn get(&self, situation: &SituationFeatures) -> Option<KnobTuning> {
+        self.entries.iter().find(|(s, _)| s == situation).map(|(_, t)| *t)
+    }
+
+    /// Looks up a tuning with graceful degradation: exact match first,
+    /// then the nearest characterized situation (same layout and lane
+    /// form, then same layout), finally the safe default with a
+    /// layout-appropriate coarse ROI.
+    pub fn lookup(&self, situation: &SituationFeatures) -> KnobTuning {
+        if let Some(t) = self.get(situation) {
+            return t;
+        }
+        if let Some((_, t)) = self
+            .entries
+            .iter()
+            .find(|(s, _)| s.layout == situation.layout && s.lane_form == situation.lane_form)
+        {
+            return *t;
+        }
+        if let Some((_, t)) = self.entries.iter().find(|(s, _)| s.layout == situation.layout) {
+            return *t;
+        }
+        KnobTuning {
+            isp: IspConfig::S0,
+            roi: coarse_roi_for(situation.layout),
+            speed_kmph: if situation.layout == RoadLayout::Straight { 50.0 } else { 30.0 },
+        }
+    }
+
+    /// Number of characterized situations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no situation is characterized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(situation, tuning)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(SituationFeatures, KnobTuning)> {
+        self.entries.iter()
+    }
+
+    /// The paper's published Table III tunings for the 21 situations.
+    ///
+    /// Used as the reference point in EXPERIMENTS.md; the
+    /// [`crate::characterize`] module regenerates a table of this shape
+    /// from closed-loop simulations on *this* workspace's substrates.
+    pub fn paper_table3() -> Self {
+        use IspConfig::*;
+        use Roi::*;
+        let isp = [S3, S7, S4, S6, S6, S8, S8, S6, S3, S3, S8, S3, S3, S8, S3, S8, S8, S3, S8, S2, S2];
+        let roi = [
+            Roi1, Roi1, Roi1, Roi1, Roi1, Roi1, Roi1, // 1–7
+            Roi2, Roi2, Roi2, Roi2, Roi2, // 8–12
+            Roi3, Roi3, // 13–14
+            Roi4, Roi4, Roi4, Roi4, Roi4, // 15–19
+            Roi5, Roi5, // 20–21
+        ];
+        let speed = [
+            50.0, 50.0, 50.0, 50.0, 50.0, 50.0, 50.0, // straights
+            30.0, 30.0, 30.0, 30.0, 30.0, 30.0, 30.0, // right turns
+            30.0, 30.0, 30.0, 30.0, 30.0, 30.0, 30.0, // left turns
+        ];
+        let mut table = KnobTable::new();
+        for (i, situation) in TABLE3_SITUATIONS.iter().enumerate() {
+            table.insert(*situation, KnobTuning::new(isp[i], roi[i], speed[i]));
+        }
+        table
+    }
+
+    /// The paper's published `τ` values (ms) for the 21 Table III rows,
+    /// for comparison against the platform model.
+    pub fn paper_table3_tau_ms() -> [f64; 21] {
+        [
+            23.1, 22.4, 22.5, 22.5, 22.5, 23.0, 23.0, // 1–7
+            22.5, 23.1, 23.1, 23.0, 23.1, // 8–12
+            23.1, 23.0, // 13–14
+            23.1, 23.0, 23.0, 23.1, 23.0, // 15–19
+            40.7, 40.7, // 20–21
+        ]
+    }
+}
+
+impl FromIterator<(SituationFeatures, KnobTuning)> for KnobTable {
+    fn from_iter<I: IntoIterator<Item = (SituationFeatures, KnobTuning)>>(iter: I) -> Self {
+        let mut table = KnobTable::new();
+        for (s, t) in iter {
+            table.insert(s, t);
+        }
+        table
+    }
+}
+
+/// The coarse (road-classifier-only) ROI choice per layout — Case 2's
+/// reconfiguration rule.
+pub fn coarse_roi_for(layout: RoadLayout) -> Roi {
+    match layout {
+        RoadLayout::Straight => Roi::Roi1,
+        RoadLayout::RightTurn => Roi::Roi2,
+        RoadLayout::LeftTurn => Roi::Roi4,
+    }
+}
+
+/// The fine-grained (road + lane) ROI choice — Case 3's rule: dotted
+/// lanes on turns take the shorter, denser ROIs 3/5 (Sec. IV-C).
+pub fn fine_roi_for(layout: RoadLayout, form: LaneForm) -> Roi {
+    match (layout, form) {
+        (RoadLayout::Straight, _) => Roi::Roi1,
+        (RoadLayout::RightTurn, LaneForm::Dotted) => Roi::Roi3,
+        (RoadLayout::RightTurn, _) => Roi::Roi2,
+        (RoadLayout::LeftTurn, LaneForm::Dotted) => Roi::Roi5,
+        (RoadLayout::LeftTurn, _) => Roi::Roi4,
+    }
+}
+
+/// The situation-specific speed rule shared by Cases 2–4: 50 km/h on
+/// straights, 30 km/h on turns (Table III).
+pub fn speed_for(layout: RoadLayout) -> f64 {
+    if layout == RoadLayout::Straight {
+        50.0
+    } else {
+        30.0
+    }
+}
+
+/// Candidate knob values the characterization sweeps for a situation
+/// (Sec. III-B): every ISP configuration, the layout-compatible ROIs,
+/// and both speed settings.
+pub fn candidate_tunings(situation: &SituationFeatures) -> Vec<KnobTuning> {
+    let rois: &[Roi] = match situation.layout {
+        RoadLayout::Straight => &[Roi::Roi1],
+        RoadLayout::RightTurn => &[Roi::Roi2, Roi::Roi3],
+        RoadLayout::LeftTurn => &[Roi::Roi4, Roi::Roi5],
+    };
+    let speeds: &[f64] = if situation.layout == RoadLayout::Straight {
+        &[50.0]
+    } else {
+        &[30.0]
+    };
+    let mut out = Vec::new();
+    for &isp in &IspConfig::ALL {
+        for &roi in rois {
+            for &speed in speeds {
+                out.push(KnobTuning::new(isp, roi, speed));
+            }
+        }
+    }
+    out
+}
+
+/// Summary of the per-situation measured QoC for every candidate —
+/// returned by the characterization so harnesses can print the whole
+/// trade-off, not just the winner.
+pub type CandidateResults = HashMap<SituationFeatures, Vec<(KnobTuning, Option<f64>)>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkas_scene::situation::{LaneColor, SceneKind};
+
+    #[test]
+    fn paper_table3_covers_all_21() {
+        let t = KnobTable::paper_table3();
+        assert_eq!(t.len(), 21);
+        for s in &TABLE3_SITUATIONS {
+            assert!(t.get(s).is_some(), "{s}");
+        }
+    }
+
+    #[test]
+    fn paper_table3_spot_checks() {
+        let t = KnobTable::paper_table3();
+        // Situation 1: straight, white continuous, day → S3, ROI 1, 50.
+        let s1 = t.get(&TABLE3_SITUATIONS[0]).unwrap();
+        assert_eq!(s1.isp, IspConfig::S3);
+        assert_eq!(s1.roi, Roi::Roi1);
+        assert_eq!(s1.speed_kmph, 50.0);
+        // Situation 20: left, white dotted, day → S2, ROI 5, 30.
+        let s20 = t.get(&TABLE3_SITUATIONS[19]).unwrap();
+        assert_eq!(s20.isp, IspConfig::S2);
+        assert_eq!(s20.roi, Roi::Roi5);
+        assert_eq!(s20.speed_kmph, 30.0);
+    }
+
+    #[test]
+    fn derived_tau_close_to_paper() {
+        // The platform model's τ for each Table III row must match the
+        // paper's published value within 0.5 ms.
+        let t = KnobTable::paper_table3();
+        let paper_tau = KnobTable::paper_table3_tau_ms();
+        for (i, s) in TABLE3_SITUATIONS.iter().enumerate() {
+            let timing = t.get(s).unwrap().schedule(ClassifierSet::all()).timing();
+            assert!(
+                (timing.tau_ms - paper_tau[i]).abs() < 0.5,
+                "situation {}: model τ {} vs paper {}",
+                i + 1,
+                timing.tau_ms,
+                paper_tau[i]
+            );
+        }
+    }
+
+    #[test]
+    fn derived_h_matches_paper() {
+        // h = 25 ms for rows 1–19, 45 ms for rows 20–21 (Table III).
+        let t = KnobTable::paper_table3();
+        for (i, s) in TABLE3_SITUATIONS.iter().enumerate() {
+            let cfg = t.get(s).unwrap().controller_config(ClassifierSet::all());
+            let expected = if i >= 19 { 45.0 } else { 25.0 };
+            assert_eq!(cfg.h_ms, expected, "situation {}", i + 1);
+            // Footnote 5: the designed τ is grid-ceiled, here = h.
+            assert_eq!(cfg.tau_ms, expected, "situation {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn lookup_falls_back_gracefully() {
+        let t = KnobTable::paper_table3();
+        // A situation outside the 21 (dawn scene): falls back to a
+        // same-layout entry.
+        let odd = SituationFeatures::new(
+            LaneColor::White,
+            LaneForm::Continuous,
+            RoadLayout::RightTurn,
+            SceneKind::Dawn,
+        );
+        let tuning = t.lookup(&odd);
+        assert!(matches!(tuning.roi, Roi::Roi2 | Roi::Roi3));
+        // Empty table: safe defaults.
+        let empty = KnobTable::new();
+        let d = empty.lookup(&odd);
+        assert_eq!(d.isp, IspConfig::S0);
+        assert_eq!(d.roi, Roi::Roi2);
+        assert_eq!(d.speed_kmph, 30.0);
+    }
+
+    #[test]
+    fn roi_rules() {
+        assert_eq!(coarse_roi_for(RoadLayout::Straight), Roi::Roi1);
+        assert_eq!(coarse_roi_for(RoadLayout::LeftTurn), Roi::Roi4);
+        assert_eq!(fine_roi_for(RoadLayout::LeftTurn, LaneForm::Dotted), Roi::Roi5);
+        assert_eq!(fine_roi_for(RoadLayout::LeftTurn, LaneForm::Continuous), Roi::Roi4);
+        assert_eq!(fine_roi_for(RoadLayout::RightTurn, LaneForm::Dotted), Roi::Roi3);
+        assert_eq!(fine_roi_for(RoadLayout::Straight, LaneForm::Dotted), Roi::Roi1);
+    }
+
+    #[test]
+    fn candidate_sweep_shape() {
+        // Straight: 9 ISP × 1 ROI × 1 speed.
+        let straight = candidate_tunings(&TABLE3_SITUATIONS[0]);
+        assert_eq!(straight.len(), 9);
+        // Turn: 9 ISP × 2 ROIs × 1 speed.
+        let turn = candidate_tunings(&TABLE3_SITUATIONS[7]);
+        assert_eq!(turn.len(), 18);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = KnobTable::new();
+        let s = TABLE3_SITUATIONS[0];
+        t.insert(s, KnobTuning::conservative());
+        t.insert(s, KnobTuning::new(IspConfig::S3, Roi::Roi1, 50.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&s).unwrap().isp, IspConfig::S3);
+    }
+}

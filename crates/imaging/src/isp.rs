@@ -1,0 +1,477 @@
+//! The five-stage ISP pipeline and its approximation knobs (Table II).
+//!
+//! Stage order follows the paper's Fig. 3(a): demosaic → denoise →
+//! color map → gamut map → tone map. Every configuration S0–S8 keeps the
+//! demosaic (a Bayer frame is useless downstream otherwise) and skips a
+//! subset of the remaining stages; skipping stages reduces latency
+//! (profiled runtimes live in `lkas-platform`) at the cost of image
+//! quality, and how much quality matters depends on the *situation* —
+//! which is exactly the trade-off the paper's method exploits.
+
+use crate::image::{BayerChannel, RawImage, RgbImage};
+use serde::{Deserialize, Serialize};
+
+/// One ISP stage, in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IspStage {
+    /// DM — demosaic (Bayer → RGB, bilinear).
+    Demosaic,
+    /// DN — denoise (3×3 Gaussian per channel).
+    Denoise,
+    /// CM — color map (color-correction matrix; inverts the sensor
+    /// crosstalk).
+    ColorMap,
+    /// GM — gamut map (soft-knee compression of out-of-gamut values).
+    GamutMap,
+    /// TM — tone map (sRGB-like gamma encoding).
+    ToneMap,
+}
+
+impl IspStage {
+    /// The paper's two-letter acronym for this stage.
+    pub fn acronym(self) -> &'static str {
+        match self {
+            IspStage::Demosaic => "DM",
+            IspStage::Denoise => "DN",
+            IspStage::ColorMap => "CM",
+            IspStage::GamutMap => "GM",
+            IspStage::ToneMap => "TM",
+        }
+    }
+}
+
+/// An ISP approximation configuration: which stages run.
+///
+/// `S0` is the exact pipeline; `S1`–`S8` are the approximations of the
+/// paper's Table II. The demosaic stage is part of every configuration.
+///
+/// # Example
+///
+/// ```
+/// use lkas_imaging::isp::{IspConfig, IspStage};
+///
+/// assert_eq!(IspConfig::S0.stages().len(), 5);
+/// assert!(IspConfig::S7.stages().contains(&IspStage::GamutMap));
+/// assert!(!IspConfig::S7.stages().contains(&IspStage::ToneMap));
+/// assert_eq!(IspConfig::S3.name(), "S3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are the paper's opaque config IDs
+pub enum IspConfig {
+    S0,
+    S1,
+    S2,
+    S3,
+    S4,
+    S5,
+    S6,
+    S7,
+    S8,
+}
+
+impl IspConfig {
+    /// All nine configurations in Table II order.
+    pub const ALL: [IspConfig; 9] = [
+        IspConfig::S0,
+        IspConfig::S1,
+        IspConfig::S2,
+        IspConfig::S3,
+        IspConfig::S4,
+        IspConfig::S5,
+        IspConfig::S6,
+        IspConfig::S7,
+        IspConfig::S8,
+    ];
+
+    /// The stages this configuration executes (Table II).
+    pub fn stages(self) -> &'static [IspStage] {
+        use IspStage::*;
+        match self {
+            IspConfig::S0 => &[Demosaic, Denoise, ColorMap, GamutMap, ToneMap],
+            IspConfig::S1 => &[Demosaic, ColorMap, GamutMap, ToneMap],
+            IspConfig::S2 => &[Demosaic, Denoise, GamutMap, ToneMap],
+            IspConfig::S3 => &[Demosaic, Denoise, ColorMap, ToneMap],
+            IspConfig::S4 => &[Demosaic, Denoise, ColorMap, GamutMap],
+            IspConfig::S5 => &[Demosaic, Denoise],
+            IspConfig::S6 => &[Demosaic, ColorMap],
+            IspConfig::S7 => &[Demosaic, GamutMap],
+            IspConfig::S8 => &[Demosaic, ToneMap],
+        }
+    }
+
+    /// The paper's name for this configuration (`"S0"` … `"S8"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IspConfig::S0 => "S0",
+            IspConfig::S1 => "S1",
+            IspConfig::S2 => "S2",
+            IspConfig::S3 => "S3",
+            IspConfig::S4 => "S4",
+            IspConfig::S5 => "S5",
+            IspConfig::S6 => "S6",
+            IspConfig::S7 => "S7",
+            IspConfig::S8 => "S8",
+        }
+    }
+
+    /// `true` if the given stage is part of this configuration.
+    pub fn has_stage(self, stage: IspStage) -> bool {
+        self.stages().contains(&stage)
+    }
+}
+
+impl std::fmt::Display for IspConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Number of code levels of the ISP output (8-bit RGB, as produced by the
+/// real pipeline and consumed by TensorRT in the paper's setup).
+pub const OUTPUT_LEVELS: u32 = 256;
+
+/// A configurable ISP pipeline.
+///
+/// # Example
+///
+/// ```
+/// use lkas_imaging::image::RgbImage;
+/// use lkas_imaging::isp::{IspConfig, IspPipeline};
+/// use lkas_imaging::sensor::{Sensor, SensorConfig};
+///
+/// let scene = RgbImage::filled(16, 16, [0.2, 0.6, 0.2]);
+/// let raw = Sensor::new(SensorConfig::default(), 0).capture(&scene, 1.0);
+/// let full = IspPipeline::new(IspConfig::S0).process(&raw);
+/// let approx = IspPipeline::new(IspConfig::S5).process(&raw);
+/// assert_eq!(full.width(), approx.width());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IspPipeline {
+    config: IspConfig,
+}
+
+impl IspPipeline {
+    /// Creates a pipeline running the given configuration.
+    pub fn new(config: IspConfig) -> Self {
+        IspPipeline { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> IspConfig {
+        self.config
+    }
+
+    /// Replaces the active configuration (used by the runtime
+    /// reconfiguration logic; the swap is free, matching a register write
+    /// on the real ISP).
+    pub fn set_config(&mut self, config: IspConfig) {
+        self.config = config;
+    }
+
+    /// Runs the configured stages on a RAW frame and returns the
+    /// quantized 8-bit-equivalent RGB output.
+    pub fn process(&self, raw: &RawImage) -> RgbImage {
+        let mut rgb = demosaic(raw);
+        for stage in self.config.stages() {
+            match stage {
+                IspStage::Demosaic => {} // always executed above
+                IspStage::Denoise => denoise(&mut rgb),
+                IspStage::ColorMap => color_map(&mut rgb),
+                IspStage::GamutMap => gamut_map(&mut rgb),
+                IspStage::ToneMap => tone_map(&mut rgb),
+            }
+        }
+        rgb.quantize(OUTPUT_LEVELS);
+        rgb
+    }
+}
+
+/// Bilinear demosaic of an RGGB Bayer mosaic.
+pub fn demosaic(raw: &RawImage) -> RgbImage {
+    let (w, h) = (raw.width(), raw.height());
+    let mut out = RgbImage::new(w, h);
+    // Average of the neighbors (clamped to the frame) holding channel `c`.
+    let sample = |cx: i64, cy: i64, chan: BayerChannel| -> f32 {
+        let mut sum = 0.0;
+        let mut cnt = 0u32;
+        for dy in -1..=1_i64 {
+            for dx in -1..=1_i64 {
+                let x = cx + dx;
+                let y = cy + dy;
+                if x < 0 || y < 0 || x >= w as i64 || y >= h as i64 {
+                    continue;
+                }
+                let (x, y) = (x as usize, y as usize);
+                let ch = raw.channel_at(x, y);
+                let is_green = matches!(ch, BayerChannel::GreenR | BayerChannel::GreenB);
+                let want_green = matches!(chan, BayerChannel::GreenR | BayerChannel::GreenB);
+                if ch == chan || (is_green && want_green) {
+                    sum += raw.get(x, y);
+                    cnt += 1;
+                }
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            sum / cnt as f32
+        }
+    };
+    for y in 0..h {
+        for x in 0..w {
+            let r = sample(x as i64, y as i64, BayerChannel::Red);
+            let g = sample(x as i64, y as i64, BayerChannel::GreenR);
+            let b = sample(x as i64, y as i64, BayerChannel::Blue);
+            out.set(x, y, [r, g, b]);
+        }
+    }
+    out
+}
+
+/// 3×3 Gaussian blur (σ ≈ 0.85) applied per channel, in place.
+pub fn denoise(img: &mut RgbImage) {
+    const K: [f32; 3] = [0.25, 0.5, 0.25]; // separable binomial kernel
+    let (w, h) = (img.width(), img.height());
+    let src = img.clone();
+    // Horizontal pass into `img`, vertical pass back.
+    let mut tmp = RgbImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = [0.0f32; 3];
+            for (t, &k) in K.iter().enumerate() {
+                let xi = (x as i64 + t as i64 - 1).clamp(0, w as i64 - 1) as usize;
+                let px = src.get(xi, y);
+                for c in 0..3 {
+                    acc[c] += k * px[c];
+                }
+            }
+            tmp.set(x, y, acc);
+        }
+    }
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = [0.0f32; 3];
+            for (t, &k) in K.iter().enumerate() {
+                let yi = (y as i64 + t as i64 - 1).clamp(0, h as i64 - 1) as usize;
+                let px = tmp.get(x, yi);
+                for c in 0..3 {
+                    acc[c] += k * px[c];
+                }
+            }
+            img.set(x, y, acc);
+        }
+    }
+}
+
+/// Color-correction matrix: the inverse of the sensor crosstalk, mapping
+/// sensor RGB back to scene-referred RGB. Applied in place.
+pub fn color_map(img: &mut RgbImage) {
+    let ccm = ccm();
+    for px in img.as_mut_slice().chunks_exact_mut(3) {
+        let v = [px[0], px[1], px[2]];
+        for (c, row) in ccm.iter().enumerate() {
+            px[c] = row[0] * v[0] + row[1] * v[1] + row[2] * v[2];
+        }
+    }
+}
+
+/// The 3×3 color-correction matrix (inverse of
+/// [`crate::sensor::CROSSTALK`]).
+pub fn ccm() -> [[f32; 3]; 3] {
+    invert3(crate::sensor::CROSSTALK)
+}
+
+fn invert3(m: [[f32; 3]; 3]) -> [[f32; 3]; 3] {
+    let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+        - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+        + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    assert!(det.abs() > 1e-9, "crosstalk matrix must be invertible");
+    let inv_det = 1.0 / det;
+    let mut inv = [[0.0f32; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            // Cofactor expansion, transposed.
+            let r0 = (j + 1) % 3;
+            let r1 = (j + 2) % 3;
+            let c0 = (i + 1) % 3;
+            let c1 = (i + 2) % 3;
+            inv[i][j] = (m[r0][c0] * m[r1][c1] - m[r0][c1] * m[r1][c0]) * inv_det;
+        }
+    }
+    inv
+}
+
+/// Soft-knee gamut compression: values are clamped to `[0, 1]` with a
+/// smooth roll-off above `knee` instead of a hard clip. Applied in place.
+pub fn gamut_map(img: &mut RgbImage) {
+    const KNEE: f32 = 0.9;
+    for v in img.as_mut_slice() {
+        let x = v.max(0.0);
+        *v = if x <= KNEE {
+            x
+        } else {
+            // Asymptotic approach to 1.0 above the knee.
+            KNEE + (1.0 - KNEE) * (1.0 - (-(x - KNEE) / (1.0 - KNEE)).exp())
+        };
+    }
+}
+
+/// sRGB-like gamma encoding (γ = 1/2.2) — the display/tone-mapping stage.
+/// Applied in place.
+pub fn tone_map(img: &mut RgbImage) {
+    for v in img.as_mut_slice() {
+        *v = v.max(0.0).powf(1.0 / 2.2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::{Sensor, SensorConfig};
+
+    fn noiseless_sensor() -> Sensor {
+        Sensor::new(SensorConfig { read_noise: 0.0, shot_noise: 0.0, gain: 1.0 }, 0)
+    }
+
+    #[test]
+    fn table2_stage_sets() {
+        use IspStage::*;
+        assert_eq!(IspConfig::S0.stages(), &[Demosaic, Denoise, ColorMap, GamutMap, ToneMap]);
+        assert_eq!(IspConfig::S5.stages(), &[Demosaic, Denoise]);
+        assert_eq!(IspConfig::S8.stages(), &[Demosaic, ToneMap]);
+        for cfg in IspConfig::ALL {
+            assert!(cfg.has_stage(Demosaic), "{cfg} must demosaic");
+        }
+    }
+
+    #[test]
+    fn demosaic_flat_field_is_flat() {
+        let mut s = noiseless_sensor();
+        let scene = RgbImage::filled(16, 16, [0.5, 0.5, 0.5]);
+        let raw = s.capture(&scene, 1.0);
+        let rgb = demosaic(&raw);
+        // A flat gray scene through the crosstalk keeps each channel flat.
+        let center = rgb.get(8, 8);
+        for y in 2..14 {
+            for x in 2..14 {
+                let px = rgb.get(x, y);
+                for c in 0..3 {
+                    assert!((px[c] - center[c]).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn color_map_inverts_crosstalk() {
+        let mut s = noiseless_sensor();
+        let scene = RgbImage::filled(16, 16, [0.8, 0.6, 0.1]); // yellow-ish
+        let raw = s.capture(&scene, 1.0);
+        let mut rgb = demosaic(&raw);
+        color_map(&mut rgb);
+        let px = rgb.get(8, 8);
+        assert!((px[0] - 0.8).abs() < 0.05, "R recovered, got {}", px[0]);
+        assert!((px[1] - 0.6).abs() < 0.05, "G recovered, got {}", px[1]);
+        assert!((px[2] - 0.1).abs() < 0.05, "B recovered, got {}", px[2]);
+    }
+
+    #[test]
+    fn color_map_restores_yellow_contrast() {
+        // Without CM, yellow-vs-gray gray-level contrast is weaker —
+        // the effect behind Table III's CM choices for yellow lanes.
+        let mut s = noiseless_sensor();
+        let yellow = RgbImage::filled(16, 16, [0.85, 0.70, 0.15]);
+        let gray = RgbImage::filled(16, 16, [0.30, 0.30, 0.30]);
+        let contrast = |with_cm: bool| -> f32 {
+            let mut sy = noiseless_sensor();
+            let mut sg = noiseless_sensor();
+            let mut ry = demosaic(&sy.capture(&yellow, 1.0));
+            let mut rg = demosaic(&sg.capture(&gray, 1.0));
+            if with_cm {
+                color_map(&mut ry);
+                color_map(&mut rg);
+            }
+            ry.to_gray().get(8, 8) - rg.to_gray().get(8, 8)
+        };
+        let _ = &mut s;
+        assert!(contrast(true) > contrast(false));
+    }
+
+    #[test]
+    fn denoise_reduces_noise_std() {
+        let mut s = Sensor::new(SensorConfig { read_noise: 0.05, shot_noise: 0.0, gain: 1.0 }, 11);
+        let scene = RgbImage::filled(64, 64, [0.5, 0.5, 0.5]);
+        let raw = s.capture(&scene, 1.0);
+        let noisy = demosaic(&raw);
+        let mut smooth = noisy.clone();
+        denoise(&mut smooth);
+        assert!(smooth.to_gray().std_dev() < 0.8 * noisy.to_gray().std_dev());
+    }
+
+    #[test]
+    fn tone_map_brightens_shadows() {
+        let mut img = RgbImage::filled(2, 2, [0.1, 0.1, 0.1]);
+        tone_map(&mut img);
+        assert!(img.get(0, 0)[0] > 0.3);
+    }
+
+    #[test]
+    fn gamut_map_soft_clips() {
+        let mut img = RgbImage::filled(1, 1, [1.5, 0.5, -0.2]);
+        gamut_map(&mut img);
+        let px = img.get(0, 0);
+        assert!(px[0] <= 1.0 && px[0] > 0.9);
+        assert!((px[1] - 0.5).abs() < 1e-6, "in-gamut values unchanged");
+        assert_eq!(px[2], 0.0);
+    }
+
+    #[test]
+    fn pipeline_output_is_quantized() {
+        let mut s = noiseless_sensor();
+        let raw = s.capture(&RgbImage::filled(8, 8, [0.3, 0.3, 0.3]), 1.0);
+        let out = IspPipeline::new(IspConfig::S0).process(&raw);
+        for &v in out.as_slice() {
+            let steps = v * (OUTPUT_LEVELS - 1) as f32;
+            assert!((steps - steps.round()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn tone_map_preserves_shadow_detail_after_quantization() {
+        // In a dark scene, S4 (no TM) collapses nearby shadow values onto
+        // the same 8-bit code, while S3 (with TM) keeps them distinct.
+        let mut s = noiseless_sensor();
+        let a = s.capture(&RgbImage::filled(8, 8, [0.26, 0.26, 0.26]), 0.15);
+        let b = s.capture(&RgbImage::filled(8, 8, [0.30, 0.30, 0.30]), 0.15);
+        let with_tm = IspPipeline::new(IspConfig::S3);
+        let without_tm = IspPipeline::new(IspConfig::S4);
+        let d_tm = (with_tm.process(&a).to_gray().mean() - with_tm.process(&b).to_gray().mean()).abs();
+        let d_no = (without_tm.process(&a).to_gray().mean() - without_tm.process(&b).to_gray().mean()).abs();
+        assert!(
+            d_tm >= d_no,
+            "tone map must preserve at least as much shadow separation ({d_tm} vs {d_no})"
+        );
+    }
+
+    #[test]
+    fn invert3_roundtrip() {
+        let m = crate::sensor::CROSSTALK;
+        let inv = invert3(m);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += inv[i][k] * m[k][j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn config_display_names() {
+        assert_eq!(IspConfig::S0.to_string(), "S0");
+        assert_eq!(IspConfig::ALL.len(), 9);
+    }
+}

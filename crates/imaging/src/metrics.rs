@@ -1,0 +1,119 @@
+//! Image-quality metrics quantifying ISP approximation error.
+//!
+//! The paper's predecessor works ([8], [9]) reason about the trade-off
+//! between ISP approximation error and control quality; these metrics let
+//! the benches report that approximation error alongside QoC.
+
+use crate::image::{GrayImage, RgbImage};
+
+/// Mean squared error between two RGB frames.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn mse_rgb(a: &RgbImage, b: &RgbImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "mse_rgb requires equal dimensions"
+    );
+    let n = a.as_slice().len() as f64;
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Mean squared error between two grayscale frames.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn mse_gray(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "mse_gray requires equal dimensions"
+    );
+    let n = a.as_slice().len() as f64;
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Peak signal-to-noise ratio in dB for unit-range images.
+///
+/// Returns `f64::INFINITY` for identical frames.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+///
+/// # Example
+///
+/// ```
+/// use lkas_imaging::image::RgbImage;
+/// use lkas_imaging::metrics::psnr_rgb;
+///
+/// let a = RgbImage::filled(4, 4, [0.5, 0.5, 0.5]);
+/// let b = RgbImage::filled(4, 4, [0.6, 0.5, 0.5]);
+/// assert!(psnr_rgb(&a, &b) > 20.0);
+/// assert!(psnr_rgb(&a, &a).is_infinite());
+/// ```
+pub fn psnr_rgb(a: &RgbImage, b: &RgbImage) -> f64 {
+    let mse = mse_rgb(a, b);
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (1.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_frames_have_zero_mse() {
+        let a = RgbImage::filled(4, 4, [0.3, 0.6, 0.9]);
+        assert_eq!(mse_rgb(&a, &a), 0.0);
+        assert!(psnr_rgb(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = RgbImage::filled(2, 2, [0.0, 0.0, 0.0]);
+        let b = RgbImage::filled(2, 2, [0.5, 0.5, 0.5]);
+        assert!((mse_rgb(&a, &b) - 0.25).abs() < 1e-9);
+        // PSNR = 10 log10(1/0.25) ≈ 6.0206 dB
+        assert!((psnr_rgb(&a, &b) - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gray_mse() {
+        let mut a = GrayImage::new(2, 1);
+        let mut b = GrayImage::new(2, 1);
+        a.set(0, 0, 1.0);
+        b.set(1, 0, 1.0);
+        assert!((mse_gray(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = RgbImage::new(2, 2);
+        let b = RgbImage::new(4, 2);
+        let _ = mse_rgb(&a, &b);
+    }
+}

@@ -1,0 +1,208 @@
+//! Camera sensor model: spectral crosstalk, noise, Bayer sampling.
+//!
+//! The scene renderer in `lkas-scene` produces *scene-referred* linear RGB
+//! irradiance. This module turns that irradiance into the RAW Bayer frame
+//! an automotive sensor would deliver:
+//!
+//! 1. scale by the illumination level (exposure is held fixed, as in the
+//!    paper's HiL setup where the ISP must cope with night scenes),
+//! 2. mix channels through the sensor's spectral-crosstalk matrix (the
+//!    inverse of which is the ISP's *color map* CCM),
+//! 3. add photon shot noise (variance ∝ signal) and read noise
+//!    (constant variance),
+//! 4. sample the RGGB mosaic.
+
+use crate::image::{BayerChannel, RawImage, RgbImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Spectral crosstalk matrix of the modeled sensor (rows: sensor R/G/B
+/// response; columns: scene R/G/B). Deliberately leaky so that the ISP's
+/// color-map stage (which applies the inverse) visibly matters for
+/// color contrast — exactly the behaviour the paper exploits for yellow
+/// lanes (Table III rows with S3/S4 keep CM; S7/S8 drop it).
+pub const CROSSTALK: [[f32; 3]; 3] = [
+    [0.66, 0.26, 0.08],
+    [0.22, 0.62, 0.16],
+    [0.10, 0.30, 0.60],
+];
+
+/// Configuration of the sensor model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Standard deviation of the signal-independent read noise, in
+    /// full-well-normalized units.
+    pub read_noise: f32,
+    /// Photon-shot-noise coefficient: noise variance contribution is
+    /// `shot_noise² · signal`.
+    pub shot_noise: f32,
+    /// Fixed analog gain applied after exposure (models the camera's
+    /// fixed operating point in the HiL setup).
+    pub gain: f32,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        // Tuned so that daytime SNR is high (~40 dB) while `dark`
+        // (illumination 0.15) scenes drop to a regime where denoise and
+        // tone map visibly change detection quality.
+        SensorConfig { read_noise: 0.012, shot_noise: 0.02, gain: 1.0 }
+    }
+}
+
+/// A deterministic (seeded) camera sensor.
+///
+/// # Example
+///
+/// ```
+/// use lkas_imaging::image::RgbImage;
+/// use lkas_imaging::sensor::{Sensor, SensorConfig};
+///
+/// let scene = RgbImage::filled(8, 8, [0.5, 0.5, 0.5]);
+/// let mut sensor = Sensor::new(SensorConfig::default(), 7);
+/// let raw = sensor.capture(&scene, 1.0);
+/// assert_eq!((raw.width(), raw.height()), (8, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sensor {
+    config: SensorConfig,
+    rng: StdRng,
+}
+
+impl Sensor {
+    /// Creates a sensor with the given configuration and RNG seed.
+    pub fn new(config: SensorConfig, seed: u64) -> Self {
+        Sensor { config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Borrow the sensor configuration.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// Captures a scene-referred linear RGB frame into a RAW Bayer frame
+    /// under the given `illumination` scale (1.0 = full daylight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene dimensions are odd (Bayer frames need even
+    /// dimensions).
+    pub fn capture(&mut self, scene: &RgbImage, illumination: f32) -> RawImage {
+        let (w, h) = (scene.width(), scene.height());
+        let mut raw = RawImage::new(w, h);
+        let g = self.config.gain;
+        for y in 0..h {
+            for x in 0..w {
+                let px = scene.get(x, y);
+                // Illumination scaling happens in the scene-referred
+                // domain (light level), then sensor crosstalk.
+                let lit = [px[0] * illumination, px[1] * illumination, px[2] * illumination];
+                let row = match raw.channel_at(x, y) {
+                    BayerChannel::Red => CROSSTALK[0],
+                    BayerChannel::GreenR | BayerChannel::GreenB => CROSSTALK[1],
+                    BayerChannel::Blue => CROSSTALK[2],
+                };
+                let signal = (row[0] * lit[0] + row[1] * lit[1] + row[2] * lit[2]) * g;
+                let var = self.config.read_noise.powi(2)
+                    + self.config.shot_noise.powi(2) * signal.max(0.0);
+                let noise = self.sample_gaussian() * var.sqrt();
+                raw.set(x, y, (signal + noise).clamp(0.0, 1.0));
+            }
+        }
+        raw
+    }
+
+    /// Standard normal sample via Box–Muller (keeps the crate free of a
+    /// distributions dependency).
+    fn sample_gaussian(&mut self) -> f32 {
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_scene(v: f32) -> RgbImage {
+        RgbImage::filled(64, 64, [v, v, v])
+    }
+
+    #[test]
+    fn capture_preserves_dimensions() {
+        let mut s = Sensor::new(SensorConfig::default(), 1);
+        let raw = s.capture(&flat_scene(0.5), 1.0);
+        assert_eq!((raw.width(), raw.height()), (64, 64));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let scene = flat_scene(0.3);
+        let a = Sensor::new(SensorConfig::default(), 99).capture(&scene, 1.0);
+        let b = Sensor::new(SensorConfig::default(), 99).capture(&scene, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scene = flat_scene(0.3);
+        let a = Sensor::new(SensorConfig::default(), 1).capture(&scene, 1.0);
+        let b = Sensor::new(SensorConfig::default(), 2).capture(&scene, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn illumination_scales_signal() {
+        let mut s = Sensor::new(SensorConfig { read_noise: 0.0, shot_noise: 0.0, gain: 1.0 }, 0);
+        let day = s.capture(&flat_scene(0.5), 1.0);
+        let night = s.capture(&flat_scene(0.5), 0.2);
+        let day_mean: f32 = day.as_slice().iter().sum::<f32>() / day.as_slice().len() as f32;
+        let night_mean: f32 = night.as_slice().iter().sum::<f32>() / night.as_slice().len() as f32;
+        assert!((night_mean / day_mean - 0.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snr_degrades_in_low_light() {
+        // Relative noise (std/mean) must be higher at low illumination:
+        // that is what makes denoise matter at night.
+        let cfg = SensorConfig::default();
+        let snr = |illum: f32| -> f32 {
+            let mut s = Sensor::new(cfg.clone(), 5);
+            let raw = s.capture(&flat_scene(0.4), illum);
+            // Use only red photosites so the Bayer pattern does not
+            // inflate the variance estimate.
+            let mut vals = Vec::new();
+            for y in (0..64).step_by(2) {
+                for x in (0..64).step_by(2) {
+                    vals.push(raw.get(x, y));
+                }
+            }
+            let m = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / vals.len() as f32;
+            m / var.sqrt()
+        };
+        assert!(snr(1.0) > 2.0 * snr(0.15));
+    }
+
+    #[test]
+    fn crosstalk_desaturates_colors() {
+        // A pure red scene must leak into green/blue photosites.
+        let mut s = Sensor::new(SensorConfig { read_noise: 0.0, shot_noise: 0.0, gain: 1.0 }, 0);
+        let scene = RgbImage::filled(4, 4, [1.0, 0.0, 0.0]);
+        let raw = s.capture(&scene, 1.0);
+        let red = raw.get(0, 0);
+        let green = raw.get(1, 0);
+        let blue = raw.get(1, 1);
+        assert!(red > green && green > blue);
+        assert!(green > 0.1, "crosstalk must leak red into green photosites");
+    }
+
+    #[test]
+    fn values_clamped_to_unit_range() {
+        let mut s = Sensor::new(SensorConfig { read_noise: 0.5, shot_noise: 0.5, gain: 2.0 }, 3);
+        let raw = s.capture(&flat_scene(1.0), 1.0);
+        assert!(raw.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+}

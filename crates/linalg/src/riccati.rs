@@ -1,0 +1,199 @@
+//! Discrete algebraic Riccati equation (DARE) and LQR gains.
+//!
+//! The paper designs its steering controller as an optimal LQR for each
+//! `(h, τ)` sampling/delay pair (Sec. II, refs. [14]–[16]). This module
+//! provides the DARE solver and the gain computation used by
+//! `lkas-control`.
+
+use crate::{lu, LinalgError, Mat, Result};
+
+/// Iteration cap for the fixed-point DARE recursion.
+const MAX_ITER: usize = 10_000;
+/// Convergence tolerance on the max-abs difference between iterates.
+const TOL: f64 = 1e-12;
+
+/// Solves the discrete algebraic Riccati equation
+///
+/// `P = AᵀPA − AᵀPB (R + BᵀPB)⁻¹ BᵀPA + Q`
+///
+/// by iterating the Riccati difference equation to its fixed point,
+/// which converges for stabilizable `(A, B)` and detectable `(A, Q^½)`.
+///
+/// # Errors
+///
+/// * [`LinalgError::InvalidInput`] on shape mismatches or if `Q`/`R` are
+///   not symmetric-sized.
+/// * [`LinalgError::NoConvergence`] if the recursion does not settle
+///   (e.g. unstabilizable pair).
+/// * [`LinalgError::Singular`] if `R + BᵀPB` becomes singular.
+///
+/// # Example
+///
+/// ```
+/// use lkas_linalg::{Mat, riccati::solve_dare};
+///
+/// // Scalar system: x[k+1] = x[k] + u[k], Q = R = 1 ⇒ P = (1+√5)/2 + ...
+/// let a = Mat::identity(1);
+/// let b = Mat::identity(1);
+/// let q = Mat::identity(1);
+/// let r = Mat::identity(1);
+/// let p = solve_dare(&a, &b, &q, &r).unwrap();
+/// // Scalar DARE: p = p - p²/(1+p) + 1 ⇒ p² - p - 1 = 0 ⇒ p = φ² ... = (1+√5)/2 + 1
+/// let golden = (1.0 + 5.0_f64.sqrt()) / 2.0;
+/// assert!((p[(0, 0)] - (golden + 1.0)).abs() < 1e-9 || (p[(0,0)] - golden).abs() < 1e-9);
+/// ```
+pub fn solve_dare(a: &Mat, b: &Mat, q: &Mat, r: &Mat) -> Result<Mat> {
+    let n = a.rows();
+    let m = b.cols();
+    if !a.is_square() || b.rows() != n || q.shape() != (n, n) || r.shape() != (m, m) {
+        return Err(LinalgError::InvalidInput("solve_dare shape mismatch"));
+    }
+    let at = a.transpose();
+    let bt = b.transpose();
+    let mut p = q.clone();
+    for it in 0..MAX_ITER {
+        // S = R + BᵀPB
+        let s = r.add_mat(&bt.matmul(&p)?.matmul(b)?)?;
+        // K = S⁻¹ BᵀPA
+        let k = lu::solve(&s, &bt.matmul(&p)?.matmul(a)?)?;
+        // P⁺ = AᵀPA − AᵀPB·K + Q
+        let apa = at.matmul(&p)?.matmul(a)?;
+        let apbk = at.matmul(&p)?.matmul(b)?.matmul(&k)?;
+        let mut p_next = apa.sub_mat(&apbk)?.add_mat(q)?;
+        p_next.symmetrize();
+        if !p_next.is_finite() {
+            return Err(LinalgError::NoConvergence { solver: "dare", iterations: it });
+        }
+        let diff = p_next.sub_mat(&p)?.max_abs();
+        let scale = p_next.max_abs().max(1.0);
+        p = p_next;
+        if diff <= TOL * scale {
+            return Ok(p);
+        }
+    }
+    Err(LinalgError::NoConvergence { solver: "dare", iterations: MAX_ITER })
+}
+
+/// Computes the infinite-horizon LQR gain `K = (R + BᵀPB)⁻¹ BᵀPA`
+/// such that `u[k] = −K x[k]` minimizes `Σ xᵀQx + uᵀRu`.
+///
+/// Returns `(K, P)` so the caller can reuse the Riccati solution (e.g. as
+/// a terminal cost or Lyapunov certificate).
+///
+/// # Errors
+///
+/// See [`solve_dare`].
+pub fn lqr(a: &Mat, b: &Mat, q: &Mat, r: &Mat) -> Result<(Mat, Mat)> {
+    let p = solve_dare(a, b, q, r)?;
+    let s = r.add_mat(&b.transpose().matmul(&p)?.matmul(b)?)?;
+    let k = lu::solve(&s, &b.transpose().matmul(&p)?.matmul(a)?)?;
+    Ok((k, p))
+}
+
+/// Steady-state Kalman gain for the discrete system
+/// `x[k+1] = A x[k] + w`, `y[k] = C x[k] + v` with covariances
+/// `W = cov(w)`, `V = cov(v)`.
+///
+/// Solves the dual DARE and returns the predictor gain `L` such that
+/// `x̂[k+1] = A x̂[k] + B u[k] + L (y[k] − C x̂[k])`.
+///
+/// # Errors
+///
+/// See [`solve_dare`].
+pub fn kalman_gain(a: &Mat, c: &Mat, w: &Mat, v: &Mat) -> Result<Mat> {
+    // Dual system: (Aᵀ, Cᵀ) with Q = W, R = V.
+    let p = solve_dare(&a.transpose(), &c.transpose(), w, v)?;
+    // L = A P Cᵀ (V + C P Cᵀ)⁻¹  ⇒ solve (V + C P Cᵀ)ᵀ Xᵀ = (A P Cᵀ)ᵀ.
+    let apc = a.matmul(&p)?.matmul(&c.transpose())?;
+    let s = v.add_mat(&c.matmul(&p)?.matmul(&c.transpose())?)?;
+    let lt = lu::solve(&s.transpose(), &apc.transpose())?;
+    Ok(lt.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eig;
+
+    #[test]
+    fn scalar_dare_closed_form() {
+        // p = a²p − a²p²b²/(r + b²p) + q with a=b=q=r=1:
+        // p = p − p²/(1+p) + 1 ⇒ p²/(1+p) = 1 ⇒ p² − p − 1 = 0 ⇒ p = (1+√5)/2.
+        let one = Mat::identity(1);
+        let p = solve_dare(&one, &one, &one, &one).unwrap();
+        let expected = (1.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!((p[(0, 0)] - expected).abs() < 1e-9, "got {}", p[(0, 0)]);
+    }
+
+    #[test]
+    fn lqr_stabilizes_double_integrator() {
+        // Discretized double integrator, h = 0.1.
+        let h = 0.1;
+        let a = Mat::from_rows(&[&[1.0, h], &[0.0, 1.0]]);
+        let b = Mat::col_vec(&[h * h / 2.0, h]);
+        let q = Mat::identity(2);
+        let r = Mat::identity(1);
+        let (k, p) = lqr(&a, &b, &q, &r).unwrap();
+        assert!(p.is_positive_definite());
+        let acl = a.sub_mat(&b.matmul(&k).unwrap()).unwrap();
+        let rho = eig::spectral_radius(&acl).unwrap();
+        assert!(rho < 1.0, "closed loop must be Schur stable, rho = {rho}");
+    }
+
+    #[test]
+    fn dare_solution_is_lyapunov_certificate() {
+        // P from the DARE certifies closed-loop decay:
+        // A_clᵀ P A_cl − P = −(Q + Kᵀ R K) ≺ 0.
+        let a = Mat::from_rows(&[&[1.1, 0.2], &[0.0, 0.9]]);
+        let b = Mat::col_vec(&[0.0, 1.0]);
+        let q = Mat::diag(&[2.0, 1.0]);
+        let r = Mat::diag(&[0.5]);
+        let (k, p) = lqr(&a, &b, &q, &r).unwrap();
+        let acl = a.sub_mat(&b.matmul(&k).unwrap()).unwrap();
+        let decay = acl
+            .transpose()
+            .matmul(&p)
+            .unwrap()
+            .matmul(&acl)
+            .unwrap()
+            .sub_mat(&p)
+            .unwrap();
+        // decay + (Q + KᵀRK) must vanish.
+        let krk = k.transpose().matmul(&r).unwrap().matmul(&k).unwrap();
+        let res = decay.add_mat(&q.add_mat(&krk).unwrap()).unwrap();
+        assert!(res.max_abs() < 1e-8, "residual {}", res.max_abs());
+    }
+
+    #[test]
+    fn unstabilizable_pair_fails() {
+        // Unstable mode not reachable by B.
+        let a = Mat::diag(&[2.0, 0.5]);
+        let b = Mat::col_vec(&[0.0, 1.0]);
+        let q = Mat::identity(2);
+        let r = Mat::identity(1);
+        assert!(matches!(
+            solve_dare(&a, &b, &q, &r),
+            Err(LinalgError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn kalman_gain_stabilizes_observer() {
+        let a = Mat::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]);
+        let c = Mat::from_rows(&[&[1.0, 0.0]]);
+        let w = Mat::diag(&[0.01, 0.01]);
+        let v = Mat::diag(&[0.1]);
+        let l = kalman_gain(&a, &c, &w, &v).unwrap();
+        let aobs = a.sub_mat(&l.matmul(&c).unwrap()).unwrap();
+        assert!(eig::is_schur_stable(&aobs).unwrap());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Mat::identity(2);
+        let b = Mat::col_vec(&[1.0, 0.0]);
+        let q = Mat::identity(3);
+        let r = Mat::identity(1);
+        assert!(solve_dare(&a, &b, &q, &r).is_err());
+    }
+}

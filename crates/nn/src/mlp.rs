@@ -1,0 +1,370 @@
+//! Minimal multi-layer perceptron with softmax cross-entropy training.
+//!
+//! Sized for the situation classifiers: tens of input features, one or
+//! two hidden layers, ≤ 5 output classes. Deterministic given the RNG
+//! seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One dense layer `y = W·x + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Dense {
+    rows: usize,
+    cols: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    // Momentum buffers.
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+impl Dense {
+    fn new(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        // He initialization for ReLU nets.
+        let scale = (2.0 / cols as f32).sqrt();
+        let w = (0..rows * cols).map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale).collect();
+        Dense {
+            rows,
+            cols,
+            w,
+            b: vec![0.0; rows],
+            vw: vec![0.0; rows * cols],
+            vb: vec![0.0; rows],
+        }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        for r in 0..self.rows {
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            let mut acc = self.b[r];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { learning_rate: 0.005, momentum: 0.5, epochs: 60 }
+    }
+}
+
+/// A feed-forward network: input → hidden (ReLU) → … → logits.
+///
+/// # Example
+///
+/// ```
+/// use lkas_nn::mlp::{Mlp, TrainConfig};
+///
+/// // Learn XOR.
+/// let xs = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]];
+/// let inputs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+/// let labels = [0usize, 1, 1, 0];
+/// let mut net = Mlp::new(&[2, 8, 2], 7);
+/// let config = TrainConfig { epochs: 600, learning_rate: 0.05, momentum: 0.5 };
+/// net.train(&inputs, &labels, &config, 3);
+/// assert_eq!(net.predict(&xs[1]), 1);
+/// assert_eq!(net.predict(&xs[3]), 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes
+    /// (`[input, hidden…, classes]`), deterministically initialized from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be nonzero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::new(w[1], w[0], &mut rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(|l| l.cols).unwrap_or(0)
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        self.layers.last().map(|l| l.rows).unwrap_or(0)
+    }
+
+    /// Class probabilities for one input (softmax of the logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`Mlp::input_dim`].
+    pub fn probabilities(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        let (acts, _) = self.forward_all(x);
+        softmax(acts.last().expect("network has layers"))
+    }
+
+    /// Most probable class for one input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`Mlp::input_dim`].
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let p = self.probabilities(x);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Forward pass keeping every layer's (post-activation) output.
+    /// Returns `(activations, pre_activations)`, where `activations[0]`
+    /// is the first layer's post-ReLU output and the final entry holds
+    /// raw logits.
+    fn forward_all(&self, x: &[f32]) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        let mut pres: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        let mut cur: Vec<f32> = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward(&cur, &mut out);
+            pres.push(out.clone());
+            if i + 1 < self.layers.len() {
+                for v in &mut out {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            acts.push(out.clone());
+            cur = out;
+        }
+        (acts, pres)
+    }
+
+    /// Trains with softmax cross-entropy and SGD + momentum. Samples are
+    /// visited in a shuffled order each epoch (deterministic given
+    /// `shuffle_seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs/labels lengths differ, any label is out of range,
+    /// or any input has the wrong dimension.
+    pub fn train(
+        &mut self,
+        inputs: &[&[f32]],
+        labels: &[usize],
+        config: &TrainConfig,
+        shuffle_seed: u64,
+    ) {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        let classes = self.n_classes();
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        let dim = self.input_dim();
+        assert!(inputs.iter().all(|x| x.len() == dim), "input dimension mismatch");
+
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        for epoch in 0..config.epochs {
+            // 1/t learning-rate decay stabilizes the per-sample updates
+            // late in training.
+            let decayed = TrainConfig {
+                learning_rate: config.learning_rate / (1.0 + epoch as f32 / 20.0),
+                ..*config
+            };
+            // Fisher–Yates shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &idx in &order {
+                self.step(inputs[idx], labels[idx], &decayed);
+            }
+        }
+    }
+
+    /// One SGD step on one sample.
+    fn step(&mut self, x: &[f32], label: usize, config: &TrainConfig) {
+        let (acts, pres) = self.forward_all(x);
+        let probs = softmax(acts.last().expect("layers"));
+        // dL/dlogits = p − one_hot(label)
+        let mut delta: Vec<f32> = probs;
+        delta[label] -= 1.0;
+
+        // Backpropagate layer by layer.
+        for li in (0..self.layers.len()).rev() {
+            let input: &[f32] = if li == 0 { x } else { &acts[li - 1] };
+            // Gradient w.r.t. this layer's inputs (before applying the
+            // update, using current weights).
+            let layer = &self.layers[li];
+            let mut grad_input = vec![0.0f32; layer.cols];
+            for r in 0..layer.rows {
+                let d = delta[r];
+                if d == 0.0 {
+                    continue;
+                }
+                let row = &layer.w[r * layer.cols..(r + 1) * layer.cols];
+                for (gi, wi) in grad_input.iter_mut().zip(row) {
+                    *gi += d * wi;
+                }
+            }
+            // Parameter update with momentum.
+            let layer = &mut self.layers[li];
+            for r in 0..layer.rows {
+                let d = delta[r];
+                let base = r * layer.cols;
+                for c in 0..layer.cols {
+                    let g = d * input[c];
+                    let v = config.momentum * layer.vw[base + c] - config.learning_rate * g;
+                    layer.vw[base + c] = v;
+                    layer.w[base + c] += v;
+                }
+                let vb = config.momentum * layer.vb[r] - config.learning_rate * d;
+                layer.vb[r] = vb;
+                layer.b[r] += vb;
+            }
+            if li > 0 {
+                // Push the gradient through the previous ReLU.
+                delta = grad_input;
+                for (dv, pre) in delta.iter_mut().zip(&pres[li - 1]) {
+                    if *pre <= 0.0 {
+                        *dv = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classification accuracy on a labeled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn accuracy(&self, inputs: &[&[f32]], labels: &[usize]) -> f64 {
+        assert_eq!(inputs.len(), labels.len());
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let correct = inputs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &l)| self.predict(x) == l)
+            .count();
+        correct as f64 / inputs.len() as f64
+    }
+}
+
+/// Numerically stable softmax.
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn learns_linear_separation() {
+        // Two Gaussian-ish blobs.
+        let mut inputs: Vec<Vec<f32>> = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x: f32 = rng.gen::<f32>() * 0.4;
+            let y: f32 = rng.gen::<f32>() * 0.4;
+            inputs.push(vec![x, y]);
+            labels.push(0);
+            inputs.push(vec![x + 1.0, y + 1.0]);
+            labels.push(1);
+        }
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let mut net = Mlp::new(&[2, 8, 2], 3);
+        net.train(&refs, &labels, &TrainConfig { epochs: 20, ..Default::default() }, 4);
+        assert!(net.accuracy(&refs, &labels) > 0.99);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let xs = [[0.0f32, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]];
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let labels = [0usize, 1, 1, 0];
+        let mut net = Mlp::new(&[2, 12, 2], 11);
+        net.train(
+            &refs,
+            &labels,
+            &TrainConfig { epochs: 600, learning_rate: 0.05, momentum: 0.9 },
+            5,
+        );
+        assert!(net.accuracy(&refs, &labels) >= 0.99, "acc = {}", net.accuracy(&refs, &labels));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let xs = [[0.1f32, 0.9], [0.8, 0.2]];
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let labels = [0usize, 1];
+        let mut a = Mlp::new(&[2, 4, 2], 42);
+        let mut b = Mlp::new(&[2, 4, 2], 42);
+        let cfg = TrainConfig::default();
+        a.train(&refs, &labels, &cfg, 9);
+        b.train(&refs, &labels, &cfg, 9);
+        assert_eq!(a.probabilities(&xs[0]), b.probabilities(&xs[0]));
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let net = Mlp::new(&[3, 5, 4], 0);
+        let p = net.probabilities(&[0.3, -0.2, 0.9]);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_dim_panics() {
+        let net = Mlp::new(&[3, 2], 0);
+        let _ = net.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn label_out_of_range_panics() {
+        let xs = [[0.0f32, 0.0]];
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let mut net = Mlp::new(&[2, 2], 0);
+        net.train(&refs, &[5], &TrainConfig::default(), 0);
+    }
+}

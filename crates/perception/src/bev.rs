@@ -1,0 +1,322 @@
+//! Bird's-eye-view rectification through a plane homography.
+//!
+//! The ROI's ground rectangle is resampled into a top-down grid in which
+//! lane markings appear as (nearly) vertical curves — the domain of the
+//! sliding-window search. The ground→image map of a pinhole camera over
+//! a flat road is a homography; it is estimated once per (camera, ROI)
+//! pair from the four corner correspondences, exactly like the
+//! `warpPerspective` step of the classical pipelines the paper builds on.
+
+use crate::roi::Roi;
+use lkas_imaging::image::RgbImage;
+use lkas_linalg::Homography;
+use lkas_scene::camera::Camera;
+
+/// Default bird's-eye grid width (lateral samples).
+pub const BEV_WIDTH: usize = 160;
+/// Default bird's-eye grid height (longitudinal samples).
+pub const BEV_HEIGHT: usize = 192;
+
+/// A rectified top-down view of an ROI with its ground geometry.
+///
+/// Row 0 is the *far* edge; the bottom row is the *near* edge. Column 0
+/// is the *left* edge of the ROI.
+#[derive(Debug, Clone)]
+pub struct BevImage {
+    width: usize,
+    height: usize,
+    /// Marking-likelihood score per cell (higher = more marking-like).
+    score: Vec<f32>,
+    roi: Roi,
+}
+
+impl BevImage {
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The ROI this view rectifies.
+    pub fn roi(&self) -> Roi {
+        self.roi
+    }
+
+    /// Score at `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, col: usize, row: usize) -> f32 {
+        self.score[row * self.width + col]
+    }
+
+    /// Borrow all scores (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.score
+    }
+
+    /// Vehicle-frame lateral position (m, left positive) of a column
+    /// center.
+    pub fn lateral_of_col(&self, col: f64) -> f64 {
+        let g = self.roi.ground_extent();
+        g.y_left - (col + 0.5) * (g.y_left - g.y_right) / self.width as f64
+    }
+
+    /// Column (fractional) of a vehicle-frame lateral position.
+    pub fn col_of_lateral(&self, lateral: f64) -> f64 {
+        let g = self.roi.ground_extent();
+        (g.y_left - lateral) / (g.y_left - g.y_right) * self.width as f64 - 0.5
+    }
+
+    /// Vehicle-frame forward distance (m) of a row center.
+    pub fn forward_of_row(&self, row: f64) -> f64 {
+        let g = self.roi.ground_extent();
+        g.x_far - (row + 0.5) * (g.x_far - g.x_near) / self.height as f64
+    }
+
+    /// Row (fractional) of a vehicle-frame forward distance.
+    pub fn row_of_forward(&self, forward: f64) -> f64 {
+        let g = self.roi.ground_extent();
+        (g.x_far - forward) / (g.x_far - g.x_near) * self.height as f64 - 0.5
+    }
+
+    /// Meters of lateral ground per column.
+    pub fn meters_per_col(&self) -> f64 {
+        let g = self.roi.ground_extent();
+        (g.y_left - g.y_right) / self.width as f64
+    }
+}
+
+/// Rectifier caching the homography for one (camera, ROI) pair.
+///
+/// # Example
+///
+/// ```
+/// use lkas_perception::bev::BirdsEye;
+/// use lkas_perception::roi::Roi;
+/// use lkas_scene::camera::Camera;
+/// use lkas_imaging::image::RgbImage;
+///
+/// let be = BirdsEye::new(Camera::default_automotive(), Roi::Roi1).unwrap();
+/// let frame = RgbImage::filled(512, 256, [0.2, 0.2, 0.2]);
+/// let bev = be.rectify(&frame);
+/// assert_eq!(bev.width(), lkas_perception::bev::BEV_WIDTH);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BirdsEye {
+    roi: Roi,
+    /// Maps ground (x_forward, y_left) to image (u, v).
+    ground_to_image: Homography,
+}
+
+impl BirdsEye {
+    /// Builds the rectifier, estimating the ground→image homography from
+    /// the ROI's four corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`lkas_linalg::LinalgError`] if the ROI
+    /// corners project degenerately (cannot happen for the built-in ROIs
+    /// with the default camera).
+    pub fn new(camera: Camera, roi: Roi) -> Result<Self, lkas_linalg::LinalgError> {
+        let g = roi.ground_extent();
+        let corners_ground = [
+            (g.x_far, g.y_left),
+            (g.x_far, g.y_right),
+            (g.x_near, g.y_right),
+            (g.x_near, g.y_left),
+        ];
+        let mut corners_px = [(0.0, 0.0); 4];
+        for (i, &(x, y)) in corners_ground.iter().enumerate() {
+            corners_px[i] = camera
+                .project_ground(x, y)
+                .ok_or(lkas_linalg::LinalgError::InvalidInput("ROI corner behind camera"))?;
+        }
+        let ground_to_image = Homography::from_points(&corners_ground, &corners_px)?;
+        Ok(BirdsEye { roi, ground_to_image })
+    }
+
+    /// The ROI being rectified.
+    pub fn roi(&self) -> Roi {
+        self.roi
+    }
+
+    /// Rectifies a camera frame into the ROI's bird's-eye grid, computing
+    /// the marking-likelihood score per cell.
+    pub fn rectify(&self, frame: &RgbImage) -> BevImage {
+        self.rectify_sized(frame, BEV_WIDTH, BEV_HEIGHT)
+    }
+
+    /// Rectifies into a custom grid size (used by tests and the dense
+    /// baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn rectify_sized(&self, frame: &RgbImage, width: usize, height: usize) -> BevImage {
+        assert!(width > 0 && height > 0, "BEV dimensions must be nonzero");
+        let g = self.roi.ground_extent();
+        let mut score = vec![0.0f32; width * height];
+        for row in 0..height {
+            let x = g.x_far - (row as f64 + 0.5) * (g.x_far - g.x_near) / height as f64;
+            for col in 0..width {
+                let y = g.y_left - (col as f64 + 0.5) * (g.y_left - g.y_right) / width as f64;
+                let (u, v) = self.ground_to_image.apply(x, y);
+                score[row * width + col] = marking_score(sample_bilinear(frame, u, v));
+            }
+        }
+        BevImage { width, height, score, roi: self.roi }
+    }
+}
+
+/// Marking-likelihood score of an RGB sample: bright pixels (white
+/// markings) and yellow pixels (yellow markings) both score high; asphalt
+/// and grass score low.
+///
+/// The yellowness term `(R+G)/2 − B` is what makes the ISP's color map
+/// matter for yellow lanes: without the CCM, sensor crosstalk halves the
+/// yellow-vs-road separation in this channel.
+pub fn marking_score(rgb: [f32; 3]) -> f32 {
+    let luma = 0.299 * rgb[0] + 0.587 * rgb[1] + 0.114 * rgb[2];
+    let yellowness = ((rgb[0] + rgb[1]) / 2.0 - rgb[2]).max(0.0);
+    luma.max(1.6 * yellowness)
+}
+
+/// Bilinear sample with clamped borders. `u`/`v` are continuous image
+/// coordinates (pixel `i` covers `[i, i+1)`, center at `i + 0.5`), so
+/// they are shifted by half a pixel onto the data grid before
+/// interpolation.
+fn sample_bilinear(img: &RgbImage, u: f64, v: f64) -> [f32; 3] {
+    let w = img.width();
+    let h = img.height();
+    let uc = (u - 0.5).clamp(0.0, (w - 1) as f64);
+    let vc = (v - 0.5).clamp(0.0, (h - 1) as f64);
+    let x0 = uc.floor() as usize;
+    let y0 = vc.floor() as usize;
+    let x1 = (x0 + 1).min(w - 1);
+    let y1 = (y0 + 1).min(h - 1);
+    let fx = (uc - x0 as f64) as f32;
+    let fy = (vc - y0 as f64) as f32;
+    let p00 = img.get(x0, y0);
+    let p10 = img.get(x1, y0);
+    let p01 = img.get(x0, y1);
+    let p11 = img.get(x1, y1);
+    let mut out = [0.0f32; 3];
+    for c in 0..3 {
+        let top = p00[c] * (1.0 - fx) + p10[c] * fx;
+        let bot = p01[c] * (1.0 - fx) + p11[c] * fx;
+        out[c] = top * (1.0 - fy) + bot * fy;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkas_scene::render::SceneRenderer;
+    use lkas_scene::situation::TABLE3_SITUATIONS;
+    use lkas_scene::track::{Track, LANE_WIDTH};
+
+    fn rendered_frame() -> RgbImage {
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+        SceneRenderer::new(Camera::default_automotive()).render(&track, 10.0, 0.0, 0.0)
+    }
+
+    #[test]
+    fn geometry_roundtrip() {
+        let be = BirdsEye::new(Camera::default_automotive(), Roi::Roi1).unwrap();
+        let bev = be.rectify(&RgbImage::filled(512, 256, [0.0; 3]));
+        for lateral in [-3.0, -1.0, 0.0, 2.5] {
+            let col = bev.col_of_lateral(lateral);
+            assert!((bev.lateral_of_col(col) - lateral).abs() < 1e-9);
+        }
+        for fwd in [5.0, 10.0, 25.0] {
+            let row = bev.row_of_forward(fwd);
+            assert!((bev.forward_of_row(row) - fwd).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn markings_appear_as_vertical_stripes() {
+        // On a straight road centered in the lane, the left marking lies
+        // at lateral +LANE_WIDTH/2 in *every* BEV row (that's the whole
+        // point of the rectification).
+        let be = BirdsEye::new(Camera::default_automotive(), Roi::Roi1).unwrap();
+        let bev = be.rectify(&rendered_frame());
+        let expect_col = bev.col_of_lateral(LANE_WIDTH / 2.0).round() as usize;
+        // Skip the farthest rows: at 30 m the camera resolves only
+        // ≈0.1 m/px, so the peak can sit a few BEV columns off.
+        for row in (40..bev.height() - 10).step_by(20) {
+            // Find the brightest column in the left half of this row.
+            let mut best = 0;
+            let mut best_v = -1.0;
+            for col in 0..bev.width() / 2 {
+                let v = bev.get(col, row);
+                if v > best_v {
+                    best_v = v;
+                    best = col;
+                }
+            }
+            assert!(
+                (best as i64 - expect_col as i64).abs() <= 3,
+                "row {row}: marking at col {best}, expected ≈{expect_col}"
+            );
+        }
+    }
+
+    #[test]
+    fn marking_score_prefers_markings() {
+        use lkas_scene::render::albedo;
+        let white = marking_score(albedo::WHITE_MARKING);
+        let yellow = marking_score(albedo::YELLOW_MARKING);
+        let road = marking_score(albedo::ROAD);
+        let grass = marking_score(albedo::GRASS);
+        assert!(white > 2.0 * road);
+        assert!(yellow > 2.0 * road);
+        assert!(grass < 2.0 * road);
+    }
+
+    #[test]
+    fn yellow_score_drops_without_color_map() {
+        // Push the yellow albedo through the sensor crosstalk (what the
+        // ISP sees with CM skipped): the yellowness channel collapses.
+        use lkas_imaging::sensor::CROSSTALK;
+        use lkas_scene::render::albedo;
+        let y = albedo::YELLOW_MARKING;
+        let mut mixed = [0.0f32; 3];
+        for c in 0..3 {
+            mixed[c] = CROSSTALK[c][0] * y[0] + CROSSTALK[c][1] * y[1] + CROSSTALK[c][2] * y[2];
+        }
+        let yellowness = |p: [f32; 3]| ((p[0] + p[1]) / 2.0 - p[2]).max(0.0);
+        assert!(yellowness(mixed) < 0.6 * yellowness(y));
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let mut img = RgbImage::new(2, 1);
+        img.set(0, 0, [0.0, 0.0, 0.0]);
+        img.set(1, 0, [1.0, 1.0, 1.0]);
+        // Image coordinate 1.0 is the border between the two pixels.
+        let mid = sample_bilinear(&img, 1.0, 0.5);
+        assert!((mid[0] - 0.5).abs() < 1e-6, "got {}", mid[0]);
+        // Pixel centers reproduce the pixel values exactly.
+        let left = sample_bilinear(&img, 0.5, 0.5);
+        assert_eq!(left, [0.0, 0.0, 0.0]);
+        // Clamped outside.
+        let out = sample_bilinear(&img, 5.0, 0.5);
+        assert_eq!(out, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn all_rois_build_homographies() {
+        for roi in Roi::ALL {
+            assert!(BirdsEye::new(Camera::default_automotive(), roi).is_ok(), "{roi}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The full perception pipeline: frame in, lateral deviation out.
+
+use crate::bev::BirdsEye;
+use crate::roi::Roi;
+use crate::sliding::{sliding_window_search, SlidingWindowResult};
+use crate::threshold::binarize;
+use crate::LOOK_AHEAD;
+use lkas_imaging::image::RgbImage;
+use lkas_scene::camera::Camera;
+use lkas_scene::track::LANE_WIDTH;
+use serde::{Deserialize, Serialize};
+
+/// Errors of the perception stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerceptionError {
+    /// No lane boundary passed the fit-quality gates — the controller
+    /// must reuse its previous measurement (and will eventually fail if
+    /// this persists, which is the paper's Case 1/2 crash mechanism).
+    NoLaneDetected,
+}
+
+impl std::fmt::Display for PerceptionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerceptionError::NoLaneDetected => write!(f, "no lane boundary detected"),
+        }
+    }
+}
+
+impl std::error::Error for PerceptionError {}
+
+/// Configuration knobs of the perception stage (the paper's "PR knobs").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionConfig {
+    /// Active region of interest.
+    pub roi: Roi,
+    /// Look-ahead distance at which `y_L` is evaluated (m).
+    pub look_ahead: f64,
+}
+
+impl PerceptionConfig {
+    /// Creates a configuration with the paper's look-ahead (5.5 m).
+    pub fn new(roi: Roi) -> Self {
+        PerceptionConfig { roi, look_ahead: LOOK_AHEAD }
+    }
+}
+
+/// Output of one perception invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerceptionOutput {
+    /// Lateral deviation of the vehicle from the lane center at the
+    /// look-ahead distance (m, positive = vehicle left of center).
+    pub y_l: f64,
+    /// Number of lane boundaries used (1 or 2).
+    pub lanes_used: usize,
+    /// Total supporting pixels across the used fits.
+    pub support: usize,
+}
+
+/// The perception pipeline (ROI → bird's-eye → binarize → sliding
+/// windows → polynomial fit → `y_L`).
+///
+/// Rebuilding is cheap; the runtime reconfiguration logic constructs a
+/// new `Perception` whenever the situation changes the ROI knob.
+#[derive(Debug, Clone)]
+pub struct Perception {
+    config: PerceptionConfig,
+    birds_eye: BirdsEye,
+}
+
+impl Perception {
+    /// Creates the pipeline for a camera and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROI cannot be rectified with this camera (does not
+    /// happen for the built-in ROIs and the default camera).
+    pub fn new(config: PerceptionConfig, camera: Camera) -> Self {
+        let birds_eye = BirdsEye::new(camera, config.roi)
+            .expect("built-in ROIs must be rectifiable");
+        Perception { config, birds_eye }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PerceptionConfig {
+        self.config
+    }
+
+    /// Processes one ISP output frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerceptionError::NoLaneDetected`] when no boundary
+    /// passes the quality gates (wrong ROI, unusable image, etc.).
+    pub fn process(&self, frame: &RgbImage) -> Result<PerceptionOutput, PerceptionError> {
+        let bev = self.birds_eye.rectify(frame);
+        let mask = binarize(&bev);
+        let fits = sliding_window_search(&bev, &mask);
+        self.deviation_from_fits(&bev, &fits)
+    }
+
+    /// Converts lane fits to the lateral deviation at the look-ahead.
+    fn deviation_from_fits(
+        &self,
+        bev: &crate::bev::BevImage,
+        fits: &SlidingWindowResult,
+    ) -> Result<PerceptionOutput, PerceptionError> {
+        let row_la = bev.row_of_forward(self.config.look_ahead);
+        let (center_lateral, lanes_used, support) = match (&fits.left, &fits.right) {
+            (Some(l), Some(r)) => {
+                let cl = bev.lateral_of_col(l.col_at(row_la));
+                let cr = bev.lateral_of_col(r.col_at(row_la));
+                ((cl + cr) / 2.0, 2, l.n_pixels + r.n_pixels)
+            }
+            (Some(l), None) => {
+                let cl = bev.lateral_of_col(l.col_at(row_la));
+                (cl - LANE_WIDTH / 2.0, 1, l.n_pixels)
+            }
+            (None, Some(r)) => {
+                let cr = bev.lateral_of_col(r.col_at(row_la));
+                (cr + LANE_WIDTH / 2.0, 1, r.n_pixels)
+            }
+            (None, None) => return Err(PerceptionError::NoLaneDetected),
+        };
+        // The lane center appearing at lateral `c` in the vehicle frame
+        // means the vehicle sits at `−c` relative to the lane center.
+        Ok(PerceptionOutput { y_l: -center_lateral, lanes_used, support })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkas_imaging::isp::{IspConfig, IspPipeline};
+    use lkas_imaging::sensor::{Sensor, SensorConfig};
+    use lkas_scene::render::SceneRenderer;
+    use lkas_scene::situation::{
+        LaneColor, LaneForm, RoadLayout, SceneKind, SituationFeatures, TABLE3_SITUATIONS,
+    };
+    use lkas_scene::track::Track;
+
+    fn measure(track: &Track, s: f64, d: f64, psi: f64, roi: Roi, isp: IspConfig, seed: u64)
+        -> Result<PerceptionOutput, PerceptionError>
+    {
+        let cam = Camera::default_automotive();
+        let frame = SceneRenderer::new(cam.clone()).render(track, s, d, psi);
+        let raw = Sensor::new(SensorConfig::default(), seed).capture(&frame, 1.0);
+        let rgb = IspPipeline::new(isp).process(&raw);
+        Perception::new(PerceptionConfig::new(roi), cam).process(&rgb)
+    }
+
+    #[test]
+    fn centered_vehicle_measures_near_zero() {
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+        let out = measure(&track, 10.0, 0.0, 0.0, Roi::Roi1, IspConfig::S0, 1).unwrap();
+        assert!(out.y_l.abs() < 0.15, "y_L = {}", out.y_l);
+        assert_eq!(out.lanes_used, 2);
+    }
+
+    #[test]
+    fn offset_sign_convention() {
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+        // Vehicle left of center ⇒ positive y_L.
+        let left = measure(&track, 10.0, 0.4, 0.0, Roi::Roi1, IspConfig::S0, 2).unwrap();
+        assert!(left.y_l > 0.2, "y_L = {}", left.y_l);
+        let right = measure(&track, 10.0, -0.4, 0.0, Roi::Roi1, IspConfig::S0, 3).unwrap();
+        assert!(right.y_l < -0.2, "y_L = {}", right.y_l);
+    }
+
+    #[test]
+    fn heading_error_contributes_to_y_l() {
+        // y_L ≈ y + L_L·ψ: a pure heading error reads as deviation.
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+        let psi = 0.05; // nose pointing left
+        let out = measure(&track, 10.0, 0.0, psi, Roi::Roi1, IspConfig::S0, 4).unwrap();
+        let expected = LOOK_AHEAD * psi;
+        assert!(
+            (out.y_l - expected).abs() < 0.2,
+            "y_L = {}, expected ≈ {expected}",
+            out.y_l
+        );
+    }
+
+    #[test]
+    fn accuracy_across_day_situations_with_correct_roi() {
+        // With the situation-correct ROI and full ISP, daytime situations
+        // measure |y_L error| < 0.3 m — the Fig. 1 "accuracy" criterion.
+        for (idx, roi) in [(0usize, Roi::Roi1), (7, Roi::Roi2), (14, Roi::Roi4), (12, Roi::Roi3)] {
+            let track = Track::for_situation(&TABLE3_SITUATIONS[idx], 1000.0);
+            let out = measure(&track, 60.0, 0.0, 0.0, roi, IspConfig::S0, 5).unwrap();
+            // On turns the look-ahead point sits on a curve; the true
+            // y_L for a centered vehicle is ≈ −κ·L²/2 relative error.
+            assert!(out.y_l.abs() < 0.35, "situation {idx} with {roi}: y_L = {}", out.y_l);
+        }
+    }
+
+    #[test]
+    fn wrong_roi_on_turn_fails_or_degrades() {
+        let sit = SituationFeatures::new(
+            LaneColor::White,
+            LaneForm::Dotted,
+            RoadLayout::RightTurn,
+            SceneKind::Day,
+        );
+        let track = Track::for_situation(&sit, 1000.0);
+        // ROI 1 on a dotted right turn: either no detection or a clearly
+        // worse estimate than ROI 3.
+        let wrong = measure(&track, 60.0, 0.0, 0.0, Roi::Roi1, IspConfig::S0, 6);
+        let fine = measure(&track, 60.0, 0.0, 0.0, Roi::Roi3, IspConfig::S0, 6).unwrap();
+        match wrong {
+            Err(PerceptionError::NoLaneDetected) => {}
+            Ok(w) => assert!(
+                w.support < fine.support,
+                "wrong ROI support {} must trail correct ROI {}",
+                w.support,
+                fine.support
+            ),
+        }
+    }
+
+    #[test]
+    fn flat_frame_errors() {
+        let cam = Camera::default_automotive();
+        let pr = Perception::new(PerceptionConfig::new(Roi::Roi1), cam);
+        let err = pr.process(&RgbImage::filled(512, 256, [0.5; 3])).unwrap_err();
+        assert_eq!(err, PerceptionError::NoLaneDetected);
+    }
+}

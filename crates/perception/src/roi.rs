@@ -1,0 +1,175 @@
+//! The five regions of interest (Table II, "PR knobs").
+//!
+//! The paper specifies each ROI as a pixel trapezoid in the 512×256
+//! frame. Because this reproduction's camera geometry is not bit-exact
+//! with the Webots camera, the ROIs here are defined as *ground-plane
+//! rectangles* (forward × lateral extents) carrying the same intent:
+//!
+//! * **ROI 1** — centered, long preview: straight roads;
+//! * **ROI 2** — shifted right, long preview: right turns (coarse);
+//! * **ROI 3** — shifted right, short preview: right turns with dotted
+//!   lanes (fine-grained — a shorter, denser view keeps sparse dashes in
+//!   sight);
+//! * **ROI 4** — shifted left, long preview: left turns (coarse);
+//! * **ROI 5** — shifted left, short preview: left turns with dotted
+//!   lanes (fine-grained).
+//!
+//! The pixel trapezoid of each ROI for a given camera is recoverable via
+//! [`Roi::pixel_corners`], which is what a Table II-style listing
+//! contains.
+
+use lkas_scene::camera::Camera;
+use serde::{Deserialize, Serialize};
+
+/// A ground-plane region of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are the paper's opaque ROI IDs
+pub enum Roi {
+    Roi1,
+    Roi2,
+    Roi3,
+    Roi4,
+    Roi5,
+}
+
+/// Ground extent of an ROI: forward range `[x_near, x_far]` and lateral
+/// range `[y_right, y_left]` in vehicle-frame meters (left positive).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundExtent {
+    /// Near edge of the preview window (m ahead of the vehicle).
+    pub x_near: f64,
+    /// Far edge of the preview window (m ahead of the vehicle).
+    pub x_far: f64,
+    /// Right edge (m, negative = right of the vehicle).
+    pub y_right: f64,
+    /// Left edge (m, positive = left of the vehicle).
+    pub y_left: f64,
+}
+
+impl Roi {
+    /// All five ROIs in Table II order.
+    pub const ALL: [Roi; 5] = [Roi::Roi1, Roi::Roi2, Roi::Roi3, Roi::Roi4, Roi::Roi5];
+
+    /// The paper's name for this ROI (`"ROI 1"` … `"ROI 5"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Roi::Roi1 => "ROI 1",
+            Roi::Roi2 => "ROI 2",
+            Roi::Roi3 => "ROI 3",
+            Roi::Roi4 => "ROI 4",
+            Roi::Roi5 => "ROI 5",
+        }
+    }
+
+    /// Ground-plane extent of this ROI.
+    ///
+    /// Like the paper's pixel trapezoids, the ROIs are deliberately
+    /// *tight*: a wide warp would dilute the marking evidence (and cost
+    /// runtime on the real pipeline), so each ROI covers little more
+    /// than the lane it expects. That tightness is exactly why a fixed
+    /// ROI 1 loses the lanes on curves (Sec. IV-C) — the evidence
+    /// leaves the rectified window and the detector reports a failure.
+    pub fn ground_extent(self) -> GroundExtent {
+        match self {
+            // Centered preview window: straights.
+            Roi::Roi1 => GroundExtent { x_near: 7.0, x_far: 30.0, y_right: -2.6, y_left: 2.6 },
+            // Right turns: lanes drift right quadratically with
+            // distance.
+            Roi::Roi2 => GroundExtent { x_near: 7.0, x_far: 26.0, y_right: -5.4, y_left: 2.0 },
+            // Right turns + dotted lanes: shorter, nearer, denser.
+            Roi::Roi3 => GroundExtent { x_near: 5.0, x_far: 20.0, y_right: -4.2, y_left: 2.4 },
+            // Left turns.
+            Roi::Roi4 => GroundExtent { x_near: 7.0, x_far: 26.0, y_right: -2.0, y_left: 5.4 },
+            // Left turns + dotted lanes.
+            Roi::Roi5 => GroundExtent { x_near: 5.0, x_far: 20.0, y_right: -2.4, y_left: 4.2 },
+        }
+    }
+
+    /// The image-space trapezoid corners of this ROI for a camera, in
+    /// the order (far-left, far-right, near-left, near-right) — the
+    /// Table II presentation.
+    ///
+    /// Corners may fall outside the frame for wide ROIs; the bird's-eye
+    /// sampler clamps reads, matching how a warp handles border pixels.
+    pub fn pixel_corners(self, camera: &Camera) -> [(f64, f64); 4] {
+        let g = self.ground_extent();
+        let p = |x: f64, y: f64| camera.project_ground(x, y).unwrap_or((f64::NAN, f64::NAN));
+        [
+            p(g.x_far, g.y_left),
+            p(g.x_far, g.y_right),
+            p(g.x_near, g.y_left),
+            p(g.x_near, g.y_right),
+        ]
+    }
+}
+
+impl std::fmt::Display for Roi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_rois() {
+        assert_eq!(Roi::ALL.len(), 5);
+        assert_eq!(Roi::Roi3.name(), "ROI 3");
+    }
+
+    #[test]
+    fn extents_are_well_formed() {
+        for roi in Roi::ALL {
+            let g = roi.ground_extent();
+            assert!(g.x_near > 0.0 && g.x_far > g.x_near);
+            assert!(g.y_left > g.y_right);
+        }
+    }
+
+    #[test]
+    fn roi1_is_centered() {
+        let g = Roi::Roi1.ground_extent();
+        assert!((g.y_left + g.y_right).abs() < 1e-9);
+    }
+
+    #[test]
+    fn turn_rois_are_shifted() {
+        let r2 = Roi::Roi2.ground_extent();
+        let r4 = Roi::Roi4.ground_extent();
+        assert!(r2.y_right < Roi::Roi1.ground_extent().y_right, "ROI 2 extends right");
+        assert!(r4.y_left > Roi::Roi1.ground_extent().y_left, "ROI 4 extends left");
+    }
+
+    #[test]
+    fn fine_rois_have_shorter_preview() {
+        assert!(Roi::Roi3.ground_extent().x_far < Roi::Roi2.ground_extent().x_far);
+        assert!(Roi::Roi5.ground_extent().x_far < Roi::Roi4.ground_extent().x_far);
+    }
+
+    #[test]
+    fn pixel_corners_form_a_trapezoid() {
+        let cam = Camera::default_automotive();
+        let c = Roi::Roi1.pixel_corners(&cam);
+        // Far edge is higher in the image (smaller v) than the near edge.
+        assert!(c[0].1 < c[2].1);
+        // Far edge is narrower than the near edge (perspective).
+        let far_w = (c[1].0 - c[0].0).abs();
+        let near_w = (c[3].0 - c[2].0).abs();
+        assert!(far_w < near_w);
+    }
+
+    #[test]
+    fn look_ahead_below_every_roi() {
+        // The preview windows start beyond the 5.5 m look-ahead; y_L is
+        // obtained by evaluating the fitted polynomial at the look-ahead
+        // row (extrapolation toward the bumper), as in the classical
+        // pipelines the paper builds on.
+        for roi in Roi::ALL {
+            let g = roi.ground_extent();
+            assert!(g.x_near >= crate::LOOK_AHEAD * 0.9, "{roi} starts near the bumper");
+            assert!(g.x_far > g.x_near + 10.0, "{roi} must give a usable preview");
+        }
+    }
+}

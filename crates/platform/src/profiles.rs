@@ -1,0 +1,137 @@
+//! Profiled task runtimes (paper Table II) and the Fig. 4(b) mapping.
+
+use crate::resources::ProcessingResource;
+use lkas_imaging::isp::IspConfig;
+use serde::{Deserialize, Serialize};
+
+/// The three situation classifiers (Sec. III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClassifierKind {
+    /// Road-layout classifier.
+    Road,
+    /// Lane-type classifier.
+    Lane,
+    /// Scene classifier.
+    Scene,
+}
+
+impl ClassifierKind {
+    /// All three classifiers.
+    pub const ALL: [ClassifierKind; 3] =
+        [ClassifierKind::Road, ClassifierKind::Lane, ClassifierKind::Scene];
+}
+
+/// A schedulable LKAS task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// ISP processing with a given approximation configuration.
+    Isp(IspConfig),
+    /// The sliding-window perception stage.
+    Perception,
+    /// One situation classifier (ResNet-18 on TensorRT in the paper).
+    Classifier(ClassifierKind),
+    /// The LQR control computation.
+    Control,
+}
+
+/// Profiled runtime of an ISP configuration on the Xavier, in ms
+/// (Table II). The gamut-mapping stage dominates whenever it runs
+/// together with the tone map (3D-LUT evaluation), which is why S0–S2
+/// are an order of magnitude slower than S3–S8.
+pub fn isp_runtime_ms(config: IspConfig) -> f64 {
+    match config {
+        IspConfig::S0 => 21.5,
+        IspConfig::S1 => 18.9,
+        IspConfig::S2 => 20.9,
+        IspConfig::S3 => 3.3,
+        IspConfig::S4 => 3.2,
+        IspConfig::S5 => 3.1,
+        IspConfig::S6 => 3.2,
+        IspConfig::S7 => 3.1,
+        IspConfig::S8 => 3.2,
+    }
+}
+
+/// Profiled perception (PR) runtime in ms (Table II; identical for all
+/// five ROIs).
+pub const PERCEPTION_RUNTIME_MS: f64 = 3.0;
+
+/// Profiled runtime of one classifier in ms (Table IV: ResNet-18 on the
+/// Xavier GPU through TensorRT).
+pub const CLASSIFIER_RUNTIME_MS: f64 = 5.5;
+
+/// Profiled control computation runtime in ms (Table II: 2.5 µs).
+pub const CONTROL_RUNTIME_MS: f64 = 0.0025;
+
+/// Frame capture / actuation-dispatch overhead in ms. Calibrated so the
+/// modeled τ reproduces the paper's Table III / Table V delays to
+/// within ±0.3 ms (see EXPERIMENTS.md).
+pub const FRAME_OVERHEAD_MS: f64 = 0.1;
+
+/// Modeled runtime of the dense-segmentation Fig. 1 baseline in ms
+/// (stands in for LaneNet/VPGNet-class CNNs on the Xavier: ≈ 5 FPS).
+pub const DENSE_SEGMENTATION_RUNTIME_MS: f64 = 190.0;
+
+/// Modeled runtime of the classical Sobel+Hough Fig. 1 baseline in ms.
+pub const SOBEL_HOUGH_RUNTIME_MS: f64 = 16.0;
+
+impl TaskKind {
+    /// Profiled runtime of this task in ms.
+    pub fn runtime_ms(self) -> f64 {
+        match self {
+            TaskKind::Isp(cfg) => isp_runtime_ms(cfg),
+            TaskKind::Perception => PERCEPTION_RUNTIME_MS,
+            TaskKind::Classifier(_) => CLASSIFIER_RUNTIME_MS,
+            TaskKind::Control => CONTROL_RUNTIME_MS,
+        }
+    }
+
+    /// The resource this task is mapped to (Fig. 4(b)): image-parallel
+    /// work (ISP, classifiers) on the GPU, the sequential sliding-window
+    /// search and the control law on CPU cores.
+    pub fn mapping(self) -> ProcessingResource {
+        match self {
+            TaskKind::Isp(_) => ProcessingResource::VoltaGpu,
+            TaskKind::Classifier(_) => ProcessingResource::VoltaGpu,
+            TaskKind::Perception => ProcessingResource::CarmelCpu { core: 0 },
+            TaskKind::Control => ProcessingResource::CarmelCpu { core: 1 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_isp_runtimes() {
+        assert_eq!(isp_runtime_ms(IspConfig::S0), 21.5);
+        assert_eq!(isp_runtime_ms(IspConfig::S1), 18.9);
+        assert_eq!(isp_runtime_ms(IspConfig::S2), 20.9);
+        assert_eq!(isp_runtime_ms(IspConfig::S3), 3.3);
+        assert_eq!(isp_runtime_ms(IspConfig::S8), 3.2);
+    }
+
+    #[test]
+    fn approximate_configs_are_faster() {
+        for cfg in [IspConfig::S3, IspConfig::S4, IspConfig::S5, IspConfig::S6, IspConfig::S7, IspConfig::S8] {
+            assert!(isp_runtime_ms(cfg) < isp_runtime_ms(IspConfig::S0) / 5.0);
+        }
+    }
+
+    #[test]
+    fn mapping_follows_fig4b() {
+        use ProcessingResource::*;
+        assert_eq!(TaskKind::Isp(IspConfig::S0).mapping(), VoltaGpu);
+        assert_eq!(TaskKind::Classifier(ClassifierKind::Road).mapping(), VoltaGpu);
+        assert!(matches!(TaskKind::Perception.mapping(), CarmelCpu { .. }));
+        assert!(matches!(TaskKind::Control.mapping(), CarmelCpu { .. }));
+    }
+
+    #[test]
+    fn task_runtimes() {
+        assert_eq!(TaskKind::Perception.runtime_ms(), 3.0);
+        assert_eq!(TaskKind::Classifier(ClassifierKind::Scene).runtime_ms(), 5.5);
+        assert!(TaskKind::Control.runtime_ms() < 0.01);
+    }
+}

@@ -1,0 +1,390 @@
+//! Scene-referred renderer: road, markings, sky, illumination.
+//!
+//! Replaces the Webots camera: given a [`Track`] and the vehicle's Frenet
+//! pose (arc position `s`, lateral offset `d`, heading error `ψ`), it
+//! produces the linear-RGB irradiance frame a front camera would see.
+//! Feed the result to [`lkas_imaging::Sensor::capture`] with
+//! `illumination = 1.0` — the renderer already applies the scene's
+//! ambient level, tint and head-light falloff per pixel, since those vary
+//! across the frame.
+//!
+//! [`lkas_imaging::Sensor::capture`]: lkas_imaging::sensor::Sensor::capture
+
+use crate::camera::Camera;
+use crate::situation::SceneKind;
+use crate::track::{
+    Track, DOUBLE_GAP, LANE_WIDTH, MARKING_WIDTH,
+};
+use lkas_imaging::image::RgbImage;
+
+/// Linear-RGB albedos of the rendered materials.
+pub mod albedo {
+    /// Asphalt road surface.
+    pub const ROAD: [f32; 3] = [0.16, 0.16, 0.17];
+    /// White lane marking.
+    pub const WHITE_MARKING: [f32; 3] = [0.85, 0.85, 0.85];
+    /// Yellow lane marking.
+    pub const YELLOW_MARKING: [f32; 3] = [0.75, 0.55, 0.08];
+    /// Grass / off-road.
+    pub const GRASS: [f32; 3] = [0.08, 0.13, 0.06];
+    /// Sky (day).
+    pub const SKY: [f32; 3] = [0.55, 0.68, 0.85];
+}
+
+/// Paved shoulder beyond the markings, in meters.
+const SHOULDER: f64 = 0.6;
+
+/// Head-light beam length scale (meters of e-folding).
+const HEADLIGHT_FALLOFF: f64 = 15.0;
+
+/// Renders camera frames of a track.
+///
+/// # Example
+///
+/// ```
+/// use lkas_scene::camera::Camera;
+/// use lkas_scene::render::SceneRenderer;
+/// use lkas_scene::situation::TABLE3_SITUATIONS;
+/// use lkas_scene::track::Track;
+///
+/// let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+/// let renderer = SceneRenderer::new(Camera::default_automotive());
+/// let frame = renderer.render(&track, 0.0, 0.0, 0.0);
+/// assert_eq!((frame.width(), frame.height()), (512, 256));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SceneRenderer {
+    camera: Camera,
+}
+
+impl SceneRenderer {
+    /// Creates a renderer for the given camera.
+    pub fn new(camera: Camera) -> Self {
+        SceneRenderer { camera }
+    }
+
+    /// Borrow the camera model.
+    pub fn camera(&self) -> &Camera {
+        &self.camera
+    }
+
+    /// Renders the scene-referred irradiance frame seen from Frenet pose
+    /// `(s, d, psi)`: arc position `s` (m), lateral offset `d` from the
+    /// lane center (m, positive left), heading error `psi` (rad, positive
+    /// = nose pointing left of the lane tangent).
+    pub fn render(&self, track: &Track, s: f64, d: f64, psi: f64) -> RgbImage {
+        let w = self.camera.width();
+        let h = self.camera.height();
+        let mut img = RgbImage::new(w, h);
+        let (sin_psi, cos_psi) = psi.sin_cos();
+        let scene = track.sector_at(s).scene;
+
+        for v in 0..h {
+            for u in 0..w {
+                let color = match self.camera.ground_from_pixel(u as f64 + 0.5, v as f64 + 0.5) {
+                    None => self.sky_color(scene),
+                    Some((xf, yl)) => {
+                        // Rotate the vehicle-frame ground point into the
+                        // lane-aligned frame.
+                        let xa = xf * cos_psi - yl * sin_psi;
+                        let ya = xf * sin_psi + yl * cos_psi;
+                        if xa <= 0.1 {
+                            // Directly under the bumper; treat as road.
+                            self.lit(albedo::ROAD, scene, 0.0)
+                        } else {
+                            let sp = s + xa;
+                            // Offset from the (curving) lane center:
+                            // the centerline bends by ~κ·xa²/2 over the
+                            // preview distance.
+                            let kappa = track.curvature_at(sp);
+                            let lateral = d + ya - kappa * xa * xa / 2.0;
+                            let albedo = self.surface_albedo(track, sp, lateral, xa);
+                            self.lit(albedo, scene, xa)
+                        }
+                    }
+                };
+                img.set(u, v, color);
+            }
+        }
+        img
+    }
+
+    /// Albedo of the ground at arc position `sp`, lateral offset
+    /// `lateral` from the lane center, seen from forward distance `xa`
+    /// (for anti-aliasing footprint).
+    fn surface_albedo(&self, track: &Track, sp: f64, lateral: f64, xa: f64) -> [f32; 3] {
+        let sector = track.sector_at(sp);
+        let footprint = self.camera.ground_meters_per_pixel(xa);
+        let half_marking = MARKING_WIDTH / 2.0;
+
+        // Candidate marking line centers (lateral offsets from the lane
+        // center) and their specs.
+        let mut lines: [(f64, crate::track::LaneSpec); 4] = [
+            (LANE_WIDTH / 2.0, sector.left_lane),
+            (f64::NAN, sector.left_lane),
+            (-LANE_WIDTH / 2.0, sector.right_lane),
+            (f64::NAN, sector.right_lane),
+        ];
+        if sector.left_lane.form == crate::situation::LaneForm::DoubleContinuous {
+            let off = (MARKING_WIDTH + DOUBLE_GAP) / 2.0;
+            lines[0].0 = LANE_WIDTH / 2.0 - off;
+            lines[1].0 = LANE_WIDTH / 2.0 + off;
+        }
+        if sector.right_lane.form == crate::situation::LaneForm::DoubleContinuous {
+            let off = (MARKING_WIDTH + DOUBLE_GAP) / 2.0;
+            lines[2].0 = -LANE_WIDTH / 2.0 + off;
+            lines[3].0 = -LANE_WIDTH / 2.0 - off;
+        }
+
+        // Base surface.
+        let road_half = LANE_WIDTH / 2.0 + SHOULDER;
+        let base = if lateral.abs() <= road_half {
+            albedo::ROAD
+        } else {
+            albedo::GRASS
+        };
+
+        // Blend in the nearest marking line by its pixel coverage.
+        let mut best_cover = 0.0f64;
+        let mut best_color = base;
+        for (center, spec) in lines {
+            if center.is_nan() {
+                continue;
+            }
+            if !Track::marking_painted_at(spec.form, sp) {
+                continue;
+            }
+            let dist = (lateral - center).abs();
+            let cover = ((half_marking + footprint / 2.0 - dist) / footprint).clamp(0.0, 1.0);
+            if cover > best_cover {
+                best_cover = cover;
+                best_color = match spec.color {
+                    crate::situation::LaneColor::White => albedo::WHITE_MARKING,
+                    crate::situation::LaneColor::Yellow => albedo::YELLOW_MARKING,
+                };
+            }
+        }
+        if best_cover <= 0.0 {
+            return base;
+        }
+        let c = best_cover as f32;
+        [
+            base[0] * (1.0 - c) + best_color[0] * c,
+            base[1] * (1.0 - c) + best_color[1] * c,
+            base[2] * (1.0 - c) + best_color[2] * c,
+        ]
+    }
+
+    /// Applies scene illumination (ambient + head-lights) and tint to an
+    /// albedo at forward distance `xf`.
+    fn lit(&self, albedo: [f32; 3], scene: SceneKind, xf: f64) -> [f32; 3] {
+        let ambient = scene.ambient_illumination();
+        let head = scene.headlight_gain() * (-xf / HEADLIGHT_FALLOFF).exp() as f32;
+        let level = (ambient + head).min(1.2);
+        let tint = scene.tint();
+        [
+            albedo[0] * level * tint[0],
+            albedo[1] * level * tint[1],
+            albedo[2] * level * tint[2],
+        ]
+    }
+
+    /// Sky irradiance for a scene.
+    fn sky_color(&self, scene: SceneKind) -> [f32; 3] {
+        let level = scene.ambient_illumination() * 0.9;
+        let tint = scene.tint();
+        [
+            albedo::SKY[0] * level * tint[0],
+            albedo::SKY[1] * level * tint[1],
+            albedo::SKY[2] * level * tint[2],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::situation::{
+        LaneColor, LaneForm, RoadLayout, SceneKind, SituationFeatures, TABLE3_SITUATIONS,
+    };
+
+    fn day_straight_track() -> Track {
+        Track::for_situation(&TABLE3_SITUATIONS[0], 1000.0)
+    }
+
+    fn renderer() -> SceneRenderer {
+        SceneRenderer::new(Camera::default_automotive())
+    }
+
+    /// Find the brightest pixel in a row (marking candidates).
+    fn row_argmax(img: &RgbImage, v: usize) -> usize {
+        let mut best = 0;
+        let mut best_val = -1.0f32;
+        for u in 0..img.width() {
+            let p = img.get(u, v);
+            let lum = p[0] + p[1] + p[2];
+            if lum > best_val {
+                best_val = lum;
+                best = u;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn markings_appear_on_expected_sides() {
+        let r = renderer();
+        let img = r.render(&day_straight_track(), 6.0, 0.0, 0.0);
+        let cam = r.camera();
+        // Project the left/right marking ground positions at 10 m ahead
+        // and verify bright pixels there.
+        let (ul, vl) = cam.project_ground(10.0, LANE_WIDTH / 2.0).unwrap();
+        let (ur, _) = cam.project_ground(10.0, -LANE_WIDTH / 2.0).unwrap();
+        assert!(ul < ur, "left marking must be left of right marking in image");
+        let row = vl.round() as usize;
+        let bright = row_argmax(&img, row);
+        // The brightest pixel in that row is one of the markings.
+        assert!(
+            (bright as f64 - ul).abs() < 4.0 || (bright as f64 - ur).abs() < 4.0,
+            "brightest pixel at column {bright}, expected near {ul:.0} or {ur:.0}"
+        );
+        // The marking pixel must be much brighter than mid-lane road.
+        let (um, vm) = cam.project_ground(10.0, 0.0).unwrap();
+        let road = img.get(um.round() as usize, vm.round() as usize);
+        let mark = img.get(ul.round() as usize, row);
+        assert!(mark[1] > 2.0 * road[1], "marking {mark:?} vs road {road:?}");
+    }
+
+    #[test]
+    fn lateral_offset_shifts_markings() {
+        // Moving the vehicle left (d > 0) moves the left marking toward
+        // the image center.
+        let r = renderer();
+        let centered = r.render(&day_straight_track(), 6.0, 0.0, 0.0);
+        let offset = r.render(&day_straight_track(), 6.0, 0.8, 0.0);
+        let cam = r.camera();
+        let (_, v10) = cam.project_ground(10.0, LANE_WIDTH / 2.0).unwrap();
+        let row = v10.round() as usize;
+        // Track the left marking: brightest pixel in the left half.
+        let left_peak = |img: &RgbImage| -> usize {
+            let mut best = 0;
+            let mut val = -1.0;
+            for u in 0..img.width() / 2 {
+                let p = img.get(u, row);
+                let l = p[0] + p[1] + p[2];
+                if l > val {
+                    val = l;
+                    best = u;
+                }
+            }
+            best
+        };
+        assert!(
+            left_peak(&offset) > left_peak(&centered),
+            "moving left must shift the left marking rightward in the image"
+        );
+    }
+
+    #[test]
+    fn yellow_lane_renders_yellow() {
+        let sit = SituationFeatures::new(
+            LaneColor::Yellow,
+            LaneForm::Continuous,
+            RoadLayout::Straight,
+            SceneKind::Day,
+        );
+        let track = Track::for_situation(&sit, 500.0);
+        let r = renderer();
+        let img = r.render(&track, 6.0, 0.0, 0.0);
+        let cam = r.camera();
+        let (ul, vl) = cam.project_ground(8.0, LANE_WIDTH / 2.0).unwrap();
+        let px = img.get(ul.round() as usize, vl.round() as usize);
+        assert!(px[0] > 2.0 * px[2], "yellow marking must have R >> B, got {px:?}");
+    }
+
+    #[test]
+    fn night_is_darker_than_day() {
+        let day = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+        let night = Track::for_situation(&TABLE3_SITUATIONS[4], 500.0);
+        let r = renderer();
+        let d = r.render(&day, 6.0, 0.0, 0.0);
+        let n = r.render(&night, 6.0, 0.0, 0.0);
+        assert!(n.mean() < 0.6 * d.mean());
+    }
+
+    #[test]
+    fn headlights_light_the_near_field_in_dark() {
+        let dark = Track::for_situation(&TABLE3_SITUATIONS[6], 500.0);
+        let r = renderer();
+        let img = r.render(&dark, 6.0, 0.0, 0.0);
+        let cam = r.camera();
+        let (un, vn) = cam.project_ground(5.0, 0.0).unwrap();
+        let (uf, vf) = cam.project_ground(45.0, 0.0).unwrap();
+        let near = img.get(un.round() as usize, vn.round() as usize);
+        let far = img.get(uf.round() as usize, vf.round() as usize);
+        assert!(near[1] > 1.5 * far[1], "near road {near:?} must outshine far road {far:?}");
+    }
+
+    #[test]
+    fn dotted_lane_has_gaps() {
+        let sit = SituationFeatures::new(
+            LaneColor::White,
+            LaneForm::Dotted,
+            RoadLayout::Straight,
+            SceneKind::Day,
+        );
+        let track = Track::for_situation(&sit, 500.0);
+        let r = renderer();
+        let img = r.render(&track, 0.0, 0.0, 0.0);
+        let cam = r.camera();
+        // Sample the left marking line every 0.5 m from 5 m to 20 m: some
+        // samples painted, some not.
+        let mut bright = 0;
+        let mut dark = 0;
+        let mut x = 5.0;
+        while x < 20.0 {
+            let (u, v) = cam.project_ground(x, LANE_WIDTH / 2.0).unwrap();
+            let px = img.get(u.round() as usize, v.round() as usize);
+            if px[1] > 0.4 {
+                bright += 1;
+            } else {
+                dark += 1;
+            }
+            x += 0.5;
+        }
+        assert!(bright > 3 && dark > 3, "dashes: {bright} bright, {dark} dark samples");
+    }
+
+    #[test]
+    fn right_turn_curves_markings_rightward() {
+        let sit = SituationFeatures::new(
+            LaneColor::White,
+            LaneForm::Continuous,
+            RoadLayout::RightTurn,
+            SceneKind::Day,
+        );
+        let track = Track::for_situation(&sit, 1000.0);
+        let r = renderer();
+        let img = r.render(&track, 0.0, 0.0, 0.0);
+        let straight = r.render(&day_straight_track(), 6.0, 0.0, 0.0);
+        let cam = r.camera();
+        // At a far preview distance, the turn's left marking is shifted
+        // right (toward smaller lateral offset) vs the straight road.
+        let (_, v_far) = cam.project_ground(40.0, LANE_WIDTH / 2.0).unwrap();
+        let row = v_far.round() as usize;
+        let peak_turn = row_argmax(&img, row);
+        let peak_straight = row_argmax(&straight, row);
+        assert!(
+            peak_turn > peak_straight,
+            "right turn must shift far markings right: {peak_turn} vs {peak_straight}"
+        );
+    }
+
+    #[test]
+    fn sky_above_horizon() {
+        let r = renderer();
+        let img = r.render(&day_straight_track(), 0.0, 0.0, 0.0);
+        let sky = img.get(256, 10);
+        assert!(sky[2] > sky[0], "sky must be blue-ish, got {sky:?}");
+    }
+}

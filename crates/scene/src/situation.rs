@@ -1,0 +1,264 @@
+//! Situation taxonomy (paper Table I) and the 21 evaluated situations
+//! (paper Table III).
+//!
+//! A *situation* is a combination of environmental features that
+//! influences closed-loop performance. The paper fixes three feature
+//! groups at design time: type of lane (color + form), layout of road,
+//! and type of scene/weather.
+
+use serde::{Deserialize, Serialize};
+
+/// Lane marking color (Table I, "type of lane — color").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LaneColor {
+    /// White marking.
+    White,
+    /// Yellow marking.
+    Yellow,
+}
+
+impl LaneColor {
+    /// All colors, in Table I order.
+    pub const ALL: [LaneColor; 2] = [LaneColor::White, LaneColor::Yellow];
+}
+
+/// Lane marking form (Table I, "type of lane — form").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LaneForm {
+    /// Dashed marking.
+    Dotted,
+    /// Single continuous marking.
+    Continuous,
+    /// Double continuous marking.
+    DoubleContinuous,
+}
+
+impl LaneForm {
+    /// All forms, in Table I order.
+    pub const ALL: [LaneForm; 3] =
+        [LaneForm::Dotted, LaneForm::Continuous, LaneForm::DoubleContinuous];
+}
+
+/// Road layout (Table I, "layout of road").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadLayout {
+    /// Left turn (positive curvature in this crate's convention).
+    LeftTurn,
+    /// Right turn (negative curvature).
+    RightTurn,
+    /// Straight segment (zero curvature).
+    Straight,
+}
+
+impl RoadLayout {
+    /// All layouts, in Table I order.
+    pub const ALL: [RoadLayout; 3] =
+        [RoadLayout::LeftTurn, RoadLayout::RightTurn, RoadLayout::Straight];
+}
+
+/// Scene / weather class (Table I, "type of scene/weather").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SceneKind {
+    /// Full daylight.
+    Day,
+    /// Night with street lights.
+    Night,
+    /// Night without street lights (head-lights only).
+    Dark,
+    /// Dawn (low warm light).
+    Dawn,
+    /// Dusk (low warm light).
+    Dusk,
+}
+
+impl SceneKind {
+    /// All scene kinds, in Table I order.
+    pub const ALL: [SceneKind; 5] = [
+        SceneKind::Day,
+        SceneKind::Night,
+        SceneKind::Dark,
+        SceneKind::Dawn,
+        SceneKind::Dusk,
+    ];
+
+    /// Ambient illumination scale of this scene (1.0 = full daylight).
+    ///
+    /// Calibrated so that `Day` gives high-SNR captures, `Night` sits at
+    /// the regime where the tone map starts to matter, and `Dark` relies
+    /// on head-lights (see [`SceneKind::headlight_gain`]).
+    pub fn ambient_illumination(self) -> f32 {
+        match self {
+            SceneKind::Day => 1.0,
+            SceneKind::Dawn => 0.55,
+            SceneKind::Dusk => 0.50,
+            SceneKind::Night => 0.33,
+            SceneKind::Dark => 0.10,
+        }
+    }
+
+    /// Head-light contribution near the vehicle (scales a term that
+    /// decays exponentially with forward distance).
+    pub fn headlight_gain(self) -> f32 {
+        match self {
+            SceneKind::Night => 0.20,
+            SceneKind::Dark => 0.35,
+            _ => 0.0,
+        }
+    }
+
+    /// Color tint of the ambient light (multiplied per channel).
+    pub fn tint(self) -> [f32; 3] {
+        match self {
+            SceneKind::Day => [1.0, 1.0, 1.0],
+            SceneKind::Dawn => [1.0, 0.88, 0.68],
+            SceneKind::Dusk => [0.98, 0.74, 0.78],
+            SceneKind::Night => [0.85, 0.88, 1.0],
+            SceneKind::Dark => [0.9, 0.9, 1.0],
+        }
+    }
+}
+
+/// A fully specified situation: the left-lane marking type, the road
+/// layout and the scene.
+///
+/// Per the paper's experimental settings (Sec. IV-A), the *left* lane
+/// marking changes per situation while the right lane is always white
+/// dotted; this struct therefore records the left-lane type, and tracks
+/// built from it pin the right lane to white dotted unless overridden.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SituationFeatures {
+    /// Color of the left lane marking.
+    pub lane_color: LaneColor,
+    /// Form of the left lane marking.
+    pub lane_form: LaneForm,
+    /// Road layout.
+    pub layout: RoadLayout,
+    /// Scene / weather.
+    pub scene: SceneKind,
+}
+
+impl SituationFeatures {
+    /// Creates a situation from its four features.
+    pub fn new(lane_color: LaneColor, lane_form: LaneForm, layout: RoadLayout, scene: SceneKind) -> Self {
+        SituationFeatures { lane_color, lane_form, layout, scene }
+    }
+
+    /// Short human-readable description matching Table III's wording,
+    /// e.g. `"straight, white continuous, day"`.
+    pub fn describe(&self) -> String {
+        let layout = match self.layout {
+            RoadLayout::Straight => "straight",
+            RoadLayout::LeftTurn => "left",
+            RoadLayout::RightTurn => "right",
+        };
+        let color = match self.lane_color {
+            LaneColor::White => "white",
+            LaneColor::Yellow => "yellow",
+        };
+        let form = match self.lane_form {
+            LaneForm::Dotted => "dotted",
+            LaneForm::Continuous => "continuous",
+            LaneForm::DoubleContinuous => "double",
+        };
+        let scene = match self.scene {
+            SceneKind::Day => "day",
+            SceneKind::Night => "night",
+            SceneKind::Dark => "dark",
+            SceneKind::Dawn => "dawn",
+            SceneKind::Dusk => "dusk",
+        };
+        format!("{layout}, {color} {form}, {scene}")
+    }
+}
+
+impl std::fmt::Display for SituationFeatures {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// The 21 situations evaluated in the paper's Table III, in order
+/// (index 0 = situation 1).
+pub const TABLE3_SITUATIONS: [SituationFeatures; 21] = {
+    use LaneColor::*;
+    use LaneForm::*;
+    use RoadLayout::*;
+    use SceneKind::*;
+    [
+        // 1–7: straight
+        SituationFeatures { lane_color: White, lane_form: Continuous, layout: Straight, scene: Day },
+        SituationFeatures { lane_color: White, lane_form: Dotted, layout: Straight, scene: Day },
+        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: Straight, scene: Day },
+        SituationFeatures { lane_color: Yellow, lane_form: DoubleContinuous, layout: Straight, scene: Day },
+        SituationFeatures { lane_color: White, lane_form: Continuous, layout: Straight, scene: Night },
+        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: Straight, scene: Night },
+        SituationFeatures { lane_color: White, lane_form: Continuous, layout: Straight, scene: Dark },
+        // 8–14: right turns
+        SituationFeatures { lane_color: White, lane_form: Continuous, layout: RightTurn, scene: Day },
+        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: RightTurn, scene: Day },
+        SituationFeatures { lane_color: Yellow, lane_form: DoubleContinuous, layout: RightTurn, scene: Day },
+        SituationFeatures { lane_color: White, lane_form: Continuous, layout: RightTurn, scene: Night },
+        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: RightTurn, scene: Night },
+        SituationFeatures { lane_color: White, lane_form: Dotted, layout: RightTurn, scene: Day },
+        SituationFeatures { lane_color: White, lane_form: Dotted, layout: RightTurn, scene: Night },
+        // 15–21: left turns
+        SituationFeatures { lane_color: White, lane_form: Continuous, layout: LeftTurn, scene: Day },
+        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: LeftTurn, scene: Day },
+        SituationFeatures { lane_color: Yellow, lane_form: DoubleContinuous, layout: LeftTurn, scene: Day },
+        SituationFeatures { lane_color: White, lane_form: Continuous, layout: LeftTurn, scene: Night },
+        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: LeftTurn, scene: Night },
+        SituationFeatures { lane_color: White, lane_form: Dotted, layout: LeftTurn, scene: Day },
+        SituationFeatures { lane_color: White, lane_form: Dotted, layout: LeftTurn, scene: Night },
+    ]
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_21_situations() {
+        assert_eq!(TABLE3_SITUATIONS.len(), 21);
+    }
+
+    #[test]
+    fn table3_rows_match_paper_descriptions() {
+        assert_eq!(TABLE3_SITUATIONS[0].describe(), "straight, white continuous, day");
+        assert_eq!(TABLE3_SITUATIONS[1].describe(), "straight, white dotted, day");
+        assert_eq!(TABLE3_SITUATIONS[6].describe(), "straight, white continuous, dark");
+        assert_eq!(TABLE3_SITUATIONS[7].describe(), "right, white continuous, day");
+        assert_eq!(TABLE3_SITUATIONS[12].describe(), "right, white dotted, day");
+        assert_eq!(TABLE3_SITUATIONS[14].describe(), "left, white continuous, day");
+        assert_eq!(TABLE3_SITUATIONS[19].describe(), "left, white dotted, day");
+        assert_eq!(TABLE3_SITUATIONS[20].describe(), "left, white dotted, night");
+    }
+
+    #[test]
+    fn situations_are_unique() {
+        for (i, a) in TABLE3_SITUATIONS.iter().enumerate() {
+            for b in &TABLE3_SITUATIONS[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn illumination_ordering() {
+        assert!(SceneKind::Day.ambient_illumination() > SceneKind::Dawn.ambient_illumination());
+        assert!(SceneKind::Dawn.ambient_illumination() > SceneKind::Night.ambient_illumination());
+        assert!(SceneKind::Night.ambient_illumination() > SceneKind::Dark.ambient_illumination());
+    }
+
+    #[test]
+    fn headlights_only_at_night() {
+        assert_eq!(SceneKind::Day.headlight_gain(), 0.0);
+        assert!(SceneKind::Dark.headlight_gain() > SceneKind::Night.headlight_gain());
+    }
+
+    #[test]
+    fn feature_space_cardinality_matches_table1() {
+        // 2 colors × 3 forms × 3 layouts × 5 scenes = 90 combinations.
+        let total = LaneColor::ALL.len() * LaneForm::ALL.len() * RoadLayout::ALL.len() * SceneKind::ALL.len();
+        assert_eq!(total, 90);
+    }
+}

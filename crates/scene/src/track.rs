@@ -1,0 +1,322 @@
+//! Arc-length parameterized tracks built from situation sectors.
+//!
+//! A [`Track`] is a sequence of [`Sector`]s, each with a constant
+//! curvature, lane-marking specification and scene. The vehicle's
+//! position on the track is expressed in Frenet coordinates: arc length
+//! `s` along the lane center and lateral offset `d` from it.
+//!
+//! The nine-sector dynamic world of the paper's Fig. 7 is provided by
+//! [`Track::fig7_track`]; per-situation single-sector tracks (for the
+//! static study of Fig. 6) by [`Track::for_situation`].
+
+use crate::situation::{LaneColor, LaneForm, RoadLayout, SceneKind, SituationFeatures};
+use serde::{Deserialize, Serialize};
+
+/// Lane width used throughout the paper's experiments (Sec. IV-A):
+/// 3.25 m, per standard road-safety guidelines.
+pub const LANE_WIDTH: f64 = 3.25;
+
+/// Painted marking width in meters.
+pub const MARKING_WIDTH: f64 = 0.15;
+
+/// Dash length of dotted markings in meters.
+pub const DASH_LENGTH: f64 = 3.0;
+
+/// Gap length of dotted markings in meters.
+pub const DASH_GAP: f64 = 4.5;
+
+/// Separation between the two lines of a double-continuous marking.
+pub const DOUBLE_GAP: f64 = 0.15;
+
+/// Curve radius used for left/right-turn sectors (m).
+pub const TURN_RADIUS: f64 = 110.0;
+
+/// A lane-marking specification (color + form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaneSpec {
+    /// Marking color.
+    pub color: LaneColor,
+    /// Marking form.
+    pub form: LaneForm,
+}
+
+impl LaneSpec {
+    /// Creates a lane specification.
+    pub fn new(color: LaneColor, form: LaneForm) -> Self {
+        LaneSpec { color, form }
+    }
+
+    /// The paper's default right-lane marking: white dotted (Sec. IV-A).
+    pub fn white_dotted() -> Self {
+        LaneSpec { color: LaneColor::White, form: LaneForm::Dotted }
+    }
+}
+
+/// One constant-curvature stretch of road.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sector {
+    /// Sector length along the lane center, in meters.
+    pub length: f64,
+    /// Signed curvature (1/m): positive = left turn, negative = right
+    /// turn, zero = straight.
+    pub curvature: f64,
+    /// Left lane marking.
+    pub left_lane: LaneSpec,
+    /// Right lane marking.
+    pub right_lane: LaneSpec,
+    /// Scene / weather in this sector.
+    pub scene: SceneKind,
+}
+
+impl Sector {
+    /// Builds the sector corresponding to a Table III situation: the
+    /// situation's lane type on the left, white dotted on the right, and
+    /// the standard turn radius for curved layouts.
+    pub fn for_situation(features: &SituationFeatures, length: f64) -> Self {
+        let curvature = match features.layout {
+            RoadLayout::Straight => 0.0,
+            RoadLayout::LeftTurn => 1.0 / TURN_RADIUS,
+            RoadLayout::RightTurn => -1.0 / TURN_RADIUS,
+        };
+        Sector {
+            length,
+            curvature,
+            left_lane: LaneSpec::new(features.lane_color, features.lane_form),
+            right_lane: LaneSpec::white_dotted(),
+            scene: features.scene,
+        }
+    }
+
+    /// The situation features this sector presents to the vehicle.
+    pub fn situation(&self) -> SituationFeatures {
+        let layout = if self.curvature > 1e-9 {
+            RoadLayout::LeftTurn
+        } else if self.curvature < -1e-9 {
+            RoadLayout::RightTurn
+        } else {
+            RoadLayout::Straight
+        };
+        SituationFeatures {
+            lane_color: self.left_lane.color,
+            lane_form: self.left_lane.form,
+            layout,
+            scene: self.scene,
+        }
+    }
+}
+
+/// An arc-length parameterized track.
+///
+/// # Example
+///
+/// ```
+/// use lkas_scene::situation::TABLE3_SITUATIONS;
+/// use lkas_scene::track::Track;
+///
+/// let track = Track::fig7_track();
+/// assert_eq!(track.sectors().len(), 9);
+/// assert!(track.total_length() > 1000.0);
+/// let sit = track.situation_at(5.0);
+/// assert_eq!(sit, track.sectors()[0].situation());
+/// # let _ = TABLE3_SITUATIONS;
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    sectors: Vec<Sector>,
+    /// Cumulative start offsets; `starts[i]` is where sector `i` begins.
+    starts: Vec<f64>,
+    total: f64,
+}
+
+impl Track {
+    /// Builds a track from sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors` is empty or any sector has non-positive
+    /// length.
+    pub fn new(sectors: Vec<Sector>) -> Self {
+        assert!(!sectors.is_empty(), "a track needs at least one sector");
+        let mut starts = Vec::with_capacity(sectors.len());
+        let mut acc = 0.0;
+        for s in &sectors {
+            assert!(s.length > 0.0, "sector lengths must be positive");
+            starts.push(acc);
+            acc += s.length;
+        }
+        Track { sectors, starts, total: acc }
+    }
+
+    /// A single-sector track for one Table III situation (used by the
+    /// static per-situation study, Fig. 6).
+    pub fn for_situation(features: &SituationFeatures, length: f64) -> Self {
+        Track::new(vec![Sector::for_situation(features, length)])
+    }
+
+    /// The nine-sector dynamic world of Fig. 7.
+    ///
+    /// The sector order follows the paper's narrative for Fig. 8:
+    ///
+    /// 1. straight, white continuous, day — the benign start;
+    /// 2. right turn, white continuous, day — Case 1 (fixed ROI 1)
+    ///    crashes at the 1→2 transition;
+    /// 3. straight, yellow continuous, day — lane color change;
+    /// 4. left turn, yellow continuous, day — the right (always dotted)
+    ///    lane drifts away from the camera on left turns, the noisy-
+    ///    sensing situation of Sec. IV-C/IV-E;
+    /// 5. straight, white dotted, day;
+    /// 6. left turn, white dotted (both lanes dotted), day — Case 2
+    ///    (road classifier only) crashes at the 5→6 transition;
+    /// 7. right turn, yellow continuous, day;
+    /// 8. straight, white continuous, night (street lights);
+    /// 9. straight, white continuous, dark (no street lights) — the
+    ///    night→dark scene transition called out in Sec. IV-D.
+    pub fn fig7_track() -> Self {
+        use LaneColor::*;
+        use LaneForm::*;
+        let white_cont = LaneSpec::new(White, Continuous);
+        let white_dot = LaneSpec::new(White, Dotted);
+        let yellow_cont = LaneSpec::new(Yellow, Continuous);
+        let k = 1.0 / TURN_RADIUS;
+        Track::new(vec![
+            Sector { length: 150.0, curvature: 0.0, left_lane: white_cont, right_lane: white_dot, scene: SceneKind::Day },
+            Sector { length: 140.0, curvature: -k, left_lane: white_cont, right_lane: white_dot, scene: SceneKind::Day },
+            Sector { length: 150.0, curvature: 0.0, left_lane: yellow_cont, right_lane: white_dot, scene: SceneKind::Day },
+            Sector { length: 140.0, curvature: k, left_lane: yellow_cont, right_lane: white_dot, scene: SceneKind::Day },
+            Sector { length: 150.0, curvature: 0.0, left_lane: white_dot, right_lane: white_dot, scene: SceneKind::Day },
+            Sector { length: 140.0, curvature: k, left_lane: white_dot, right_lane: white_dot, scene: SceneKind::Day },
+            Sector { length: 140.0, curvature: -k, left_lane: yellow_cont, right_lane: white_dot, scene: SceneKind::Day },
+            Sector { length: 150.0, curvature: 0.0, left_lane: white_cont, right_lane: white_dot, scene: SceneKind::Night },
+            Sector { length: 150.0, curvature: 0.0, left_lane: white_cont, right_lane: white_dot, scene: SceneKind::Dark },
+        ])
+    }
+
+    /// The sectors of this track.
+    pub fn sectors(&self) -> &[Sector] {
+        &self.sectors
+    }
+
+    /// Total track length in meters.
+    pub fn total_length(&self) -> f64 {
+        self.total
+    }
+
+    /// Index of the sector containing arc position `s` (clamped to the
+    /// track).
+    pub fn sector_index_at(&self, s: f64) -> usize {
+        let s = s.clamp(0.0, self.total - 1e-9);
+        match self.starts.binary_search_by(|v| v.partial_cmp(&s).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+
+    /// The sector containing arc position `s`.
+    pub fn sector_at(&self, s: f64) -> &Sector {
+        &self.sectors[self.sector_index_at(s)]
+    }
+
+    /// Signed road curvature at arc position `s` (1/m).
+    pub fn curvature_at(&self, s: f64) -> f64 {
+        self.sector_at(s).curvature
+    }
+
+    /// Ground-truth situation at arc position `s`.
+    pub fn situation_at(&self, s: f64) -> SituationFeatures {
+        self.sector_at(s).situation()
+    }
+
+    /// Arc position where sector `i` starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sector_start(&self, i: usize) -> f64 {
+        self.starts[i]
+    }
+
+    /// `true` if a marking is painted at longitudinal position `s` for
+    /// the given lane form (handles the dash pattern of dotted lanes).
+    pub fn marking_painted_at(form: LaneForm, s: f64) -> bool {
+        match form {
+            LaneForm::Continuous | LaneForm::DoubleContinuous => true,
+            LaneForm::Dotted => {
+                let period = DASH_LENGTH + DASH_GAP;
+                s.rem_euclid(period) < DASH_LENGTH
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::situation::TABLE3_SITUATIONS;
+
+    #[test]
+    fn fig7_has_nine_sectors_with_paper_narrative() {
+        let t = Track::fig7_track();
+        assert_eq!(t.sectors().len(), 9);
+        // Sector 2 is a right turn.
+        assert!(t.sectors()[1].curvature < 0.0);
+        // Sector 6 has both lanes dotted.
+        assert_eq!(t.sectors()[5].left_lane.form, LaneForm::Dotted);
+        assert_eq!(t.sectors()[5].right_lane.form, LaneForm::Dotted);
+        // Scene transition night → dark between sectors 8 and 9.
+        assert_eq!(t.sectors()[7].scene, SceneKind::Night);
+        assert_eq!(t.sectors()[8].scene, SceneKind::Dark);
+    }
+
+    #[test]
+    fn sector_lookup_at_boundaries() {
+        let t = Track::fig7_track();
+        assert_eq!(t.sector_index_at(0.0), 0);
+        assert_eq!(t.sector_index_at(149.999), 0);
+        assert_eq!(t.sector_index_at(150.0), 1);
+        assert_eq!(t.sector_index_at(t.total_length() + 50.0), 8);
+        assert_eq!(t.sector_index_at(-5.0), 0);
+    }
+
+    #[test]
+    fn sector_starts_are_cumulative() {
+        let t = Track::fig7_track();
+        assert_eq!(t.sector_start(0), 0.0);
+        assert!((t.sector_start(1) - 150.0).abs() < 1e-9);
+        assert!((t.sector_start(2) - 290.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn situation_track_roundtrip() {
+        for features in &TABLE3_SITUATIONS {
+            let t = Track::for_situation(features, 100.0);
+            assert_eq!(t.situation_at(50.0), *features);
+        }
+    }
+
+    #[test]
+    fn dotted_dash_pattern() {
+        assert!(Track::marking_painted_at(LaneForm::Dotted, 0.0));
+        assert!(Track::marking_painted_at(LaneForm::Dotted, 2.9));
+        assert!(!Track::marking_painted_at(LaneForm::Dotted, 3.1));
+        assert!(!Track::marking_painted_at(LaneForm::Dotted, 7.4));
+        assert!(Track::marking_painted_at(LaneForm::Dotted, 7.6));
+        assert!(Track::marking_painted_at(LaneForm::Continuous, 1234.5));
+    }
+
+    #[test]
+    fn turn_curvature_sign_convention() {
+        use crate::situation::{LaneColor, LaneForm, RoadLayout, SceneKind};
+        let left = SituationFeatures::new(LaneColor::White, LaneForm::Continuous, RoadLayout::LeftTurn, SceneKind::Day);
+        let right = SituationFeatures::new(LaneColor::White, LaneForm::Continuous, RoadLayout::RightTurn, SceneKind::Day);
+        assert!(Sector::for_situation(&left, 10.0).curvature > 0.0);
+        assert!(Sector::for_situation(&right, 10.0).curvature < 0.0);
+        // Situation roundtrip through the sector.
+        assert_eq!(Sector::for_situation(&left, 10.0).situation(), left);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_track_panics() {
+        let _ = Track::new(vec![]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Steering actuation dynamics.
+//!
+//! The paper models actuation after an automotive electric power
+//! steering system (ref. [18]): the commanded front-wheel angle is
+//! tracked through a first-order lag with a slew-rate limit.
+
+use lkas_control::MAX_STEER_RAD;
+use serde::{Deserialize, Serialize};
+
+/// A first-order, rate-limited steering actuator.
+///
+/// # Example
+///
+/// ```
+/// use lkas_vehicle::actuation::SteeringActuator;
+///
+/// let mut act = SteeringActuator::default();
+/// // A step command is tracked gradually, not instantaneously.
+/// let first = act.step(0.3, 0.005);
+/// assert!(first > 0.0 && first < 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteeringActuator {
+    /// First-order time constant (s).
+    pub time_constant: f64,
+    /// Maximum slew rate (rad/s).
+    pub max_rate: f64,
+    angle: f64,
+}
+
+impl SteeringActuator {
+    /// Creates an actuator with the given lag and rate limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive.
+    pub fn new(time_constant: f64, max_rate: f64) -> Self {
+        assert!(time_constant > 0.0 && max_rate > 0.0, "actuator parameters must be positive");
+        SteeringActuator { time_constant, max_rate, angle: 0.0 }
+    }
+
+    /// Current front-wheel angle (rad).
+    pub fn angle(&self) -> f64 {
+        self.angle
+    }
+
+    /// Resets the wheel to center.
+    pub fn reset(&mut self) {
+        self.angle = 0.0;
+    }
+
+    /// Advances the actuator by `dt` seconds toward `command` (rad) and
+    /// returns the achieved angle.
+    pub fn step(&mut self, command: f64, dt: f64) -> f64 {
+        let command = command.clamp(-MAX_STEER_RAD, MAX_STEER_RAD);
+        let desired_rate = (command - self.angle) / self.time_constant;
+        let rate = desired_rate.clamp(-self.max_rate, self.max_rate);
+        self.angle = (self.angle + rate * dt).clamp(-MAX_STEER_RAD, MAX_STEER_RAD);
+        self.angle
+    }
+}
+
+impl Default for SteeringActuator {
+    fn default() -> Self {
+        // ~50 ms lag, 0.8 rad/s slew — typical EPS characteristics.
+        SteeringActuator::new(0.05, 0.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_command() {
+        let mut act = SteeringActuator::default();
+        for _ in 0..400 {
+            act.step(0.2, 0.005);
+        }
+        assert!((act.angle() - 0.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rate_limit_respected() {
+        let mut act = SteeringActuator::default();
+        let before = act.angle();
+        let after = act.step(0.5, 0.005);
+        assert!((after - before).abs() <= 0.8 * 0.005 + 1e-12);
+    }
+
+    #[test]
+    fn saturates_at_max_steer() {
+        let mut act = SteeringActuator::default();
+        for _ in 0..2000 {
+            act.step(10.0, 0.005);
+        }
+        assert!(act.angle() <= MAX_STEER_RAD + 1e-12);
+    }
+
+    #[test]
+    fn reset_centers() {
+        let mut act = SteeringActuator::default();
+        act.step(0.3, 0.1);
+        act.reset();
+        assert_eq!(act.angle(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_params_panic() {
+        let _ = SteeringActuator::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Characterize one situation: sweep the ISP knob and watch the
+//! QoC/latency trade-off (a single row of Table III being born).
+//!
+//! Run with: `cargo run --release --example characterize`
+
+use lkas::characterize::{evaluate_candidate, CharacterizeConfig};
+use lkas::knobs::{candidate_tunings, KnobTuning};
+use lkas::TABLE3_SITUATIONS;
+use lkas_platform::schedule::ClassifierSet;
+
+fn main() {
+    // Situation 8: right turn, white continuous, day.
+    let situation = TABLE3_SITUATIONS[7];
+    let config = CharacterizeConfig::default();
+    println!("characterizing \"{situation}\" ({} candidates)…\n", candidate_tunings(&situation).len());
+    println!("{:<6}{:<8}{:>8}{:>8}{:>10}{:>10}", "ISP", "ROI", "τ (ms)", "h (ms)", "MAE (m)", "result");
+
+    let mut best: Option<(KnobTuning, f64)> = None;
+    for tuning in candidate_tunings(&situation) {
+        let result = evaluate_candidate(&situation, tuning, &config, 5);
+        let timing = tuning.schedule(ClassifierSet::all()).timing();
+        let (mae_text, verdict) = if result.crashed {
+            ("-".to_string(), "CRASH")
+        } else {
+            let mae = result.overall_mae().unwrap_or(f64::NAN);
+            if best.as_ref().map(|(_, b)| mae < *b).unwrap_or(true) {
+                best = Some((tuning, mae));
+            }
+            (format!("{mae:.3}"), "ok")
+        };
+        println!(
+            "{:<6}{:<8}{:>8.1}{:>8.0}{:>10}{:>10}",
+            tuning.isp.name(),
+            tuning.roi.name(),
+            timing.tau_ms,
+            timing.h_ms,
+            mae_text,
+            verdict
+        );
+    }
+    if let Some((tuning, mae)) = best {
+        println!(
+            "\nbest tuning: {} + {} @ {:.0} km/h (MAE {mae:.3} m) — this is the Table III entry.",
+            tuning.isp.name(),
+            tuning.roi.name(),
+            tuning.speed_kmph
+        );
+    }
+}

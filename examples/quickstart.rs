@@ -1,0 +1,32 @@
+//! Quickstart: one closed-loop LKAS run.
+//!
+//! Drives the robust baseline design (Case 3: road + lane classifiers,
+//! exact ISP) down a short daytime road and prints the quality of
+//! control. Uses the ground-truth situation oracle so it runs in a few
+//! seconds without training classifiers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lkas::cases::Case;
+use lkas::hil::{HilConfig, HilSimulator, SituationSource};
+use lkas::TABLE3_SITUATIONS;
+use lkas_scene::track::Track;
+
+fn main() {
+    // Situation 1 of Table III: straight, white continuous, day.
+    let situation = TABLE3_SITUATIONS[0];
+    let track = Track::for_situation(&situation, 300.0);
+    println!("driving 300 m of \"{situation}\" with {}", Case::Case3);
+
+    let config = HilConfig::new(Case::Case3, SituationSource::Oracle).with_seed(7);
+    let result = HilSimulator::new(track, config).run();
+
+    println!("  crashed:              {}", result.crashed);
+    println!("  simulated time:       {:.1} s", result.time_s);
+    println!("  control samples:      {}", result.samples);
+    println!("  perception failures:  {}", result.perception_failures);
+    match result.overall_mae() {
+        Some(mae) => println!("  QoC (MAE of y_L):     {mae:.3} m"),
+        None => println!("  QoC: no samples recorded"),
+    }
+}

@@ -1,0 +1,54 @@
+//! Train the three situation classifiers and inspect their decisions.
+//!
+//! Trains small road / lane / scene classifiers on renderer-generated
+//! datasets (a scaled-down Table IV) and then classifies freshly
+//! rendered frames of a few situations, printing decision vs truth.
+//!
+//! Run with: `cargo run --release --example train_classifiers`
+
+use lkas_imaging::isp::{IspConfig, IspPipeline};
+use lkas_imaging::sensor::{Sensor, SensorConfig};
+use lkas_nn::classifiers::{ClassifierSpec, LaneClassifier, RoadClassifier, SceneClassifier};
+use lkas_scene::camera::Camera;
+use lkas_scene::render::SceneRenderer;
+use lkas_scene::situation::TABLE3_SITUATIONS;
+use lkas_scene::track::Track;
+
+fn main() {
+    let spec = ClassifierSpec {
+        train_per_class: 120,
+        val_per_class: 30,
+        epochs: 60,
+        ..ClassifierSpec::default()
+    };
+    println!("training (this renders ~{} frames)…", 3 * 150 * 4);
+    let (road, road_report) = RoadClassifier::train(&spec, 1);
+    println!("road:  val accuracy {:.1} %", road_report.val_accuracy * 100.0);
+    let (lane, lane_report) = LaneClassifier::train(&spec, 2);
+    println!("lane:  val accuracy {:.1} %", lane_report.val_accuracy * 100.0);
+    let (scene, scene_report) = SceneClassifier::train(&spec, 3);
+    println!("scene: val accuracy {:.1} %", scene_report.val_accuracy * 100.0);
+
+    // Classify fresh frames of a few Table III situations.
+    let cam = Camera::default_automotive();
+    let renderer = SceneRenderer::new(cam.clone());
+    let mut sensor = Sensor::new(SensorConfig::default(), 99);
+    println!("\nfresh-frame decisions (situation → road / lane / scene):");
+    for &si in &[0usize, 7, 14, 4, 6] {
+        let situation = TABLE3_SITUATIONS[si];
+        let track = Track::for_situation(&situation, 1000.0);
+        let frame = renderer.render(&track, 120.0, 0.1, 0.0);
+        let rgb = IspPipeline::new(IspConfig::S0).process(&sensor.capture(&frame, 1.0));
+        let layout = road.classify(&rgb);
+        let (color, form) = lane.classify(&rgb);
+        let kind = scene.classify(&rgb);
+        println!(
+            "  {:<36} → {:?} / {:?} {:?} / {:?}",
+            situation.describe(),
+            layout,
+            color,
+            form,
+            kind
+        );
+    }
+}

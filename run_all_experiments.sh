@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper plus the ablation
+# studies. On a many-core machine drop the --quick/--half-res flags and
+# raise --seeds. Outputs: stdout tables per harness, JSON in results/,
+# trained artifacts in artifacts/.
+set -e
+cd "$(dirname "$0")"
+cargo run --release -p lkas-bench --bin table5_cases
+cargo run --release -p lkas-bench --bin table2_runtimes
+cargo run --release -p lkas-bench --bin fig1_tradeoff
+cargo run --release -p lkas-bench --bin table4_classifiers
+cargo run --release -p lkas-bench --bin table3_characterization
+cargo run --release -p lkas-bench --bin fig6_static
+cargo run --release -p lkas-bench --bin fig8_dynamic -- --seeds 3
+cargo run --release -p lkas-bench --bin lqg_study
+cargo run --release -p lkas-bench --bin ablation_isp
+cargo run --release -p lkas-bench --bin ablation_invocation

@@ -1,0 +1,10 @@
+#!/bin/bash
+# CI gate: build, test, and format check for the whole workspace.
+# Fully offline — every external dependency is vendored under vendor/
+# (crates.io is unreachable in the eval sandbox; prefer std over new
+# external deps).
+set -e
+cd "$(dirname "$0")"
+cargo build --release
+cargo test -q
+cargo fmt --check

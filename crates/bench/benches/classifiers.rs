@@ -34,9 +34,8 @@ fn bench_classifiers(c: &mut Criterion) {
     group.sample_size(30);
     group.bench_function("feature_extraction", |b| b.iter(|| extract(&rgb, &cam)));
     group.bench_function("road_classify_frame", |b| b.iter(|| road.classify(&rgb)));
-    group.bench_function("road_classify_features", |b| {
-        b.iter(|| road.classify_features(&features))
-    });
+    group
+        .bench_function("road_classify_features", |b| b.iter(|| road.classify_features(&features)));
     group.finish();
 }
 

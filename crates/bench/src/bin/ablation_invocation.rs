@@ -18,7 +18,7 @@
 use lkas::cases::Case;
 use lkas::hil::{HilConfig, HilSimulator, SituationSource};
 use lkas::invocation::InvocationScheme;
-use lkas_bench::{render_table, write_result};
+use lkas_bench::{default_threads, render_table, write_result, Executor};
 use lkas_platform::profiles::ClassifierKind;
 use lkas_platform::schedule::ClassifierSet;
 use lkas_scene::camera::Camera;
@@ -46,37 +46,32 @@ fn main() {
         ("all three every frame (case 4)", InvocationScheme::EveryFrame(ClassifierSet::all())),
         ("paper round-robin 300 ms", InvocationScheme::round_robin_300ms()),
         ("round-robin 600 ms", InvocationScheme::RoundRobin { window_ms: 600.0 }),
-        (
-            "alternating road/lane (scene never)",
-            InvocationScheme::Custom(vec![road, lane]),
-        ),
+        ("alternating road/lane (scene never)", InvocationScheme::Custom(vec![road, lane])),
     ];
 
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
-    for (name, scheme) in &schemes {
+    let results = Executor::new(default_threads()).run(schemes.clone(), |(_, scheme)| {
         // Case::VariableInvocation carries the knob policy; the custom
-        // scheme is evaluated by swapping the per-frame classifier sets
-        // through a custom run below.
+        // scheme is evaluated by overriding the per-frame classifier
+        // sets.
         let case = match scheme {
             InvocationScheme::EveryFrame(_) => Case::Case4,
             _ => Case::VariableInvocation,
         };
-        let mut config =
-            HilConfig::new(case, SituationSource::Oracle).with_camera(camera.clone()).with_seed(9);
-        config.scheme_override = Some(scheme.clone());
-        let result = HilSimulator::new(Track::fig7_track(), config).run();
+        let config = HilConfig::new(case, SituationSource::Oracle)
+            .with_camera(camera.clone())
+            .with_seed(9)
+            .with_scheme_override(scheme);
+        HilSimulator::new(Track::fig7_track(), config).run()
+    });
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for ((name, _), result) in schemes.iter().zip(results) {
         rows.push(vec![
             name.to_string(),
             result.crashed.to_string(),
-            result
-                .crash_sector
-                .map(|s| (s + 1).to_string())
-                .unwrap_or_else(|| "-".into()),
-            result
-                .mae_excluding_crashed()
-                .map(|m| format!("{m:.3}"))
-                .unwrap_or_else(|| "-".into()),
+            result.crash_sector.map(|s| (s + 1).to_string()).unwrap_or_else(|| "-".into()),
+            result.mae_excluding_crashed().map(|m| format!("{m:.3}")).unwrap_or_else(|| "-".into()),
             result.misidentifications.to_string(),
         ]);
         json_rows.push(SchemeRow {

@@ -13,7 +13,7 @@
 use lkas::characterize::{evaluate_candidate, CharacterizeConfig};
 use lkas::knobs::KnobTuning;
 use lkas::TABLE3_SITUATIONS;
-use lkas_bench::{render_table, write_result};
+use lkas_bench::{default_threads, render_table, write_result, Executor};
 use lkas_imaging::isp::IspConfig;
 use lkas_perception::roi::Roi;
 use lkas_platform::schedule::ClassifierSet;
@@ -37,38 +37,42 @@ fn main() {
     }
     // Benign daytime straight vs the hard dark straight (situation 7).
     let picks = [(0usize, Roi::Roi1, 50.0), (6, Roi::Roi1, 50.0)];
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut jobs = Vec::new();
     for (si, roi, speed) in picks {
         let situation = TABLE3_SITUATIONS[si];
         for isp in IspConfig::ALL {
-            let tuning = KnobTuning::new(isp, roi, speed);
-            let timing = tuning.schedule(ClassifierSet::all()).timing();
-            let r = evaluate_candidate(&situation, tuning, &config, 3);
-            let mae = if r.crashed { None } else { r.overall_mae() };
-            rows.push(vec![
-                situation.describe(),
-                isp.name().to_string(),
-                format!("{:.0}", timing.h_ms),
-                format!("{:.1}", timing.tau_ms),
-                mae.map(|m| format!("{m:.3}")).unwrap_or_else(|| "CRASH".into()),
-                r.perception_failures.to_string(),
-            ]);
-            json_rows.push(AblationRow {
-                situation: situation.describe(),
-                isp: isp.name().to_string(),
-                h_ms: timing.h_ms,
-                tau_ms: timing.tau_ms,
-                mae,
-                perception_failures: r.perception_failures,
-            });
+            jobs.push((situation, KnobTuning::new(isp, roi, speed)));
         }
     }
+    let results = Executor::new(default_threads()).run(jobs.clone(), |(situation, tuning)| {
+        evaluate_candidate(&situation, tuning, &config, 3)
+    });
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for ((situation, tuning), r) in jobs.into_iter().zip(results) {
+        let isp = tuning.isp;
+        let timing = tuning.schedule(ClassifierSet::all()).timing();
+        let mae = if r.crashed { None } else { r.overall_mae() };
+        rows.push(vec![
+            situation.describe(),
+            isp.name().to_string(),
+            format!("{:.0}", timing.h_ms),
+            format!("{:.1}", timing.tau_ms),
+            mae.map(|m| format!("{m:.3}")).unwrap_or_else(|| "CRASH".into()),
+            r.perception_failures.to_string(),
+        ]);
+        json_rows.push(AblationRow {
+            situation: situation.describe(),
+            isp: isp.name().to_string(),
+            h_ms: timing.h_ms,
+            tau_ms: timing.tau_ms,
+            mae,
+            perception_failures: r.perception_failures,
+        });
+    }
     println!("Ablation — ISP knob sweep at fixed ROI/speed (oracle situations)");
-    println!(
-        "{}",
-        render_table(&["situation", "ISP", "h", "τ", "MAE", "PR failures"], &rows)
-    );
+    println!("{}", render_table(&["situation", "ISP", "h", "τ", "MAE", "PR failures"], &rows));
     println!(
         "reading: approximate configurations buy a shorter period (h 45→25) at the cost of \
          image quality; in the dark the quality side dominates — exactly the balance Table III encodes."

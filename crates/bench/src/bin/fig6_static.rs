@@ -17,8 +17,8 @@ use lkas::cases::Case;
 use lkas::knobs::KnobTable;
 use lkas::TABLE3_SITUATIONS;
 use lkas_bench::{
-    arg_value, default_threads, hil_job, load_or_train_bundle, oracle_flag, render_table,
-    run_parallel, write_result, ARTIFACTS_DIR,
+    arg_value, default_threads, load_or_train_bundle, oracle_flag, render_table, run_hil_jobs,
+    write_metrics, write_result, HilJob, Metrics, ARTIFACTS_DIR,
 };
 use lkas_scene::camera::Camera;
 use lkas_scene::track::Track;
@@ -38,9 +38,8 @@ struct SituationRow {
 fn main() {
     let bundle = if oracle_flag() { None } else { Some(load_or_train_bundle()) };
     let knob_table = load_knob_table();
-    let threads = arg_value("--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_threads);
+    let threads =
+        arg_value("--threads").and_then(|v| v.parse().ok()).unwrap_or_else(default_threads);
     let track_length: f64 = arg_value("--length").and_then(|v| v.parse().ok()).unwrap_or(250.0);
     // On single-core machines `--half-res` quarters the per-frame cost;
     // the case orderings are unchanged (see EXPERIMENTS.md).
@@ -50,32 +49,32 @@ fn main() {
         Camera::default_automotive()
     };
 
+    let metrics = std::sync::Arc::new(Metrics::new());
     let mut jobs = Vec::new();
     for (si, situation) in TABLE3_SITUATIONS.iter().enumerate() {
         for case in CASES {
             let track = Track::for_situation(situation, track_length);
-            let mut job = hil_job(
+            let mut job = HilJob::new(
                 format!("situation {} / {}", si + 1, case),
                 case,
                 track,
                 bundle.as_ref(),
                 1000 + si as u64,
-            );
+            )
+            .with_metrics(&metrics);
             job.config.knob_table = knob_table.clone();
             job.config.camera = camera.clone();
             jobs.push(job);
         }
     }
-    let results = run_parallel(jobs, threads);
+    let results = run_hil_jobs(jobs, threads);
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     for (si, situation) in TABLE3_SITUATIONS.iter().enumerate() {
         let slice = &results[si * CASES.len()..(si + 1) * CASES.len()];
-        let mae: Vec<Option<f64>> = slice
-            .iter()
-            .map(|r| if r.crashed { None } else { r.overall_mae() })
-            .collect();
+        let mae: Vec<Option<f64>> =
+            slice.iter().map(|r| if r.crashed { None } else { r.overall_mae() }).collect();
         let case3 = mae[2];
         let norm: Vec<Option<f64>> = mae
             .iter()
@@ -102,12 +101,7 @@ fn main() {
             description: situation.describe(),
             mae: [mae[0], mae[1], mae[2], mae[3]],
             normalized_to_case3: [norm[0], norm[1], norm[2], norm[3]],
-            crashed: [
-                slice[0].crashed,
-                slice[1].crashed,
-                slice[2].crashed,
-                slice[3].crashed,
-            ],
+            crashed: [slice[0].crashed, slice[1].crashed, slice[2].crashed, slice[3].crashed],
         });
     }
     println!("Fig. 6 — static per-situation MAE normalized to Case 3 (FAIL = lane departure)");
@@ -118,27 +112,26 @@ fn main() {
 
     // Paper-shape summary: which situations fail per case.
     for (ci, case) in CASES.iter().enumerate() {
-        let fails: Vec<String> = json_rows
-            .iter()
-            .filter(|r| r.crashed[ci])
-            .map(|r| r.situation.to_string())
-            .collect();
+        let fails: Vec<String> =
+            json_rows.iter().filter(|r| r.crashed[ci]).map(|r| r.situation.to_string()).collect();
         println!(
             "{case}: {} failures{}",
             fails.len(),
-            if fails.is_empty() { String::new() } else { format!(" (situations {})", fails.join(", ")) }
+            if fails.is_empty() {
+                String::new()
+            } else {
+                format!(" (situations {})", fails.join(", "))
+            }
         );
     }
     let better = json_rows
         .iter()
         .filter(|r| matches!((r.mae[3], r.mae[2]), (Some(a), Some(b)) if a < b))
         .count();
-    let comparable = json_rows
-        .iter()
-        .filter(|r| r.mae[3].is_some() && r.mae[2].is_some())
-        .count();
+    let comparable = json_rows.iter().filter(|r| r.mae[3].is_some() && r.mae[2].is_some()).count();
     println!("case 4 beats case 3 in {better}/{comparable} comparable situations (paper: all but situation 15)");
     write_result("fig6_static", &json_rows);
+    write_metrics("fig6_static", &metrics);
 }
 
 fn load_knob_table() -> KnobTable {

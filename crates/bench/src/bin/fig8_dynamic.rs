@@ -20,8 +20,8 @@ use lkas::cases::Case;
 use lkas::knobs::KnobTable;
 use lkas::stability::{certify_switching, minimum_dwell_intervals};
 use lkas_bench::{
-    arg_value, default_threads, hil_job, load_or_train_bundle, oracle_flag, render_table,
-    run_parallel, write_result, ARTIFACTS_DIR,
+    arg_value, default_threads, load_or_train_bundle, oracle_flag, render_table, run_hil_jobs,
+    write_metrics, write_result, HilJob, Metrics, ARTIFACTS_DIR,
 };
 use lkas_platform::schedule::ClassifierSet;
 use lkas_scene::track::Track;
@@ -41,26 +41,27 @@ struct CaseResult {
 fn main() {
     let bundle = if oracle_flag() { None } else { Some(load_or_train_bundle()) };
     let knob_table = load_knob_table();
-    let threads = arg_value("--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_threads);
+    let threads =
+        arg_value("--threads").and_then(|v| v.parse().ok()).unwrap_or_else(default_threads);
     let seeds: u64 = arg_value("--seeds").and_then(|v| v.parse().ok()).unwrap_or(1);
 
+    let metrics = std::sync::Arc::new(Metrics::new());
     let mut jobs = Vec::new();
     for seed in 0..seeds {
         for case in Case::ALL {
-            let mut job = hil_job(
+            let mut job = HilJob::new(
                 format!("{case} (seed {seed})"),
                 case,
                 Track::fig7_track(),
                 bundle.as_ref(),
                 9 + seed * 7,
-            );
+            )
+            .with_metrics(&metrics);
             job.config.knob_table = knob_table.clone();
             jobs.push(job);
         }
     }
-    let results = run_parallel(jobs, threads);
+    let results = run_hil_jobs(jobs, threads);
 
     // Aggregate over seeds: report seed 0 per-sector detail, crash = any.
     let n_cases = Case::ALL.len();
@@ -78,9 +79,8 @@ fn main() {
             misidentifications: r.misidentifications,
         });
         if seeds > 1 {
-            let crashes = (0..seeds)
-                .filter(|s| results[(*s as usize) * n_cases + ci].crashed)
-                .count();
+            let crashes =
+                (0..seeds).filter(|s| results[(*s as usize) * n_cases + ci].crashed).count();
             eprintln!("{case}: crashed in {crashes}/{seeds} seeds");
         }
     }
@@ -99,11 +99,7 @@ fn main() {
                 _ => "-".to_string(),
             });
         }
-        cells.push(
-            cr.mae_completed
-                .map(|m| format!("{m:.3}"))
-                .unwrap_or_else(|| "-".into()),
-        );
+        cells.push(cr.mae_completed.map(|m| format!("{m:.3}")).unwrap_or_else(|| "-".into()));
         rows.push(cells);
         let _ = ci;
     }
@@ -118,9 +114,7 @@ fn main() {
 
     // Average QoC relations on mutually completed sectors.
     let completed = |cr: &CaseResult| -> Vec<usize> {
-        (0..9)
-            .filter(|&si| cr.sector_mae[si].is_some() && cr.crash_sector != Some(si))
-            .collect()
+        (0..9).filter(|&si| cr.sector_mae[si].is_some() && cr.crash_sector != Some(si)).collect()
     };
     let pair_avg = |a: &CaseResult, b: &CaseResult| -> Option<(f64, f64)> {
         let sa = completed(a);
@@ -150,33 +144,30 @@ fn main() {
 
     // Switched-stability certification.
     println!("\nSwitched-stability certification (Sec. III-D):");
-    let configs: Vec<_> = knob_table
-        .iter()
-        .map(|(_, t)| t.controller_config(ClassifierSet::all()))
-        .collect();
+    let configs: Vec<_> =
+        knob_table.iter().map(|(_, t)| t.controller_config(ClassifierSet::all())).collect();
     for (speed, h) in [(50.0, 25.0), (30.0, 25.0), (30.0, 45.0)] {
-        let family: Vec<_> = configs
-            .iter()
-            .cloned()
-            .filter(|c| c.speed_kmph == speed && c.h_ms == h)
-            .collect();
+        let family: Vec<_> =
+            configs.iter().cloned().filter(|c| c.speed_kmph == speed && c.h_ms == h).collect();
         if family.is_empty() {
             continue;
         }
         match certify_switching(&family) {
-            Some(cert) => println!(
-                "  family v={speed} h={h}: CQLF found over {} modes",
-                cert.modes
-            ),
+            Some(cert) => {
+                println!("  family v={speed} h={h}: CQLF found over {} modes", cert.modes)
+            }
             None => println!("  family v={speed} h={h}: no CQLF found"),
         }
     }
     match minimum_dwell_intervals(&configs, 20) {
-        Some(k) => println!("  full mode set: dwell-time certificate at {k} common-horizon interval(s)"),
+        Some(k) => {
+            println!("  full mode set: dwell-time certificate at {k} common-horizon interval(s)")
+        }
         None => println!("  full mode set: no dwell certificate within 20 intervals"),
     }
 
     write_result("fig8_dynamic", &case_results);
+    write_metrics("fig8_dynamic", &metrics);
 }
 
 fn load_knob_table() -> KnobTable {

@@ -72,10 +72,7 @@ fn main() {
     for roi in Roi::ALL {
         let g = roi.ground_extent();
         let corners = roi.pixel_corners(&cam);
-        let px: Vec<String> = corners
-            .iter()
-            .map(|(u, v)| format!("({u:.0},{v:.0})"))
-            .collect();
+        let px: Vec<String> = corners.iter().map(|(u, v)| format!("({u:.0},{v:.0})")).collect();
         roi_rows.push(vec![
             roi.name().to_string(),
             format!("{:.0}–{:.0} m", g.x_near, g.x_far),
@@ -84,10 +81,7 @@ fn main() {
         ]);
     }
     println!("Table II — PR knobs (ROIs; pixel corners for the 512×256 camera)");
-    println!(
-        "{}",
-        render_table(&["ROI", "forward", "lateral", "pixel trapezoid"], &roi_rows)
-    );
+    println!("{}", render_table(&["ROI", "forward", "lateral", "pixel trapezoid"], &roi_rows));
     println!(
         "PR runtime: {PERCEPTION_RUNTIME_MS} ms; control runtime: {CONTROL_RUNTIME_MS} ms; \
          control knobs: v ∈ {{30, 50}} km/h, (h, τ) derived per schedule."

@@ -62,10 +62,7 @@ fn main() {
                 roi_matches += 1;
             }
         }
-        let mae = out
-            .best_mae(situation)
-            .map(|m| format!("{m:.3}"))
-            .unwrap_or_else(|| "-".into());
+        let mae = out.best_mae(situation).map(|m| format!("{m:.3}")).unwrap_or_else(|| "-".into());
         rows.push(vec![
             format!("{}", i + 1),
             situation.describe(),

@@ -10,7 +10,10 @@
 //!
 //! Usage: `cargo run --release -p lkas-bench --bin table4_classifiers [--quick]`
 
-use lkas_bench::{render_table, train_bundle, write_result, ARTIFACTS_DIR, TABLE4_SCALES};
+use lkas_bench::{
+    default_threads, render_table, train_bundle, write_result, Executor, ARTIFACTS_DIR,
+    TABLE4_SCALES,
+};
 use lkas_nn::classifiers::ClassifierSpec;
 use lkas_nn::TrainReport;
 use lkas_platform::profiles::CLASSIFIER_RUNTIME_MS;
@@ -42,21 +45,47 @@ fn main() {
         cache(&bundle);
         reports.extend(r);
     } else {
-        // Per-classifier Table IV scale.
+        // Per-classifier Table IV scale. Each classifier trains on its
+        // own seed, so the three trainings are independent jobs for the
+        // shared executor (identical results at any thread count).
         use lkas_nn::classifiers::{LaneClassifier, RoadClassifier, SceneClassifier};
+        enum Trained {
+            Road(RoadClassifier, TrainReport),
+            Lane(LaneClassifier, TrainReport),
+            Scene(SceneClassifier, TrainReport),
+        }
         let spec_of = |i: usize| {
             let (train, val) = TABLE4_SCALES[i];
-            ClassifierSpec {
-                epochs: 80,
-                ..ClassifierSpec::table4(classes[i], train, val)
-            }
+            ClassifierSpec { epochs: 80, ..ClassifierSpec::table4(classes[i], train, val) }
         };
-        eprintln!("[training] road classifier at Table IV scale…");
-        let (road, r0) = RoadClassifier::train(&spec_of(0), 42);
-        eprintln!("[training] lane classifier at Table IV scale…");
-        let (lane, r1) = LaneClassifier::train(&spec_of(1), 43);
-        eprintln!("[training] scene classifier at Table IV scale…");
-        let (scene, r2) = SceneClassifier::train(&spec_of(2), 44);
+        let trained = Executor::new(default_threads().min(3)).run(vec![0usize, 1, 2], |i| {
+            eprintln!("[training] {} classifier at Table IV scale…", names[i].to_lowercase());
+            match i {
+                0 => {
+                    let (c, r) = RoadClassifier::train(&spec_of(0), 42);
+                    Trained::Road(c, r)
+                }
+                1 => {
+                    let (c, r) = LaneClassifier::train(&spec_of(1), 43);
+                    Trained::Lane(c, r)
+                }
+                _ => {
+                    let (c, r) = SceneClassifier::train(&spec_of(2), 44);
+                    Trained::Scene(c, r)
+                }
+            }
+        });
+        let mut bundle_parts = (None, None, None);
+        for t in trained {
+            match t {
+                Trained::Road(c, r) => bundle_parts.0 = Some((c, r)),
+                Trained::Lane(c, r) => bundle_parts.1 = Some((c, r)),
+                Trained::Scene(c, r) => bundle_parts.2 = Some((c, r)),
+            }
+        }
+        let (road, r0) = bundle_parts.0.expect("road trained");
+        let (lane, r1) = bundle_parts.1.expect("lane trained");
+        let (scene, r2) = bundle_parts.2.expect("scene trained");
         cache(&lkas::identify::ClassifierBundle { road, lane, scene });
         reports.extend([r0, r1, r2]);
     }

@@ -21,24 +21,27 @@ struct CaseRow {
 }
 
 fn main() {
-    let paper = [
-        "[50, 25, 24.6]",
-        "[VS, 35, 30.1]",
-        "[VS, 40, 35.6]",
-        "[VS, VS, VS]",
-        "(Sec. IV-E)",
-    ];
+    let paper =
+        ["[50, 25, 24.6]", "[VS, 35, 30.1]", "[VS, 40, 35.6]", "[VS, VS, VS]", "(Sec. IV-E)"];
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     for (case, paper_timing) in Case::ALL.iter().zip(paper) {
         let (isp, roi, timing) = match case {
             Case::Case1 => {
                 let t = LkasSchedule::new(IspConfig::S0, case.delay_classifier_set()).timing();
-                ("S0".to_string(), "ROI 1".to_string(), format!("[50, {:.0}, {:.1}]", t.h_ms, t.tau_ms))
+                (
+                    "S0".to_string(),
+                    "ROI 1".to_string(),
+                    format!("[50, {:.0}, {:.1}]", t.h_ms, t.tau_ms),
+                )
             }
             Case::Case2 | Case::Case3 => {
                 let t = LkasSchedule::new(IspConfig::S0, case.delay_classifier_set()).timing();
-                ("S0".to_string(), "VS".to_string(), format!("[VS, {:.0}, {:.1}]", t.h_ms, t.tau_ms))
+                (
+                    "S0".to_string(),
+                    "VS".to_string(),
+                    format!("[VS, {:.0}, {:.1}]", t.h_ms, t.tau_ms),
+                )
             }
             Case::Case4 => ("VS".to_string(), "VS".to_string(), "[VS, VS, VS]".to_string()),
             Case::VariableInvocation => (
@@ -63,9 +66,6 @@ fn main() {
         });
     }
     println!("Table V — considered cases (VS = varied per situation, Table III)");
-    println!(
-        "{}",
-        render_table(&["case", "ISP", "PR", "[v, h, τ] (model)", "paper"], &rows)
-    );
+    println!("{}", render_table(&["case", "ISP", "PR", "[v, h, τ] (model)", "paper"], &rows));
     write_result("table5_cases", &json_rows);
 }

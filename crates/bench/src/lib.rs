@@ -16,6 +16,8 @@ use serde::Serialize;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+pub use lkas_runtime::{Executor, Metrics, MetricsSnapshot};
+
 /// Directory where harnesses drop machine-readable results.
 pub const RESULTS_DIR: &str = "results";
 
@@ -73,7 +75,12 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// run is not requested: enough for ≥95 % accuracy at a fraction of the
 /// generation cost.
 pub fn quick_spec() -> ClassifierSpec {
-    ClassifierSpec { train_per_class: 300, val_per_class: 60, epochs: 60, ..ClassifierSpec::default() }
+    ClassifierSpec {
+        train_per_class: 300,
+        val_per_class: 60,
+        epochs: 60,
+        ..ClassifierSpec::default()
+    }
 }
 
 /// The Table IV dataset scales per classifier: (train, val) totals.
@@ -88,10 +95,7 @@ pub fn train_bundle(spec: &ClassifierSpec, seed: u64) -> (ClassifierBundle, [Tra
     let (lane, lane_report) = LaneClassifier::train(spec, seed + 1);
     eprintln!("[training] scene classifier…");
     let (scene, scene_report) = SceneClassifier::train(spec, seed + 2);
-    (
-        ClassifierBundle { road, lane, scene },
-        [road_report, lane_report, scene_report],
-    )
+    (ClassifierBundle { road, lane, scene }, [road_report, lane_report, scene_report])
 }
 
 /// Loads the cached classifier bundle, or trains one at the quick scale
@@ -115,7 +119,7 @@ pub fn load_or_train_bundle() -> Arc<ClassifierBundle> {
     Arc::new(bundle)
 }
 
-/// A single HiL job for the parallel runner.
+/// A single HiL job for the shared [`Executor`].
 #[derive(Clone)]
 pub struct HilJob {
     /// Job label (used in progress output).
@@ -126,61 +130,61 @@ pub struct HilJob {
     pub config: HilConfig,
 }
 
-/// Runs HiL jobs across worker threads, preserving input order.
-pub fn run_parallel(jobs: Vec<HilJob>, threads: usize) -> Vec<HilResult> {
-    let n = jobs.len();
-    let jobs = Arc::new(jobs);
-    let results: Arc<parking_lot::Mutex<Vec<Option<HilResult>>>> =
-        Arc::new(parking_lot::Mutex::new(vec![None; n]));
-    let next = Arc::new(parking_lot::Mutex::new(0usize));
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            let jobs = Arc::clone(&jobs);
-            let results = Arc::clone(&results);
-            let next = Arc::clone(&next);
-            scope.spawn(move |_| loop {
-                let idx = {
-                    let mut guard = next.lock();
-                    if *guard >= jobs.len() {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let job = &jobs[idx];
-                eprintln!("[run {}/{}] {}", idx + 1, jobs.len(), job.label);
-                let result = HilSimulator::new(job.track.clone(), job.config.clone()).run();
-                results.lock()[idx] = Some(result);
-            });
-        }
-    })
-    .expect("HiL worker panicked");
-    Arc::try_unwrap(results)
-        .expect("workers done")
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
+impl HilJob {
+    /// Builds a job for a case on a track, wiring the situation source
+    /// (oracle when no bundle is given).
+    pub fn new(
+        label: impl Into<String>,
+        case: Case,
+        track: Track,
+        bundle: Option<&Arc<ClassifierBundle>>,
+        seed: u64,
+    ) -> Self {
+        let source = match bundle {
+            Some(b) => SituationSource::Trained(Arc::clone(b)),
+            None => SituationSource::Oracle,
+        };
+        HilJob { label: label.into(), track, config: HilConfig::new(case, source).with_seed(seed) }
+    }
+
+    /// Attaches a shared telemetry registry (builder style). All jobs of
+    /// a sweep typically share one `Arc` so the emitted artifact
+    /// aggregates the whole sweep.
+    pub fn with_metrics(mut self, metrics: &Arc<Metrics>) -> Self {
+        self.config = self.config.with_metrics(Arc::clone(metrics));
+        self
+    }
 }
 
-/// Builds a HiL job for a case on a track, wiring the situation source.
-pub fn hil_job(
-    label: impl Into<String>,
-    case: Case,
-    track: Track,
-    bundle: Option<&Arc<ClassifierBundle>>,
-    seed: u64,
-) -> HilJob {
-    let source = match bundle {
-        Some(b) => SituationSource::Trained(Arc::clone(b)),
-        None => SituationSource::Oracle,
-    };
-    HilJob {
-        label: label.into(),
-        track,
-        config: HilConfig::new(case, source).with_seed(seed),
-    }
+/// Runs HiL jobs through the shared [`lkas_runtime::Executor`]:
+/// results come back in input order and worker panics propagate.
+pub fn run_hil_jobs(jobs: Vec<HilJob>, threads: usize) -> Vec<HilResult> {
+    let total = jobs.len();
+    let indexed: Vec<(usize, HilJob)> = jobs.into_iter().enumerate().collect();
+    Executor::new(threads).run(indexed, |(idx, job)| {
+        eprintln!("[run {}/{}] {}", idx + 1, total, job.label);
+        HilSimulator::new(job.track, job.config).run()
+    })
+}
+
+/// Resolves where a harness writes its telemetry artifact: the
+/// `--metrics-out PATH` override, or `artifacts/telemetry_<name>.json`.
+pub fn metrics_out_path(name: &str) -> PathBuf {
+    arg_value("--metrics-out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(ARTIFACTS_DIR).join(format!("telemetry_{name}.json")))
+}
+
+/// Writes the telemetry artifact for a harness (see
+/// [`metrics_out_path`]) and logs its location.
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness binaries want loud failures).
+pub fn write_metrics(name: &str, metrics: &Metrics) {
+    let path = metrics_out_path(name);
+    metrics.write_json(&path).expect("write telemetry artifact");
+    eprintln!("[telemetry] {}", path.display());
 }
 
 /// Number of worker threads for parallel sweeps.
@@ -210,10 +214,10 @@ mod tests {
 
     #[test]
     fn table_rendering_aligns() {
-        let t = render_table(&["a", "long header"], &[
-            vec!["1".into(), "2".into()],
-            vec!["wide cell".into(), "x".into()],
-        ]);
+        let t = render_table(
+            &["a", "long header"],
+            &[vec!["1".into(), "2".into()], vec!["wide cell".into(), "x".into()]],
+        );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         let w = lines[0].len();

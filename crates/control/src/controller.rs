@@ -138,13 +138,10 @@ impl Controller {
         }
         if let Some(y_l) = measurement.y_l {
             let y = Mat::col_vec(&[y_l, measurement.yaw_rate]);
-            let innov = y
-                .sub_mat(&self.c_meas.matmul(&self.x_hat).expect("2×n · n×1"))
-                .expect("2x1 − 2x1");
+            let innov =
+                y.sub_mat(&self.c_meas.matmul(&self.x_hat).expect("2×n · n×1")).expect("2x1 − 2x1");
             let gated = match self.gate_y_l {
-                Some(gate) => {
-                    innov[(0, 0)].abs() > gate && self.rejects < MAX_CONSECUTIVE_REJECTS
-                }
+                Some(gate) => innov[(0, 0)].abs() > gate && self.rejects < MAX_CONSECUTIVE_REJECTS,
                 None => false,
             };
             if gated {
@@ -213,8 +210,7 @@ mod tests {
     use lkas_linalg::expm::zoh_discretize;
 
     fn controller() -> Controller {
-        design_controller(&ControllerConfig { speed_kmph: 50.0, h_ms: 25.0, tau_ms: 24.6 })
-            .unwrap()
+        design_controller(&ControllerConfig { speed_kmph: 50.0, h_ms: 25.0, tau_ms: 24.6 }).unwrap()
     }
 
     /// Simulate the true plant at the controller's rate with perfect

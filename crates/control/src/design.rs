@@ -12,6 +12,9 @@ use crate::model::{kmph_to_mps, VehicleParams};
 use lkas_linalg::expm::zoh_discretize_with_delay;
 use lkas_linalg::{riccati, LinalgError, Mat};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// A control design point: the paper's `[v, h, τ]` triple (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -109,15 +112,87 @@ pub fn design_controller_with(
     let v = Mat::diag(&[2e-3, 1e-6]);
     let l = riccati::kalman_gain(&ad, &c_meas, &w, &v)?;
 
-    Ok(Controller::from_design(
-        *config,
-        ad,
-        b_prev,
-        b_curr,
-        k_aug,
-        l,
-        c_meas,
-    ))
+    Ok(Controller::from_design(*config, ad, b_prev, b_curr, k_aug, l, c_meas))
+}
+
+/// Quantized design-point key for the memoizing cache: 0.1 km/h speed
+/// resolution, 1 µs timing resolution — well below anything that
+/// changes a designed gain, and exact for every knob-space value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DesignKey {
+    speed_dkmph: u32,
+    h_us: u32,
+    tau_us: u32,
+}
+
+impl DesignKey {
+    fn of(config: &ControllerConfig) -> Self {
+        DesignKey {
+            speed_dkmph: (config.speed_kmph * 10.0).round() as u32,
+            h_us: (config.h_ms * 1000.0).round() as u32,
+            tau_us: (config.tau_ms * 1000.0).round() as u32,
+        }
+    }
+}
+
+/// Hit/miss/size statistics of the process-wide design cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DesignCacheStats {
+    /// Designs served from the cache.
+    pub hits: u64,
+    /// Designs derived from scratch (including failed derivations).
+    pub misses: u64,
+    /// Distinct design points currently cached.
+    pub entries: u64,
+}
+
+static DESIGN_CACHE: OnceLock<Mutex<HashMap<DesignKey, Controller>>> = OnceLock::new();
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn design_cache() -> &'static Mutex<HashMap<DesignKey, Controller>> {
+    DESIGN_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Like [`design_controller`], but memoized process-wide on the
+/// quantized `(v, h, τ)` design point, so sweeps that revisit the same
+/// configuration (every HiL run does, thousands of times across a
+/// characterization) skip the Riccati recursions entirely.
+///
+/// Returns the controller plus `true` when it was served from the
+/// cache.
+///
+/// # Errors
+///
+/// See [`design_controller`]. Failures are not cached.
+pub fn design_controller_cached(
+    config: &ControllerConfig,
+) -> Result<(Controller, bool), LinalgError> {
+    let key = DesignKey::of(config);
+    if let Some(found) = design_cache().lock().expect("design cache lock").get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok((found.clone(), true));
+    }
+    // Design outside the lock: a Riccati solve is ~ms-scale and would
+    // serialize every sweep worker behind one mutex. Concurrent misses
+    // on the same key just both derive; the results are identical.
+    let controller = design_controller(config)?;
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    design_cache()
+        .lock()
+        .expect("design cache lock")
+        .entry(key)
+        .or_insert_with(|| controller.clone());
+    Ok((controller, false))
+}
+
+/// Point-in-time statistics of the process-wide design cache.
+pub fn design_cache_stats() -> DesignCacheStats {
+    DesignCacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        entries: design_cache().lock().expect("design cache lock").len() as u64,
+    }
 }
 
 #[cfg(test)]
@@ -167,8 +242,9 @@ mod tests {
     fn larger_delay_gives_more_conservative_gain() {
         // With a bigger τ (same h), the first gain entry on y_L shrinks —
         // the classic delay-robustness trade-off.
-        let fast = design_controller(&ControllerConfig { speed_kmph: 50.0, h_ms: 25.0, tau_ms: 5.0 })
-            .unwrap();
+        let fast =
+            design_controller(&ControllerConfig { speed_kmph: 50.0, h_ms: 25.0, tau_ms: 5.0 })
+                .unwrap();
         let slow = design_controller(&case1()).unwrap();
         let norm = |c: &Controller| c.gain().frobenius_norm();
         assert!(
@@ -185,5 +261,28 @@ mod tests {
             let cfg = ControllerConfig { speed_kmph: v, h_ms: 25.0, tau_ms: 23.0 };
             assert!(design_controller(&cfg).unwrap().is_stable());
         }
+    }
+
+    #[test]
+    fn cached_design_hits_on_revisit() {
+        // A design point unique to this test so other tests sharing the
+        // process-wide cache can't pre-populate it.
+        let cfg = ControllerConfig { speed_kmph: 49.7, h_ms: 25.0, tau_ms: 21.3 };
+        let before = design_cache_stats();
+        let (first, first_hit) = design_controller_cached(&cfg).unwrap();
+        assert!(!first_hit, "first lookup must derive");
+        let (second, second_hit) = design_controller_cached(&cfg).unwrap();
+        assert!(second_hit, "second lookup must hit");
+        assert_eq!(first.config(), second.config());
+        let after = design_cache_stats();
+        assert!(after.hits > before.hits);
+        assert!(after.misses > before.misses);
+        assert!(after.entries > 0);
+    }
+
+    #[test]
+    fn cached_design_propagates_errors() {
+        let bad = ControllerConfig { speed_kmph: 50.0, h_ms: 25.0, tau_ms: 30.0 };
+        assert!(design_controller_cached(&bad).is_err());
     }
 }

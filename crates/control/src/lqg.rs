@@ -170,13 +170,8 @@ mod tests {
         let sim = |mut ctl: Controller| -> f64 {
             let p = VehicleParams::default();
             let vx = kmph_to_mps(30.0);
-            let (ad, bp, bc) = zoh_discretize_with_delay(
-                &p.a_matrix(vx),
-                &p.b_matrix(),
-                0.025,
-                0.0231,
-            )
-            .unwrap();
+            let (ad, bp, bc) =
+                zoh_discretize_with_delay(&p.a_matrix(vx), &p.b_matrix(), 0.025, 0.0231).unwrap();
             let c = VehicleParams::c_look_ahead();
             let mut x = Mat::col_vec(&[0.0, 0.0, 0.0, 0.2]);
             let mut rng = StdRng::seed_from_u64(7);
@@ -198,10 +193,7 @@ mod tests {
         };
         let nominal = crate::design::design_controller(&cfg()).unwrap();
         let lqg = design_lqg_controller(&cfg(), &NoiseModel::noisy_vision()).unwrap();
-        assert!(
-            sim(lqg) < sim(nominal),
-            "LQG must spend less steering energy under vision noise"
-        );
+        assert!(sim(lqg) < sim(nominal), "LQG must spend less steering energy under vision noise");
     }
 
     #[test]

@@ -39,14 +39,7 @@ pub struct VehicleParams {
 impl VehicleParams {
     /// The BMW X5-class parameter set used throughout the experiments.
     pub fn bmw_x5() -> Self {
-        VehicleParams {
-            mass: 2000.0,
-            inertia_z: 3900.0,
-            lf: 1.40,
-            lr: 1.60,
-            cf: 1.2e5,
-            cr: 1.1e5,
-        }
+        VehicleParams { mass: 2000.0, inertia_z: 3900.0, lf: 1.40, lr: 1.60, cf: 1.2e5, cr: 1.1e5 }
     }
 
     /// Continuous-time state matrix `A` at longitudinal speed `vx`
@@ -60,7 +53,12 @@ impl VehicleParams {
         let VehicleParams { mass: m, inertia_z: iz, lf, lr, cf, cr } = *self;
         Mat::from_rows(&[
             &[-(cf + cr) / (m * vx), (cr * lr - cf * lf) / (m * vx) - vx, 0.0, 0.0],
-            &[(cr * lr - cf * lf) / (iz * vx), -(cf * lf * lf + cr * lr * lr) / (iz * vx), 0.0, 0.0],
+            &[
+                (cr * lr - cf * lf) / (iz * vx),
+                -(cf * lf * lf + cr * lr * lr) / (iz * vx),
+                0.0,
+                0.0,
+            ],
             &[0.0, 1.0, 0.0, 0.0],
             &[1.0, 0.0, vx, 0.0],
         ])
@@ -130,10 +128,7 @@ impl VehicleParams {
     /// Measurement matrix (vision `y_L` + gyro `r`) for the
     /// actuator-augmented plant.
     pub fn c_measurements_act() -> Mat {
-        Mat::from_rows(&[
-            &[0.0, 0.0, LOOK_AHEAD_M, 1.0, 0.0],
-            &[0.0, 1.0, 0.0, 0.0, 0.0],
-        ])
+        Mat::from_rows(&[&[0.0, 0.0, LOOK_AHEAD_M, 1.0, 0.0], &[0.0, 1.0, 0.0, 0.0, 0.0]])
     }
 }
 

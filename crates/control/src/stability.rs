@@ -84,10 +84,7 @@ pub fn find_cqlf(modes: &[Mat]) -> Option<Mat> {
     for eps in [0.04_f64, 0.015, 0.005, 0.0] {
         let factor = 1.0 / (1.0 - eps).sqrt();
         let scaled: Vec<Mat> = modes.iter().map(|a| a.scale(factor)).collect();
-        if !scaled
-            .iter()
-            .all(|a| eig::is_schur_stable(a).unwrap_or(false))
-        {
+        if !scaled.iter().all(|a| eig::is_schur_stable(a).unwrap_or(false)) {
             continue;
         }
         if let Some(p) = find_cqlf_inner(&scaled) {

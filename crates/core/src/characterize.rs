@@ -5,16 +5,17 @@
 //! layout-compatible ROI × speed) is evaluated in a closed-loop HiL
 //! simulation and the tuning with the best QoC (lowest MAE) is
 //! recorded. Candidates that crash are disqualified. The sweep is
-//! embarrassingly parallel and fans out over `crossbeam` scoped
-//! threads.
+//! embarrassingly parallel and fans out over [`lkas_runtime::Executor`],
+//! whose order-preserving results make the sweep output identical for
+//! any worker-thread count.
 
 use crate::cases::Case;
 use crate::hil::{HilConfig, HilResult, HilSimulator, SituationSource};
 use crate::knobs::{candidate_tunings, KnobTable, KnobTuning};
+use lkas_runtime::Executor;
 use lkas_scene::camera::Camera;
 use lkas_scene::situation::SituationFeatures;
 use lkas_scene::track::Track;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a characterization sweep.
@@ -44,7 +45,7 @@ impl Default for CharacterizeConfig {
 }
 
 /// Result of evaluating one candidate tuning for one situation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CandidateOutcome {
     /// The candidate knob tuning.
     pub tuning: KnobTuning,
@@ -56,7 +57,7 @@ pub struct CandidateOutcome {
 
 /// Full characterization output: the best tuning per situation plus the
 /// complete candidate sweep for analysis.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Characterization {
     /// Best-QoC tuning per situation — the regenerated Table III.
     pub table: KnobTable,
@@ -68,13 +69,7 @@ impl Characterization {
     /// The measured MAE of the winning tuning for a situation.
     pub fn best_mae(&self, situation: &SituationFeatures) -> Option<f64> {
         let best = self.table.get(situation)?;
-        self.sweeps
-            .iter()
-            .find(|(s, _)| s == situation)?
-            .1
-            .iter()
-            .find(|c| c.tuning == best)?
-            .mae
+        self.sweeps.iter().find(|(s, _)| s == situation)?.1.iter().find(|c| c.tuning == best)?.mae
     }
 }
 
@@ -90,62 +85,72 @@ pub fn evaluate_candidate(
     let mut table = KnobTable::new();
     table.insert(*situation, tuning);
     let track = Track::for_situation(situation, config.track_length_m);
+    // Start with the correct estimate: the designer knows the situation
+    // at characterization time (Sec. III-B).
     let hil = HilConfig::new(Case::Case4, SituationSource::Oracle)
         .with_knob_table(table)
         .with_camera(config.camera.clone())
-        .with_seed(seed);
-    // Start with the correct estimate: the designer knows the situation
-    // at characterization time (Sec. III-B).
-    let hil = HilConfig { initial_estimate: Some(*situation), ..hil };
+        .with_seed(seed)
+        .with_initial_estimate(*situation);
     HilSimulator::new(track, hil).run()
+}
+
+/// The per-candidate sensor seed: the base seed, situation index, and
+/// every tuning field mixed through chained splitmix64 finalizers.
+///
+/// The previous derivation (`base * φ + si*1000 + isp*97 + roi*13 +
+/// speed`) was a linear combination, so distinct `(situation, tuning)`
+/// pairs could collide (e.g. any `Δsi·1000 = Δisp·97 + Δroi·13 + Δv`
+/// solution); the avalanche rounds make that practically impossible.
+pub fn candidate_seed(base: u64, situation_index: usize, tuning: &KnobTuning) -> u64 {
+    let mut state = splitmix64(base);
+    for word in
+        [situation_index as u64, tuning.isp as u64, tuning.roi as u64, tuning.speed_kmph.to_bits()]
+    {
+        state = splitmix64(state ^ word);
+    }
+    state
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Characterizes the given situations, returning the regenerated
 /// Table III and the full sweep data.
-pub fn characterize(situations: &[SituationFeatures], config: &CharacterizeConfig) -> Characterization {
-    // Work queue of (situation index, candidate).
+pub fn characterize(
+    situations: &[SituationFeatures],
+    config: &CharacterizeConfig,
+) -> Characterization {
+    // Work list of (situation index, candidate), in sweep order.
     let mut jobs: Vec<(usize, KnobTuning)> = Vec::new();
     for (si, situation) in situations.iter().enumerate() {
         for tuning in candidate_tunings(situation) {
             jobs.push((si, tuning));
         }
     }
-    let results: Mutex<Vec<(usize, CandidateOutcome)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    let next: Mutex<usize> = Mutex::new(0);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..config.threads.max(1) {
-            scope.spawn(|_| loop {
-                let job = {
-                    let mut idx = next.lock();
-                    if *idx >= jobs.len() {
-                        break;
-                    }
-                    let j = jobs[*idx];
-                    *idx += 1;
-                    j
-                };
-                let (si, tuning) = job;
-                let seed = config
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(si as u64 * 1000 + hash_tuning(&tuning));
-                let result = evaluate_candidate(&situations[si], tuning, config, seed);
-                let outcome = CandidateOutcome {
-                    tuning,
-                    mae: if result.crashed { None } else { result.overall_mae() },
-                    perception_failures: result.perception_failures,
-                };
-                results.lock().push((si, outcome));
-            });
-        }
-    })
-    .expect("characterization worker panicked");
+    let outcomes = Executor::new(config.threads).run(jobs, |(si, tuning)| {
+        let seed = candidate_seed(config.seed, si, &tuning);
+        let result = evaluate_candidate(&situations[si], tuning, config, seed);
+        (
+            si,
+            CandidateOutcome {
+                tuning,
+                mae: if result.crashed { None } else { result.overall_mae() },
+                perception_failures: result.perception_failures,
+            },
+        )
+    });
 
-    // Collate.
+    // Collate. Outcomes arrive in job order, so the sweeps (and the
+    // winner on MAE ties) are identical for any thread count.
     let mut sweeps: Vec<(SituationFeatures, Vec<CandidateOutcome>)> =
         situations.iter().map(|s| (*s, Vec::new())).collect();
-    for (si, outcome) in results.into_inner() {
+    for (si, outcome) in outcomes {
         sweeps[si].1.push(outcome);
     }
     let mut table = KnobTable::new();
@@ -161,13 +166,6 @@ pub fn characterize(situations: &[SituationFeatures], config: &CharacterizeConfi
     Characterization { table, sweeps }
 }
 
-fn hash_tuning(t: &KnobTuning) -> u64 {
-    let isp = t.isp as u64;
-    let roi = t.roi as u64;
-    let speed = t.speed_kmph as u64;
-    isp * 97 + roi * 13 + speed
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,22 +173,13 @@ mod tests {
     use lkas_scene::situation::TABLE3_SITUATIONS;
 
     fn tiny_config() -> CharacterizeConfig {
-        CharacterizeConfig {
-            track_length_m: 90.0,
-            threads: 4,
-            ..CharacterizeConfig::default()
-        }
+        CharacterizeConfig { track_length_m: 90.0, threads: 4, ..CharacterizeConfig::default() }
     }
 
     #[test]
     fn evaluate_candidate_runs() {
         let cfg = tiny_config();
-        let r = evaluate_candidate(
-            &TABLE3_SITUATIONS[0],
-            KnobTuning::conservative(),
-            &cfg,
-            1,
-        );
+        let r = evaluate_candidate(&TABLE3_SITUATIONS[0], KnobTuning::conservative(), &cfg, 1);
         assert!(!r.crashed);
         assert!(r.overall_mae().is_some());
     }
@@ -218,9 +207,38 @@ mod tests {
         let cfg = tiny_config();
         let a = characterize(&TABLE3_SITUATIONS[0..1], &cfg);
         let b = characterize(&TABLE3_SITUATIONS[0..1], &cfg);
-        assert_eq!(
-            a.table.get(&TABLE3_SITUATIONS[0]),
-            b.table.get(&TABLE3_SITUATIONS[0])
+        assert_eq!(a.table.get(&TABLE3_SITUATIONS[0]), b.table.get(&TABLE3_SITUATIONS[0]));
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        // The executor returns results in job order, so the entire
+        // characterization — winners *and* sweep data — must match
+        // between a serial and a parallel run.
+        let serial_cfg = CharacterizeConfig { threads: 1, ..tiny_config() };
+        let parallel_cfg = CharacterizeConfig { threads: 4, ..tiny_config() };
+        let serial = characterize(&TABLE3_SITUATIONS[0..1], &serial_cfg);
+        let parallel = characterize(&TABLE3_SITUATIONS[0..1], &parallel_cfg);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn candidate_seeds_do_not_collide() {
+        // Every (situation, candidate) pair across the full Table III
+        // grid must map to a distinct sensor seed.
+        let mut seeds = std::collections::HashSet::new();
+        for (si, situation) in TABLE3_SITUATIONS.iter().enumerate() {
+            for tuning in candidate_tunings(situation) {
+                assert!(
+                    seeds.insert(candidate_seed(7, si, &tuning)),
+                    "seed collision at situation {si}, tuning {tuning:?}"
+                );
+            }
+        }
+        // And the base seed must actually matter.
+        assert_ne!(
+            candidate_seed(7, 0, &KnobTuning::conservative()),
+            candidate_seed(8, 0, &KnobTuning::conservative())
         );
     }
 }

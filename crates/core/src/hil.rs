@@ -16,17 +16,17 @@ use crate::identify::{ClassifierBundle, SituationEstimate};
 use crate::knobs::{coarse_roi_for, fine_roi_for, speed_for, KnobTable, KnobTuning};
 use crate::qoc::QocAccumulator;
 use lkas_control::controller::{Controller, Measurement};
-use lkas_control::design::{design_controller, ControllerConfig};
+use lkas_control::design::{design_controller_cached, ControllerConfig};
 use lkas_imaging::isp::{IspConfig, IspPipeline};
 use lkas_imaging::sensor::{Sensor, SensorConfig};
 use lkas_perception::pipeline::{Perception, PerceptionConfig};
+use lkas_runtime::{Counter, Metrics, Stage};
 use lkas_scene::camera::Camera;
 use lkas_scene::render::SceneRenderer;
 use lkas_scene::situation::SituationFeatures;
 use lkas_scene::track::Track;
 use lkas_vehicle::sim::{VehicleSim, VehicleState};
 use lkas_vehicle::PHYSICS_STEP_S;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Where the situation decisions come from.
@@ -43,7 +43,12 @@ pub enum SituationSource {
 }
 
 /// Configuration of one HiL run.
+///
+/// Construct with [`HilConfig::new`] plus the `with_*` builders; the
+/// struct is `#[non_exhaustive]`, so downstream crates go through the
+/// builder surface (individual fields stay readable and assignable).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct HilConfig {
     /// The design under evaluation.
     pub case: Case,
@@ -68,6 +73,10 @@ pub struct HilConfig {
     /// hook for the paper's "more complete invocation scheme" future
     /// work). `None` uses [`Case::invocation_scheme`].
     pub scheme_override: Option<crate::invocation::InvocationScheme>,
+    /// Telemetry registry recording per-stage timings and event
+    /// counters for this run. Share one `Arc` across the runs of a
+    /// sweep to aggregate; `None` disables recording.
+    pub metrics: Option<Arc<Metrics>>,
 }
 
 /// One control sample of a recorded trace.
@@ -104,6 +113,7 @@ impl HilConfig {
             initial_estimate: None,
             record_trace: false,
             scheme_override: None,
+            metrics: None,
         }
     }
 
@@ -122,6 +132,39 @@ impl HilConfig {
     /// Replaces the seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Seeds the estimator with a known initial situation (builder
+    /// style) — used by the design-time characterization, where the
+    /// designer knows the situation up front.
+    pub fn with_initial_estimate(mut self, situation: SituationFeatures) -> Self {
+        self.initial_estimate = Some(situation);
+        self
+    }
+
+    /// Overrides the case's classifier invocation scheme (builder
+    /// style).
+    pub fn with_scheme_override(mut self, scheme: crate::invocation::InvocationScheme) -> Self {
+        self.scheme_override = Some(scheme);
+        self
+    }
+
+    /// Enables per-sample trace recording (builder style).
+    pub fn with_trace(mut self, record_trace: bool) -> Self {
+        self.record_trace = record_trace;
+        self
+    }
+
+    /// Replaces the simulated-time cap (builder style).
+    pub fn with_max_time(mut self, max_time_s: f64) -> Self {
+        self.max_time_s = max_time_s;
+        self
+    }
+
+    /// Attaches a telemetry registry (builder style).
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -184,11 +227,10 @@ impl HilSimulator {
     /// configuration (cannot happen for the built-in knob space).
     pub fn run(self) -> HilResult {
         let HilSimulator { track, config } = self;
+        let metrics = config.metrics.as_deref();
         let n_sectors = track.sectors().len();
-        let scheme = config
-            .scheme_override
-            .clone()
-            .unwrap_or_else(|| config.case.invocation_scheme());
+        let scheme =
+            config.scheme_override.clone().unwrap_or_else(|| config.case.invocation_scheme());
         let delay_set = config.case.delay_classifier_set();
 
         // Initial knobs & controller.
@@ -198,15 +240,15 @@ impl HilSimulator {
         };
         let mut knobs = knobs_for_case(config.case, &estimate.current(), &config.knob_table);
         let mut controller_cfg = knobs.controller_config(delay_set);
-        let mut controllers: HashMap<ConfigKey, Controller> = HashMap::new();
-        let mut controller = fetch_controller(&mut controllers, &controller_cfg);
+        let mut controller = fetch_controller(metrics, &controller_cfg);
 
         // Plant, camera stack.
         let renderer = SceneRenderer::new(config.camera.clone());
         let mut sensor = Sensor::new(SensorConfig::default(), config.seed);
         let mut isp = IspPipeline::new(knobs.isp);
         let mut staged_isp: Option<IspConfig> = None;
-        let mut perception = Perception::new(PerceptionConfig::new(knobs.roi), config.camera.clone());
+        let mut perception =
+            Perception::new(PerceptionConfig::new(knobs.roi), config.camera.clone());
         let mut vehicle = VehicleSim::new(track, VehicleState::centered(knobs.speed_kmph));
 
         let mut qoc = QocAccumulator::new(n_sectors);
@@ -228,6 +270,9 @@ impl HilSimulator {
             if t_ms + 1e-9 >= next_sample_ms {
                 // ---- control sample -------------------------------------
                 samples += 1;
+                if let Some(m) = metrics {
+                    m.incr(Counter::Cycles);
+                }
                 // Apply the ISP knob staged in the previous cycle
                 // (Sec. III-D: "ISP knobs are configured in the next
                 // cycle").
@@ -235,14 +280,16 @@ impl HilSimulator {
                     isp.set_config(cfg);
                 }
                 let (s, d, psi) = vehicle.camera_pose();
-                let scene_rgb = renderer.render(vehicle.track(), s, d, psi);
-                let raw = sensor.capture(&scene_rgb, 1.0);
-                let rgb = isp.process(&raw);
+                let scene_rgb =
+                    timed(metrics, Stage::Render, || renderer.render(vehicle.track(), s, d, psi));
+                let raw = timed(metrics, Stage::Sensor, || sensor.capture(&scene_rgb, 1.0));
+                let rgb = timed(metrics, Stage::Isp, || isp.process(&raw));
 
                 // Situation identification with the scheduled
                 // classifiers.
                 let invoked = scheme.classifiers_for_frame(frame_index, controller_cfg.h_ms);
-                match &config.source {
+                let previous_estimate = estimate.current();
+                timed(metrics, Stage::Classifier, || match &config.source {
                     SituationSource::Oracle => {
                         // A frame classifier sees the *preview* region,
                         // so the oracle reports the situation ~12 m
@@ -254,21 +301,35 @@ impl HilSimulator {
                     SituationSource::Trained(bundle) => {
                         estimate.update_from_frame(bundle, &rgb, &config.camera, invoked);
                     }
+                });
+                if let Some(m) = metrics {
+                    if estimate.current() != previous_estimate {
+                        m.incr(Counter::SituationSwitches);
+                    }
                 }
                 if estimate.current() != vehicle.preview_situation(ORACLE_PREVIEW_M) {
                     misidentifications += 1;
                 }
 
                 // Knob reconfiguration: PR/control now, ISP next cycle.
-                let new_knobs = knobs_for_case(config.case, &estimate.current(), &config.knob_table);
+                let new_knobs =
+                    knobs_for_case(config.case, &estimate.current(), &config.knob_table);
                 if new_knobs != knobs {
                     reconfigurations += 1;
                     if new_knobs.roi != knobs.roi {
-                        perception =
-                            Perception::new(PerceptionConfig::new(new_knobs.roi), config.camera.clone());
+                        perception = Perception::new(
+                            PerceptionConfig::new(new_knobs.roi),
+                            config.camera.clone(),
+                        );
+                        if let Some(m) = metrics {
+                            m.incr(Counter::PerceptionReconfigurations);
+                        }
                     }
                     if new_knobs.isp != knobs.isp {
                         staged_isp = Some(new_knobs.isp);
+                        if let Some(m) = metrics {
+                            m.incr(Counter::IspReconfigurations);
+                        }
                     }
                     vehicle.set_target_speed_kmph(new_knobs.speed_kmph);
                     knobs = new_knobs;
@@ -277,8 +338,11 @@ impl HilSimulator {
                 // speed; during the (≈1 s) speed transition after a
                 // situation switch the controller matching the *actual*
                 // speed is used, then handed over at the midpoint.
-                let design_speed =
-                    if vehicle.state().vx > lkas_control::model::kmph_to_mps(40.0) { 50.0 } else { 30.0 };
+                let design_speed = if vehicle.state().vx > lkas_control::model::kmph_to_mps(40.0) {
+                    50.0
+                } else {
+                    30.0
+                };
                 let mut new_cfg = ControllerConfig {
                     speed_kmph: design_speed,
                     ..knobs.controller_config(delay_set)
@@ -289,26 +353,34 @@ impl HilSimulator {
                     // classifiers ran) but enjoys the shorter
                     // single-classifier delay — the QoC gain the paper
                     // reports comes from the reduced τ, not a faster h.
-                    new_cfg.h_ms = knobs
-                        .controller_config(lkas_platform::schedule::ClassifierSet::all())
-                        .h_ms;
+                    new_cfg.h_ms =
+                        knobs.controller_config(lkas_platform::schedule::ClassifierSet::all()).h_ms;
                 }
                 if new_cfg != controller_cfg {
-                    let mut next = fetch_controller(&mut controllers, &new_cfg);
+                    let mut next =
+                        timed(metrics, Stage::Control, || fetch_controller(metrics, &new_cfg));
                     next.adopt_state(&controller);
                     controller = next;
                     controller_cfg = new_cfg;
+                    if let Some(m) = metrics {
+                        m.incr(Counter::ControlReconfigurations);
+                    }
                 }
 
                 // Perception + control.
-                let y_l = match perception.process(&rgb) {
+                let y_l = match timed(metrics, Stage::Perception, || perception.process(&rgb)) {
                     Ok(out) => Some(out.y_l),
                     Err(_) => {
                         perception_failures += 1;
+                        if let Some(m) = metrics {
+                            m.incr(Counter::PerceptionFailures);
+                        }
                         None
                     }
                 };
-                let u = controller.step(&Measurement { y_l, yaw_rate: vehicle.state().r });
+                let u = timed(metrics, Stage::Control, || {
+                    controller.step(&Measurement { y_l, yaw_rate: vehicle.state().r })
+                });
                 pending.push((t_ms + controller_cfg.tau_ms, u));
                 if config.record_trace {
                     trace.push(TraceSample {
@@ -394,29 +466,29 @@ pub fn knobs_for_case(case: Case, estimate: &SituationFeatures, table: &KnobTabl
     }
 }
 
-/// Quantized controller-config key for the design cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct ConfigKey {
-    speed_dmh: u32, // speed in 0.1 km/h
-    h_us: u32,
-    tau_us: u32,
-}
-
-impl ConfigKey {
-    fn of(cfg: &ControllerConfig) -> Self {
-        ConfigKey {
-            speed_dmh: (cfg.speed_kmph * 10.0).round() as u32,
-            h_us: (cfg.h_ms * 1000.0).round() as u32,
-            tau_us: (cfg.tau_ms * 1000.0).round() as u32,
-        }
+/// Runs `work` timed against `stage` when telemetry is attached, or
+/// plainly otherwise.
+fn timed<T>(metrics: Option<&Metrics>, stage: Stage, work: impl FnOnce() -> T) -> T {
+    match metrics {
+        Some(m) => m.time(stage, work),
+        None => work(),
     }
 }
 
-fn fetch_controller(cache: &mut HashMap<ConfigKey, Controller>, cfg: &ControllerConfig) -> Controller {
-    cache
-        .entry(ConfigKey::of(cfg))
-        .or_insert_with(|| design_controller(cfg).expect("controller design for built-in knob space"))
-        .clone()
+/// Fetches a controller through the process-wide memoizing design cache
+/// (`lkas_control::design::design_controller_cached`), recording
+/// hit/miss counters when telemetry is attached.
+fn fetch_controller(metrics: Option<&Metrics>, cfg: &ControllerConfig) -> Controller {
+    let (controller, cache_hit) =
+        design_controller_cached(cfg).expect("controller design for built-in knob space");
+    if let Some(m) = metrics {
+        m.incr(if cache_hit {
+            Counter::ControllerCacheHits
+        } else {
+            Counter::ControllerCacheMisses
+        });
+    }
+    controller
 }
 
 #[cfg(test)]
@@ -430,9 +502,8 @@ mod tests {
 
     fn short_run(case: Case, situation_idx: usize, length: f64) -> HilResult {
         let track = Track::for_situation(&TABLE3_SITUATIONS[situation_idx], length);
-        let config = HilConfig::new(case, SituationSource::Oracle)
-            .with_camera(test_camera())
-            .with_seed(42);
+        let config =
+            HilConfig::new(case, SituationSource::Oracle).with_camera(test_camera()).with_seed(42);
         HilSimulator::new(track, config).run()
     }
 
@@ -467,8 +538,8 @@ mod tests {
     #[test]
     fn case4_uses_isp_approximation() {
         let track = Track::for_situation(&TABLE3_SITUATIONS[0], 150.0);
-        let config = HilConfig::new(Case::Case4, SituationSource::Oracle)
-            .with_camera(test_camera());
+        let config =
+            HilConfig::new(Case::Case4, SituationSource::Oracle).with_camera(test_camera());
         let r = HilSimulator::new(track, config).run();
         assert!(!r.crashed);
         // Knob policy check: the Table III tuning for situation 1 is S3.
@@ -483,8 +554,8 @@ mod tests {
         let s1 = Sector::for_situation(&TABLE3_SITUATIONS[0], 120.0);
         let s2 = Sector::for_situation(&TABLE3_SITUATIONS[7], 200.0);
         let track = Track::new(vec![s1, s2]);
-        let config = HilConfig::new(Case::Case2, SituationSource::Oracle)
-            .with_camera(test_camera());
+        let config =
+            HilConfig::new(Case::Case2, SituationSource::Oracle).with_camera(test_camera());
         let r = HilSimulator::new(track, config).run();
         assert!(!r.crashed, "case 2 must survive the transition");
         assert!(r.reconfigurations >= 1, "ROI/speed must switch at the sector boundary");
@@ -502,8 +573,8 @@ mod tests {
                 .with_camera(test_camera())
                 .with_seed(42);
             if override_none {
-                config.scheme_override =
-                    Some(crate::invocation::InvocationScheme::EveryFrame(
+                config =
+                    config.with_scheme_override(crate::invocation::InvocationScheme::EveryFrame(
                         lkas_platform::schedule::ClassifierSet::none(),
                     ));
             }
@@ -522,5 +593,49 @@ mod tests {
         let b = short_run(Case::Case3, 0, 120.0);
         assert_eq!(a.overall_mae(), b.overall_mae());
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn metrics_capture_stage_timings_and_counters() {
+        use lkas_scene::track::Sector;
+        // Straight → right turn so knob reconfigurations actually fire.
+        let s1 = Sector::for_situation(&TABLE3_SITUATIONS[0], 120.0);
+        let s2 = Sector::for_situation(&TABLE3_SITUATIONS[7], 200.0);
+        let track = Track::new(vec![s1, s2]);
+        let metrics = Arc::new(Metrics::new());
+        let config = HilConfig::new(Case::Case4, SituationSource::Oracle)
+            .with_camera(test_camera())
+            .with_seed(42)
+            .with_metrics(Arc::clone(&metrics));
+        let result = HilSimulator::new(track, config).run();
+        assert!(!result.crashed);
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("cycles"), Some(result.samples));
+        // Every pipeline stage ran once per cycle.
+        for stage in ["render", "sensor", "isp", "classifier", "perception"] {
+            let timing = snap.stage(stage).unwrap();
+            assert_eq!(timing.count, result.samples, "{stage}");
+            assert!(timing.total_ms > 0.0, "{stage} must accumulate time");
+            assert!(timing.mean_us > 0.0 && timing.max_us >= timing.mean_us, "{stage}");
+        }
+        // Control is timed at least once per cycle (steps) plus design
+        // fetches on reconfiguration.
+        assert!(snap.stage("control").unwrap().count >= result.samples);
+        // The sector transition must show up in the event counters.
+        assert!(snap.counter("situation_switches").unwrap() >= 1);
+        assert!(
+            snap.counter("isp_reconfigurations").unwrap()
+                + snap.counter("perception_reconfigurations").unwrap()
+                + snap.counter("control_reconfigurations").unwrap()
+                >= 1,
+            "the sector boundary must reconfigure at least one knob group"
+        );
+        // Every design lookup goes through the memoizing cache.
+        assert!(
+            snap.counter("controller_cache_hits").unwrap()
+                + snap.counter("controller_cache_misses").unwrap()
+                >= 1
+        );
     }
 }

@@ -55,17 +55,13 @@ impl KnobTuning {
         let timing = self.schedule(classifiers).timing();
         let tau_design =
             (timing.tau_ms / lkas_platform::SIM_STEP_MS).ceil() * lkas_platform::SIM_STEP_MS;
-        ControllerConfig {
-            speed_kmph: self.speed_kmph,
-            h_ms: timing.h_ms,
-            tau_ms: tau_design,
-        }
+        ControllerConfig { speed_kmph: self.speed_kmph, h_ms: timing.h_ms, tau_ms: tau_design }
     }
 }
 
 /// A characterization table: situation → best-QoC knob tuning
 /// (the paper's Table III).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KnobTable {
     entries: Vec<(SituationFeatures, KnobTuning)>,
 }
@@ -138,7 +134,8 @@ impl KnobTable {
     pub fn paper_table3() -> Self {
         use IspConfig::*;
         use Roi::*;
-        let isp = [S3, S7, S4, S6, S6, S8, S8, S6, S3, S3, S8, S3, S3, S8, S3, S8, S8, S3, S8, S2, S2];
+        let isp =
+            [S3, S7, S4, S6, S6, S8, S8, S6, S3, S3, S8, S3, S3, S8, S3, S8, S8, S3, S8, S2, S2];
         let roi = [
             Roi1, Roi1, Roi1, Roi1, Roi1, Roi1, Roi1, // 1–7
             Roi2, Roi2, Roi2, Roi2, Roi2, // 8–12
@@ -222,11 +219,7 @@ pub fn candidate_tunings(situation: &SituationFeatures) -> Vec<KnobTuning> {
         RoadLayout::RightTurn => &[Roi::Roi2, Roi::Roi3],
         RoadLayout::LeftTurn => &[Roi::Roi4, Roi::Roi5],
     };
-    let speeds: &[f64] = if situation.layout == RoadLayout::Straight {
-        &[50.0]
-    } else {
-        &[30.0]
-    };
+    let speeds: &[f64] = if situation.layout == RoadLayout::Straight { &[50.0] } else { &[30.0] };
     let mut out = Vec::new();
     for &isp in &IspConfig::ALL {
         for &roi in rois {

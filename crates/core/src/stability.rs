@@ -96,11 +96,8 @@ pub fn minimum_dwell_intervals(configs: &[ControllerConfig], max_k: usize) -> Op
         if find_cqlf(&powered).is_some() {
             return Some(k);
         }
-        powered = powered
-            .iter()
-            .zip(&mats)
-            .map(|(p, a)| p.matmul(a).expect("square products"))
-            .collect();
+        powered =
+            powered.iter().zip(&mats).map(|(p, a)| p.matmul(a).expect("square products")).collect();
     }
     None
 }
@@ -140,10 +137,7 @@ mod tests {
                 .collect();
             assert!(!configs.is_empty());
             let cert = certify_switching(&configs);
-            assert!(
-                cert.is_some(),
-                "Table III modes at {speed} km/h, h={h} must share a CQLF"
-            );
+            assert!(cert.is_some(), "Table III modes at {speed} km/h, h={h} must share a CQLF");
         }
     }
 

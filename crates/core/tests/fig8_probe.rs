@@ -8,11 +8,23 @@ fn probe_fig8() {
     for case in Case::ALL {
         let config = HilConfig::new(case, SituationSource::Oracle).with_seed(9);
         let r = HilSimulator::new(Track::fig7_track(), config).run();
-        let sector_maes: Vec<String> = r.qoc.sectors().iter()
-            .map(|s| match s.mae() { Some(m) => format!("{m:.3}{}", if s.crashed {"X"} else {""}), None => "-".into() })
+        let sector_maes: Vec<String> = r
+            .qoc
+            .sectors()
+            .iter()
+            .map(|s| match s.mae() {
+                Some(m) => format!("{m:.3}{}", if s.crashed { "X" } else { "" }),
+                None => "-".into(),
+            })
             .collect();
-        println!("{case}: crashed={:?} sector={:?} mae_ok={:?} sectors=[{}] pf={} mis={}",
-            r.crashed, r.crash_sector, r.mae_excluding_crashed(), sector_maes.join(", "),
-            r.perception_failures, r.misidentifications);
+        println!(
+            "{case}: crashed={:?} sector={:?} mae_ok={:?} sectors=[{}] pf={} mis={}",
+            r.crashed,
+            r.crash_sector,
+            r.mae_excluding_crashed(),
+            sector_maes.join(", "),
+            r.perception_failures,
+            r.misidentifications
+        );
     }
 }

@@ -445,8 +445,11 @@ mod tests {
         let b = s.capture(&RgbImage::filled(8, 8, [0.30, 0.30, 0.30]), 0.15);
         let with_tm = IspPipeline::new(IspConfig::S3);
         let without_tm = IspPipeline::new(IspConfig::S4);
-        let d_tm = (with_tm.process(&a).to_gray().mean() - with_tm.process(&b).to_gray().mean()).abs();
-        let d_no = (without_tm.process(&a).to_gray().mean() - without_tm.process(&b).to_gray().mean()).abs();
+        let d_tm =
+            (with_tm.process(&a).to_gray().mean() - with_tm.process(&b).to_gray().mean()).abs();
+        let d_no = (without_tm.process(&a).to_gray().mean()
+            - without_tm.process(&b).to_gray().mean())
+        .abs();
         assert!(
             d_tm >= d_no,
             "tone map must preserve at least as much shadow separation ({d_tm} vs {d_no})"

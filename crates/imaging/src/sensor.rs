@@ -22,11 +22,7 @@ use serde::{Deserialize, Serialize};
 /// color-map stage (which applies the inverse) visibly matters for
 /// color contrast — exactly the behaviour the paper exploits for yellow
 /// lanes (Table III rows with S3/S4 keep CM; S7/S8 drop it).
-pub const CROSSTALK: [[f32; 3]; 3] = [
-    [0.66, 0.26, 0.08],
-    [0.22, 0.62, 0.16],
-    [0.10, 0.30, 0.60],
-];
+pub const CROSSTALK: [[f32; 3]; 3] = [[0.66, 0.26, 0.08], [0.22, 0.62, 0.16], [0.10, 0.30, 0.60]];
 
 /// Configuration of the sensor model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -79,10 +79,7 @@ fn eig2(a: f64, b: f64, c: f64, d: f64) -> (Complex, Complex) {
     let disc = tr * tr / 4.0 - det;
     if disc >= 0.0 {
         let sq = disc.sqrt();
-        (
-            Complex::from_real(tr / 2.0 + sq),
-            Complex::from_real(tr / 2.0 - sq),
-        )
+        (Complex::from_real(tr / 2.0 + sq), Complex::from_real(tr / 2.0 - sq))
     } else {
         let sq = (-disc).sqrt();
         (Complex::new(tr / 2.0, sq), Complex::new(tr / 2.0, -sq))
@@ -176,12 +173,8 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<Complex>> {
             continue;
         }
         if m == 2 || h[(m - 2, m - 3)].abs() <= tol {
-            let (l1, l2) = eig2(
-                h[(m - 2, m - 2)],
-                h[(m - 2, m - 1)],
-                h[(m - 1, m - 2)],
-                h[(m - 1, m - 1)],
-            );
+            let (l1, l2) =
+                eig2(h[(m - 2, m - 2)], h[(m - 2, m - 1)], h[(m - 1, m - 2)], h[(m - 1, m - 1)]);
             // Only deflate the pair when it is genuinely complex or the
             // block has effectively converged; otherwise keep sweeping so
             // real eigenvalues separate properly.
@@ -193,7 +186,10 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<Complex>> {
             }
         }
         if sweeps >= budget {
-            return Err(LinalgError::NoConvergence { solver: "qr_eigenvalues", iterations: sweeps });
+            return Err(LinalgError::NoConvergence {
+                solver: "qr_eigenvalues",
+                iterations: sweeps,
+            });
         }
         // Wilkinson shift: eigenvalue of the trailing 2×2 closest to the
         // bottom-right entry; use its real part (exceptional shift every
@@ -201,12 +197,8 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<Complex>> {
         let shift = if sweeps % 24 == 23 {
             h[(m - 1, m - 1)] + 0.9 * h[(m - 1, m - 2)].abs()
         } else {
-            let (l1, l2) = eig2(
-                h[(m - 2, m - 2)],
-                h[(m - 2, m - 1)],
-                h[(m - 1, m - 2)],
-                h[(m - 1, m - 1)],
-            );
+            let (l1, l2) =
+                eig2(h[(m - 2, m - 2)], h[(m - 2, m - 1)], h[(m - 1, m - 2)], h[(m - 1, m - 1)]);
             let hnn = h[(m - 1, m - 1)];
             if (l1.re - hnn).abs() <= (l2.re - hnn).abs() {
                 l1.re
@@ -297,7 +289,10 @@ mod tests {
         a.set_block(
             0,
             0,
-            &Mat::from_rows(&[&[0.8 * th.cos(), -0.8 * th.sin()], &[0.8 * th.sin(), 0.8 * th.cos()]]),
+            &Mat::from_rows(&[
+                &[0.8 * th.cos(), -0.8 * th.sin()],
+                &[0.8 * th.sin(), 0.8 * th.cos()],
+            ]),
         );
         a[(2, 2)] = 0.3;
         a[(3, 3)] = -0.9;
@@ -331,11 +326,7 @@ mod tests {
 
     #[test]
     fn eigen_sum_matches_trace() {
-        let a = Mat::from_rows(&[
-            &[0.2, 1.0, 0.0],
-            &[-1.0, 0.2, 0.5],
-            &[0.1, 0.0, -0.6],
-        ]);
+        let a = Mat::from_rows(&[&[0.2, 1.0, 0.0], &[-1.0, 0.2, 0.5], &[0.1, 0.0, -0.6]]);
         let e = eigenvalues(&a).unwrap();
         let sum_re: f64 = e.iter().map(|c| c.re).sum();
         let sum_im: f64 = e.iter().map(|c| c.im).sum();

@@ -43,23 +43,12 @@ pub fn expm(a: &Mat) -> Result<Mat> {
 
     // Scale so that ||A/2^s||_1 <= 0.5.
     let norm = a.norm_1();
-    let s = if norm > 0.5 {
-        ((norm / 0.5).log2().ceil() as i32).max(0)
-    } else {
-        0
-    };
+    let s = if norm > 0.5 { ((norm / 0.5).log2().ceil() as i32).max(0) } else { 0 };
     let a_scaled = a.scale(0.5_f64.powi(s));
 
     // Padé(6,6): N = sum c_k A^k, D = sum (-1)^k c_k A^k.
-    const C: [f64; 7] = [
-        1.0,
-        0.5,
-        5.0 / 44.0,
-        1.0 / 66.0,
-        1.0 / 792.0,
-        1.0 / 15840.0,
-        1.0 / 665280.0,
-    ];
+    const C: [f64; 7] =
+        [1.0, 0.5, 5.0 / 44.0, 1.0 / 66.0, 1.0 / 792.0, 1.0 / 15840.0, 1.0 / 665280.0];
     let mut num = Mat::identity(n).scale(C[0]);
     let mut den = Mat::identity(n).scale(C[0]);
     let mut power = Mat::identity(n);
@@ -132,10 +121,7 @@ pub fn zoh_discretize(a: &Mat, b: &Mat, t: f64) -> Result<ZohDiscretization> {
     aug.set_block(0, 0, &a.scale(t));
     aug.set_block(0, n, &b.scale(t));
     let e = expm(&aug)?;
-    Ok(ZohDiscretization {
-        ad: e.block(0, 0, n, n),
-        bd: e.block(0, n, n, m),
-    })
+    Ok(ZohDiscretization { ad: e.block(0, 0, n, n), bd: e.block(0, n, n, m) })
 }
 
 /// Discretizes `ẋ = A x + B u` over a period `h` with an input delay

@@ -105,10 +105,7 @@ impl Homography {
     pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
         let m = &self.m;
         let w = m[6] * x + m[7] * y + m[8];
-        (
-            (m[0] * x + m[1] * y + m[2]) / w,
-            (m[3] * x + m[4] * y + m[5]) / w,
-        )
+        ((m[0] * x + m[1] * y + m[2]) / w, (m[3] * x + m[4] * y + m[5]) / w)
     }
 
     /// Returns the inverse transform.
@@ -194,6 +191,8 @@ mod tests {
     #[test]
     fn from_coefficients_rejects_singular() {
         assert!(Homography::from_coefficients([0.0; 9]).is_err());
-        assert!(Homography::from_coefficients([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]).is_ok());
+        assert!(
+            Homography::from_coefficients([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]).is_ok()
+        );
     }
 }

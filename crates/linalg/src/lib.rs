@@ -76,11 +76,9 @@ pub enum LinalgError {
 impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
-                f,
-                "dimension mismatch in {op}: {}x{} vs {}x{}",
-                lhs.0, lhs.1, rhs.0, rhs.1
-            ),
+            LinalgError::DimensionMismatch { op, lhs, rhs } => {
+                write!(f, "dimension mismatch in {op}: {}x{} vs {}x{}", lhs.0, lhs.1, rhs.0, rhs.1)
+            }
             LinalgError::Singular => write!(f, "matrix is singular"),
             LinalgError::NoConvergence { solver, iterations } => {
                 write!(f, "{solver} did not converge after {iterations} iterations")

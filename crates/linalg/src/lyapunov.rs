@@ -76,11 +76,7 @@ pub fn solve_discrete_lyapunov(a: &Mat, q: &Mat) -> Result<Mat> {
 ///
 /// Returns dimension errors from the underlying matrix products.
 pub fn lyapunov_residual(a: &Mat, p: &Mat, q: &Mat) -> Result<Mat> {
-    a.transpose()
-        .matmul(p)?
-        .matmul(a)?
-        .sub_mat(p)?
-        .add_mat(q)
+    a.transpose().matmul(p)?.matmul(a)?.sub_mat(p)?.add_mat(q)
 }
 
 #[cfg(test)]
@@ -121,10 +117,7 @@ mod tests {
     fn unit_eigenvalue_is_singular() {
         let a = Mat::diag(&[1.0, 0.5]);
         let q = Mat::identity(2);
-        assert!(matches!(
-            solve_discrete_lyapunov(&a, &q),
-            Err(LinalgError::Singular)
-        ));
+        assert!(matches!(solve_discrete_lyapunov(&a, &q), Err(LinalgError::Singular)));
     }
 
     #[test]

@@ -205,7 +205,10 @@ impl Mat {
     ///
     /// Panics if the block does not fit.
     pub fn set_block(&mut self, row: usize, col: usize, block: &Mat) {
-        assert!(row + block.rows <= self.rows && col + block.cols <= self.cols, "block out of range");
+        assert!(
+            row + block.rows <= self.rows && col + block.cols <= self.cols,
+            "block out of range"
+        );
         for i in 0..block.rows {
             for j in 0..block.cols {
                 self[(row + i, col + j)] = block[(i, j)];
@@ -260,11 +263,7 @@ impl Mat {
     /// `true` if every entry of `self` is within `tol` of `other`.
     pub fn approx_eq(&self, other: &Mat, tol: f64) -> bool {
         self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Symmetrizes the matrix in place: `self = (self + selfᵀ) / 2`.

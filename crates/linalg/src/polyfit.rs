@@ -142,17 +142,10 @@ mod tests {
         // Noisy line; LS fit must beat a deliberately offset candidate.
         let xs: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
         let noise = |i: usize| if i % 2 == 0 { 0.05 } else { -0.05 };
-        let ys: Vec<f64> = xs
-            .iter()
-            .enumerate()
-            .map(|(i, x)| 2.0 * x + 1.0 + noise(i))
-            .collect();
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| 2.0 * x + 1.0 + noise(i)).collect();
         let c = polyfit(&xs, &ys, 1).unwrap();
         let rss = |c0: f64, c1: f64| -> f64 {
-            xs.iter()
-                .zip(&ys)
-                .map(|(x, y)| (y - c0 - c1 * x).powi(2))
-                .sum()
+            xs.iter().zip(&ys).map(|(x, y)| (y - c0 - c1 * x).powi(2)).sum()
         };
         assert!(rss(c[0], c[1]) <= rss(1.1, 2.0) + 1e-12);
         assert!((c[1] - 2.0).abs() < 0.05);

@@ -150,14 +150,7 @@ mod tests {
         let r = Mat::diag(&[0.5]);
         let (k, p) = lqr(&a, &b, &q, &r).unwrap();
         let acl = a.sub_mat(&b.matmul(&k).unwrap()).unwrap();
-        let decay = acl
-            .transpose()
-            .matmul(&p)
-            .unwrap()
-            .matmul(&acl)
-            .unwrap()
-            .sub_mat(&p)
-            .unwrap();
+        let decay = acl.transpose().matmul(&p).unwrap().matmul(&acl).unwrap().sub_mat(&p).unwrap();
         // decay + (Q + KᵀRK) must vanish.
         let krk = k.transpose().matmul(&r).unwrap().matmul(&k).unwrap();
         let res = decay.add_mat(&q.add_mat(&krk).unwrap()).unwrap();
@@ -171,10 +164,7 @@ mod tests {
         let b = Mat::col_vec(&[0.0, 1.0]);
         let q = Mat::identity(2);
         let r = Mat::identity(1);
-        assert!(matches!(
-            solve_dare(&a, &b, &q, &r),
-            Err(LinalgError::NoConvergence { .. })
-        ));
+        assert!(matches!(solve_dare(&a, &b, &q, &r), Err(LinalgError::NoConvergence { .. })));
     }
 
     #[test]

@@ -120,12 +120,7 @@ impl Normalizer {
     /// Panics if the dimension differs from the fitted one.
     pub fn apply(&self, features: &[f32]) -> Vec<f32> {
         assert_eq!(features.len(), self.mean.len(), "feature dimension mismatch");
-        features
-            .iter()
-            .zip(&self.mean)
-            .zip(&self.inv_std)
-            .map(|((v, m), s)| (v - m) * s)
-            .collect()
+        features.iter().zip(&self.mean).zip(&self.inv_std).map(|((v, m), s)| (v - m) * s).collect()
     }
 }
 
@@ -143,14 +138,19 @@ fn train_mlp(
     let labels: Vec<usize> = dataset.train.iter().map(|s| s.label).collect();
     let mut mlp = Mlp::new(&[FEATURE_DIM, hidden, n_classes], seed);
     mlp.train(&inputs, &labels, &TrainConfig { epochs, ..TrainConfig::default() }, seed ^ 0xA5A5);
-    let norm_val: Vec<Vec<f32>> = dataset.val.iter().map(|s| normalizer.apply(&s.features)).collect();
+    let norm_val: Vec<Vec<f32>> =
+        dataset.val.iter().map(|s| normalizer.apply(&s.features)).collect();
     let val_inputs: Vec<&[f32]> = norm_val.iter().map(|v| v.as_slice()).collect();
     let val_labels: Vec<usize> = dataset.val.iter().map(|s| s.label).collect();
     let report = TrainReport {
         train_size: inputs.len(),
         val_size: val_inputs.len(),
         train_accuracy: mlp.accuracy(&inputs, &labels),
-        val_accuracy: if val_inputs.is_empty() { 0.0 } else { mlp.accuracy(&val_inputs, &val_labels) },
+        val_accuracy: if val_inputs.is_empty() {
+            0.0
+        } else {
+            mlp.accuracy(&val_inputs, &val_labels)
+        },
     };
     (mlp, normalizer, report)
 }
@@ -333,8 +333,15 @@ mod tests {
         assert!(report.val_accuracy > 0.7, "val accuracy = {}", report.val_accuracy);
         assert_eq!(report.train_size, 150);
         assert_eq!(report.val_size, 36);
-        for (layout, _) in [(RoadLayout::Straight, 0), (RoadLayout::LeftTurn, 1), (RoadLayout::RightTurn, 2)] {
-            let sit = SituationFeatures::new(LaneColor::White, LaneForm::Continuous, layout, SceneKind::Day);
+        for (layout, _) in
+            [(RoadLayout::Straight, 0), (RoadLayout::LeftTurn, 1), (RoadLayout::RightTurn, 2)]
+        {
+            let sit = SituationFeatures::new(
+                LaneColor::White,
+                LaneForm::Continuous,
+                layout,
+                SceneKind::Day,
+            );
             assert_eq!(clf.classify(&frame_of(&spec, &sit, 5)), layout, "layout {layout:?}");
         }
     }
@@ -344,8 +351,18 @@ mod tests {
         let spec = small_spec();
         let (clf, report) = SceneClassifier::train(&spec, 12);
         assert!(report.val_accuracy > 0.7, "val accuracy = {}", report.val_accuracy);
-        let day = SituationFeatures::new(LaneColor::White, LaneForm::Continuous, RoadLayout::Straight, SceneKind::Day);
-        let dark = SituationFeatures::new(LaneColor::White, LaneForm::Continuous, RoadLayout::Straight, SceneKind::Dark);
+        let day = SituationFeatures::new(
+            LaneColor::White,
+            LaneForm::Continuous,
+            RoadLayout::Straight,
+            SceneKind::Day,
+        );
+        let dark = SituationFeatures::new(
+            LaneColor::White,
+            LaneForm::Continuous,
+            RoadLayout::Straight,
+            SceneKind::Dark,
+        );
         assert_eq!(clf.classify(&frame_of(&spec, &day, 6)), SceneKind::Day);
         assert_eq!(clf.classify(&frame_of(&spec, &dark, 6)), SceneKind::Dark);
     }
@@ -355,7 +372,12 @@ mod tests {
         let spec = small_spec();
         let (clf, report) = LaneClassifier::train(&spec, 13);
         assert!(report.val_accuracy > 0.7, "val accuracy = {}", report.val_accuracy);
-        let sit = SituationFeatures::new(LaneColor::Yellow, LaneForm::Continuous, RoadLayout::Straight, SceneKind::Day);
+        let sit = SituationFeatures::new(
+            LaneColor::Yellow,
+            LaneForm::Continuous,
+            RoadLayout::Straight,
+            SceneKind::Day,
+        );
         let (color, _) = clf.classify(&frame_of(&spec, &sit, 7));
         assert_eq!(color, LaneColor::Yellow);
     }
@@ -364,7 +386,12 @@ mod tests {
     fn classify_features_matches_classify() {
         let spec = small_spec();
         let (clf, _) = RoadClassifier::train(&spec, 14);
-        let sit = SituationFeatures::new(LaneColor::White, LaneForm::Dotted, RoadLayout::Straight, SceneKind::Day);
+        let sit = SituationFeatures::new(
+            LaneColor::White,
+            LaneForm::Dotted,
+            RoadLayout::Straight,
+            SceneKind::Day,
+        );
         let frame = frame_of(&spec, &sit, 8);
         let features = extract(&frame, &spec.camera);
         assert_eq!(clf.classify(&frame), clf.classify_features(&features));

@@ -212,11 +212,8 @@ fn geometry_features(frame: &RgbImage, camera: &Camera) -> [f32; GEOM_FEATURES] 
             }
         }
         let centroid = if mass > 1e-9 { my / mass } else { peak_y };
-        let spread = if mass > 1e-9 {
-            (my2 / mass - centroid * centroid).max(0.0).sqrt()
-        } else {
-            0.0
-        };
+        let spread =
+            if mass > 1e-9 { (my2 / mass - centroid * centroid).max(0.0).sqrt() } else { 0.0 };
         Cluster { mass: mass / band_cnt[band].max(1) as f64, centroid, spread }
     };
     let mut clusters: Vec<Vec<Cluster>> = Vec::with_capacity(BANDS);
@@ -454,7 +451,9 @@ mod tests {
         let straight = features_for_situation(0, 3);
         let c2 = |f: &[f32]| f[GEOM_BASE + 2];
         assert!(
-            c2(&left) > c2(&straight) + 0.1 && c2(&straight) > c2(&right) - 0.1 && c2(&left) > c2(&right) + 0.3,
+            c2(&left) > c2(&straight) + 0.1
+                && c2(&straight) > c2(&right) - 0.1
+                && c2(&left) > c2(&right) + 0.3,
             "c2 ordering: left {} straight {} right {}",
             c2(&left),
             c2(&straight),

@@ -25,14 +25,7 @@ impl Dense {
         // He initialization for ReLU nets.
         let scale = (2.0 / cols as f32).sqrt();
         let w = (0..rows * cols).map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale).collect();
-        Dense {
-            rows,
-            cols,
-            w,
-            b: vec![0.0; rows],
-            vw: vec![0.0; rows * cols],
-            vb: vec![0.0; rows],
-        }
+        Dense { rows, cols, w, b: vec![0.0; rows], vw: vec![0.0; rows * cols], vb: vec![0.0; rows] }
     }
 
     fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
@@ -99,10 +92,7 @@ impl Mlp {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be nonzero");
         let mut rng = StdRng::seed_from_u64(seed);
-        let layers = sizes
-            .windows(2)
-            .map(|w| Dense::new(w[1], w[0], &mut rng))
-            .collect();
+        let layers = sizes.windows(2).map(|w| Dense::new(w[1], w[0], &mut rng)).collect();
         Mlp { layers }
     }
 
@@ -267,11 +257,7 @@ impl Mlp {
         if inputs.is_empty() {
             return 0.0;
         }
-        let correct = inputs
-            .iter()
-            .zip(labels)
-            .filter(|(x, &l)| self.predict(x) == l)
-            .count();
+        let correct = inputs.iter().zip(labels).filter(|(x, &l)| self.predict(x) == l).count();
         correct as f64 / inputs.len() as f64
     }
 }

@@ -148,18 +148,12 @@ impl LaneDetector for SobelHoughDetector {
         }
         best.sort_unstable_by(|a, b| b.0.cmp(&a.0));
         let first = *best.first().ok_or(PerceptionError::NoLaneDetected)?;
-        let second = best
-            .iter()
-            .find(|&&(_, ti, _)| {
-                (thetas[ti] - thetas[first.1]).abs() > 0.3
-            })
-            .copied();
+        let second =
+            best.iter().find(|&&(_, ti, _)| (thetas[ti] - thetas[first.1]).abs() > 0.3).copied();
 
         // Intersect each line with the look-ahead image row and average.
-        let (_, v_la) = self
-            .camera
-            .project_ground(LOOK_AHEAD, 0.0)
-            .ok_or(PerceptionError::NoLaneDetected)?;
+        let (_, v_la) =
+            self.camera.project_ground(LOOK_AHEAD, 0.0).ok_or(PerceptionError::NoLaneDetected)?;
         let line_u = |(_, ti, ri): (u32, usize, usize)| -> Option<f64> {
             let th: f64 = thetas[ti];
             let rho = ri as f64 / N_RHO as f64 * 2.0 * diag - diag;
@@ -183,10 +177,8 @@ impl LaneDetector for SobelHoughDetector {
                 }
             }
         };
-        let (_, lateral) = self
-            .camera
-            .ground_from_pixel(center_u, v_la)
-            .ok_or(PerceptionError::NoLaneDetected)?;
+        let (_, lateral) =
+            self.camera.ground_from_pixel(center_u, v_la).ok_or(PerceptionError::NoLaneDetected)?;
         Ok(-lateral)
     }
 }
@@ -297,11 +289,8 @@ impl LaneDetector for DenseScanlineDetector {
             };
             // Residual-trimmed refit: in low light only part of a
             // boundary is lit, and stray peaks otherwise skew the fit.
-            let res: Vec<f64> = xs
-                .iter()
-                .zip(&ys)
-                .map(|(x, y)| (y - polyval(&c, *x)).abs())
-                .collect();
+            let res: Vec<f64> =
+                xs.iter().zip(&ys).map(|(x, y)| (y - polyval(&c, *x)).abs()).collect();
             let mut sorted = res.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let gate = (2.5 * sorted[sorted.len() / 2]).max(0.08);
@@ -318,9 +307,7 @@ impl LaneDetector for DenseScanlineDetector {
         let left = fit(&pts_left);
         let right = fit(&pts_right);
         let center = match (left, right) {
-            (Some(l), Some(r)) => {
-                (polyval(&l, LOOK_AHEAD) + polyval(&r, LOOK_AHEAD)) / 2.0
-            }
+            (Some(l), Some(r)) => (polyval(&l, LOOK_AHEAD) + polyval(&r, LOOK_AHEAD)) / 2.0,
             (Some(l), None) => polyval(&l, LOOK_AHEAD) - LANE_WIDTH / 2.0,
             (None, Some(r)) => polyval(&r, LOOK_AHEAD) + LANE_WIDTH / 2.0,
             (None, None) => return Err(PerceptionError::NoLaneDetected),

@@ -76,8 +76,8 @@ impl Perception {
     /// Panics if the ROI cannot be rectified with this camera (does not
     /// happen for the built-in ROIs and the default camera).
     pub fn new(config: PerceptionConfig, camera: Camera) -> Self {
-        let birds_eye = BirdsEye::new(camera, config.roi)
-            .expect("built-in ROIs must be rectifiable");
+        let birds_eye =
+            BirdsEye::new(camera, config.roi).expect("built-in ROIs must be rectifiable");
         Perception { config, birds_eye }
     }
 
@@ -139,9 +139,15 @@ mod tests {
     };
     use lkas_scene::track::Track;
 
-    fn measure(track: &Track, s: f64, d: f64, psi: f64, roi: Roi, isp: IspConfig, seed: u64)
-        -> Result<PerceptionOutput, PerceptionError>
-    {
+    fn measure(
+        track: &Track,
+        s: f64,
+        d: f64,
+        psi: f64,
+        roi: Roi,
+        isp: IspConfig,
+        seed: u64,
+    ) -> Result<PerceptionOutput, PerceptionError> {
         let cam = Camera::default_automotive();
         let frame = SceneRenderer::new(cam.clone()).render(track, s, d, psi);
         let raw = Sensor::new(SensorConfig::default(), seed).capture(&frame, 1.0);
@@ -174,11 +180,7 @@ mod tests {
         let psi = 0.05; // nose pointing left
         let out = measure(&track, 10.0, 0.0, psi, Roi::Roi1, IspConfig::S0, 4).unwrap();
         let expected = LOOK_AHEAD * psi;
-        assert!(
-            (out.y_l - expected).abs() < 0.2,
-            "y_L = {}, expected ≈ {expected}",
-            out.y_l
-        );
+        assert!((out.y_l - expected).abs() < 0.2, "y_L = {}, expected ≈ {expected}", out.y_l);
     }
 
     #[test]

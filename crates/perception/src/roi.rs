@@ -94,12 +94,7 @@ impl Roi {
     pub fn pixel_corners(self, camera: &Camera) -> [(f64, f64); 4] {
         let g = self.ground_extent();
         let p = |x: f64, y: f64| camera.project_ground(x, y).unwrap_or((f64::NAN, f64::NAN));
-        [
-            p(g.x_far, g.y_left),
-            p(g.x_far, g.y_right),
-            p(g.x_near, g.y_left),
-            p(g.x_near, g.y_right),
-        ]
+        [p(g.x_far, g.y_left), p(g.x_far, g.y_right), p(g.x_near, g.y_left), p(g.x_near, g.y_right)]
     }
 }
 

@@ -117,11 +117,7 @@ pub fn sliding_window_search(bev: &BevImage, mask: &BinaryMask) -> SlidingWindow
 
 /// Index and value of the maximum entry.
 fn argmax(values: &[usize]) -> Option<(usize, usize)> {
-    values
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, v)| *v)
-        .map(|(i, &v)| (i, v))
+    values.iter().enumerate().max_by_key(|&(_, v)| *v).map(|(i, &v)| (i, v))
 }
 
 /// Tracks one lane upward from `base` and fits the polynomial.
@@ -169,11 +165,8 @@ fn track_lane(bev: &BevImage, mask: &BinaryMask, base: usize) -> Option<LaneFit>
     // Residual-trimmed refit: window-edge pixels and stray blobs (dash
     // ends, noise) otherwise swing the curvature term, which the
     // look-ahead extrapolation then amplifies.
-    let res: Vec<f64> = rows
-        .iter()
-        .zip(&cols)
-        .map(|(r, c)| (c - polyval(&coeffs, *r)).abs())
-        .collect();
+    let res: Vec<f64> =
+        rows.iter().zip(&cols).map(|(r, c)| (c - polyval(&coeffs, *r)).abs()).collect();
     let mut sorted = res.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let sigma = sorted[sorted.len() / 2].max(1.0); // robust scale (median)
@@ -209,7 +202,13 @@ mod tests {
     };
     use lkas_scene::track::{Track, LANE_WIDTH};
 
-    fn search_for(track: &Track, s: f64, d: f64, roi: Roi, seed: u64) -> (BevImage, SlidingWindowResult) {
+    fn search_for(
+        track: &Track,
+        s: f64,
+        d: f64,
+        roi: Roi,
+        seed: u64,
+    ) -> (BevImage, SlidingWindowResult) {
         let cam = Camera::default_automotive();
         let frame = SceneRenderer::new(cam.clone()).render(track, s, d, 0.0);
         let raw = Sensor::new(SensorConfig::default(), seed).capture(&frame, 1.0);

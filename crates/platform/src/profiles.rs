@@ -114,7 +114,14 @@ mod tests {
 
     #[test]
     fn approximate_configs_are_faster() {
-        for cfg in [IspConfig::S3, IspConfig::S4, IspConfig::S5, IspConfig::S6, IspConfig::S7, IspConfig::S8] {
+        for cfg in [
+            IspConfig::S3,
+            IspConfig::S4,
+            IspConfig::S5,
+            IspConfig::S6,
+            IspConfig::S7,
+            IspConfig::S8,
+        ] {
             assert!(isp_runtime_ms(cfg) < isp_runtime_ms(IspConfig::S0) / 5.0);
         }
     }

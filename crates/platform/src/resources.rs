@@ -68,7 +68,12 @@ impl XavierPlatform {
     ///
     /// Panics if any utilization is outside `[0, 1]` or `busy_cores`
     /// exceeds the core count.
-    pub fn average_power_w(&self, gpu_utilization: f64, cpu_utilization: f64, busy_cores: u8) -> f64 {
+    pub fn average_power_w(
+        &self,
+        gpu_utilization: f64,
+        cpu_utilization: f64,
+        busy_cores: u8,
+    ) -> f64 {
         assert!((0.0..=1.0).contains(&gpu_utilization), "gpu utilization out of range");
         assert!((0.0..=1.0).contains(&cpu_utilization), "cpu utilization out of range");
         assert!(busy_cores <= self.cpu_cores, "more busy cores than available");

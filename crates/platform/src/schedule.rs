@@ -163,7 +163,9 @@ impl LkasSchedule {
         let cpu_ms: f64 = self
             .tasks()
             .iter()
-            .filter(|t| matches!(t.mapping(), crate::resources::ProcessingResource::CarmelCpu { .. }))
+            .filter(|t| {
+                matches!(t.mapping(), crate::resources::ProcessingResource::CarmelCpu { .. })
+            })
             .map(|t| t.runtime_ms())
             .sum();
         let power = platform.average_power_w((gpu_ms / h).min(1.0), (cpu_ms / h).min(1.0), 2);
@@ -214,7 +216,8 @@ mod tests {
     #[test]
     fn variable_scheme_single_classifier_timing() {
         use crate::profiles::ClassifierKind;
-        let t = LkasSchedule::new(IspConfig::S0, ClassifierSet::single(ClassifierKind::Road)).timing();
+        let t =
+            LkasSchedule::new(IspConfig::S0, ClassifierSet::single(ClassifierKind::Road)).timing();
         assert_eq!(ClassifierSet::single(ClassifierKind::Road).count(), 1);
         assert!((t.tau_ms - 30.1).abs() < 0.2);
     }

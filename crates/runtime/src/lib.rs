@@ -1,0 +1,23 @@
+//! Shared execution layer for the LKAS reproduction.
+//!
+//! Every sweep driver and experiment binary funnels through this crate
+//! instead of hand-rolling its own thread pool:
+//!
+//! - [`Executor`] — an ordered parallel map over a job list, built on
+//!   `std::thread::scope` and an atomic job cursor. Results come back in
+//!   input order regardless of completion order, and a worker panic
+//!   propagates to the caller (no silently dropped jobs).
+//! - [`Metrics`] / [`StageTimer`] — a lock-free telemetry registry
+//!   recording per-cycle stage durations (render, sensor, ISP, classifier
+//!   invocation, perception, control) and monotonic event counters
+//!   (perception failures, situation switches, per-knob
+//!   reconfigurations), exportable as a JSON artifact mirroring the
+//!   paper's Table II runtime breakdown.
+
+mod executor;
+mod metrics;
+
+pub use executor::Executor;
+pub use metrics::{
+    Counter, Metrics, MetricsSnapshot, Stage, StageSnapshot, StageTimer, TELEMETRY_SCHEMA,
+};

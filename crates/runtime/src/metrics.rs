@@ -1,0 +1,330 @@
+//! Lock-free telemetry: per-stage timing accumulators and event
+//! counters, exportable as a JSON artifact.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Identifies the telemetry JSON layout written by
+/// [`Metrics::write_json`].
+pub const TELEMETRY_SCHEMA: &str = "lkas-telemetry-v1";
+
+/// The pipeline stages of one closed-loop cycle, mirroring the paper's
+/// Table II runtime breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Scene rendering (simulation-only cost; the paper's camera feed).
+    Render,
+    /// Sensor capture: exposure, noise, Bayer sampling.
+    Sensor,
+    /// The configurable ISP pipeline.
+    Isp,
+    /// Situation-classifier invocation (road / lane / scene heads).
+    Classifier,
+    /// Lane perception (rectify, binarize, sliding-window fit).
+    Perception,
+    /// Controller design lookups plus the control-law step.
+    Control,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Render,
+        Stage::Sensor,
+        Stage::Isp,
+        Stage::Classifier,
+        Stage::Perception,
+        Stage::Control,
+    ];
+
+    /// The stage's snake_case name as written to JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Render => "render",
+            Stage::Sensor => "sensor",
+            Stage::Isp => "isp",
+            Stage::Classifier => "classifier",
+            Stage::Perception => "perception",
+            Stage::Control => "control",
+        }
+    }
+}
+
+/// Monotonic event counters tracked alongside stage timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Closed-loop cycles simulated.
+    Cycles,
+    /// Perception returned no usable lateral estimate.
+    PerceptionFailures,
+    /// The situation estimate changed between cycles.
+    SituationSwitches,
+    /// ISP knob reconfigurations applied.
+    IspReconfigurations,
+    /// Perception/ROI knob reconfigurations applied.
+    PerceptionReconfigurations,
+    /// Controller (gain/period) reconfigurations applied.
+    ControlReconfigurations,
+    /// Controller designs served from the memoizing cache.
+    ControllerCacheHits,
+    /// Controller designs derived from scratch.
+    ControllerCacheMisses,
+}
+
+impl Counter {
+    /// Every counter, in reporting order.
+    pub const ALL: [Counter; 8] = [
+        Counter::Cycles,
+        Counter::PerceptionFailures,
+        Counter::SituationSwitches,
+        Counter::IspReconfigurations,
+        Counter::PerceptionReconfigurations,
+        Counter::ControlReconfigurations,
+        Counter::ControllerCacheHits,
+        Counter::ControllerCacheMisses,
+    ];
+
+    /// The counter's snake_case name as written to JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Cycles => "cycles",
+            Counter::PerceptionFailures => "perception_failures",
+            Counter::SituationSwitches => "situation_switches",
+            Counter::IspReconfigurations => "isp_reconfigurations",
+            Counter::PerceptionReconfigurations => "perception_reconfigurations",
+            Counter::ControlReconfigurations => "control_reconfigurations",
+            Counter::ControllerCacheHits => "controller_cache_hits",
+            Counter::ControllerCacheMisses => "controller_cache_misses",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StageAccum {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// A thread-safe telemetry registry.
+///
+/// All recording is relaxed-atomic, so one `Metrics` can be shared (via
+/// `Arc` or plain reference) across every worker of a parallel sweep and
+/// across every stage of a simulation cycle without locking.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    stages: [StageAccum; Stage::ALL.len()],
+    counters: [AtomicU64; Counter::ALL.len()],
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Starts an RAII timer; the elapsed time is recorded against
+    /// `stage` when the returned guard drops.
+    pub fn start(&self, stage: Stage) -> StageTimer<'_> {
+        StageTimer { metrics: self, stage, started: Instant::now() }
+    }
+
+    /// Times `work` against `stage` and returns its result.
+    pub fn time<T>(&self, stage: Stage, work: impl FnOnce() -> T) -> T {
+        let _timer = self.start(stage);
+        work()
+    }
+
+    /// Records one observation of `elapsed` for `stage`.
+    pub fn record(&self, stage: Stage, elapsed: Duration) {
+        let accum = &self.stages[stage as usize];
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        accum.count.fetch_add(1, Ordering::Relaxed);
+        accum.total_ns.fetch_add(ns, Ordering::Relaxed);
+        accum.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Increments `counter` by one.
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Increments `counter` by `n`.
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy for reporting. (Individual
+    /// loads are relaxed; call after the workload quiesces for exact
+    /// totals.)
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let stages = Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let accum = &self.stages[stage as usize];
+                let count = accum.count.load(Ordering::Relaxed);
+                let total_ns = accum.total_ns.load(Ordering::Relaxed);
+                let max_ns = accum.max_ns.load(Ordering::Relaxed);
+                StageSnapshot {
+                    stage: stage.name().to_string(),
+                    count,
+                    total_ms: total_ns as f64 / 1e6,
+                    mean_us: if count == 0 { 0.0 } else { total_ns as f64 / count as f64 / 1e3 },
+                    max_us: max_ns as f64 / 1e3,
+                }
+            })
+            .collect();
+        let counters = Counter::ALL
+            .iter()
+            .map(|&counter| (counter.name().to_string(), self.counter(counter)))
+            .collect();
+        MetricsSnapshot { schema: TELEMETRY_SCHEMA.to_string(), stages, counters }
+    }
+
+    /// Serializes a snapshot as pretty JSON and writes it to `path`,
+    /// creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying filesystem error.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let json =
+            serde_json::to_string_pretty(&self.snapshot()).expect("telemetry snapshot serializes");
+        std::fs::write(path, json + "\n")
+    }
+}
+
+/// RAII guard from [`Metrics::start`]: records the elapsed time for its
+/// stage on drop.
+#[derive(Debug)]
+pub struct StageTimer<'m> {
+    metrics: &'m Metrics,
+    stage: Stage,
+    started: Instant,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.metrics.record(self.stage, self.started.elapsed());
+    }
+}
+
+/// Timing for one stage within a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stage name (see [`Stage::name`]).
+    pub stage: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Total time across observations, in milliseconds.
+    pub total_ms: f64,
+    /// Mean time per observation, in microseconds.
+    pub mean_us: f64,
+    /// Worst single observation, in microseconds.
+    pub max_us: f64,
+}
+
+/// The JSON-exportable telemetry report (schema
+/// [`TELEMETRY_SCHEMA`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Schema tag, always [`TELEMETRY_SCHEMA`].
+    pub schema: String,
+    /// Per-stage timing, in [`Stage::ALL`] order.
+    pub stages: Vec<StageSnapshot>,
+    /// `(name, value)` counter pairs, in [`Counter::ALL`] order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a stage's timing by name.
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_and_counters_accumulate() {
+        let metrics = Metrics::new();
+        metrics.record(Stage::Isp, Duration::from_micros(200));
+        metrics.record(Stage::Isp, Duration::from_micros(100));
+        metrics.time(Stage::Control, || std::thread::sleep(Duration::from_millis(1)));
+        metrics.incr(Counter::Cycles);
+        metrics.add(Counter::IspReconfigurations, 3);
+
+        let snap = metrics.snapshot();
+        let isp = snap.stage("isp").expect("isp stage present");
+        assert_eq!(isp.count, 2);
+        assert!((isp.total_ms - 0.3).abs() < 1e-9);
+        assert!((isp.mean_us - 150.0).abs() < 1e-9);
+        assert!((isp.max_us - 200.0).abs() < 1e-9);
+        let control = snap.stage("control").expect("control stage present");
+        assert_eq!(control.count, 1);
+        assert!(control.total_ms >= 1.0);
+        assert_eq!(snap.counter("cycles"), Some(1));
+        assert_eq!(snap.counter("isp_reconfigurations"), Some(3));
+        assert_eq!(snap.counter("perception_failures"), Some(0));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let metrics = Metrics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        metrics.incr(Counter::Cycles);
+                        metrics.record(Stage::Perception, Duration::from_nanos(10));
+                    }
+                });
+            }
+        });
+        assert_eq!(metrics.counter(Counter::Cycles), 4000);
+        assert_eq!(metrics.snapshot().stage("perception").unwrap().count, 4000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let metrics = Metrics::new();
+        metrics.record(Stage::Render, Duration::from_micros(42));
+        metrics.incr(Counter::SituationSwitches);
+        let snap = metrics.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        assert!(json.contains(TELEMETRY_SCHEMA));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn write_json_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("lkas-runtime-test-metrics");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/telemetry.json");
+        Metrics::new().write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("lkas-telemetry-v1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

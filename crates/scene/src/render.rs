@@ -12,9 +12,7 @@
 
 use crate::camera::Camera;
 use crate::situation::SceneKind;
-use crate::track::{
-    Track, DOUBLE_GAP, LANE_WIDTH, MARKING_WIDTH,
-};
+use crate::track::{Track, DOUBLE_GAP, LANE_WIDTH, MARKING_WIDTH};
 use lkas_imaging::image::RgbImage;
 
 /// Linear-RGB albedos of the rendered materials.
@@ -138,11 +136,7 @@ impl SceneRenderer {
 
         // Base surface.
         let road_half = LANE_WIDTH / 2.0 + SHOULDER;
-        let base = if lateral.abs() <= road_half {
-            albedo::ROAD
-        } else {
-            albedo::GRASS
-        };
+        let base = if lateral.abs() <= road_half { albedo::ROAD } else { albedo::GRASS };
 
         // Blend in the nearest marking line by its pixel coverage.
         let mut best_cover = 0.0f64;
@@ -182,11 +176,7 @@ impl SceneRenderer {
         let head = scene.headlight_gain() * (-xf / HEADLIGHT_FALLOFF).exp() as f32;
         let level = (ambient + head).min(1.2);
         let tint = scene.tint();
-        [
-            albedo[0] * level * tint[0],
-            albedo[1] * level * tint[1],
-            albedo[2] * level * tint[2],
-        ]
+        [albedo[0] * level * tint[0], albedo[1] * level * tint[1], albedo[2] * level * tint[2]]
     }
 
     /// Sky irradiance for a scene.

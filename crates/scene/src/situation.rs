@@ -73,13 +73,8 @@ pub enum SceneKind {
 
 impl SceneKind {
     /// All scene kinds, in Table I order.
-    pub const ALL: [SceneKind; 5] = [
-        SceneKind::Day,
-        SceneKind::Night,
-        SceneKind::Dark,
-        SceneKind::Dawn,
-        SceneKind::Dusk,
-    ];
+    pub const ALL: [SceneKind; 5] =
+        [SceneKind::Day, SceneKind::Night, SceneKind::Dark, SceneKind::Dawn, SceneKind::Dusk];
 
     /// Ambient illumination scale of this scene (1.0 = full daylight).
     ///
@@ -139,7 +134,12 @@ pub struct SituationFeatures {
 
 impl SituationFeatures {
     /// Creates a situation from its four features.
-    pub fn new(lane_color: LaneColor, lane_form: LaneForm, layout: RoadLayout, scene: SceneKind) -> Self {
+    pub fn new(
+        lane_color: LaneColor,
+        lane_form: LaneForm,
+        layout: RoadLayout,
+        scene: SceneKind,
+    ) -> Self {
         SituationFeatures { lane_color, lane_form, layout, scene }
     }
 
@@ -186,27 +186,107 @@ pub const TABLE3_SITUATIONS: [SituationFeatures; 21] = {
     use SceneKind::*;
     [
         // 1–7: straight
-        SituationFeatures { lane_color: White, lane_form: Continuous, layout: Straight, scene: Day },
+        SituationFeatures {
+            lane_color: White,
+            lane_form: Continuous,
+            layout: Straight,
+            scene: Day,
+        },
         SituationFeatures { lane_color: White, lane_form: Dotted, layout: Straight, scene: Day },
-        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: Straight, scene: Day },
-        SituationFeatures { lane_color: Yellow, lane_form: DoubleContinuous, layout: Straight, scene: Day },
-        SituationFeatures { lane_color: White, lane_form: Continuous, layout: Straight, scene: Night },
-        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: Straight, scene: Night },
-        SituationFeatures { lane_color: White, lane_form: Continuous, layout: Straight, scene: Dark },
+        SituationFeatures {
+            lane_color: Yellow,
+            lane_form: Continuous,
+            layout: Straight,
+            scene: Day,
+        },
+        SituationFeatures {
+            lane_color: Yellow,
+            lane_form: DoubleContinuous,
+            layout: Straight,
+            scene: Day,
+        },
+        SituationFeatures {
+            lane_color: White,
+            lane_form: Continuous,
+            layout: Straight,
+            scene: Night,
+        },
+        SituationFeatures {
+            lane_color: Yellow,
+            lane_form: Continuous,
+            layout: Straight,
+            scene: Night,
+        },
+        SituationFeatures {
+            lane_color: White,
+            lane_form: Continuous,
+            layout: Straight,
+            scene: Dark,
+        },
         // 8–14: right turns
-        SituationFeatures { lane_color: White, lane_form: Continuous, layout: RightTurn, scene: Day },
-        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: RightTurn, scene: Day },
-        SituationFeatures { lane_color: Yellow, lane_form: DoubleContinuous, layout: RightTurn, scene: Day },
-        SituationFeatures { lane_color: White, lane_form: Continuous, layout: RightTurn, scene: Night },
-        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: RightTurn, scene: Night },
+        SituationFeatures {
+            lane_color: White,
+            lane_form: Continuous,
+            layout: RightTurn,
+            scene: Day,
+        },
+        SituationFeatures {
+            lane_color: Yellow,
+            lane_form: Continuous,
+            layout: RightTurn,
+            scene: Day,
+        },
+        SituationFeatures {
+            lane_color: Yellow,
+            lane_form: DoubleContinuous,
+            layout: RightTurn,
+            scene: Day,
+        },
+        SituationFeatures {
+            lane_color: White,
+            lane_form: Continuous,
+            layout: RightTurn,
+            scene: Night,
+        },
+        SituationFeatures {
+            lane_color: Yellow,
+            lane_form: Continuous,
+            layout: RightTurn,
+            scene: Night,
+        },
         SituationFeatures { lane_color: White, lane_form: Dotted, layout: RightTurn, scene: Day },
         SituationFeatures { lane_color: White, lane_form: Dotted, layout: RightTurn, scene: Night },
         // 15–21: left turns
-        SituationFeatures { lane_color: White, lane_form: Continuous, layout: LeftTurn, scene: Day },
-        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: LeftTurn, scene: Day },
-        SituationFeatures { lane_color: Yellow, lane_form: DoubleContinuous, layout: LeftTurn, scene: Day },
-        SituationFeatures { lane_color: White, lane_form: Continuous, layout: LeftTurn, scene: Night },
-        SituationFeatures { lane_color: Yellow, lane_form: Continuous, layout: LeftTurn, scene: Night },
+        SituationFeatures {
+            lane_color: White,
+            lane_form: Continuous,
+            layout: LeftTurn,
+            scene: Day,
+        },
+        SituationFeatures {
+            lane_color: Yellow,
+            lane_form: Continuous,
+            layout: LeftTurn,
+            scene: Day,
+        },
+        SituationFeatures {
+            lane_color: Yellow,
+            lane_form: DoubleContinuous,
+            layout: LeftTurn,
+            scene: Day,
+        },
+        SituationFeatures {
+            lane_color: White,
+            lane_form: Continuous,
+            layout: LeftTurn,
+            scene: Night,
+        },
+        SituationFeatures {
+            lane_color: Yellow,
+            lane_form: Continuous,
+            layout: LeftTurn,
+            scene: Night,
+        },
         SituationFeatures { lane_color: White, lane_form: Dotted, layout: LeftTurn, scene: Day },
         SituationFeatures { lane_color: White, lane_form: Dotted, layout: LeftTurn, scene: Night },
     ]
@@ -258,7 +338,10 @@ mod tests {
     #[test]
     fn feature_space_cardinality_matches_table1() {
         // 2 colors × 3 forms × 3 layouts × 5 scenes = 90 combinations.
-        let total = LaneColor::ALL.len() * LaneForm::ALL.len() * RoadLayout::ALL.len() * SceneKind::ALL.len();
+        let total = LaneColor::ALL.len()
+            * LaneForm::ALL.len()
+            * RoadLayout::ALL.len()
+            * SceneKind::ALL.len();
         assert_eq!(total, 90);
     }
 }

@@ -179,15 +179,69 @@ impl Track {
         let yellow_cont = LaneSpec::new(Yellow, Continuous);
         let k = 1.0 / TURN_RADIUS;
         Track::new(vec![
-            Sector { length: 150.0, curvature: 0.0, left_lane: white_cont, right_lane: white_dot, scene: SceneKind::Day },
-            Sector { length: 140.0, curvature: -k, left_lane: white_cont, right_lane: white_dot, scene: SceneKind::Day },
-            Sector { length: 150.0, curvature: 0.0, left_lane: yellow_cont, right_lane: white_dot, scene: SceneKind::Day },
-            Sector { length: 140.0, curvature: k, left_lane: yellow_cont, right_lane: white_dot, scene: SceneKind::Day },
-            Sector { length: 150.0, curvature: 0.0, left_lane: white_dot, right_lane: white_dot, scene: SceneKind::Day },
-            Sector { length: 140.0, curvature: k, left_lane: white_dot, right_lane: white_dot, scene: SceneKind::Day },
-            Sector { length: 140.0, curvature: -k, left_lane: yellow_cont, right_lane: white_dot, scene: SceneKind::Day },
-            Sector { length: 150.0, curvature: 0.0, left_lane: white_cont, right_lane: white_dot, scene: SceneKind::Night },
-            Sector { length: 150.0, curvature: 0.0, left_lane: white_cont, right_lane: white_dot, scene: SceneKind::Dark },
+            Sector {
+                length: 150.0,
+                curvature: 0.0,
+                left_lane: white_cont,
+                right_lane: white_dot,
+                scene: SceneKind::Day,
+            },
+            Sector {
+                length: 140.0,
+                curvature: -k,
+                left_lane: white_cont,
+                right_lane: white_dot,
+                scene: SceneKind::Day,
+            },
+            Sector {
+                length: 150.0,
+                curvature: 0.0,
+                left_lane: yellow_cont,
+                right_lane: white_dot,
+                scene: SceneKind::Day,
+            },
+            Sector {
+                length: 140.0,
+                curvature: k,
+                left_lane: yellow_cont,
+                right_lane: white_dot,
+                scene: SceneKind::Day,
+            },
+            Sector {
+                length: 150.0,
+                curvature: 0.0,
+                left_lane: white_dot,
+                right_lane: white_dot,
+                scene: SceneKind::Day,
+            },
+            Sector {
+                length: 140.0,
+                curvature: k,
+                left_lane: white_dot,
+                right_lane: white_dot,
+                scene: SceneKind::Day,
+            },
+            Sector {
+                length: 140.0,
+                curvature: -k,
+                left_lane: yellow_cont,
+                right_lane: white_dot,
+                scene: SceneKind::Day,
+            },
+            Sector {
+                length: 150.0,
+                curvature: 0.0,
+                left_lane: white_cont,
+                right_lane: white_dot,
+                scene: SceneKind::Night,
+            },
+            Sector {
+                length: 150.0,
+                curvature: 0.0,
+                left_lane: white_cont,
+                right_lane: white_dot,
+                scene: SceneKind::Dark,
+            },
         ])
     }
 
@@ -306,8 +360,18 @@ mod tests {
     #[test]
     fn turn_curvature_sign_convention() {
         use crate::situation::{LaneColor, LaneForm, RoadLayout, SceneKind};
-        let left = SituationFeatures::new(LaneColor::White, LaneForm::Continuous, RoadLayout::LeftTurn, SceneKind::Day);
-        let right = SituationFeatures::new(LaneColor::White, LaneForm::Continuous, RoadLayout::RightTurn, SceneKind::Day);
+        let left = SituationFeatures::new(
+            LaneColor::White,
+            LaneForm::Continuous,
+            RoadLayout::LeftTurn,
+            SceneKind::Day,
+        );
+        let right = SituationFeatures::new(
+            LaneColor::White,
+            LaneForm::Continuous,
+            RoadLayout::RightTurn,
+            SceneKind::Day,
+        );
         assert!(Sector::for_situation(&left, 10.0).curvature > 0.0);
         assert!(Sector::for_situation(&right, 10.0).curvature < 0.0);
         // Situation roundtrip through the sector.

@@ -221,7 +221,8 @@ mod tests {
             RoadLayout::RightTurn,
             SceneKind::Day,
         );
-        let mut sim = VehicleSim::new(Track::for_situation(&sit, 2000.0), VehicleState::centered(50.0));
+        let mut sim =
+            VehicleSim::new(Track::for_situation(&sit, 2000.0), VehicleState::centered(50.0));
         for _ in 0..2000 {
             sim.step(0.0);
             if sim.departed() {

@@ -12,8 +12,14 @@ fn main() {
     // Situation 8: right turn, white continuous, day.
     let situation = TABLE3_SITUATIONS[7];
     let config = CharacterizeConfig::default();
-    println!("characterizing \"{situation}\" ({} candidates)…\n", candidate_tunings(&situation).len());
-    println!("{:<6}{:<8}{:>8}{:>8}{:>10}{:>10}", "ISP", "ROI", "τ (ms)", "h (ms)", "MAE (m)", "result");
+    println!(
+        "characterizing \"{situation}\" ({} candidates)…\n",
+        candidate_tunings(&situation).len()
+    );
+    println!(
+        "{:<6}{:<8}{:>8}{:>8}{:>10}{:>10}",
+        "ISP", "ROI", "τ (ms)", "h (ms)", "MAE (m)", "result"
+    );
 
     let mut best: Option<(KnobTuning, f64)> = None;
     for tuning in candidate_tunings(&situation) {

@@ -19,18 +19,15 @@ fn main() {
         track.sectors().len(),
         Case::Case4
     );
-    let mut config = HilConfig::new(Case::Case4, SituationSource::Oracle).with_seed(9);
-    config.record_trace = true;
+    let config = HilConfig::new(Case::Case4, SituationSource::Oracle).with_seed(9).with_trace(true);
     let result = HilSimulator::new(track, config).run();
 
     println!("\nper-sector MAE (m):");
     for (i, s) in result.qoc.sectors().iter().enumerate() {
         match s.mae() {
-            Some(m) => println!(
-                "  sector {}: {m:.3}{}",
-                i + 1,
-                if s.crashed { "  ← CRASH" } else { "" }
-            ),
+            Some(m) => {
+                println!("  sector {}: {m:.3}{}", i + 1, if s.crashed { "  ← CRASH" } else { "" })
+            }
             None => println!("  sector {}: not reached", i + 1),
         }
     }

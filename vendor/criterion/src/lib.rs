@@ -1,0 +1,147 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the `harness = false` bench targets in `crates/bench`:
+//! `benchmark_group` / `sample_size` / `bench_function` / `iter` /
+//! `finish` plus the `criterion_group!` / `criterion_main!` macros,
+//! reporting mean/min/max wall-clock time per iteration.
+//!
+//! `cargo test` also executes `harness = false` bench binaries, so by
+//! default each routine runs a **single smoke iteration** (still catching
+//! panics and keeping test runs fast on the 1-core sandbox). Real timing
+//! runs engage under `cargo bench`, detected via the `--bench` flag cargo
+//! passes to the binary.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    /// `false` = smoke mode (one iteration per routine).
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        let measure = self.measure;
+        BenchmarkGroup { _criterion: self, name, sample_size: 100, measure }
+    }
+
+    /// Registers a standalone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measure: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark routine and reports its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = if self.measure { self.sample_size } else { 1 };
+        let mut per_iter = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher =
+                Bencher { iters: if self.measure { 10 } else { 1 }, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+        if self.measure {
+            println!(
+                "  {}/{id}: mean {} (min {}, max {}) over {samples} samples",
+                self.name,
+                format_time(mean),
+                format_time(min),
+                format_time(max),
+            );
+        } else {
+            println!("  {}/{id}: smoke ok ({})", self.name, format_time(mean));
+        }
+        self
+    }
+
+    /// Ends the group (reporting happens per-function; kept for API
+    /// parity).
+    pub fn finish(self) {}
+}
+
+/// Times the routine passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, accumulating elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// An identity function that hides `value` from the optimizer.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a bench group function running each target, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

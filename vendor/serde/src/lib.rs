@@ -1,0 +1,130 @@
+//! Offline stand-in for `serde`.
+//!
+//! The evaluation sandbox has no access to crates.io, so this workspace
+//! vendors a minimal, std-only implementation of the serde surface it
+//! actually uses: `#[derive(Serialize, Deserialize)]` on plain structs
+//! and enums, driven through a JSON-shaped [`Value`] data model that
+//! `serde_json` (also vendored) renders and parses.
+//!
+//! This is intentionally **not** the real serde architecture: instead of
+//! the visitor-based zero-copy model, every serialization goes through
+//! an owned [`Value`] tree. That is plenty for the workspace's artifact
+//! and result files (classifier bundles, knob tables, telemetry
+//! snapshots) and keeps the whole dependency closure buildable offline.
+//!
+//! JSON conventions match upstream serde so existing artifacts parse:
+//! structs are objects, unit enum variants are strings, newtype variants
+//! are single-key objects (`{"Variant": value}`), tuple variants carry
+//! arrays, struct variants carry objects, and tuples are arrays.
+
+mod impls;
+pub mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a JSON-shaped value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field is missing from the
+    /// serialized object. `Option<T>` overrides this to `None`
+    /// (matching serde's treatment of optional fields); everything else
+    /// reports a missing-field error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-field [`Error`] unless overridden.
+    fn absent(field: &str) -> Result<Self, Error> {
+        Err(Error::new(format!("missing field `{field}`")))
+    }
+}
+
+/// A (de)serialization error: a plain message, like `serde_json`'s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Support functions used by the generated derive code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// The fields of an object value, or a shape error naming `ty`.
+    pub fn as_object<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+        match value {
+            Value::Object(fields) => Ok(fields),
+            other => Err(Error::new(format!("expected object for `{ty}`, found {}", other.kind()))),
+        }
+    }
+
+    /// The elements of an array value of exactly `len` elements.
+    pub fn as_array<'v>(value: &'v Value, len: usize, ty: &str) -> Result<&'v [Value], Error> {
+        match value {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(Error::new(format!(
+                "expected {len} elements for `{ty}`, found {}",
+                items.len()
+            ))),
+            other => Err(Error::new(format!("expected array for `{ty}`, found {}", other.kind()))),
+        }
+    }
+
+    /// Looks up and deserializes a struct field, falling back to
+    /// [`Deserialize::absent`] when the key is missing.
+    pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match fields.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::new(format!("field `{name}`: {}", e.message())))
+            }
+            None => T::absent(name),
+        }
+    }
+
+    /// Error for an unknown enum variant name.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Error {
+        Error::new(format!("unknown variant `{variant}` for `{ty}`"))
+    }
+
+    /// Error for an enum value of the wrong shape.
+    pub fn bad_enum_shape(ty: &str, value: &Value) -> Error {
+        Error::new(format!(
+            "expected string or single-key object for `{ty}`, found {}",
+            value.kind()
+        ))
+    }
+}

@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! plain (non-generic, attribute-free) structs and enums this workspace
+//! defines, generating impls of the vendored `serde` traits. The item is
+//! parsed directly from the `proc_macro` token stream — no `syn`/`quote`,
+//! so the macro builds with zero external dependencies.
+//!
+//! Supported shapes (everything the workspace uses):
+//! - unit / tuple / named-field structs (1-field tuples serialize as
+//!   newtypes, i.e. transparently as the inner value)
+//! - enums with unit, newtype, tuple, and struct variants
+//!
+//! `#[serde(...)]` attributes are not supported and not present in the
+//! workspace; unknown attributes on items and fields are skipped.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.serialize_impl().parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.deserialize_impl().parse().expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    Unit,
+    Named(Vec<String>),
+    /// Tuple struct with the given arity; arity 1 is treated as a newtype.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skips `#[...]` attributes (including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips `pub` / `pub(...)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past the current element to just after the next top-level
+/// comma (commas inside `<...>` generics don't count; commas inside
+/// parenthesized/bracketed groups are hidden by tokenization).
+fn skip_to_next_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Field names of a named-fields body (`{ a: T, b: U }`).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(tokens, skip_attrs(tokens, i));
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            _ => break,
+        }
+        i = skip_to_next_comma(tokens, i + 1);
+    }
+    fields
+}
+
+/// Arity of a tuple body (`(T, U, ...)`).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(tokens, skip_attrs(tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_to_next_comma(tokens, i);
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Shape::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Shape::Struct(parse_named_fields(&inner))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip any `= discriminant` and land after the separating comma.
+        i = skip_to_next_comma(tokens, i);
+    }
+    variants
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("derive input does not start with struct/enum: {other:?}"),
+        };
+        i += 1;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected item name, found {other:?}"),
+        };
+        i += 1;
+        // Tolerate (and skip) generics/where-clause tokens; the workspace
+        // only derives on non-generic items.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let body = if kind == "enum" {
+                        Body::Enum(parse_variants(&inner))
+                    } else {
+                        Body::Named(parse_named_fields(&inner))
+                    };
+                    return Item { name, body };
+                }
+                TokenTree::Group(g)
+                    if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+                {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    return Item { name, body: Body::Tuple(count_tuple_fields(&inner)) };
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' && kind == "struct" => {
+                    return Item { name, body: Body::Unit };
+                }
+                _ => i += 1,
+            }
+        }
+        panic!("no body found for `{name}`");
+    }
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Unit => "::serde::Value::Null".to_string(),
+            Body::Named(fields) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(::std::vec::Vec::from([{}]))", pairs.join(", "))
+            }
+            Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Body::Tuple(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                format!("::serde::Value::Array(::std::vec::Vec::from([{}]))", items.join(", "))
+            }
+            Body::Enum(variants) => {
+                let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+                format!("match self {{ {} }}", arms.join(" "))
+            }
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Unit => format!(
+                "match value {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(\n\
+                         ::std::format!(\"expected null for `{name}`, found {{}}\", other.kind()))),\n\
+                 }}"
+            ),
+            Body::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(fields, \"{f}\")?"))
+                    .collect();
+                format!(
+                    "let fields = ::serde::__private::as_object(value, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Body::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            ),
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = ::serde::__private::as_array(value, {n}, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Body::Enum(variants) => deserialize_enum(name, variants),
+        };
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     {body}\n\
+                 }}\n\
+             }}"
+        )
+    }
+}
+
+fn serialize_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        Shape::Unit => {
+            format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),")
+        }
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            // Newtype variants carry the inner value directly; wider tuple
+            // variants carry an array — both match upstream serde's JSON.
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+                format!("::serde::Value::Array(::std::vec::Vec::from([{}]))", items.join(", "))
+            };
+            format!(
+                "{name}::{v}({}) => ::serde::Value::Object(::std::vec::Vec::from([\
+                     (::std::string::String::from(\"{v}\"), {payload})])),",
+                binds.join(", ")
+            )
+        }
+        Shape::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec::Vec::from([\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::Value::Object(::std::vec::Vec::from([{}])))])),",
+                fields.join(", "),
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = Vec::new();
+    let mut obj_arms = Vec::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.shape {
+            Shape::Unit => {
+                str_arms.push(format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+            }
+            Shape::Tuple(1) => obj_arms.push(format!(
+                "\"{v}\" => ::std::result::Result::Ok(\
+                     {name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+            )),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                obj_arms.push(format!(
+                    "\"{v}\" => {{\n\
+                         let items = ::serde::__private::as_array(inner, {n}, \"{name}::{v}\")?;\n\
+                         ::std::result::Result::Ok({name}::{v}({}))\n\
+                     }}",
+                    items.join(", ")
+                ));
+            }
+            Shape::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(fields, \"{f}\")?"))
+                    .collect();
+                obj_arms.push(format!(
+                    "\"{v}\" => {{\n\
+                         let fields = ::serde::__private::as_object(inner, \"{name}::{v}\")?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+             ::serde::Value::Str(variant) => match variant.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(\
+                     ::serde::__private::unknown_variant(\"{name}\", other)),\n\
+             }},\n\
+             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (variant, inner) = &entries[0];\n\
+                 match variant.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::__private::unknown_variant(\"{name}\", other)),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(\
+                 ::serde::__private::bad_enum_shape(\"{name}\", other)),\n\
+         }}",
+        str_arms.join("\n"),
+        obj_arms.join("\n")
+    )
+}

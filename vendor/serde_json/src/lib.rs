@@ -1,0 +1,108 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders and parses the vendored `serde` [`Value`] tree. Output
+//! conventions match upstream `serde_json` closely enough that artifacts
+//! written by earlier revisions (e.g. `artifacts/classifiers.json`,
+//! `artifacts/table3.json`) round-trip: floats print in shortest-roundtrip
+//! form (`50.0`, `1e-7`), pretty output uses two-space indentation, and
+//! object key order is preserved.
+
+pub use serde::Value;
+
+mod parse;
+mod write;
+
+/// A JSON (de)serialization error; re-exported from the vendored `serde`
+/// so `serde_json::Error` and `serde::Error` stay interchangeable.
+pub type Error = serde::Error;
+
+/// Alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model; the `Result` keeps the
+/// upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the vendored value model; the `Result` keeps the
+/// upstream signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses a JSON string into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON, trailing input, or a shape
+/// mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T> {
+    let value = parse::parse(input)?;
+    T::from_value(&value)
+}
+
+/// Converts any serializable type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Converts a [`Value`] tree into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an error when the tree's shape does not match `T`.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&50.0f64).unwrap(), "50.0");
+        assert_eq!(to_string(&1e-7f64).unwrap(), "1e-7");
+        assert_eq!(to_string("hi\n").unwrap(), "\"hi\\n\"");
+        let n: f64 = from_str("1.5e3").unwrap();
+        assert!((n - 1500.0).abs() < 1e-12);
+        let v: Vec<u64> = from_str(" [1, 2, 3] ").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pretty_prints_objects_with_two_space_indent() {
+        let value = Value::Object(vec![
+            ("a".into(), Value::I64(1)),
+            ("b".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        let text = to_string_pretty(&value).unwrap();
+        assert_eq!(text, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn parses_escapes_and_rejects_trailing_garbage() {
+        let s: String = from_str(r#""aA\n\"b\"""#).unwrap();
+        assert_eq!(s, "aA\n\"b\"");
+        assert!(from_str::<Value>("{} x").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+    }
+}

@@ -8,3 +8,6 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo fmt --check
+# Fast robustness-campaign smoke: quick grid, deterministic report.
+cargo run --release -p lkas-bench --bin robustness_campaign -- \
+  --quick --seed 7 --threads 2 --out artifacts/robustness_smoke.json

@@ -1,0 +1,67 @@
+//! Robustness campaign — fault-plan grid × evaluation cases, with the
+//! graceful-degradation policy off and on.
+//!
+//! Emits `artifacts/robustness_report.json` (crash rates, MAE
+//! degradation, time in degraded mode) and a telemetry artifact with
+//! the aggregated fault/degradation counters. The report is a pure
+//! function of `(--seed, --quick)`: any `--threads` value produces the
+//! identical bytes.
+//!
+//! Usage: `cargo run --release -p lkas-bench --bin robustness_campaign
+//!         [-- --seed 7 --threads 4 --quick --out PATH --metrics-out PATH]`
+
+use lkas_bench::robustness::{run_campaign, write_report, CampaignConfig};
+use lkas_bench::{arg_value, default_threads, render_table, write_metrics, Metrics, ARTIFACTS_DIR};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = CampaignConfig {
+        seed: arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(7),
+        threads: arg_value("--threads")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(default_threads),
+        quick: std::env::args().any(|a| a == "--quick"),
+    };
+    let out = arg_value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(ARTIFACTS_DIR).join("robustness_report.json"));
+
+    let metrics = Arc::new(Metrics::new());
+    let report = run_campaign(&cfg, Some(&metrics));
+
+    let rows: Vec<Vec<String>> = report
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.case.clone(),
+                e.plan.clone(),
+                if e.policy { "on" } else { "off" }.to_string(),
+                if e.crashed { "CRASH" } else { "ok" }.to_string(),
+                e.mae.map_or("-".to_string(), |m| format!("{m:.4}")),
+                e.degraded_samples.to_string(),
+                e.measurement_holds.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "Robustness campaign (seed {}, {} grid)",
+        cfg.seed,
+        if cfg.quick { "quick" } else { "full" }
+    );
+    println!(
+        "{}",
+        render_table(&["case", "plan", "policy", "outcome", "MAE (m)", "degraded", "holds"], &rows)
+    );
+    let s = &report.summary;
+    println!(
+        "crash rate: {:.2} (policy off) -> {:.2} (policy on); time degraded: {:.1}%",
+        s.crash_rate_policy_off,
+        s.crash_rate_policy_on,
+        s.time_in_degraded_frac * 100.0
+    );
+
+    write_report(&report, &out);
+    write_metrics("robustness_campaign", &metrics);
+}

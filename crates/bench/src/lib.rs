@@ -5,6 +5,8 @@
 //! pieces: parallel HiL execution, classifier-bundle caching, plain-text
 //! table rendering, and JSON result emission into `results/`.
 
+pub mod robustness;
+
 use lkas::cases::Case;
 use lkas::hil::{HilConfig, HilResult, HilSimulator, SituationSource};
 use lkas::identify::ClassifierBundle;

@@ -1,0 +1,366 @@
+//! The robustness campaign: a grid of fault plans × evaluation cases,
+//! each run with the degradation policy off and on, fanned across the
+//! shared [`Executor`].
+//!
+//! The campaign report is a *pure function of `(seed, quick)`*: jobs
+//! carry their grid coordinates, results come back from the executor in
+//! input order, and nothing thread- or time-dependent enters the
+//! report. `--threads 1` and `--threads 4` therefore emit byte-identical
+//! JSON — asserted in `tests/robustness.rs`.
+
+use crate::{run_hil_jobs, HilJob, Metrics};
+use lkas::cases::Case;
+use lkas::degrade::DegradationConfig;
+use lkas::hil::HilResult;
+use lkas_faults::FaultPlan;
+use lkas_scene::camera::Camera;
+use lkas_scene::situation::TABLE3_SITUATIONS;
+use lkas_scene::track::{Sector, Track};
+use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Schema tag of the emitted robustness report.
+pub const ROBUSTNESS_SCHEMA: &str = "lkas-robustness-v1";
+
+/// Campaign parameters. `threads` affects wall-clock only, never report
+/// content.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Seed shared by the fault plans and the sensor noise.
+    pub seed: u64,
+    /// Executor worker threads.
+    pub threads: usize,
+    /// Shrinks the grid (one case, four plans, short track) for CI.
+    pub quick: bool,
+}
+
+impl CampaignConfig {
+    /// The default full-grid campaign at a seed.
+    pub fn new(seed: u64) -> Self {
+        CampaignConfig { seed, threads: 1, quick: false }
+    }
+}
+
+/// One grid point's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignEntry {
+    /// Evaluation case name (Table V).
+    pub case: String,
+    /// Fault plan name.
+    pub plan: String,
+    /// `true` if the degradation policy was enabled.
+    pub policy: bool,
+    /// `true` if the vehicle left the lane.
+    pub crashed: bool,
+    /// Sector of the crash, if any.
+    pub crash_sector: Option<usize>,
+    /// Overall MAE of `y_L` (m), rounded to µm for byte-stable output.
+    pub mae: Option<f64>,
+    /// Control samples taken.
+    pub samples: u64,
+    /// Perception-stage failures (no lane found).
+    pub perception_failures: u64,
+    /// Camera frames dropped by the plan.
+    pub frame_drops: u64,
+    /// Samples with at least one injected fault.
+    pub faulted_cycles: u64,
+    /// Samples spent in degraded (safe) mode.
+    pub degraded_samples: u64,
+    /// Safe-mode entries.
+    pub degraded_entries: u64,
+    /// Misses bridged by hold-and-extrapolate.
+    pub measurement_holds: u64,
+}
+
+/// Aggregates over the grid, split by policy arm.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignSummary {
+    /// Grid points per policy arm.
+    pub runs_per_arm: usize,
+    /// Crashes with the policy off.
+    pub crashes_policy_off: usize,
+    /// Crashes with the policy on.
+    pub crashes_policy_on: usize,
+    /// Crash fraction with the policy off.
+    pub crash_rate_policy_off: f64,
+    /// Crash fraction with the policy on.
+    pub crash_rate_policy_on: f64,
+    /// Mean MAE across non-crashed policy-off runs (m).
+    pub mean_mae_policy_off: Option<f64>,
+    /// Mean MAE across non-crashed policy-on runs (m).
+    pub mean_mae_policy_on: Option<f64>,
+    /// Fraction of policy-on control samples spent in safe mode.
+    pub time_in_degraded_frac: f64,
+}
+
+/// The emitted robustness report.
+#[derive(Debug, Clone, Serialize)]
+pub struct RobustnessReport {
+    /// Schema tag ([`ROBUSTNESS_SCHEMA`]).
+    pub schema: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// `true` for the shrunk CI grid.
+    pub quick: bool,
+    /// One entry per (case, plan, policy) grid point, in grid order.
+    pub entries: Vec<CampaignEntry>,
+    /// Aggregates over the grid.
+    pub summary: CampaignSummary,
+}
+
+/// The campaign's driving scenario: straight → right turn → straight,
+/// exercising both a knob switch and the turn the safe mode must
+/// survive. The 300 m approach leaves room for the frame-drop plan's
+/// blind window: long enough for an unhardened 50 km/h loop to coast
+/// blind into the curve, yet long enough after re-acquisition for a
+/// degraded 30 km/h loop to recenter before the curve begins.
+pub fn campaign_track(quick: bool) -> Track {
+    let (a, b, c) = if quick { (300.0, 140.0, 80.0) } else { (300.0, 280.0, 150.0) };
+    Track::new(vec![
+        Sector::for_situation(&TABLE3_SITUATIONS[0], a),
+        Sector::for_situation(&TABLE3_SITUATIONS[7], b),
+        Sector::for_situation(&TABLE3_SITUATIONS[0], c),
+    ])
+}
+
+/// The standard fault-plan grid over a run of roughly `horizon` control
+/// cycles. Window positions are fractions of the horizon, so the same
+/// plan names stress the same driving phases on any track length.
+pub fn standard_plans(seed: u64, horizon: u64, quick: bool) -> Vec<FaultPlan> {
+    let h = horizon.max(100);
+    let at = |frac: f64| (h as f64 * frac) as u64;
+    let mut plans = vec![
+        FaultPlan::named("nominal", seed),
+        // Fixed, not horizon-relative: the burst must begin while the
+        // camera preview still shows the approach straight (so the
+        // unhardened loop never learns about the turn) and must end
+        // with enough straight left for the degraded loop to recenter
+        // — cycles 150..650 on the 300 m approach of
+        // [`campaign_track`].
+        FaultPlan::named("frame-drop-burst", seed).drop_burst(150, 500),
+        FaultPlan::named("bayer-storm", seed)
+            .hot_pixels(at(0.15), 40, 0.03)
+            .row_banding(at(0.45), 40, 3, 0.35)
+            .exposure_glitch(at(0.70), 30, 2.5),
+    ];
+    if !quick {
+        plans.push(FaultPlan::named("misclassify", seed).misclassify(at(0.30), 20));
+        plans.push(FaultPlan::named("deadline-overrun", seed).deadline_overrun(at(0.20), 60, 20.0));
+        plans.push(
+            FaultPlan::named("actuation", seed)
+                .actuation_lagged(at(0.35), 40, 0.25)
+                .actuation_stuck(at(0.75), 8),
+        );
+    }
+    plans.push(FaultPlan::random("random-mix", seed, h, 8));
+    plans
+}
+
+/// The evaluation cases in the grid.
+pub fn campaign_cases(quick: bool) -> Vec<Case> {
+    if quick {
+        vec![Case::Case3]
+    } else {
+        vec![Case::Case1, Case::Case2, Case::Case3, Case::Case4]
+    }
+}
+
+/// Runs the full campaign grid and assembles the report. Pass a shared
+/// telemetry registry to aggregate stage timings and fault counters
+/// across every run (timings are wall-clock and belong in the separate
+/// telemetry artifact, never in the report).
+pub fn run_campaign(cfg: &CampaignConfig, metrics: Option<&Arc<Metrics>>) -> RobustnessReport {
+    let track = campaign_track(cfg.quick);
+    // Rough cycle horizon: track length at the slow speed bound over the
+    // nominal 25 ms period — plan windows only need to land mid-drive.
+    let horizon = (track.total_length() / 8.33 / 0.025) as u64;
+    let plans: Vec<Arc<FaultPlan>> =
+        standard_plans(cfg.seed, horizon, cfg.quick).into_iter().map(Arc::new).collect();
+    let cases = campaign_cases(cfg.quick);
+    let camera = if cfg.quick {
+        Camera::new(256, 128, 150.0, 1.3, 6.0_f64.to_radians())
+    } else {
+        Camera::default_automotive()
+    };
+
+    let mut keys: Vec<(Case, Arc<FaultPlan>, bool)> = Vec::new();
+    let mut jobs: Vec<HilJob> = Vec::new();
+    for &case in &cases {
+        for plan in &plans {
+            for policy in [false, true] {
+                let label = format!(
+                    "{} × {} × policy-{}",
+                    case.name(),
+                    plan.name,
+                    if policy { "on" } else { "off" }
+                );
+                let mut job = HilJob::new(label, case, track.clone(), None, cfg.seed);
+                job.config = job.config.with_camera(camera.clone());
+                if !plan.is_empty() {
+                    job.config = job.config.with_fault_plan(Arc::clone(plan));
+                }
+                if policy {
+                    job.config = job.config.with_degradation(DegradationConfig::default());
+                }
+                if let Some(m) = metrics {
+                    job = job.with_metrics(m);
+                }
+                keys.push((case, Arc::clone(plan), policy));
+                jobs.push(job);
+            }
+        }
+    }
+
+    let results = run_hil_jobs(jobs, cfg.threads);
+    let entries: Vec<CampaignEntry> = keys
+        .iter()
+        .zip(&results)
+        .map(|((case, plan, policy), r)| entry_for(case, plan, *policy, r))
+        .collect();
+    let summary = summarize(&entries);
+    RobustnessReport {
+        schema: ROBUSTNESS_SCHEMA.to_string(),
+        seed: cfg.seed,
+        quick: cfg.quick,
+        entries,
+        summary,
+    }
+}
+
+fn entry_for(case: &Case, plan: &FaultPlan, policy: bool, r: &HilResult) -> CampaignEntry {
+    CampaignEntry {
+        case: case.name().to_string(),
+        plan: plan.name.clone(),
+        policy,
+        crashed: r.crashed,
+        crash_sector: r.crash_sector,
+        mae: r.overall_mae().map(round_um),
+        samples: r.samples,
+        perception_failures: r.perception_failures,
+        frame_drops: r.frame_drops,
+        faulted_cycles: r.faulted_cycles,
+        degraded_samples: r.degraded_samples,
+        degraded_entries: r.degraded_entries,
+        measurement_holds: r.measurement_holds,
+    }
+}
+
+fn summarize(entries: &[CampaignEntry]) -> CampaignSummary {
+    let arm = |policy: bool| entries.iter().filter(move |e| e.policy == policy);
+    let crashes = |policy: bool| arm(policy).filter(|e| e.crashed).count();
+    let mean_mae = |policy: bool| {
+        let maes: Vec<f64> = arm(policy).filter(|e| !e.crashed).filter_map(|e| e.mae).collect();
+        if maes.is_empty() {
+            None
+        } else {
+            Some(round_um(maes.iter().sum::<f64>() / maes.len() as f64))
+        }
+    };
+    let runs_per_arm = arm(false).count();
+    let (on_degraded, on_samples) =
+        arm(true).fold((0u64, 0u64), |(d, s), e| (d + e.degraded_samples, s + e.samples));
+    CampaignSummary {
+        runs_per_arm,
+        crashes_policy_off: crashes(false),
+        crashes_policy_on: crashes(true),
+        crash_rate_policy_off: rate(crashes(false), runs_per_arm),
+        crash_rate_policy_on: rate(crashes(true), runs_per_arm),
+        mean_mae_policy_off: mean_mae(false),
+        mean_mae_policy_on: mean_mae(true),
+        time_in_degraded_frac: rate(on_degraded as usize, on_samples as usize),
+    }
+}
+
+fn rate(num: usize, denom: usize) -> f64 {
+    if denom == 0 {
+        0.0
+    } else {
+        round_um(num as f64 / denom as f64)
+    }
+}
+
+/// Rounds to 1e-6 so report floats print identically everywhere.
+fn round_um(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+/// Serializes a report as pretty JSON (byte-stable for a given report).
+///
+/// # Panics
+///
+/// Panics on an internal serde error (cannot happen for this type).
+pub fn report_json(report: &RobustnessReport) -> String {
+    serde_json::to_string_pretty(report).expect("serialize robustness report")
+}
+
+/// Writes the report under `path`, creating parent directories.
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness binaries want loud failures).
+pub fn write_report(report: &RobustnessReport, path: &Path) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create report dir");
+    }
+    std::fs::write(path, report_json(report)).expect("write robustness report");
+    eprintln!("[robustness] {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_grid_is_deterministic_and_named() {
+        let a = standard_plans(7, 2000, false);
+        let b = standard_plans(7, 2000, false);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a[0].name, "nominal");
+        assert!(a[0].is_empty());
+        assert!(a.iter().skip(1).all(|p| !p.is_empty()));
+        // Quick grid is a strict subset by name.
+        let quick = standard_plans(7, 2000, true);
+        assert_eq!(quick.len(), 4);
+    }
+
+    #[test]
+    fn windows_land_inside_the_horizon() {
+        for plan in standard_plans(3, 1500, false) {
+            for w in plan.windows() {
+                assert!(w.start_cycle < 1500, "{}: window at {}", plan.name, w.start_cycle);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_math() {
+        let mk = |policy: bool, crashed: bool, mae: f64, degraded: u64| CampaignEntry {
+            case: "case3".into(),
+            plan: "p".into(),
+            policy,
+            crashed,
+            crash_sector: None,
+            mae: Some(mae),
+            samples: 100,
+            perception_failures: 0,
+            frame_drops: 0,
+            faulted_cycles: 0,
+            degraded_samples: degraded,
+            degraded_entries: 0,
+            measurement_holds: 0,
+        };
+        let entries =
+            vec![mk(false, true, 0.5, 0), mk(false, false, 0.1, 0), mk(true, false, 0.2, 50)];
+        let s = summarize(&entries);
+        assert_eq!(s.runs_per_arm, 2);
+        assert_eq!(s.crashes_policy_off, 1);
+        assert_eq!(s.crashes_policy_on, 0);
+        assert_eq!(s.crash_rate_policy_off, 0.5);
+        // Crashed runs are excluded from the MAE mean (footnote-7 rule).
+        assert_eq!(s.mean_mae_policy_off, Some(0.1));
+        assert_eq!(s.mean_mae_policy_on, Some(0.2));
+        assert_eq!(s.time_in_degraded_frac, 0.5);
+    }
+}

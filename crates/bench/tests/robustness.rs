@@ -1,0 +1,28 @@
+//! Acceptance tests for the robustness campaign: the report must be a
+//! pure function of `(seed, quick)` — in particular, byte-identical
+//! across Executor thread counts.
+
+use lkas_bench::robustness::{report_json, run_campaign, CampaignConfig, ROBUSTNESS_SCHEMA};
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let base = CampaignConfig { seed: 7, threads: 1, quick: true };
+    let sequential = run_campaign(&base, None);
+    let parallel = run_campaign(&CampaignConfig { threads: 4, ..base }, None);
+    let a = report_json(&sequential);
+    let b = report_json(&parallel);
+    assert_eq!(a.as_bytes(), b.as_bytes(), "threads=1 and threads=4 must emit identical reports");
+
+    assert!(a.contains(ROBUSTNESS_SCHEMA));
+    assert_eq!(sequential.summary.runs_per_arm, 4, "quick grid: 1 case × 4 plans");
+    // The nominal plan must not crash in either arm.
+    for e in sequential.entries.iter().filter(|e| e.plan == "nominal") {
+        assert!(!e.crashed, "fault-free baseline must survive (policy={})", e.policy);
+        assert_eq!(e.faulted_cycles, 0);
+        assert_eq!(e.frame_drops, 0);
+    }
+    // Faulted plans actually injected something.
+    for e in sequential.entries.iter().filter(|e| e.plan != "nominal") {
+        assert!(e.faulted_cycles > 0, "plan {} must inject faults", e.plan);
+    }
+}

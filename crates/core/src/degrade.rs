@@ -1,0 +1,356 @@
+//! Graceful degradation under perception faults.
+//!
+//! The paper's runtime adapts knobs to the *situation*; this module
+//! adds the orthogonal safety layer: adapting to *sensing failure*.
+//! Two mechanisms, both bounded and hysteretic:
+//!
+//! 1. **Hold-and-extrapolate** — when perception misses a cycle, the
+//!    last good `y_L` is extrapolated with its (smoothed, slew-clamped)
+//!    trend for
+//!    up to [`DegradationConfig::miss_budget`] consecutive cycles, so
+//!    the controller keeps a measurement instead of coasting its
+//!    observer open-loop. Beyond the budget the hold is released (a
+//!    stale extrapolation is worse than an honest miss).
+//! 2. **Safe mode** — after [`DegradationConfig::safe_mode_after`]
+//!    consecutive misses the loop falls back to a pre-characterized
+//!    safe tuning: exact ISP (S0), the layout-appropriate coarse ROI,
+//!    and reduced speed. It re-enters nominal operation only after
+//!    [`DegradationConfig::recovery_hits`] consecutive good cycles —
+//!    the hysteresis prevents mode chatter on a flaky sensor. Safe mode
+//!    swaps the classifier set down to the road classifier alone, which
+//!    shortens the sampling period and so shrinks the wall-clock length
+//!    of any fixed-cycle outage.
+//!
+//! Once the miss budget is exhausted the policy flags cycles as blind
+//! ([`Observation::blind`]) and hands the controller an honest miss:
+//! the LQR coasts on its open-loop observer estimate, completing any
+//! in-flight lateral correction. Pinning a stale fake `y_L` for the
+//! whole outage was tried and rejected — a constant fabricated lane
+//! offset fed alongside the real gyro destabilizes the hybrid observer
+//! update, which is worse than honest coasting.
+
+use crate::knobs::{coarse_roi_for, KnobTuning};
+use lkas_imaging::isp::IspConfig;
+use lkas_scene::situation::RoadLayout;
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the degradation state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Maximum consecutive misses bridged by hold-and-extrapolate.
+    pub miss_budget: u32,
+    /// Consecutive misses after which safe mode engages.
+    pub safe_mode_after: u32,
+    /// Consecutive good measurements required to leave safe mode.
+    pub recovery_hits: u32,
+    /// Speed commanded in safe mode (km/h).
+    pub safe_speed_kmph: f64,
+    /// Per-cycle slew bound on the extrapolated `y_L` trend (m).
+    pub max_hold_slew_m: f64,
+    /// Smoothing factor of the trend estimate (exponential moving
+    /// average over per-cycle deltas, in (0, 1]). `y_L` measurement
+    /// noise is of the same order as a real per-cycle slope, so holds
+    /// extrapolating the *last* delta would feed the controller a
+    /// noise-steered ramp — smoothing keeps the hold honest.
+    pub trend_alpha: f64,
+    /// Geometric decay of the trend across consecutive held cycles, in
+    /// [0, 1). Bounds the total extrapolation of a budget-length hold
+    /// to `trend / (1 - trend_decay)` even if the budget is raised.
+    pub trend_decay: f64,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            miss_budget: 4,
+            safe_mode_after: 8,
+            recovery_hits: 12,
+            safe_speed_kmph: 30.0,
+            max_hold_slew_m: 0.05,
+            trend_alpha: 0.25,
+            trend_decay: 0.8,
+        }
+    }
+}
+
+/// Operating mode of the degradation layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationMode {
+    /// Perception is healthy; the situation-aware knobs rule.
+    Nominal,
+    /// Perception has been failing; the safe tuning rules.
+    Degraded,
+}
+
+/// What the policy decided for one control cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// The measurement handed to the controller: the real one, a held
+    /// extrapolation, or `None` once the miss budget is exhausted.
+    pub y_l: Option<f64>,
+    /// `true` if `y_l` is an extrapolated hold, not a real measurement.
+    pub held: bool,
+    /// `true` if the cycle is fully blind (a miss that no hold
+    /// bridges): the controller sees an honest miss and coasts on its
+    /// open-loop observer estimate.
+    pub blind: bool,
+    /// `true` if this cycle entered safe mode.
+    pub entered: bool,
+    /// `true` if this cycle exited safe mode.
+    pub exited: bool,
+}
+
+/// The per-run degradation state machine. Feed it every perception
+/// outcome via [`DegradationPolicy::observe`]; read the mode and the
+/// substituted measurement back.
+#[derive(Debug, Clone)]
+pub struct DegradationPolicy {
+    config: DegradationConfig,
+    mode: DegradationMode,
+    consecutive_misses: u32,
+    consecutive_hits: u32,
+    last_y: Option<f64>,
+    trend: f64,
+}
+
+impl DegradationPolicy {
+    /// A policy in nominal mode with no measurement history.
+    pub fn new(config: DegradationConfig) -> Self {
+        DegradationPolicy {
+            config,
+            mode: DegradationMode::Nominal,
+            consecutive_misses: 0,
+            consecutive_hits: 0,
+            last_y: None,
+            trend: 0.0,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> DegradationMode {
+        self.mode
+    }
+
+    /// `true` while safe mode is engaged.
+    pub fn is_degraded(&self) -> bool {
+        self.mode == DegradationMode::Degraded
+    }
+
+    /// Consecutive perception misses observed so far.
+    pub fn consecutive_misses(&self) -> u32 {
+        self.consecutive_misses
+    }
+
+    /// The safe fallback tuning for the current layout estimate: exact
+    /// ISP, the widest layout-appropriate coarse ROI, reduced speed.
+    pub fn safe_tuning(&self, layout: RoadLayout) -> KnobTuning {
+        KnobTuning::new(IspConfig::S0, coarse_roi_for(layout), self.config.safe_speed_kmph)
+    }
+
+    /// Feeds one perception outcome through the state machine and
+    /// returns the measurement the controller should see plus any mode
+    /// transition that fired.
+    pub fn observe(&mut self, measured: Option<f64>) -> Observation {
+        match measured {
+            Some(y) => {
+                let delta = match self.last_y {
+                    Some(prev) => {
+                        (y - prev).clamp(-self.config.max_hold_slew_m, self.config.max_hold_slew_m)
+                    }
+                    None => 0.0,
+                };
+                self.trend += self.config.trend_alpha * (delta - self.trend);
+                self.last_y = Some(y);
+                self.consecutive_misses = 0;
+                self.consecutive_hits += 1;
+                let mut exited = false;
+                if self.mode == DegradationMode::Degraded
+                    && self.consecutive_hits >= self.config.recovery_hits
+                {
+                    self.mode = DegradationMode::Nominal;
+                    exited = true;
+                }
+                Observation { y_l: Some(y), held: false, blind: false, entered: false, exited }
+            }
+            None => {
+                self.consecutive_misses += 1;
+                self.consecutive_hits = 0;
+                let mut entered = false;
+                if self.mode == DegradationMode::Nominal
+                    && self.consecutive_misses >= self.config.safe_mode_after
+                {
+                    self.mode = DegradationMode::Degraded;
+                    entered = true;
+                }
+                // The hold only bridges short glitches: past the budget
+                // an honest miss beats an ever-staler extrapolation.
+                if self.consecutive_misses <= self.config.miss_budget {
+                    if let Some(prev) = self.last_y {
+                        let held = prev + self.trend;
+                        self.trend *= self.config.trend_decay;
+                        self.last_y = Some(held);
+                        return Observation {
+                            y_l: Some(held),
+                            held: true,
+                            blind: false,
+                            entered,
+                            exited: false,
+                        };
+                    }
+                }
+                Observation { y_l: None, held: false, blind: true, entered, exited: false }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> DegradationPolicy {
+        DegradationPolicy::new(DegradationConfig::default())
+    }
+
+    #[test]
+    fn healthy_measurements_pass_through() {
+        let mut p = policy();
+        for i in 0..20 {
+            let obs = p.observe(Some(0.01 * f64::from(i)));
+            assert!(!obs.held && !obs.entered && !obs.exited);
+            assert_eq!(obs.y_l, Some(0.01 * f64::from(i)));
+        }
+        assert_eq!(p.mode(), DegradationMode::Nominal);
+    }
+
+    #[test]
+    fn holds_extrapolate_within_budget_then_release() {
+        let cfg = DegradationConfig::default();
+        let mut p = policy();
+        p.observe(Some(0.10));
+        p.observe(Some(0.12)); // delta = +0.02, trend = alpha * 0.02
+        let mut trend = cfg.trend_alpha * 0.02;
+        let mut expected = 0.12;
+        for k in 0..cfg.miss_budget {
+            let obs = p.observe(None);
+            expected += trend;
+            trend *= cfg.trend_decay;
+            assert!(obs.held, "miss {k} within budget is held");
+            assert!((obs.y_l.unwrap() - expected).abs() < 1e-12);
+        }
+        // Budget exhausted: the hold releases and the cycle goes blind.
+        let obs = p.observe(None);
+        assert!(!obs.held);
+        assert!(obs.blind);
+        assert_eq!(obs.y_l, None);
+    }
+
+    #[test]
+    fn hold_trend_is_slew_clamped_and_smoothed() {
+        let cfg = DegradationConfig::default();
+        let mut p = policy();
+        p.observe(Some(0.0));
+        p.observe(Some(1.0)); // raw jump 1.0 m ≫ slew bound
+        let obs = p.observe(None);
+        // The per-cycle delta clamps to the slew bound, and the trend
+        // only absorbs the smoothing fraction of it — a single noisy
+        // jump cannot steer the hold by the full bound.
+        let trend = cfg.trend_alpha * cfg.max_hold_slew_m;
+        assert!((obs.y_l.unwrap() - (1.0 + trend)).abs() < 1e-12, "expected trend {trend}");
+    }
+
+    #[test]
+    fn safe_mode_entry_after_k_misses() {
+        let cfg = DegradationConfig::default();
+        let mut p = policy();
+        p.observe(Some(0.0));
+        for k in 1..cfg.safe_mode_after {
+            let obs = p.observe(None);
+            assert!(!obs.entered, "miss {k} must not yet trip safe mode");
+            assert_eq!(p.mode(), DegradationMode::Nominal);
+        }
+        let obs = p.observe(None);
+        assert!(obs.entered, "miss {} trips safe mode", cfg.safe_mode_after);
+        assert!(p.is_degraded());
+        // Entry fires once, not every subsequent miss.
+        assert!(!p.observe(None).entered);
+    }
+
+    #[test]
+    fn recovery_requires_hysteresis() {
+        let cfg = DegradationConfig::default();
+        let mut p = policy();
+        for _ in 0..cfg.safe_mode_after {
+            p.observe(None);
+        }
+        assert!(p.is_degraded());
+        // A lone good frame (then another miss) must not exit.
+        p.observe(Some(0.0));
+        p.observe(None);
+        assert!(p.is_degraded(), "one hit is not recovery");
+        // A full run of recovery_hits consecutive hits exits exactly once.
+        let mut exits = 0;
+        for _ in 0..cfg.recovery_hits {
+            if p.observe(Some(0.0)).exited {
+                exits += 1;
+            }
+        }
+        assert_eq!(exits, 1);
+        assert_eq!(p.mode(), DegradationMode::Nominal);
+    }
+
+    #[test]
+    fn safe_tuning_is_exact_isp_coarse_roi_slow() {
+        let p = policy();
+        let t = p.safe_tuning(RoadLayout::RightTurn);
+        assert_eq!(t.isp, IspConfig::S0);
+        assert_eq!(t.roi, lkas_perception::roi::Roi::Roi2);
+        assert_eq!(t.speed_kmph, 30.0);
+        assert_eq!(p.safe_tuning(RoadLayout::Straight).roi, lkas_perception::roi::Roi::Roi1);
+    }
+
+    #[test]
+    fn no_history_means_no_hold() {
+        let mut p = policy();
+        let obs = p.observe(None);
+        assert_eq!(obs.y_l, None);
+        assert!(!obs.held);
+        assert!(obs.blind);
+    }
+
+    #[test]
+    fn long_outages_go_blind_even_in_safe_mode() {
+        let cfg = DegradationConfig::default();
+        let mut p = policy();
+        p.observe(Some(0.10));
+        p.observe(Some(0.12));
+        // Misses past the budget go blind, before and after safe-mode
+        // entry: a fabricated constant `y_L` fed alongside the real
+        // gyro destabilizes the observer, so the policy never pins one.
+        let mut entered_at = None;
+        for k in 1..=cfg.safe_mode_after {
+            let obs = p.observe(None);
+            if obs.entered {
+                entered_at = Some(k);
+            }
+            if k > cfg.miss_budget {
+                assert!(obs.blind && obs.y_l.is_none(), "miss {k} past budget is blind");
+            }
+        }
+        assert_eq!(entered_at, Some(cfg.safe_mode_after));
+        for k in 0..100 {
+            let obs = p.observe(None);
+            assert!(obs.blind && !obs.held, "safe-mode miss {k} stays blind");
+        }
+        assert!(p.is_degraded());
+    }
+
+    #[test]
+    fn held_cycles_are_not_blind() {
+        let mut p = policy();
+        p.observe(Some(0.1));
+        let obs = p.observe(None);
+        assert!(obs.held && !obs.blind);
+        assert!(!p.observe(Some(0.1)).blind);
+    }
+}

@@ -12,14 +12,17 @@
 //! advances at the 5 ms Webots step throughout.
 
 use crate::cases::Case;
+use crate::degrade::{DegradationConfig, DegradationPolicy};
 use crate::identify::{ClassifierBundle, SituationEstimate};
 use crate::knobs::{coarse_roi_for, fine_roi_for, speed_for, KnobTable, KnobTuning};
 use crate::qoc::QocAccumulator;
 use lkas_control::controller::{Controller, Measurement};
 use lkas_control::design::{design_controller_cached, ControllerConfig};
+use lkas_faults::{apply_bayer_fault, derive_cycle_seed, FaultPlan, Misprediction};
 use lkas_imaging::isp::{IspConfig, IspPipeline};
 use lkas_imaging::sensor::{Sensor, SensorConfig};
 use lkas_perception::pipeline::{Perception, PerceptionConfig};
+use lkas_platform::schedule::ClassifierSet;
 use lkas_runtime::{Counter, Metrics, Stage};
 use lkas_scene::camera::Camera;
 use lkas_scene::render::SceneRenderer;
@@ -77,6 +80,13 @@ pub struct HilConfig {
     /// counters for this run. Share one `Arc` across the runs of a
     /// sweep to aggregate; `None` disables recording.
     pub metrics: Option<Arc<Metrics>>,
+    /// Deterministic fault campaign injected into the loop. `None`
+    /// runs fault-free.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Graceful-degradation policy guarding against perception
+    /// failures. `None` leaves the loop unhardened (the controller's
+    /// observer coasts on misses, knobs never fall back).
+    pub degradation: Option<DegradationConfig>,
 }
 
 /// One control sample of a recorded trace.
@@ -114,6 +124,8 @@ impl HilConfig {
             record_trace: false,
             scheme_override: None,
             metrics: None,
+            fault_plan: None,
+            degradation: None,
         }
     }
 
@@ -167,6 +179,18 @@ impl HilConfig {
         self.metrics = Some(metrics);
         self
     }
+
+    /// Injects a fault campaign into the run (builder style).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables the graceful-degradation policy (builder style).
+    pub fn with_degradation(mut self, config: DegradationConfig) -> Self {
+        self.degradation = Some(config);
+        self
+    }
 }
 
 /// Outcome of one HiL run.
@@ -189,6 +213,16 @@ pub struct HilResult {
     /// Control samples whose situation estimate disagreed with ground
     /// truth (diagnostic; 0 for the oracle source only if no staleness).
     pub misidentifications: u64,
+    /// Camera frames dropped by the fault plan.
+    pub frame_drops: u64,
+    /// Control samples with at least one injected fault active.
+    pub faulted_cycles: u64,
+    /// Control samples spent in degraded (safe) mode.
+    pub degraded_samples: u64,
+    /// Times the degradation policy entered safe mode.
+    pub degraded_entries: u64,
+    /// Misses bridged by the hold-and-extrapolate mechanism.
+    pub measurement_holds: u64,
     /// Per-sample trace (empty unless [`HilConfig::record_trace`]).
     pub trace: Vec<TraceSample>,
 }
@@ -228,10 +262,17 @@ impl HilSimulator {
     pub fn run(self) -> HilResult {
         let HilSimulator { track, config } = self;
         let metrics = config.metrics.as_deref();
+        // All event accounting goes through one run-local tally (and is
+        // mirrored into the shared registry); the result's counters are
+        // read back from it at the end.
+        let tally = Tally { local: Metrics::new(), shared: metrics };
         let n_sectors = track.sectors().len();
         let scheme =
             config.scheme_override.clone().unwrap_or_else(|| config.case.invocation_scheme());
         let delay_set = config.case.delay_classifier_set();
+        let fault_plan = config.fault_plan.clone();
+        let plan_seed = fault_plan.as_ref().map_or(0, |p| p.seed);
+        let mut policy = config.degradation.map(DegradationPolicy::new);
 
         // Initial knobs & controller.
         let mut estimate = match config.initial_estimate {
@@ -252,10 +293,6 @@ impl HilSimulator {
         let mut vehicle = VehicleSim::new(track, VehicleState::centered(knobs.speed_kmph));
 
         let mut qoc = QocAccumulator::new(n_sectors);
-        let mut samples = 0u64;
-        let mut perception_failures = 0u64;
-        let mut reconfigurations = 0u64;
-        let mut misidentifications = 0u64;
         let mut frame_index = 0u64;
         let mut trace: Vec<TraceSample> = Vec::new();
 
@@ -265,13 +302,29 @@ impl HilSimulator {
         // Steering commands pending actuation: (activation time, angle).
         let mut pending: Vec<(f64, f64)> = Vec::new();
         let mut active_cmd = 0.0f64;
+        let mut crashed = false;
+        let mut crash_sector = None;
 
         while !vehicle.finished() && vehicle.time_s() < config.max_time_s {
             if t_ms + 1e-9 >= next_sample_ms {
                 // ---- control sample -------------------------------------
-                samples += 1;
-                if let Some(m) = metrics {
-                    m.incr(Counter::Cycles);
+                tally.incr(Counter::Cycles);
+                let faults =
+                    fault_plan.as_ref().map(|p| p.faults_at(frame_index)).unwrap_or_default();
+                if faults.any() {
+                    tally.incr(Counter::FaultsInjected);
+                }
+                if fault_plan.is_some() {
+                    let act = faults.actuation.map(lkas_faults::ActuationFault::to_actuator);
+                    if act.is_some() && vehicle.actuator_fault().is_none() {
+                        tally.incr(Counter::ActuationFaults);
+                    }
+                    vehicle.set_actuator_fault(act);
+                }
+                // Safe-mode state as of the previous cycle's outcome.
+                let degraded = policy.as_ref().map_or(false, DegradationPolicy::is_degraded);
+                if degraded {
+                    tally.incr(Counter::DegradedCycles);
                 }
                 // Apply the ISP knob staged in the previous cycle
                 // (Sec. III-D: "ISP knobs are configured in the next
@@ -279,15 +332,31 @@ impl HilSimulator {
                 if let Some(cfg) = staged_isp.take() {
                     isp.set_config(cfg);
                 }
-                let (s, d, psi) = vehicle.camera_pose();
-                let scene_rgb =
-                    timed(metrics, Stage::Render, || renderer.render(vehicle.track(), s, d, psi));
-                let raw = timed(metrics, Stage::Sensor, || sensor.capture(&scene_rgb, 1.0));
-                let rgb = timed(metrics, Stage::Isp, || isp.process(&raw));
+                // Camera pipeline — skipped entirely on a dropped frame.
+                let frame = if faults.drop_frame {
+                    tally.incr(Counter::FrameDrops);
+                    None
+                } else {
+                    let (s, d, psi) = vehicle.camera_pose();
+                    let scene_rgb = timed(metrics, Stage::Render, || {
+                        renderer.render(vehicle.track(), s, d, psi)
+                    });
+                    let mut raw = timed(metrics, Stage::Sensor, || sensor.capture(&scene_rgb, 1.0));
+                    if let Some(kind) = faults.bayer {
+                        apply_bayer_fault(kind, &mut raw, plan_seed, frame_index);
+                    }
+                    Some(timed(metrics, Stage::Isp, || isp.process(&raw)))
+                };
 
                 // Situation identification with the scheduled
-                // classifiers.
-                let invoked = scheme.classifiers_for_frame(frame_index, controller_cfg.h_ms);
+                // classifiers (none on a dropped frame; road only
+                // while degraded — see `classifiers_for_frame_faulted`).
+                let invoked = scheme.classifiers_for_frame_faulted(
+                    frame_index,
+                    controller_cfg.h_ms,
+                    faults.drop_frame,
+                    degraded,
+                );
                 let previous_estimate = estimate.current();
                 timed(metrics, Stage::Classifier, || match &config.source {
                     SituationSource::Oracle => {
@@ -299,37 +368,52 @@ impl HilSimulator {
                         estimate.update_from_truth(&truth, invoked);
                     }
                     SituationSource::Trained(bundle) => {
-                        estimate.update_from_frame(bundle, &rgb, &config.camera, invoked);
+                        if let Some(rgb) = &frame {
+                            estimate.update_from_frame(bundle, rgb, &config.camera, invoked);
+                        }
                     }
                 });
-                if let Some(m) = metrics {
-                    if estimate.current() != previous_estimate {
-                        m.incr(Counter::SituationSwitches);
+                if let Some(mp) = faults.mispredict {
+                    // A dropped frame produces no classifier output to
+                    // corrupt.
+                    if !faults.drop_frame {
+                        let forced = match mp {
+                            Misprediction::Force(s) => s,
+                            Misprediction::Confuse => lkas_nn::classifiers::confuse_situation(
+                                &vehicle.preview_situation(ORACLE_PREVIEW_M),
+                                derive_cycle_seed(plan_seed, frame_index),
+                            ),
+                        };
+                        estimate.force(forced);
+                        tally.incr(Counter::ForcedMispredictions);
                     }
                 }
+                if estimate.current() != previous_estimate {
+                    tally.incr(Counter::SituationSwitches);
+                }
                 if estimate.current() != vehicle.preview_situation(ORACLE_PREVIEW_M) {
-                    misidentifications += 1;
+                    tally.incr(Counter::Misidentifications);
                 }
 
                 // Knob reconfiguration: PR/control now, ISP next cycle.
-                let new_knobs =
-                    knobs_for_case(config.case, &estimate.current(), &config.knob_table);
+                // In safe mode the degradation policy's pre-characterized
+                // fallback overrides the situation-aware choice.
+                let new_knobs = match (&policy, degraded) {
+                    (Some(p), true) => p.safe_tuning(estimate.current().layout),
+                    _ => knobs_for_case(config.case, &estimate.current(), &config.knob_table),
+                };
                 if new_knobs != knobs {
-                    reconfigurations += 1;
+                    tally.incr(Counter::KnobReconfigurations);
                     if new_knobs.roi != knobs.roi {
                         perception = Perception::new(
                             PerceptionConfig::new(new_knobs.roi),
                             config.camera.clone(),
                         );
-                        if let Some(m) = metrics {
-                            m.incr(Counter::PerceptionReconfigurations);
-                        }
+                        tally.incr(Counter::PerceptionReconfigurations);
                     }
                     if new_knobs.isp != knobs.isp {
                         staged_isp = Some(new_knobs.isp);
-                        if let Some(m) = metrics {
-                            m.incr(Counter::IspReconfigurations);
-                        }
+                        tally.incr(Counter::IspReconfigurations);
                     }
                     vehicle.set_target_speed_kmph(new_knobs.speed_kmph);
                     knobs = new_knobs;
@@ -343,18 +427,21 @@ impl HilSimulator {
                 } else {
                     30.0
                 };
+                // In safe mode only the road classifier runs, so the
+                // loop is also scheduled for it: the shorter h/τ mean a
+                // fixed-cycle outage costs less wall-clock time blind.
+                let cycle_delay_set = if degraded { ClassifierSet::road_only() } else { delay_set };
                 let mut new_cfg = ControllerConfig {
                     speed_kmph: design_speed,
-                    ..knobs.controller_config(delay_set)
+                    ..knobs.controller_config(cycle_delay_set)
                 };
-                if config.case == Case::VariableInvocation {
+                if config.case == Case::VariableInvocation && !degraded {
                     // Sec. IV-E: the variable scheme keeps the
                     // situation-tuned sampling period (as if all three
                     // classifiers ran) but enjoys the shorter
                     // single-classifier delay — the QoC gain the paper
                     // reports comes from the reduced τ, not a faster h.
-                    new_cfg.h_ms =
-                        knobs.controller_config(lkas_platform::schedule::ClassifierSet::all()).h_ms;
+                    new_cfg.h_ms = knobs.controller_config(ClassifierSet::all()).h_ms;
                 }
                 if new_cfg != controller_cfg {
                     let mut next =
@@ -362,26 +449,52 @@ impl HilSimulator {
                     next.adopt_state(&controller);
                     controller = next;
                     controller_cfg = new_cfg;
-                    if let Some(m) = metrics {
-                        m.incr(Counter::ControlReconfigurations);
-                    }
+                    tally.incr(Counter::ControlReconfigurations);
                 }
 
-                // Perception + control.
-                let y_l = match timed(metrics, Stage::Perception, || perception.process(&rgb)) {
-                    Ok(out) => Some(out.y_l),
-                    Err(_) => {
-                        perception_failures += 1;
-                        if let Some(m) = metrics {
-                            m.incr(Counter::PerceptionFailures);
+                // Perception, then the degradation policy's substitution.
+                let raw_y_l = match &frame {
+                    Some(rgb) => {
+                        match timed(metrics, Stage::Perception, || perception.process(rgb)) {
+                            Ok(out) => Some(out.y_l),
+                            Err(_) => {
+                                tally.incr(Counter::PerceptionFailures);
+                                None
+                            }
                         }
-                        None
                     }
+                    None => None,
                 };
+                let y_l = match policy.as_mut() {
+                    Some(p) => {
+                        let obs = p.observe(raw_y_l);
+                        if obs.held {
+                            tally.incr(Counter::MeasurementHolds);
+                        }
+                        if obs.entered {
+                            tally.incr(Counter::DegradedEntries);
+                        }
+                        if obs.exited {
+                            tally.incr(Counter::DegradedExits);
+                        }
+                        obs.y_l
+                    }
+                    None => raw_y_l,
+                };
+                // On blind cycles (`y_l == None`) the controller coasts:
+                // the LQR keeps acting on the open-loop observer
+                // estimate, which completes any in-flight lateral
+                // correction and then decays to near-zero steering —
+                // the safest blind behavior (an explicit zero-steering
+                // override would freeze a mid-correction heading error
+                // and integrate it into a departure over a long outage).
                 let u = timed(metrics, Stage::Control, || {
                     controller.step(&Measurement { y_l, yaw_rate: vehicle.state().r })
                 });
-                pending.push((t_ms + controller_cfg.tau_ms, u));
+                if faults.extra_delay_ms > 0.0 {
+                    tally.incr(Counter::DeadlineOverruns);
+                }
+                pending.push((t_ms + controller_cfg.tau_ms + faults.extra_delay_ms, u));
                 if config.record_trace {
                     trace.push(TraceSample {
                         t_ms,
@@ -416,29 +529,26 @@ impl HilSimulator {
 
             if vehicle.departed() {
                 qoc.mark_crashed(sector);
-                return HilResult {
-                    qoc,
-                    crashed: true,
-                    crash_sector: Some(sector),
-                    time_s: vehicle.time_s(),
-                    samples,
-                    perception_failures,
-                    reconfigurations,
-                    misidentifications,
-                    trace,
-                };
+                crashed = true;
+                crash_sector = Some(sector);
+                break;
             }
         }
 
         HilResult {
             qoc,
-            crashed: false,
-            crash_sector: None,
+            crashed,
+            crash_sector,
             time_s: vehicle.time_s(),
-            samples,
-            perception_failures,
-            reconfigurations,
-            misidentifications,
+            samples: tally.get(Counter::Cycles),
+            perception_failures: tally.get(Counter::PerceptionFailures),
+            reconfigurations: tally.get(Counter::KnobReconfigurations),
+            misidentifications: tally.get(Counter::Misidentifications),
+            frame_drops: tally.get(Counter::FrameDrops),
+            faulted_cycles: tally.get(Counter::FaultsInjected),
+            degraded_samples: tally.get(Counter::DegradedCycles),
+            degraded_entries: tally.get(Counter::DegradedEntries),
+            measurement_holds: tally.get(Counter::MeasurementHolds),
             trace,
         }
     }
@@ -463,6 +573,29 @@ pub fn knobs_for_case(case: Case, estimate: &SituationFeatures, table: &KnobTabl
             speed_for(estimate.layout),
         ),
         Case::Case4 | Case::VariableInvocation => table.lookup(estimate),
+    }
+}
+
+/// Run-local event accounting: the single source of truth for the
+/// counters reported in [`HilResult`], mirrored into the shared
+/// telemetry registry when one is attached. (Previously `run()` kept
+/// ad-hoc local integers *and* conditionally incremented the registry,
+/// and the two bookkeeping paths could drift.)
+struct Tally<'a> {
+    local: Metrics,
+    shared: Option<&'a Metrics>,
+}
+
+impl Tally<'_> {
+    fn incr(&self, counter: Counter) {
+        self.local.incr(counter);
+        if let Some(m) = self.shared {
+            m.incr(counter);
+        }
+    }
+
+    fn get(&self, counter: Counter) -> u64 {
+        self.local.counter(counter)
     }
 }
 
@@ -593,6 +726,114 @@ mod tests {
         let b = short_run(Case::Case3, 0, 120.0);
         assert_eq!(a.overall_mae(), b.overall_mae());
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn fault_free_runs_report_zero_fault_counters() {
+        let r = short_run(Case::Case3, 0, 120.0);
+        assert_eq!(r.frame_drops, 0);
+        assert_eq!(r.faulted_cycles, 0);
+        assert_eq!(r.degraded_samples, 0);
+        assert_eq!(r.degraded_entries, 0);
+        assert_eq!(r.measurement_holds, 0);
+    }
+
+    #[test]
+    fn faulted_runs_replay_identically() {
+        let mk = || {
+            let plan = Arc::new(
+                FaultPlan::named("storm", 9).hot_pixels(20, 40, 0.05).exposure_glitch(80, 20, 2.0),
+            );
+            let track = Track::for_situation(&TABLE3_SITUATIONS[0], 150.0);
+            let config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+                .with_camera(test_camera())
+                .with_seed(42)
+                .with_fault_plan(plan);
+            HilSimulator::new(track, config).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.overall_mae(), b.overall_mae());
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.faulted_cycles, b.faulted_cycles);
+        assert_eq!(a.perception_failures, b.perception_failures);
+        assert!(a.faulted_cycles >= 60, "both windows must land inside the run");
+    }
+
+    #[test]
+    fn short_drop_burst_is_bridged_by_holds_without_safe_mode() {
+        // A 3-frame drop: within the miss budget (held) and below the
+        // safe-mode threshold (no degraded entry).
+        let plan = Arc::new(FaultPlan::named("blip", 1).drop_burst(40, 3));
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 150.0);
+        let config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+            .with_camera(test_camera())
+            .with_seed(42)
+            .with_fault_plan(plan)
+            .with_degradation(DegradationConfig::default());
+        let r = HilSimulator::new(track, config).run();
+        assert!(!r.crashed);
+        assert_eq!(r.frame_drops, 3);
+        assert_eq!(r.measurement_holds, 3);
+        assert_eq!(r.degraded_entries, 0);
+        assert_eq!(r.degraded_samples, 0);
+    }
+
+    #[test]
+    fn forced_misprediction_reconfigures_and_is_counted() {
+        // Force a right-turn estimate for 10 frames on a straight: the
+        // knobs chase the lie (and come back), every lied frame counts
+        // as a misidentification.
+        let wrong = TABLE3_SITUATIONS[7];
+        let plan = Arc::new(FaultPlan::named("liar", 1).force_situation(30, 10, wrong));
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 200.0);
+        let config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+            .with_camera(test_camera())
+            .with_seed(42)
+            .with_fault_plan(plan);
+        let r = HilSimulator::new(track, config).run();
+        assert!(!r.crashed, "a brief wrong tuning on a straight is survivable");
+        assert!(r.misidentifications >= 10, "misidentifications = {}", r.misidentifications);
+        assert!(r.reconfigurations >= 2, "into the wrong tuning and back");
+        assert!(r.faulted_cycles >= 10);
+    }
+
+    #[test]
+    fn degradation_policy_survives_frame_drop_burst_that_crashes_unhardened() {
+        // The acceptance scenario: a frame-drop burst starts while the
+        // approach straight still fills the camera preview, so the
+        // unhardened Case 3 loop never learns about the upcoming right
+        // turn — it carries its stale straight knobs (50 km/h) blind
+        // into the curve and departs about 1.6 s later (22 m of blind
+        // arc exhausts the departure limit at R = 110 m). The hardened
+        // loop exhausts its miss budget early on the straight, falls
+        // back to safe mode (30 km/h), re-acquires before the curve,
+        // recenters, and takes the turn sighted.
+        use lkas_scene::track::Sector;
+        let plan = Arc::new(FaultPlan::named("blindfold", 7).drop_burst(150, 500));
+        let run = |hardened: bool| {
+            let track = Track::new(vec![
+                Sector::for_situation(&TABLE3_SITUATIONS[0], 300.0),
+                Sector::for_situation(&TABLE3_SITUATIONS[7], 140.0),
+                Sector::for_situation(&TABLE3_SITUATIONS[0], 80.0),
+            ]);
+            let mut config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+                .with_camera(test_camera())
+                .with_seed(7)
+                .with_fault_plan(Arc::clone(&plan));
+            if hardened {
+                config = config.with_degradation(DegradationConfig::default());
+            }
+            HilSimulator::new(track, config).run()
+        };
+        let unhardened = run(false);
+        assert!(unhardened.crashed, "blind turn entry at 50 km/h must depart");
+        let hardened = run(true);
+        assert!(!hardened.crashed, "safe mode must survive the same burst");
+        assert!(hardened.degraded_entries >= 1, "the burst must trip safe mode");
+        assert!(hardened.degraded_samples > 0);
+        assert!(hardened.measurement_holds >= 1, "the first misses are bridged");
+        assert!(hardened.frame_drops > 0);
     }
 
     #[test]

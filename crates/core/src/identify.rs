@@ -103,6 +103,14 @@ impl SituationEstimate {
         }
     }
 
+    /// Overwrites the whole estimate — the classifier-misprediction
+    /// fault hook. Unlike the partial updates, this bypasses the
+    /// invocation schedule: an injected misprediction corrupts whatever
+    /// the classifiers would have reported.
+    pub fn force(&mut self, situation: SituationFeatures) {
+        self.current = situation;
+    }
+
     /// Updates from ground truth (the oracle source used by the
     /// design-time characterization), honoring the same partial-update
     /// semantics.

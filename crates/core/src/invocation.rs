@@ -78,6 +78,30 @@ impl InvocationScheme {
         }
     }
 
+    /// The classifier set for a frame under fault and degradation
+    /// conditions. A dropped frame invokes nothing (there is no image
+    /// to classify); a degraded loop invokes only the road classifier —
+    /// the safe tuning pins the ISP and speed knobs anyway, road layout
+    /// is the one situation axis that still matters (it selects the
+    /// coarse ROI), and the single-classifier schedule shortens the
+    /// sampling period, so a fixed-cycle outage costs less wall-clock
+    /// time blind. Otherwise the scheme's nominal schedule applies.
+    pub fn classifiers_for_frame_faulted(
+        &self,
+        frame_index: u64,
+        h_ms: f64,
+        frame_dropped: bool,
+        degraded: bool,
+    ) -> ClassifierSet {
+        if frame_dropped {
+            ClassifierSet::none()
+        } else if degraded {
+            ClassifierSet::road_only()
+        } else {
+            self.classifiers_for_frame(frame_index, h_ms)
+        }
+    }
+
     /// The worst-case per-frame classifier count of this scheme, which
     /// determines the delay the controller must be designed for.
     pub fn worst_case_count(&self) -> usize {
@@ -142,5 +166,23 @@ mod tests {
     fn empty_custom_runs_nothing() {
         let s = InvocationScheme::Custom(vec![]);
         assert_eq!(s.classifiers_for_frame(5, 25.0).count(), 0);
+    }
+
+    #[test]
+    fn faulted_schedule_overrides() {
+        let s = InvocationScheme::round_robin_300ms();
+        // A dropped frame runs nothing, whatever the schedule says.
+        assert_eq!(s.classifiers_for_frame_faulted(0, 25.0, true, false).count(), 0);
+        assert_eq!(s.classifiers_for_frame_faulted(0, 25.0, true, true).count(), 0);
+        // Degraded mode runs the road classifier alone.
+        assert_eq!(
+            s.classifiers_for_frame_faulted(0, 25.0, false, true),
+            ClassifierSet::road_only()
+        );
+        // Nominal falls through to the scheme.
+        assert_eq!(
+            s.classifiers_for_frame_faulted(0, 25.0, false, false),
+            s.classifiers_for_frame(0, 25.0)
+        );
     }
 }

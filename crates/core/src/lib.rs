@@ -44,6 +44,7 @@
 
 pub mod cases;
 pub mod characterize;
+pub mod degrade;
 pub mod hil;
 pub mod identify;
 pub mod invocation;
@@ -52,6 +53,7 @@ pub mod qoc;
 pub mod stability;
 
 pub use cases::Case;
+pub use degrade::{DegradationConfig, DegradationMode, DegradationPolicy};
 pub use hil::{HilConfig, HilResult, HilSimulator, SituationSource};
 pub use knobs::{KnobTable, KnobTuning};
 

@@ -1,0 +1,66 @@
+//! Property tests for the fault-plan DSL: schedules are pure functions
+//! of their seed, which is what lets robustness campaigns double as
+//! regression tests.
+
+use lkas_faults::{derive_cycle_seed, FaultPlan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed (and shape) ⇒ the identical schedule, window for window.
+    #[test]
+    fn random_plan_is_a_pure_function_of_seed(
+        seed in 0u64..1_000_000,
+        horizon in 100u64..5_000,
+        bursts in 1usize..24,
+    ) {
+        let a = FaultPlan::random("prop", seed, horizon, bursts);
+        let b = FaultPlan::random("prop", seed, horizon, bursts);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json(), b.to_json());
+        prop_assert_eq!(a.windows().len(), bursts);
+    }
+
+    /// Different seeds almost surely give different campaigns.
+    #[test]
+    fn different_seeds_differ(seed in 0u64..1_000_000) {
+        let a = FaultPlan::random("prop", seed, 2_000, 8);
+        let b = FaultPlan::random("prop", seed ^ 0xDEAD_BEEF, 2_000, 8);
+        prop_assert_ne!(a, b);
+    }
+
+    /// Every scheduled window starts inside the horizon.
+    #[test]
+    fn random_windows_start_inside_horizon(
+        seed in 0u64..1_000_000,
+        horizon in 1u64..5_000,
+    ) {
+        let plan = FaultPlan::random("prop", seed, horizon, 10);
+        for w in plan.windows() {
+            prop_assert!(w.start_cycle < horizon);
+        }
+    }
+
+    /// Per-cycle corruption seeds replay exactly and never collide
+    /// across adjacent cycles of the same plan.
+    #[test]
+    fn cycle_seeds_replay_and_scatter(plan_seed in 0u64..u64::MAX, cycle in 0u64..1_000_000) {
+        prop_assert_eq!(
+            derive_cycle_seed(plan_seed, cycle),
+            derive_cycle_seed(plan_seed, cycle)
+        );
+        prop_assert_ne!(
+            derive_cycle_seed(plan_seed, cycle),
+            derive_cycle_seed(plan_seed, cycle + 1)
+        );
+    }
+
+    /// The JSON round trip preserves the plan for arbitrary seeds.
+    #[test]
+    fn json_round_trip(seed in 0u64..1_000_000) {
+        let plan = FaultPlan::random("rt", seed, 1_000, 6);
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+}

@@ -118,6 +118,54 @@ impl Sensor {
     }
 }
 
+// ---------------------------------------------------------------------
+// RAW-domain fault primitives
+//
+// Deterministic Bayer-frame corruptions applied *between* sensor capture
+// and the ISP — the hardware failure modes (defective photosites, readout
+// interference, auto-exposure glitches) that the `lkas-faults` campaign
+// injects. They live here because they are operations on `RawImage`,
+// mirroring the real corruption point in the imaging chain.
+// ---------------------------------------------------------------------
+
+/// Saturates a deterministic pseudo-random subset of photosites to
+/// full-well ("hot" pixels). `density` is the expected fraction of
+/// affected photosites; the affected set is a pure function of `seed`.
+pub fn inject_hot_pixels(raw: &mut RawImage, density: f32, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in raw.as_mut_slice() {
+        if rng.gen_range(0.0f32..1.0) < density {
+            *v = 1.0;
+        }
+    }
+}
+
+/// Scales every `period`-th row (offset by `phase`) by `gain` — the
+/// horizontal banding of readout interference. `period == 0` is a no-op.
+pub fn inject_row_banding(raw: &mut RawImage, period: usize, gain: f32, phase: usize) {
+    if period == 0 {
+        return;
+    }
+    let (w, h) = (raw.width(), raw.height());
+    for y in 0..h {
+        if (y + phase) % period == 0 {
+            for x in 0..w {
+                let v = raw.get(x, y);
+                raw.set(x, y, (v * gain).clamp(0.0, 1.0));
+            }
+        }
+    }
+}
+
+/// Scales the whole frame by `gain`, clamping into the sensor's unit
+/// range — an auto-exposure glitch. Gains above 1 clip highlights,
+/// gains below 1 crush the frame toward the noise floor.
+pub fn inject_exposure_glitch(raw: &mut RawImage, gain: f32) {
+    for v in raw.as_mut_slice() {
+        *v = (*v * gain).clamp(0.0, 1.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +248,61 @@ mod tests {
         let mut s = Sensor::new(SensorConfig { read_noise: 0.5, shot_noise: 0.5, gain: 2.0 }, 3);
         let raw = s.capture(&flat_scene(1.0), 1.0);
         assert!(raw.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn hot_pixels_saturate_about_density_and_are_deterministic() {
+        let mut s = Sensor::new(SensorConfig { read_noise: 0.0, shot_noise: 0.0, gain: 1.0 }, 0);
+        let mut a = s.capture(&flat_scene(0.2), 1.0);
+        let mut b = a.clone();
+        inject_hot_pixels(&mut a, 0.05, 77);
+        inject_hot_pixels(&mut b, 0.05, 77);
+        assert_eq!(a, b, "same seed ⇒ same hot-pixel set");
+        let hot = a.as_slice().iter().filter(|&&v| v == 1.0).count();
+        let n = a.as_slice().len();
+        let expected = (n as f32 * 0.05) as usize;
+        assert!(
+            hot > expected / 2 && hot < expected * 2,
+            "hot count {hot} should be near {expected}"
+        );
+        let mut c = s.capture(&flat_scene(0.2), 1.0);
+        inject_hot_pixels(&mut c, 0.05, 78);
+        assert_ne!(a, c, "different seeds pick different photosites");
+    }
+
+    #[test]
+    fn row_banding_hits_only_the_period_rows() {
+        let mut s = Sensor::new(SensorConfig { read_noise: 0.0, shot_noise: 0.0, gain: 1.0 }, 0);
+        let clean = s.capture(&flat_scene(0.4), 1.0);
+        let mut banded = clean.clone();
+        inject_row_banding(&mut banded, 4, 0.2, 1);
+        for y in 0..banded.height() {
+            for x in 0..banded.width() {
+                if (y + 1) % 4 == 0 {
+                    assert!(banded.get(x, y) < clean.get(x, y), "row {y} must be darkened");
+                } else {
+                    assert_eq!(banded.get(x, y), clean.get(x, y), "row {y} must be untouched");
+                }
+            }
+        }
+        // Degenerate period is a no-op rather than a divide-by-zero.
+        let mut untouched = clean.clone();
+        inject_row_banding(&mut untouched, 0, 0.2, 0);
+        assert_eq!(untouched, clean);
+    }
+
+    #[test]
+    fn exposure_glitch_scales_and_clips() {
+        let mean = |r: &RawImage| r.as_slice().iter().sum::<f32>() / r.as_slice().len() as f32;
+        let mut s = Sensor::new(SensorConfig { read_noise: 0.0, shot_noise: 0.0, gain: 1.0 }, 0);
+        let clean = s.capture(&flat_scene(0.4), 1.0);
+        let mut over = clean.clone();
+        inject_exposure_glitch(&mut over, 4.0);
+        assert!(over.as_slice().iter().all(|&v| v <= 1.0), "over-exposure clips at full well");
+        assert!(mean(&over) > mean(&clean));
+        let mut under = clean.clone();
+        inject_exposure_glitch(&mut under, 0.25);
+        let ratio = mean(&under) / mean(&clean);
+        assert!((ratio - 0.25).abs() < 1e-3, "under-exposure scales linearly (ratio {ratio})");
     }
 }

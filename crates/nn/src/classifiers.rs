@@ -19,7 +19,7 @@ use lkas_imaging::image::RgbImage;
 use lkas_scene::camera::Camera;
 use lkas_scene::situation::{LaneColor, LaneForm, RoadLayout, SceneKind, SituationFeatures};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Training configuration for a classifier.
@@ -184,6 +184,33 @@ fn sanitize(layout: RoadLayout, scene: SceneKind) -> (RoadLayout, SceneKind) {
     } else {
         (layout, scene)
     }
+}
+
+/// Deterministically derives a *wrong but plausible* situation from the
+/// true one — the classifier-misprediction model used by the
+/// `lkas-faults` injection campaign. The returned situation always
+/// differs from `truth` in the road layout (the feature group closed-loop
+/// robustness is most sensitive to) and, depending on `salt`, may also
+/// flip the lane form — exactly the confusions a real road/lane head
+/// makes between adjacent classes. A pure function of `(truth, salt)`,
+/// so fault schedules built on it replay bit-identically.
+pub fn confuse_situation(truth: &SituationFeatures, salt: u64) -> SituationFeatures {
+    let mut rng = StdRng::seed_from_u64(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC1A5);
+    let layouts = RoadLayout::ALL;
+    let current = layouts.iter().position(|&l| l == truth.layout).unwrap_or(0);
+    // Pick a different layout: offset by 1 or 2 within the 3-cycle.
+    let offset = 1 + rng.gen_range(0..layouts.len() - 1);
+    let wrong_layout = layouts[(current + offset) % layouts.len()];
+    let mut wrong = *truth;
+    wrong.layout = wrong_layout;
+    if rng.gen_bool(0.5) {
+        wrong.lane_form = match truth.lane_form {
+            LaneForm::Continuous => LaneForm::Dotted,
+            LaneForm::Dotted => LaneForm::Continuous,
+            LaneForm::DoubleContinuous => LaneForm::Dotted,
+        };
+    }
+    wrong
 }
 
 macro_rules! classifier {
@@ -402,5 +429,21 @@ mod tests {
         let spec = ClassifierSpec::table4(3, 5353, 513);
         assert_eq!(spec.train_per_class, 1784);
         assert_eq!(spec.val_per_class, 171);
+    }
+
+    #[test]
+    fn confused_situation_is_wrong_deterministic_and_salt_sensitive() {
+        for (i, truth) in lkas_scene::situation::TABLE3_SITUATIONS.iter().enumerate() {
+            for salt in 0..16u64 {
+                let wrong = confuse_situation(truth, salt);
+                assert_ne!(wrong.layout, truth.layout, "situation {i}, salt {salt}");
+                assert_eq!(wrong, confuse_situation(truth, salt), "pure in (truth, salt)");
+            }
+        }
+        // Across many salts both alternative layouts must appear.
+        let truth = &lkas_scene::situation::TABLE3_SITUATIONS[0];
+        let distinct: std::collections::HashSet<_> =
+            (0..64u64).map(|s| confuse_situation(truth, s).layout).collect();
+        assert_eq!(distinct.len(), 2, "both wrong layouts are exercised");
     }
 }

@@ -20,4 +20,5 @@ mod metrics;
 pub use executor::Executor;
 pub use metrics::{
     Counter, Metrics, MetricsSnapshot, Stage, StageSnapshot, StageTimer, TELEMETRY_SCHEMA,
+    TELEMETRY_SCHEMA_V1,
 };

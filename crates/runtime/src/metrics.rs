@@ -8,7 +8,16 @@ use std::time::{Duration, Instant};
 
 /// Identifies the telemetry JSON layout written by
 /// [`Metrics::write_json`].
-pub const TELEMETRY_SCHEMA: &str = "lkas-telemetry-v1";
+///
+/// v2 extends v1 with the fault-injection and graceful-degradation
+/// counters (`faults_injected` … `degraded_cycles`). The layout is
+/// otherwise unchanged, so v1 documents still deserialize into
+/// [`MetricsSnapshot`] — readers should accept both tags (see
+/// [`MetricsSnapshot::schema_is_supported`]).
+pub const TELEMETRY_SCHEMA: &str = "lkas-telemetry-v2";
+
+/// The previous telemetry schema tag, still accepted on read.
+pub const TELEMETRY_SCHEMA_V1: &str = "lkas-telemetry-v1";
 
 /// The pipeline stages of one closed-loop cycle, mirroring the paper's
 /// Table II runtime breakdown.
@@ -71,11 +80,40 @@ pub enum Counter {
     ControllerCacheHits,
     /// Controller designs derived from scratch.
     ControllerCacheMisses,
+    /// Control samples whose situation estimate disagreed with ground
+    /// truth.
+    Misidentifications,
+    /// Knob-tuning changes of any group (the aggregate the HiL result
+    /// reports as `reconfigurations`).
+    KnobReconfigurations,
+    /// Cycles in which at least one injected fault was active
+    /// (telemetry-v2, `lkas-faults`).
+    FaultsInjected,
+    /// Camera frames dropped by an injected fault.
+    FrameDrops,
+    /// Cycles whose situation estimate was overridden by an injected
+    /// classifier misprediction.
+    ForcedMispredictions,
+    /// Cycles whose actuation was delayed past the designed `τ` by an
+    /// injected perception timeout.
+    DeadlineOverruns,
+    /// Cycles driven with a stuck or lagged steering actuator fault.
+    ActuationFaults,
+    /// Perception misses bridged by the degradation policy's
+    /// hold-and-extrapolate.
+    MeasurementHolds,
+    /// Transitions of the degradation policy into the safe fallback
+    /// mode.
+    DegradedEntries,
+    /// Hysteresis exits of the degradation policy back to nominal.
+    DegradedExits,
+    /// Control samples spent in the degraded (safe fallback) mode.
+    DegradedCycles,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Cycles,
         Counter::PerceptionFailures,
         Counter::SituationSwitches,
@@ -84,6 +122,17 @@ impl Counter {
         Counter::ControlReconfigurations,
         Counter::ControllerCacheHits,
         Counter::ControllerCacheMisses,
+        Counter::Misidentifications,
+        Counter::KnobReconfigurations,
+        Counter::FaultsInjected,
+        Counter::FrameDrops,
+        Counter::ForcedMispredictions,
+        Counter::DeadlineOverruns,
+        Counter::ActuationFaults,
+        Counter::MeasurementHolds,
+        Counter::DegradedEntries,
+        Counter::DegradedExits,
+        Counter::DegradedCycles,
     ];
 
     /// The counter's snake_case name as written to JSON.
@@ -97,6 +146,17 @@ impl Counter {
             Counter::ControlReconfigurations => "control_reconfigurations",
             Counter::ControllerCacheHits => "controller_cache_hits",
             Counter::ControllerCacheMisses => "controller_cache_misses",
+            Counter::Misidentifications => "misidentifications",
+            Counter::KnobReconfigurations => "knob_reconfigurations",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FrameDrops => "frame_drops",
+            Counter::ForcedMispredictions => "forced_mispredictions",
+            Counter::DeadlineOverruns => "deadline_overruns",
+            Counter::ActuationFaults => "actuation_faults",
+            Counter::MeasurementHolds => "measurement_holds",
+            Counter::DegradedEntries => "degraded_entries",
+            Counter::DegradedExits => "degraded_exits",
+            Counter::DegradedCycles => "degraded_cycles",
         }
     }
 }
@@ -250,6 +310,12 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// `true` if this snapshot's schema tag is one this crate can
+    /// interpret (the current schema or the backward-readable v1).
+    pub fn schema_is_supported(&self) -> bool {
+        self.schema == TELEMETRY_SCHEMA || self.schema == TELEMETRY_SCHEMA_V1
+    }
+
     /// Looks up a counter value by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
@@ -324,7 +390,40 @@ mod tests {
         let path = dir.join("nested/telemetry.json");
         Metrics::new().write_json(&path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("lkas-telemetry-v1"));
+        assert!(text.contains("lkas-telemetry-v2"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_documents_remain_readable() {
+        // A pre-fault-subsystem artifact (schema v1, 8 counters, no
+        // fault/degradation fields) must still deserialize and answer
+        // lookups; the v2-only counters are simply absent.
+        let v1 = r#"{
+            "schema": "lkas-telemetry-v1",
+            "stages": [
+                { "stage": "render", "count": 3, "total_ms": 1.5,
+                  "mean_us": 500.0, "max_us": 700.0 }
+            ],
+            "counters": [["cycles", 3], ["perception_failures", 1]]
+        }"#;
+        let snap: MetricsSnapshot = serde_json::from_str(v1).unwrap();
+        assert!(snap.schema_is_supported());
+        assert_eq!(snap.counter("cycles"), Some(3));
+        assert_eq!(snap.counter("faults_injected"), None);
+        assert_eq!(snap.stage("render").unwrap().count, 3);
+    }
+
+    #[test]
+    fn v2_snapshot_carries_fault_counters() {
+        let metrics = Metrics::new();
+        metrics.incr(Counter::FaultsInjected);
+        metrics.add(Counter::DegradedCycles, 7);
+        let snap = metrics.snapshot();
+        assert!(snap.schema_is_supported());
+        assert_eq!(snap.schema, TELEMETRY_SCHEMA);
+        assert_eq!(snap.counter("faults_injected"), Some(1));
+        assert_eq!(snap.counter("degraded_cycles"), Some(7));
+        assert_eq!(snap.counter("measurement_holds"), Some(0));
     }
 }

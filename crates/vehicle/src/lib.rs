@@ -29,7 +29,7 @@
 pub mod actuation;
 pub mod sim;
 
-pub use actuation::SteeringActuator;
+pub use actuation::{ActuatorFault, SteeringActuator};
 pub use sim::{VehicleSim, VehicleState};
 
 /// Physics integration step (s) — the Webots world step of 5 ms

@@ -1,6 +1,6 @@
 //! Frenet-frame vehicle simulation at the 5 ms physics step.
 
-use crate::actuation::SteeringActuator;
+use crate::actuation::{ActuatorFault, SteeringActuator};
 use crate::{DEPARTURE_LIMIT_M, PHYSICS_STEP_S};
 use lkas_control::model::{kmph_to_mps, VehicleParams, LOOK_AHEAD_M};
 use lkas_scene::situation::SituationFeatures;
@@ -96,6 +96,17 @@ impl VehicleSim {
     /// per-situation speed knob.
     pub fn set_target_speed_kmph(&mut self, kmph: f64) {
         self.state.vx_target = kmph_to_mps(kmph);
+    }
+
+    /// Injects (or clears) a steering-actuator failure mode — the
+    /// actuation hook of the fault-injection campaign.
+    pub fn set_actuator_fault(&mut self, fault: Option<ActuatorFault>) {
+        self.actuator.set_fault(fault);
+    }
+
+    /// The currently injected actuator failure mode.
+    pub fn actuator_fault(&self) -> Option<ActuatorFault> {
+        self.actuator.fault()
     }
 
     /// The ground-truth look-ahead lateral deviation `y_L` (m) — the

@@ -15,3 +15,4 @@ cargo run --release -p lkas-bench --bin fig8_dynamic -- --seeds 3 --metrics-out 
 cargo run --release -p lkas-bench --bin lqg_study
 cargo run --release -p lkas-bench --bin ablation_isp
 cargo run --release -p lkas-bench --bin ablation_invocation
+cargo run --release -p lkas-bench --bin robustness_campaign -- --seed 7 --metrics-out artifacts/telemetry_robustness.json

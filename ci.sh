@@ -10,4 +10,12 @@ cargo test -q
 cargo fmt --check
 # Fast robustness-campaign smoke: quick grid, deterministic report.
 cargo run --release -p lkas-bench --bin robustness_campaign -- \
-  --quick --seed 7 --threads 2 --out artifacts/robustness_smoke.json
+  --quick --seed 7 --threads 2 --out artifacts/robustness_smoke.json \
+  --metrics-out artifacts/telemetry_smoke_quick.json
+# Telemetry smoke gate: the quick grid's counters must match the
+# checked-in baseline exactly; stage timings may drift within generous
+# bounds (CI machines vary — this catches order-of-magnitude blowups,
+# not percent-level noise).
+cargo run --release -p lkas-bench --bin telemetry_report -- \
+  diff BENCH_telemetry_baseline.json artifacts/telemetry_smoke_quick.json \
+  --max-rel-mean 8 --max-rel-tail 25 --min-mean-us 2

@@ -21,7 +21,8 @@ use lkas::knobs::KnobTable;
 use lkas::stability::{certify_switching, minimum_dwell_intervals};
 use lkas_bench::{
     arg_value, default_threads, load_or_train_bundle, oracle_flag, render_table, run_hil_jobs,
-    write_metrics, write_result, HilJob, Metrics, ARTIFACTS_DIR,
+    trace_out_path, write_metrics, write_result, write_trace, HilJob, Metrics, TraceRecorder,
+    ARTIFACTS_DIR,
 };
 use lkas_platform::schedule::ClassifierSet;
 use lkas_scene::track::Track;
@@ -46,6 +47,8 @@ fn main() {
     let seeds: u64 = arg_value("--seeds").and_then(|v| v.parse().ok()).unwrap_or(1);
 
     let metrics = std::sync::Arc::new(Metrics::new());
+    let trace_out = trace_out_path();
+    let recorder = trace_out.as_ref().map(|_| TraceRecorder::new());
     let mut jobs = Vec::new();
     for seed in 0..seeds {
         for case in Case::ALL {
@@ -57,11 +60,20 @@ fn main() {
                 9 + seed * 7,
             )
             .with_metrics(&metrics);
+            if let Some(rec) = &recorder {
+                // pid = stable job index, so the export's process order
+                // matches the sweep order whatever the thread count.
+                let sink = rec.sink(jobs.len() as u64, job.label.clone());
+                job = job.with_trace_sink(sink);
+            }
             job.config.knob_table = knob_table.clone();
             jobs.push(job);
         }
     }
     let results = run_hil_jobs(jobs, threads);
+    if let (Some(rec), Some(path)) = (&recorder, &trace_out) {
+        write_trace(rec, path);
+    }
 
     // Aggregate over seeds: report seed 0 per-sector detail, crash = any.
     let n_cases = Case::ALL.len();

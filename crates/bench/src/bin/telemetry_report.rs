@@ -1,0 +1,120 @@
+//! Telemetry snapshot inspection and the CI perf smoke gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! telemetry_report show SNAPSHOT.json
+//! telemetry_report diff BASELINE.json CANDIDATE.json \
+//!     [--max-rel-mean F] [--max-rel-tail F] [--min-mean-us F] [--no-counters]
+//! ```
+//!
+//! `show` pretty-prints a `lkas-telemetry-v{1,2,3}` artifact.
+//!
+//! `diff` compares a candidate snapshot against a checked-in baseline:
+//! deterministic quantities (event counters, per-stage observation
+//! counts) must match exactly; wall-clock quantities (stage mean and
+//! p50/p90/p99) gate on relative thresholds. Exit code 0 means the
+//! gate passes, 1 means at least one regression, 2 means usage or I/O
+//! error. `ci.sh` runs this against `BENCH_telemetry_baseline.json`.
+
+use lkas_runtime::report::{diff_snapshots, format_snapshot, DiffThresholds};
+use lkas_runtime::MetricsSnapshot;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("show") => {
+            let [_, path] = args.as_slice() else {
+                return usage("show takes exactly one snapshot path");
+            };
+            let snap = match load(path) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            print!("{}", format_snapshot(&snap));
+            ExitCode::SUCCESS
+        }
+        Some("diff") => {
+            let rest = &args[1..];
+            // Positional arguments are whatever is left after removing
+            // the flags and their values.
+            let value_flags = ["--max-rel-mean", "--max-rel-tail", "--min-mean-us"];
+            let mut paths = Vec::new();
+            let mut iter = rest.iter();
+            while let Some(a) = iter.next() {
+                if value_flags.contains(&a.as_str()) {
+                    iter.next();
+                } else if !a.starts_with("--") {
+                    paths.push(a);
+                }
+            }
+            let [baseline_path, candidate_path] = paths.as_slice() else {
+                return usage("diff takes a baseline and a candidate path");
+            };
+            let mut thresholds = DiffThresholds::default();
+            if let Some(v) = flag_value(rest, "--max-rel-mean") {
+                match v.parse() {
+                    Ok(f) => thresholds.max_rel_mean = f,
+                    Err(_) => return usage("--max-rel-mean takes a number"),
+                }
+            }
+            if let Some(v) = flag_value(rest, "--max-rel-tail") {
+                match v.parse() {
+                    Ok(f) => thresholds.max_rel_tail = f,
+                    Err(_) => return usage("--max-rel-tail takes a number"),
+                }
+            }
+            if let Some(v) = flag_value(rest, "--min-mean-us") {
+                match v.parse() {
+                    Ok(f) => thresholds.min_mean_us = f,
+                    Err(_) => return usage("--min-mean-us takes a number"),
+                }
+            }
+            if rest.iter().any(|a| a == "--no-counters") {
+                thresholds.check_counters = false;
+            }
+            let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+                (Ok(b), Ok(c)) => (b, c),
+                (Err(e), _) | (_, Err(e)) => return fail(&e),
+            };
+            let outcome = diff_snapshots(&baseline, &candidate, &thresholds);
+            print!("{}", outcome.report);
+            if outcome.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage("expected `show` or `diff`"),
+    }
+}
+
+fn load(path: &str) -> Result<MetricsSnapshot, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snap: MetricsSnapshot =
+        serde_json::from_str(&json).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    if !snap.schema_is_supported() {
+        return Err(format!("{path}: unsupported schema `{}`", snap.schema));
+    }
+    Ok(snap)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn usage(context: &str) -> ExitCode {
+    eprintln!("error: {context}");
+    eprintln!(
+        "usage: telemetry_report show SNAPSHOT.json\n\
+         \x20      telemetry_report diff BASELINE.json CANDIDATE.json \
+         [--max-rel-mean F] [--max-rel-tail F] [--min-mean-us F] [--no-counters]"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(2)
+}

@@ -18,7 +18,7 @@ use serde::Serialize;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-pub use lkas_runtime::{Executor, Metrics, MetricsSnapshot};
+pub use lkas_runtime::{Executor, Metrics, MetricsSnapshot, TraceRecorder, TraceSink};
 
 /// Directory where harnesses drop machine-readable results.
 pub const RESULTS_DIR: &str = "results";
@@ -33,10 +33,9 @@ pub const ARTIFACTS_DIR: &str = "artifacts";
 /// Panics on I/O or serialization failure (harness binaries want loud
 /// failures).
 pub fn write_result<T: Serialize>(name: &str, value: &T) {
-    std::fs::create_dir_all(RESULTS_DIR).expect("create results dir");
     let path = Path::new(RESULTS_DIR).join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize result");
-    std::fs::write(&path, json).expect("write result file");
+    lkas_runtime::write_atomic(&path, json.as_bytes()).expect("write result file");
     eprintln!("[written] {}", path.display());
 }
 
@@ -130,6 +129,12 @@ pub struct HilJob {
     pub track: Track,
     /// Full HiL configuration.
     pub config: HilConfig,
+    /// Sweep-wide telemetry registry this job aggregates into. The
+    /// executor gives each worker thread a private registry and merges
+    /// it into this one when the worker drains (histogram mergeability
+    /// makes that exactly equal to direct shared recording, minus the
+    /// cache-line contention).
+    pub shared_metrics: Option<Arc<Metrics>>,
 }
 
 impl HilJob {
@@ -146,27 +151,67 @@ impl HilJob {
             Some(b) => SituationSource::Trained(Arc::clone(b)),
             None => SituationSource::Oracle,
         };
-        HilJob { label: label.into(), track, config: HilConfig::new(case, source).with_seed(seed) }
+        HilJob {
+            label: label.into(),
+            track,
+            config: HilConfig::new(case, source).with_seed(seed),
+            shared_metrics: None,
+        }
     }
 
     /// Attaches a shared telemetry registry (builder style). All jobs of
     /// a sweep typically share one `Arc` so the emitted artifact
     /// aggregates the whole sweep.
     pub fn with_metrics(mut self, metrics: &Arc<Metrics>) -> Self {
-        self.config = self.config.with_metrics(Arc::clone(metrics));
+        self.shared_metrics = Some(Arc::clone(metrics));
+        self
+    }
+
+    /// Attaches a per-run trace sink (builder style); obtain one per
+    /// job from a shared [`TraceRecorder`].
+    pub fn with_trace_sink(mut self, sink: TraceSink) -> Self {
+        self.config = self.config.with_trace_sink(sink);
         self
     }
 }
 
 /// Runs HiL jobs through the shared [`lkas_runtime::Executor`]:
 /// results come back in input order and worker panics propagate.
+///
+/// Telemetry attached via [`HilJob::with_metrics`] is recorded into a
+/// worker-local registry and merged into the shared one when each
+/// worker finishes ([`Executor::run_with_local`]), so the histogram
+/// buckets see no cross-thread contention on the hot path.
 pub fn run_hil_jobs(jobs: Vec<HilJob>, threads: usize) -> Vec<HilResult> {
     let total = jobs.len();
     let indexed: Vec<(usize, HilJob)> = jobs.into_iter().enumerate().collect();
-    Executor::new(threads).run(indexed, |(idx, job)| {
-        eprintln!("[run {}/{}] {}", idx + 1, total, job.label);
-        HilSimulator::new(job.track, job.config).run()
-    })
+    // Worker-local state: one private registry per distinct shared
+    // registry this worker has seen (sweeps nearly always use one).
+    type Local = Vec<(Arc<Metrics>, Arc<Metrics>)>;
+    Executor::new(threads).run_with_local(
+        indexed,
+        Local::new,
+        |(idx, mut job), locals: &mut Local| {
+            eprintln!("[run {}/{}] {}", idx + 1, total, job.label);
+            if let Some(shared) = &job.shared_metrics {
+                let local = match locals.iter().find(|(s, _)| Arc::ptr_eq(s, shared)) {
+                    Some((_, local)) => Arc::clone(local),
+                    None => {
+                        let local = Arc::new(Metrics::new());
+                        locals.push((Arc::clone(shared), Arc::clone(&local)));
+                        local
+                    }
+                };
+                job.config = job.config.with_metrics(local);
+            }
+            HilSimulator::new(job.track, job.config).run()
+        },
+        |locals| {
+            for (shared, local) in locals {
+                shared.merge_from(&local);
+            }
+        },
+    )
 }
 
 /// Resolves where a harness writes its telemetry artifact: the
@@ -187,6 +232,23 @@ pub fn write_metrics(name: &str, metrics: &Metrics) {
     let path = metrics_out_path(name);
     metrics.write_json(&path).expect("write telemetry artifact");
     eprintln!("[telemetry] {}", path.display());
+}
+
+/// Resolves the `--trace-out PATH` flag: where a harness writes its
+/// Chrome trace-event export, or `None` when tracing is off.
+pub fn trace_out_path() -> Option<PathBuf> {
+    arg_value("--trace-out").map(PathBuf::from)
+}
+
+/// Writes a recorder's Chrome trace-event JSON to `path` and logs its
+/// location. Open the file in Perfetto (<https://ui.perfetto.dev>).
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness binaries want loud failures).
+pub fn write_trace(recorder: &TraceRecorder, path: &Path) {
+    recorder.write_json(path).expect("write trace artifact");
+    eprintln!("[trace] {} ({} events)", path.display(), recorder.event_count());
 }
 
 /// Number of worker threads for parallel sweeps.

@@ -294,16 +294,15 @@ pub fn report_json(report: &RobustnessReport) -> String {
     serde_json::to_string_pretty(report).expect("serialize robustness report")
 }
 
-/// Writes the report under `path`, creating parent directories.
+/// Writes the report under `path` atomically (temp file + rename),
+/// creating parent directories.
 ///
 /// # Panics
 ///
 /// Panics on I/O failure (harness binaries want loud failures).
 pub fn write_report(report: &RobustnessReport, path: &Path) {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent).expect("create report dir");
-    }
-    std::fs::write(path, report_json(report)).expect("write robustness report");
+    lkas_runtime::write_atomic(path, report_json(report).as_bytes())
+        .expect("write robustness report");
     eprintln!("[robustness] {}", path.display());
 }
 

@@ -23,7 +23,7 @@ use lkas_imaging::isp::{IspConfig, IspPipeline};
 use lkas_imaging::sensor::{Sensor, SensorConfig};
 use lkas_perception::pipeline::{Perception, PerceptionConfig};
 use lkas_platform::schedule::ClassifierSet;
-use lkas_runtime::{Counter, Metrics, Stage};
+use lkas_runtime::{Counter, Metrics, Stage, TraceSink};
 use lkas_scene::camera::Camera;
 use lkas_scene::render::SceneRenderer;
 use lkas_scene::situation::SituationFeatures;
@@ -87,6 +87,10 @@ pub struct HilConfig {
     /// failures. `None` leaves the loop unhardened (the controller's
     /// observer coasts on misses, knobs never fall back).
     pub degradation: Option<DegradationConfig>,
+    /// Per-cycle trace sink (one per run, obtained from a
+    /// `TraceRecorder`). Records stage spans and instant events with
+    /// deterministic virtual timestamps; `None` disables tracing.
+    pub trace_sink: Option<TraceSink>,
 }
 
 /// One control sample of a recorded trace.
@@ -126,6 +130,7 @@ impl HilConfig {
             metrics: None,
             fault_plan: None,
             degradation: None,
+            trace_sink: None,
         }
     }
 
@@ -189,6 +194,12 @@ impl HilConfig {
     /// Enables the graceful-degradation policy (builder style).
     pub fn with_degradation(mut self, config: DegradationConfig) -> Self {
         self.degradation = Some(config);
+        self
+    }
+
+    /// Attaches a per-cycle trace sink (builder style).
+    pub fn with_trace_sink(mut self, sink: TraceSink) -> Self {
+        self.trace_sink = Some(sink);
         self
     }
 }
@@ -266,9 +277,17 @@ impl HilSimulator {
         // mirrored into the shared registry); the result's counters are
         // read back from it at the end.
         let tally = Tally { local: Metrics::new(), shared: metrics };
+        let sink = config.trace_sink.as_ref();
         let n_sectors = track.sectors().len();
         let scheme =
             config.scheme_override.clone().unwrap_or_else(|| config.case.invocation_scheme());
+        if let Some(s) = sink {
+            s.instant(
+                0,
+                "run_start",
+                Some(format!("case={:?} scheme={}", config.case, scheme.describe())),
+            );
+        }
         let delay_set = config.case.delay_classifier_set();
         let fault_plan = config.fault_plan.clone();
         let plan_seed = fault_plan.as_ref().map_or(0, |p| p.seed);
@@ -309,10 +328,16 @@ impl HilSimulator {
             if t_ms + 1e-9 >= next_sample_ms {
                 // ---- control sample -------------------------------------
                 tally.incr(Counter::Cycles);
+                let cycle = frame_index;
                 let faults =
                     fault_plan.as_ref().map(|p| p.faults_at(frame_index)).unwrap_or_default();
                 if faults.any() {
                     tally.incr(Counter::FaultsInjected);
+                    if let Some(s) = sink {
+                        for label in faults.trace_labels() {
+                            s.instant(cycle, label, None);
+                        }
+                    }
                 }
                 if fault_plan.is_some() {
                     let act = faults.actuation.map(lkas_faults::ActuationFault::to_actuator);
@@ -347,6 +372,13 @@ impl HilSimulator {
                     }
                     Some(timed(metrics, Stage::Isp, || isp.process(&raw)))
                 };
+                if let Some(s) = sink {
+                    if frame.is_some() {
+                        s.span(cycle, Stage::Render);
+                        s.span(cycle, Stage::Sensor);
+                        s.span(cycle, Stage::Isp);
+                    }
+                }
 
                 // Situation identification with the scheduled
                 // classifiers (none on a dropped frame; road only
@@ -373,6 +405,9 @@ impl HilSimulator {
                         }
                     }
                 });
+                if let Some(s) = sink {
+                    s.span(cycle, Stage::Classifier);
+                }
                 if let Some(mp) = faults.mispredict {
                     // A dropped frame produces no classifier output to
                     // corrupt.
@@ -390,6 +425,9 @@ impl HilSimulator {
                 }
                 if estimate.current() != previous_estimate {
                     tally.incr(Counter::SituationSwitches);
+                    if let Some(s) = sink {
+                        s.instant(cycle, "situation_switch", Some(estimate.current().describe()));
+                    }
                 }
                 if estimate.current() != vehicle.preview_situation(ORACLE_PREVIEW_M) {
                     tally.incr(Counter::Misidentifications);
@@ -410,10 +448,16 @@ impl HilSimulator {
                             config.camera.clone(),
                         );
                         tally.incr(Counter::PerceptionReconfigurations);
+                        if let Some(s) = sink {
+                            s.instant(cycle, "reconfig:perception", None);
+                        }
                     }
                     if new_knobs.isp != knobs.isp {
                         staged_isp = Some(new_knobs.isp);
                         tally.incr(Counter::IspReconfigurations);
+                        if let Some(s) = sink {
+                            s.instant(cycle, "reconfig:isp", None);
+                        }
                     }
                     vehicle.set_target_speed_kmph(new_knobs.speed_kmph);
                     knobs = new_knobs;
@@ -450,6 +494,9 @@ impl HilSimulator {
                     controller = next;
                     controller_cfg = new_cfg;
                     tally.incr(Counter::ControlReconfigurations);
+                    if let Some(s) = sink {
+                        s.instant(cycle, "reconfig:control", None);
+                    }
                 }
 
                 // Perception, then the degradation policy's substitution.
@@ -465,17 +512,31 @@ impl HilSimulator {
                     }
                     None => None,
                 };
+                if let Some(s) = sink {
+                    if frame.is_some() {
+                        s.span(cycle, Stage::Perception);
+                    }
+                }
                 let y_l = match policy.as_mut() {
                     Some(p) => {
                         let obs = p.observe(raw_y_l);
                         if obs.held {
                             tally.incr(Counter::MeasurementHolds);
+                            if let Some(s) = sink {
+                                s.instant(cycle, "measurement_hold", None);
+                            }
                         }
                         if obs.entered {
                             tally.incr(Counter::DegradedEntries);
+                            if let Some(s) = sink {
+                                s.instant(cycle, "degraded_enter", None);
+                            }
                         }
                         if obs.exited {
                             tally.incr(Counter::DegradedExits);
+                            if let Some(s) = sink {
+                                s.instant(cycle, "degraded_exit", None);
+                            }
                         }
                         obs.y_l
                     }
@@ -491,6 +552,12 @@ impl HilSimulator {
                 let u = timed(metrics, Stage::Control, || {
                     controller.step(&Measurement { y_l, yaw_rate: vehicle.state().r })
                 });
+                if let Some(s) = sink {
+                    s.span(cycle, Stage::Control);
+                    // The command's actuation slot belongs to this cycle
+                    // in virtual time, though it takes effect τ later.
+                    s.span(cycle, Stage::Actuation);
+                }
                 if faults.extra_delay_ms > 0.0 {
                     tally.incr(Counter::DeadlineOverruns);
                 }
@@ -512,19 +579,24 @@ impl HilSimulator {
                 next_sample_ms = t_ms + controller_cfg.h_ms;
             }
 
-            // Actuate the newest command whose activation time passed.
-            while let Some(&(act_t, cmd)) = pending.first() {
-                if act_t <= t_ms + 1e-9 {
-                    active_cmd = cmd;
-                    pending.remove(0);
-                } else {
-                    break;
+            // Actuate the newest command whose activation time passed,
+            // then advance physics. Timed as the actuation stage; this
+            // runs once per 5 ms physics step, so its count exceeds the
+            // cycle count.
+            let sector = timed(metrics, Stage::Actuation, || {
+                while let Some(&(act_t, cmd)) = pending.first() {
+                    if act_t <= t_ms + 1e-9 {
+                        active_cmd = cmd;
+                        pending.remove(0);
+                    } else {
+                        break;
+                    }
                 }
-            }
-
-            let sector = vehicle.sector_index();
-            vehicle.step(active_cmd);
-            qoc.record(sector, vehicle.true_y_l());
+                let sector = vehicle.sector_index();
+                vehicle.step(active_cmd);
+                qoc.record(sector, vehicle.true_y_l());
+                sector
+            });
             t_ms += dt_ms;
 
             if vehicle.departed() {
@@ -863,6 +935,15 @@ mod tests {
         // Control is timed at least once per cycle (steps) plus design
         // fetches on reconfiguration.
         assert!(snap.stage("control").unwrap().count >= result.samples);
+        // Actuation is timed once per 5 ms physics step, so it records
+        // strictly more often than the control samples.
+        let actuation = snap.stage("actuation").unwrap();
+        assert!(actuation.count > result.samples, "physics steps outnumber control samples");
+        // Percentiles ride along in the v3 snapshot, ordered.
+        let render = snap.stage("render").unwrap();
+        let (p50, p90, p99) =
+            (render.p50_us.unwrap(), render.p90_us.unwrap(), render.p99_us.unwrap());
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= render.max_us);
         // The sector transition must show up in the event counters.
         assert!(snap.counter("situation_switches").unwrap() >= 1);
         assert!(
@@ -878,5 +959,43 @@ mod tests {
                 + snap.counter("controller_cache_misses").unwrap()
                 >= 1
         );
+    }
+
+    #[test]
+    fn trace_sink_records_spans_and_events() {
+        use lkas_runtime::TraceRecorder;
+        use lkas_scene::track::Sector;
+        let s1 = Sector::for_situation(&TABLE3_SITUATIONS[0], 120.0);
+        let s2 = Sector::for_situation(&TABLE3_SITUATIONS[7], 200.0);
+        let track = Track::new(vec![s1, s2]);
+        let recorder = TraceRecorder::new();
+        let config = HilConfig::new(Case::Case2, SituationSource::Oracle)
+            .with_camera(test_camera())
+            .with_seed(42)
+            .with_trace_sink(recorder.sink(1, "trace-test"));
+        let result = HilSimulator::new(track, config).run();
+        assert!(!result.crashed);
+
+        let json = recorder.chrome_trace_json();
+        // Stage spans of every pipeline stage made it into the export.
+        for stage in ["render", "sensor", "isp", "classifier", "perception", "control", "actuation"]
+        {
+            assert!(json.contains(&format!("\"name\":\"{stage}\"")), "missing {stage} span");
+        }
+        // The sector boundary shows up as a situation switch plus at
+        // least one knob reconfiguration instant.
+        assert!(json.contains("\"name\":\"situation_switch\""));
+        assert!(json.contains("reconfig:"), "knob reconfiguration must be traced");
+        assert!(json.contains("\"name\":\"run_start\""));
+        // Deterministic replay: the same run renders identical bytes.
+        let recorder2 = TraceRecorder::new();
+        let s1 = Sector::for_situation(&TABLE3_SITUATIONS[0], 120.0);
+        let s2 = Sector::for_situation(&TABLE3_SITUATIONS[7], 200.0);
+        let config = HilConfig::new(Case::Case2, SituationSource::Oracle)
+            .with_camera(test_camera())
+            .with_seed(42)
+            .with_trace_sink(recorder2.sink(1, "trace-test"));
+        HilSimulator::new(Track::new(vec![s1, s2]), config).run();
+        assert_eq!(json, recorder2.chrome_trace_json());
     }
 }

@@ -102,6 +102,20 @@ impl InvocationScheme {
         }
     }
 
+    /// A short human-readable label of the scheme, used as the detail
+    /// of the run-start trace event.
+    pub fn describe(&self) -> String {
+        match self {
+            InvocationScheme::EveryFrame(set) => {
+                format!("every-frame x{}", set.count())
+            }
+            InvocationScheme::RoundRobin { window_ms } => {
+                format!("round-robin {window_ms}ms")
+            }
+            InvocationScheme::Custom(table) => format!("custom period {}", table.len()),
+        }
+    }
+
     /// The worst-case per-frame classifier count of this scheme, which
     /// determines the delay the controller must be designed for.
     pub fn worst_case_count(&self) -> usize {
@@ -160,6 +174,13 @@ mod tests {
         assert_eq!(s.classifiers_for_frame(1, 25.0).count(), 0);
         assert_eq!(s.classifiers_for_frame(2, 25.0).count(), 3);
         assert_eq!(s.worst_case_count(), 3);
+    }
+
+    #[test]
+    fn describe_labels_each_variant() {
+        assert_eq!(InvocationScheme::EveryFrame(ClassifierSet::all()).describe(), "every-frame x3");
+        assert_eq!(InvocationScheme::round_robin_300ms().describe(), "round-robin 300ms");
+        assert_eq!(InvocationScheme::Custom(vec![]).describe(), "custom period 0");
     }
 
     #[test]

@@ -112,6 +112,29 @@ impl CycleFaults {
             || self.extra_delay_ms > 0.0
             || self.actuation.is_some()
     }
+
+    /// Stable labels of the active faults, for trace instant events.
+    /// Order matches the field order, so traces of the same plan are
+    /// reproducible.
+    pub fn trace_labels(&self) -> Vec<&'static str> {
+        let mut labels = Vec::new();
+        if self.drop_frame {
+            labels.push("fault:frame_drop");
+        }
+        if self.bayer.is_some() {
+            labels.push("fault:bayer");
+        }
+        if self.mispredict.is_some() {
+            labels.push("fault:mispredict");
+        }
+        if self.extra_delay_ms > 0.0 {
+            labels.push("fault:deadline_overrun");
+        }
+        if self.actuation.is_some() {
+            labels.push("fault:actuation");
+        }
+        labels
+    }
 }
 
 /// A deterministic fault campaign over one HiL run.
@@ -356,6 +379,13 @@ mod tests {
         let c13 = plan.faults_at(13);
         assert_eq!(c13.extra_delay_ms, 20.0, "overlapping timeouts accumulate");
         assert_eq!(plan.faults_at(40).actuation, Some(ActuationFault::Stuck));
+        // Trace labels track the active faults in field order.
+        assert!(plan.faults_at(9).trace_labels().is_empty());
+        assert_eq!(
+            c12.trace_labels(),
+            vec!["fault:frame_drop", "fault:bayer", "fault:deadline_overrun"]
+        );
+        assert_eq!(plan.faults_at(40).trace_labels(), vec!["fault:actuation"]);
         assert!(!plan.faults_at(43).any());
         assert_eq!(plan.horizon(), 43);
     }

@@ -9,16 +9,29 @@
 //!   propagates to the caller (no silently dropped jobs).
 //! - [`Metrics`] / [`StageTimer`] — a lock-free telemetry registry
 //!   recording per-cycle stage durations (render, sensor, ISP, classifier
-//!   invocation, perception, control) and monotonic event counters
+//!   invocation, perception, control, actuation) into log2 latency
+//!   histograms ([`LatencyHistogram`]) plus monotonic event counters
 //!   (perception failures, situation switches, per-knob
-//!   reconfigurations), exportable as a JSON artifact mirroring the
-//!   paper's Table II runtime breakdown.
+//!   reconfigurations, fault/degradation events), exportable as a JSON
+//!   artifact (`lkas-telemetry-v3`: p50/p90/p99/max per stage) mirroring
+//!   the paper's Table II runtime breakdown.
+//! - [`TraceRecorder`] / [`TraceSink`] — bounded per-run ring buffers of
+//!   per-cycle spans and instant events with deterministic virtual
+//!   timestamps, exportable as Chrome trace-event JSON viewable in
+//!   Perfetto.
+//! - [`report`] — snapshot pretty-printing and the baseline-diff logic
+//!   behind the `telemetry_report` harness and the CI perf smoke gate.
 
 mod executor;
+mod hist;
 mod metrics;
+pub mod report;
+mod trace;
 
 pub use executor::Executor;
+pub use hist::{bucket_index, bucket_upper_ns, HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use metrics::{
-    Counter, Metrics, MetricsSnapshot, Stage, StageSnapshot, StageTimer, TELEMETRY_SCHEMA,
-    TELEMETRY_SCHEMA_V1,
+    write_atomic, Counter, Metrics, MetricsSnapshot, Stage, StageSnapshot, StageTimer,
+    TELEMETRY_SCHEMA, TELEMETRY_SCHEMA_V1, TELEMETRY_SCHEMA_V2,
 };
+pub use trace::{TraceRecorder, TraceSink, CYCLE_TICKS, DEFAULT_TRACE_CAPACITY, STAGE_TICKS};

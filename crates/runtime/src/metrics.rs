@@ -1,6 +1,7 @@
-//! Lock-free telemetry: per-stage timing accumulators and event
+//! Lock-free telemetry: per-stage latency histograms and event
 //! counters, exportable as a JSON artifact.
 
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -9,14 +10,21 @@ use std::time::{Duration, Instant};
 /// Identifies the telemetry JSON layout written by
 /// [`Metrics::write_json`].
 ///
-/// v2 extends v1 with the fault-injection and graceful-degradation
-/// counters (`faults_injected` … `degraded_cycles`). The layout is
-/// otherwise unchanged, so v1 documents still deserialize into
-/// [`MetricsSnapshot`] — readers should accept both tags (see
-/// [`MetricsSnapshot::schema_is_supported`]).
-pub const TELEMETRY_SCHEMA: &str = "lkas-telemetry-v2";
+/// v3 replaces the mean/max-only stage accumulators with log2 latency
+/// histograms: every stage entry now carries `p50_us`/`p90_us`/`p99_us`
+/// percentile estimates alongside the v1/v2 fields, and the `actuation`
+/// stage joins the breakdown. v2 extended v1 with the fault-injection
+/// and graceful-degradation counters (`faults_injected` …
+/// `degraded_cycles`). The layout is strictly additive across versions,
+/// so v1/v2 documents still deserialize into [`MetricsSnapshot`] (the
+/// percentile fields read back as `None`) — readers should accept all
+/// three tags (see [`MetricsSnapshot::schema_is_supported`]).
+pub const TELEMETRY_SCHEMA: &str = "lkas-telemetry-v3";
 
-/// The previous telemetry schema tag, still accepted on read.
+/// The mean/max-only schema with fault counters, still accepted on read.
+pub const TELEMETRY_SCHEMA_V2: &str = "lkas-telemetry-v2";
+
+/// The original telemetry schema tag, still accepted on read.
 pub const TELEMETRY_SCHEMA_V1: &str = "lkas-telemetry-v1";
 
 /// The pipeline stages of one closed-loop cycle, mirroring the paper's
@@ -35,17 +43,22 @@ pub enum Stage {
     Perception,
     /// Controller design lookups plus the control-law step.
     Control,
+    /// Steering-command actuation: pending-command activation plus the
+    /// vehicle physics step (recorded once per physics step, so its
+    /// count exceeds `cycles`).
+    Actuation,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Render,
         Stage::Sensor,
         Stage::Isp,
         Stage::Classifier,
         Stage::Perception,
         Stage::Control,
+        Stage::Actuation,
     ];
 
     /// The stage's snake_case name as written to JSON.
@@ -57,6 +70,7 @@ impl Stage {
             Stage::Classifier => "classifier",
             Stage::Perception => "perception",
             Stage::Control => "control",
+            Stage::Actuation => "actuation",
         }
     }
 }
@@ -161,21 +175,18 @@ impl Counter {
     }
 }
 
-#[derive(Debug, Default)]
-struct StageAccum {
-    count: AtomicU64,
-    total_ns: AtomicU64,
-    max_ns: AtomicU64,
-}
-
 /// A thread-safe telemetry registry.
 ///
-/// All recording is relaxed-atomic, so one `Metrics` can be shared (via
-/// `Arc` or plain reference) across every worker of a parallel sweep and
-/// across every stage of a simulation cycle without locking.
+/// All recording is relaxed-atomic (per-stage [`LatencyHistogram`]s and
+/// counter cells), so one `Metrics` can be shared (via `Arc` or plain
+/// reference) across every worker of a parallel sweep and across every
+/// stage of a simulation cycle without locking. Registries are also
+/// *mergeable* ([`Metrics::merge_from`]): each worker can record into a
+/// local registry and fold it into the sweep's shared one, which is
+/// what [`crate::Executor::run_with_local`]-based sweeps do.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    stages: [StageAccum; Stage::ALL.len()],
+    stages: [LatencyHistogram; Stage::ALL.len()],
     counters: [AtomicU64; Counter::ALL.len()],
 }
 
@@ -199,11 +210,28 @@ impl Metrics {
 
     /// Records one observation of `elapsed` for `stage`.
     pub fn record(&self, stage: Stage, elapsed: Duration) {
-        let accum = &self.stages[stage as usize];
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        accum.count.fetch_add(1, Ordering::Relaxed);
-        accum.total_ns.fetch_add(ns, Ordering::Relaxed);
-        accum.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.stages[stage as usize].record_ns(ns);
+    }
+
+    /// Adds every observation and counter of `other` into `self`.
+    /// Merging per-worker registries into a shared one is equivalent to
+    /// having recorded everything into the shared registry directly.
+    pub fn merge_from(&self, other: &Metrics) {
+        for (mine, theirs) in self.stages.iter().zip(&other.stages) {
+            mine.merge_from(theirs);
+        }
+        for &counter in &Counter::ALL {
+            let n = other.counter(counter);
+            if n > 0 {
+                self.add(counter, n);
+            }
+        }
+    }
+
+    /// A plain copy of one stage's latency histogram.
+    pub fn stage_histogram(&self, stage: Stage) -> HistogramSnapshot {
+        self.stages[stage as usize].snapshot()
     }
 
     /// Increments `counter` by one.
@@ -228,16 +256,21 @@ impl Metrics {
         let stages = Stage::ALL
             .iter()
             .map(|&stage| {
-                let accum = &self.stages[stage as usize];
-                let count = accum.count.load(Ordering::Relaxed);
-                let total_ns = accum.total_ns.load(Ordering::Relaxed);
-                let max_ns = accum.max_ns.load(Ordering::Relaxed);
+                let hist = self.stages[stage as usize].snapshot();
+                let count = hist.count();
                 StageSnapshot {
                     stage: stage.name().to_string(),
                     count,
-                    total_ms: total_ns as f64 / 1e6,
-                    mean_us: if count == 0 { 0.0 } else { total_ns as f64 / count as f64 / 1e3 },
-                    max_us: max_ns as f64 / 1e3,
+                    total_ms: hist.total_ns as f64 / 1e6,
+                    mean_us: if count == 0 {
+                        0.0
+                    } else {
+                        hist.total_ns as f64 / count as f64 / 1e3
+                    },
+                    max_us: hist.max_ns as f64 / 1e3,
+                    p50_us: Some(hist.percentile_ns(0.50) as f64 / 1e3),
+                    p90_us: Some(hist.percentile_ns(0.90) as f64 / 1e3),
+                    p99_us: Some(hist.percentile_ns(0.99) as f64 / 1e3),
                 }
             })
             .collect();
@@ -255,15 +288,35 @@ impl Metrics {
     ///
     /// Returns any underlying filesystem error.
     pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
         let json =
             serde_json::to_string_pretty(&self.snapshot()).expect("telemetry snapshot serializes");
-        std::fs::write(path, json + "\n")
+        write_atomic(path.as_ref(), (json + "\n").as_bytes())
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the content lands in a
+/// temporary file in the same directory and is renamed into place, so a
+/// killed process never leaves a torn artifact. Parent directories are
+/// created as needed.
+///
+/// # Errors
+///
+/// Returns any underlying filesystem error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact");
+    let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
     }
 }
 
@@ -295,6 +348,13 @@ pub struct StageSnapshot {
     pub mean_us: f64,
     /// Worst single observation, in microseconds.
     pub max_us: f64,
+    /// Median estimate (µs), from the log2 histogram buckets. `None`
+    /// when read from a pre-v3 document.
+    pub p50_us: Option<f64>,
+    /// 90th-percentile estimate (µs). `None` in pre-v3 documents.
+    pub p90_us: Option<f64>,
+    /// 99th-percentile estimate (µs). `None` in pre-v3 documents.
+    pub p99_us: Option<f64>,
 }
 
 /// The JSON-exportable telemetry report (schema
@@ -311,9 +371,11 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// `true` if this snapshot's schema tag is one this crate can
-    /// interpret (the current schema or the backward-readable v1).
+    /// interpret (the current schema or the backward-readable v1/v2).
     pub fn schema_is_supported(&self) -> bool {
-        self.schema == TELEMETRY_SCHEMA || self.schema == TELEMETRY_SCHEMA_V1
+        self.schema == TELEMETRY_SCHEMA
+            || self.schema == TELEMETRY_SCHEMA_V2
+            || self.schema == TELEMETRY_SCHEMA_V1
     }
 
     /// Looks up a counter value by name.
@@ -346,6 +408,10 @@ mod tests {
         assert!((isp.total_ms - 0.3).abs() < 1e-9);
         assert!((isp.mean_us - 150.0).abs() < 1e-9);
         assert!((isp.max_us - 200.0).abs() < 1e-9);
+        // Percentiles come from log2 bucket bounds, clamped to the max.
+        let p50 = isp.p50_us.expect("v3 snapshots carry percentiles");
+        let p99 = isp.p99_us.unwrap();
+        assert!(p50 > 0.0 && p50 <= p99 && p99 <= isp.max_us, "{p50} {p99}");
         let control = snap.stage("control").expect("control stage present");
         assert_eq!(control.count, 1);
         assert!(control.total_ms >= 1.0);
@@ -390,7 +456,14 @@ mod tests {
         let path = dir.join("nested/telemetry.json");
         Metrics::new().write_json(&path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("lkas-telemetry-v2"));
+        assert!(text.contains("lkas-telemetry-v3"));
+        // The atomic writer leaves no temp file behind.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -411,19 +484,67 @@ mod tests {
         assert!(snap.schema_is_supported());
         assert_eq!(snap.counter("cycles"), Some(3));
         assert_eq!(snap.counter("faults_injected"), None);
-        assert_eq!(snap.stage("render").unwrap().count, 3);
+        let render = snap.stage("render").unwrap();
+        assert_eq!(render.count, 3);
+        // Pre-v3 documents have no percentile fields.
+        assert_eq!(render.p50_us, None);
+        assert_eq!(render.p99_us, None);
     }
 
     #[test]
-    fn v2_snapshot_carries_fault_counters() {
+    fn v2_documents_remain_readable() {
+        // A pre-histogram artifact (schema v2, mean/max-only stages, no
+        // actuation stage) must still deserialize and answer lookups.
+        let v2 = r#"{
+            "schema": "lkas-telemetry-v2",
+            "stages": [
+                { "stage": "control", "count": 10, "total_ms": 2.0,
+                  "mean_us": 200.0, "max_us": 900.0 }
+            ],
+            "counters": [["cycles", 10], ["faults_injected", 2]]
+        }"#;
+        let snap: MetricsSnapshot = serde_json::from_str(v2).unwrap();
+        assert!(snap.schema_is_supported());
+        assert_eq!(snap.counter("faults_injected"), Some(2));
+        assert_eq!(snap.stage("control").unwrap().p99_us, None);
+        assert!(snap.stage("actuation").is_none());
+    }
+
+    #[test]
+    fn v3_snapshot_carries_fault_counters_and_percentiles() {
         let metrics = Metrics::new();
         metrics.incr(Counter::FaultsInjected);
         metrics.add(Counter::DegradedCycles, 7);
+        metrics.record(Stage::Actuation, Duration::from_micros(12));
         let snap = metrics.snapshot();
         assert!(snap.schema_is_supported());
         assert_eq!(snap.schema, TELEMETRY_SCHEMA);
         assert_eq!(snap.counter("faults_injected"), Some(1));
         assert_eq!(snap.counter("degraded_cycles"), Some(7));
         assert_eq!(snap.counter("measurement_holds"), Some(0));
+        let act = snap.stage("actuation").expect("v3 adds the actuation stage");
+        assert_eq!(act.count, 1);
+        assert!(act.p50_us.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn merge_from_equals_direct_recording() {
+        let shared = Metrics::new();
+        let (a, b) = (Metrics::new(), Metrics::new());
+        let direct = Metrics::new();
+        for (i, us) in [5u64, 10, 20, 40, 80].iter().enumerate() {
+            let m = if i % 2 == 0 { &a } else { &b };
+            m.record(Stage::Perception, Duration::from_micros(*us));
+            m.incr(Counter::Cycles);
+            direct.record(Stage::Perception, Duration::from_micros(*us));
+            direct.incr(Counter::Cycles);
+        }
+        shared.merge_from(&a);
+        shared.merge_from(&b);
+        assert_eq!(shared.snapshot(), direct.snapshot());
+        assert_eq!(
+            shared.stage_histogram(Stage::Perception),
+            direct.stage_histogram(Stage::Perception)
+        );
     }
 }

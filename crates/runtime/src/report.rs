@@ -1,0 +1,352 @@
+//! Telemetry snapshot reporting and regression diffing.
+//!
+//! This is the logic behind the `telemetry_report` harness binary and
+//! the CI perf smoke gate: [`format_snapshot`] pretty-prints one
+//! [`MetricsSnapshot`]; [`diff_snapshots`] compares a candidate against
+//! a baseline under [`DiffThresholds`] and reports every regression.
+//!
+//! Two kinds of quantities are compared differently:
+//!
+//! - **Deterministic quantities** — event counters and per-stage
+//!   observation counts are pure functions of the workload (seed, grid)
+//!   and must match the baseline *exactly*; any drift means behavior
+//!   changed, not that the machine was slow. The one exception is the
+//!   controller design cache, whose hit/miss split races benignly under
+//!   parallelism — only the hit+miss sum is compared.
+//! - **Wall-clock quantities** — stage means and percentiles vary with
+//!   machine and load, so they gate on *relative* thresholds
+//!   (candidate ≤ baseline × (1 + threshold)), with a `min_mean_us`
+//!   floor exempting stages too cheap to measure stably. Getting
+//!   *faster* never fails the gate.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Regression thresholds for [`diff_snapshots`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffThresholds {
+    /// Maximum allowed relative increase of a stage's `mean_us` and
+    /// `p50_us` (0.5 = +50 %).
+    pub max_rel_mean: f64,
+    /// Maximum allowed relative increase of a stage's `p90_us` and
+    /// `p99_us` (tails are noisier, so this is typically larger).
+    pub max_rel_tail: f64,
+    /// Stages whose baseline *and* candidate mean are below this (µs)
+    /// are exempt from timing comparisons (too cheap to gate stably).
+    pub min_mean_us: f64,
+    /// Compare the deterministic event counters (on by default; turn
+    /// off when diffing runs of intentionally different workloads).
+    pub check_counters: bool,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            max_rel_mean: 0.5,
+            max_rel_tail: 1.0,
+            min_mean_us: 1.0,
+            check_counters: true,
+        }
+    }
+}
+
+/// The outcome of one snapshot comparison.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// Human-readable comparison, one line per compared quantity.
+    pub report: String,
+    /// One line per regression; empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// `true` if no regression was found.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// The design-cache counters whose split races benignly under parallel
+/// sweeps (two workers can both miss on the same key); their *sum* is
+/// the deterministic quantity.
+const CACHE_SPLIT_COUNTERS: [&str; 2] = ["controller_cache_hits", "controller_cache_misses"];
+
+/// Pretty-prints a snapshot: the per-stage latency table (count, mean,
+/// p50/p90/p99, max, total) followed by the event counters.
+pub fn format_snapshot(snap: &MetricsSnapshot) -> String {
+    let mut out = format!("schema: {}\n", snap.schema);
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+        "stage", "count", "mean_us", "p50_us", "p90_us", "p99_us", "max_us", "total_ms"
+    ));
+    let opt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.1}"));
+    for s in &snap.stages {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>10.1} {:>10} {:>10} {:>10} {:>10.1} {:>12.3}\n",
+            s.stage,
+            s.count,
+            s.mean_us,
+            opt(s.p50_us),
+            opt(s.p90_us),
+            opt(s.p99_us),
+            s.max_us,
+            s.total_ms
+        ));
+    }
+    out.push_str("counters:\n");
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("  {name:<30} {value}\n"));
+    }
+    out
+}
+
+/// Compares `candidate` against `baseline` under `thresholds`.
+pub fn diff_snapshots(
+    baseline: &MetricsSnapshot,
+    candidate: &MetricsSnapshot,
+    thresholds: &DiffThresholds,
+) -> DiffOutcome {
+    let mut report = String::new();
+    let mut regressions = Vec::new();
+
+    for (snap, role) in [(baseline, "baseline"), (candidate, "candidate")] {
+        if !snap.schema_is_supported() {
+            regressions.push(format!("{role} schema `{}` is not supported", snap.schema));
+        }
+    }
+
+    if thresholds.check_counters {
+        diff_counters(baseline, candidate, &mut report, &mut regressions);
+    }
+    diff_stages(baseline, candidate, thresholds, &mut report, &mut regressions);
+
+    if regressions.is_empty() {
+        report.push_str("PASS: no regressions\n");
+    } else {
+        report.push_str(&format!("FAIL: {} regression(s)\n", regressions.len()));
+        for r in &regressions {
+            report.push_str(&format!("  - {r}\n"));
+        }
+    }
+    DiffOutcome { report, regressions }
+}
+
+fn diff_counters(
+    baseline: &MetricsSnapshot,
+    candidate: &MetricsSnapshot,
+    report: &mut String,
+    regressions: &mut Vec<String>,
+) {
+    for (name, base_value) in &baseline.counters {
+        if CACHE_SPLIT_COUNTERS.contains(&name.as_str()) {
+            continue;
+        }
+        match candidate.counter(name) {
+            Some(cand_value) if cand_value == *base_value => {
+                report.push_str(&format!("counter {name}: {base_value} (exact match)\n"));
+            }
+            Some(cand_value) => {
+                regressions.push(format!("counter {name}: {base_value} -> {cand_value}"));
+            }
+            None => regressions.push(format!("counter {name} missing from candidate")),
+        }
+    }
+    let cache_sum = |snap: &MetricsSnapshot| -> Option<u64> {
+        let values: Vec<u64> =
+            CACHE_SPLIT_COUNTERS.iter().filter_map(|n| snap.counter(n)).collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum())
+        }
+    };
+    if let (Some(base), Some(cand)) = (cache_sum(baseline), cache_sum(candidate)) {
+        if base == cand {
+            report.push_str(&format!("counter controller_cache_lookups: {base} (exact match)\n"));
+        } else {
+            regressions.push(format!("counter controller_cache_lookups: {base} -> {cand}"));
+        }
+    }
+}
+
+fn diff_stages(
+    baseline: &MetricsSnapshot,
+    candidate: &MetricsSnapshot,
+    thresholds: &DiffThresholds,
+    report: &mut String,
+    regressions: &mut Vec<String>,
+) {
+    for base in &baseline.stages {
+        let Some(cand) = candidate.stage(&base.stage) else {
+            if base.count > 0 {
+                regressions.push(format!("stage {} missing from candidate", base.stage));
+            }
+            continue;
+        };
+        if cand.count != base.count {
+            regressions.push(format!(
+                "stage {} count: {} -> {} (workload changed)",
+                base.stage, base.count, cand.count
+            ));
+            continue;
+        }
+        if base.count == 0 {
+            continue;
+        }
+        if base.mean_us < thresholds.min_mean_us && cand.mean_us < thresholds.min_mean_us {
+            report.push_str(&format!(
+                "stage {}: below {} µs floor, timing not gated\n",
+                base.stage, thresholds.min_mean_us
+            ));
+            continue;
+        }
+        let mut check = |what: &str, base_v: f64, cand_v: f64, max_rel: f64| {
+            if base_v <= 0.0 {
+                return;
+            }
+            let rel = (cand_v - base_v) / base_v;
+            report.push_str(&format!(
+                "stage {} {what}: {base_v:.1} -> {cand_v:.1} µs ({:+.0}%, limit +{:.0}%)\n",
+                base.stage,
+                rel * 100.0,
+                max_rel * 100.0
+            ));
+            if rel > max_rel {
+                regressions.push(format!(
+                    "stage {} {what}: {base_v:.1} -> {cand_v:.1} µs ({:+.0}% > +{:.0}%)",
+                    base.stage,
+                    rel * 100.0,
+                    max_rel * 100.0
+                ));
+            }
+        };
+        check("mean", base.mean_us, cand.mean_us, thresholds.max_rel_mean);
+        if let (Some(b), Some(c)) = (base.p50_us, cand.p50_us) {
+            check("p50", b, c, thresholds.max_rel_mean);
+        }
+        if let (Some(b), Some(c)) = (base.p90_us, cand.p90_us) {
+            check("p90", b, c, thresholds.max_rel_tail);
+        }
+        if let (Some(b), Some(c)) = (base.p99_us, cand.p99_us) {
+            check("p99", b, c, thresholds.max_rel_tail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Counter, Metrics, Stage};
+    use std::time::Duration;
+
+    fn snapshot_with(stage_us: u64) -> MetricsSnapshot {
+        let m = Metrics::new();
+        for i in 0..50 {
+            m.record(Stage::Perception, Duration::from_micros(stage_us + i % 3));
+            m.incr(Counter::Cycles);
+        }
+        m.snapshot()
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let snap = snapshot_with(120);
+        let outcome = diff_snapshots(&snap, &snap, &DiffThresholds::default());
+        assert!(outcome.passed(), "{}", outcome.report);
+        assert!(outcome.report.contains("PASS"));
+    }
+
+    #[test]
+    fn inflated_stage_time_fails() {
+        let base = snapshot_with(100);
+        let slow = snapshot_with(1000);
+        let outcome = diff_snapshots(&base, &slow, &DiffThresholds::default());
+        assert!(!outcome.passed());
+        assert!(
+            outcome.regressions.iter().any(|r| r.contains("perception") && r.contains("mean")),
+            "{:?}",
+            outcome.regressions
+        );
+    }
+
+    #[test]
+    fn faster_candidate_passes() {
+        let base = snapshot_with(1000);
+        let fast = snapshot_with(100);
+        let outcome = diff_snapshots(&base, &fast, &DiffThresholds::default());
+        assert!(outcome.passed(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn counter_drift_fails_and_can_be_disabled() {
+        let base = snapshot_with(100);
+        let m = Metrics::new();
+        for _ in 0..50 {
+            m.record(Stage::Perception, Duration::from_micros(100));
+        }
+        m.add(Counter::Cycles, 51); // one extra cycle
+        let cand = m.snapshot();
+        let outcome = diff_snapshots(&base, &cand, &DiffThresholds::default());
+        assert!(outcome.regressions.iter().any(|r| r.contains("counter cycles")));
+        let loose = DiffThresholds { check_counters: false, ..DiffThresholds::default() };
+        assert!(diff_snapshots(&base, &cand, &loose).passed());
+    }
+
+    #[test]
+    fn cache_split_compares_as_sum() {
+        let mk = |hits: u64, misses: u64| {
+            let m = Metrics::new();
+            m.add(Counter::ControllerCacheHits, hits);
+            m.add(Counter::ControllerCacheMisses, misses);
+            m.snapshot()
+        };
+        let outcome = diff_snapshots(&mk(10, 2), &mk(8, 4), &DiffThresholds::default());
+        assert!(outcome.passed(), "same lookup total must pass: {}", outcome.report);
+        let outcome = diff_snapshots(&mk(10, 2), &mk(10, 3), &DiffThresholds::default());
+        assert!(!outcome.passed(), "changed lookup total must fail");
+    }
+
+    #[test]
+    fn tiny_stages_are_not_gated() {
+        let quick = |us: u64| {
+            let m = Metrics::new();
+            m.record(Stage::Isp, Duration::from_nanos(us * 10));
+            m.snapshot()
+        };
+        let thresholds = DiffThresholds { min_mean_us: 5.0, ..DiffThresholds::default() };
+        let outcome = diff_snapshots(&quick(1), &quick(100), &thresholds);
+        assert!(outcome.passed(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn missing_stage_with_observations_fails() {
+        let base = snapshot_with(100);
+        let mut cand = base.clone();
+        cand.stages.retain(|s| s.stage != "perception");
+        let outcome = diff_snapshots(&base, &cand, &DiffThresholds::default());
+        assert!(outcome.regressions.iter().any(|r| r.contains("missing")));
+    }
+
+    #[test]
+    fn pre_v3_baseline_gates_mean_only() {
+        // A v2 baseline has no percentiles: the diff still gates the
+        // mean, and the absent percentile comparisons are skipped.
+        let mut base = snapshot_with(100);
+        base.schema = crate::metrics::TELEMETRY_SCHEMA_V2.to_string();
+        for s in &mut base.stages {
+            s.p50_us = None;
+            s.p90_us = None;
+            s.p99_us = None;
+        }
+        let outcome = diff_snapshots(&base, &snapshot_with(1000), &DiffThresholds::default());
+        assert!(!outcome.passed());
+        assert!(outcome.regressions.iter().all(|r| !r.contains("p99")));
+    }
+
+    #[test]
+    fn format_snapshot_lists_stages_and_counters() {
+        let text = format_snapshot(&snapshot_with(100));
+        assert!(text.contains("perception"));
+        assert!(text.contains("p99_us"));
+        assert!(text.contains("cycles"));
+    }
+}

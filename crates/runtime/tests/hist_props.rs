@@ -1,0 +1,93 @@
+//! Property tests over the latency histograms: merge equivalence and
+//! percentile ordering.
+
+use lkas_runtime::{Counter, LatencyHistogram, Metrics, Stage};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-worker histograms merged in any order equal the histogram a
+    /// single thread would have recorded, whatever the interleaving of
+    /// observations across workers.
+    #[test]
+    fn merged_worker_histograms_equal_single_thread(
+        values in proptest::collection::vec(0u64..50_000_000, 48),
+        workers in proptest::collection::vec(0usize..4, 48),
+    ) {
+        let locals: Vec<LatencyHistogram> =
+            (0..4).map(|_| LatencyHistogram::new()).collect();
+        let single = LatencyHistogram::new();
+        for (ns, w) in values.iter().zip(&workers) {
+            locals[*w].record_ns(*ns);
+            single.record_ns(*ns);
+        }
+        let merged = LatencyHistogram::new();
+        for local in &locals {
+            merged.merge_from(local);
+        }
+        prop_assert_eq!(merged.snapshot(), single.snapshot());
+    }
+
+    /// The same equivalence holds one level up, across whole `Metrics`
+    /// registries (stage histograms and counters together).
+    #[test]
+    fn merged_worker_registries_equal_single_thread(
+        values in proptest::collection::vec(1u64..10_000_000, 32),
+        workers in proptest::collection::vec(0usize..3, 32),
+        stages in proptest::collection::vec(0usize..Stage::ALL.len(), 32),
+    ) {
+        let locals: Vec<Metrics> = (0..3).map(|_| Metrics::new()).collect();
+        let single = Metrics::new();
+        for ((ns, w), s) in values.iter().zip(&workers).zip(&stages) {
+            let stage = Stage::ALL[*s];
+            locals[*w].record(stage, Duration::from_nanos(*ns));
+            locals[*w].incr(Counter::Cycles);
+            single.record(stage, Duration::from_nanos(*ns));
+            single.incr(Counter::Cycles);
+        }
+        let shared = Metrics::new();
+        for local in &locals {
+            shared.merge_from(local);
+        }
+        prop_assert_eq!(shared.snapshot(), single.snapshot());
+    }
+
+    /// Percentile estimates are ordered: p50 ≤ p90 ≤ p99 ≤ max, for any
+    /// observation set.
+    #[test]
+    fn percentiles_are_monotone(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 40),
+    ) {
+        let h = LatencyHistogram::new();
+        for ns in &values {
+            h.record_ns(*ns);
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile_ns(0.50);
+        let p90 = s.percentile_ns(0.90);
+        let p99 = s.percentile_ns(0.99);
+        prop_assert!(p50 <= p90, "p50 {} > p90 {}", p50, p90);
+        prop_assert!(p90 <= p99, "p90 {} > p99 {}", p90, p99);
+        prop_assert!(p99 <= s.max_ns, "p99 {} > max {}", p99, s.max_ns);
+    }
+
+    /// The snapshot percentiles surfaced by `Metrics` keep the same
+    /// ordering (the JSON artifact can never show a crossed tail).
+    #[test]
+    fn snapshot_percentiles_are_monotone(
+        values in proptest::collection::vec(1u64..1_000_000_000, 24),
+    ) {
+        let m = Metrics::new();
+        for ns in &values {
+            m.record(Stage::Control, Duration::from_nanos(*ns));
+        }
+        let snap = m.snapshot();
+        let control = snap.stage("control").unwrap();
+        let (p50, p90, p99) =
+            (control.p50_us.unwrap(), control.p90_us.unwrap(), control.p99_us.unwrap());
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= control.max_us,
+            "{} {} {} {}", p50, p90, p99, control.max_us);
+    }
+}

@@ -11,7 +11,7 @@ cargo run --release -p lkas-bench --bin fig1_tradeoff
 cargo run --release -p lkas-bench --bin table4_classifiers
 cargo run --release -p lkas-bench --bin table3_characterization
 cargo run --release -p lkas-bench --bin fig6_static -- --metrics-out artifacts/telemetry_fig6_static.json
-cargo run --release -p lkas-bench --bin fig8_dynamic -- --seeds 3 --metrics-out artifacts/telemetry_fig8_dynamic.json
+cargo run --release -p lkas-bench --bin fig8_dynamic -- --seeds 3 --metrics-out artifacts/telemetry_fig8_dynamic.json --trace-out artifacts/fig8_dynamic.trace.json
 cargo run --release -p lkas-bench --bin lqg_study
 cargo run --release -p lkas-bench --bin ablation_isp
 cargo run --release -p lkas-bench --bin ablation_invocation

@@ -9,8 +9,13 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 # Fast robustness-campaign smoke: quick grid, deterministic report.
+# Single worker on purpose: the report is byte-identical for any
+# --threads, but the CI box has one CPU, so extra workers time-slice
+# and inflate the stage latency histograms with preemption noise —
+# the telemetry gate below should measure stage cost, not scheduler
+# jitter.
 cargo run --release -p lkas-bench --bin robustness_campaign -- \
-  --quick --seed 7 --threads 2 --out artifacts/robustness_smoke.json \
+  --quick --seed 7 --threads 1 --out artifacts/robustness_smoke.json \
   --metrics-out artifacts/telemetry_smoke_quick.json
 # Telemetry smoke gate: the quick grid's counters must match the
 # checked-in baseline exactly; stage timings may drift within generous
@@ -19,3 +24,7 @@ cargo run --release -p lkas-bench --bin robustness_campaign -- \
 cargo run --release -p lkas-bench --bin telemetry_report -- \
   diff BENCH_telemetry_baseline.json artifacts/telemetry_smoke_quick.json \
   --max-rel-mean 8 --max-rel-tail 25 --min-mean-us 2
+# Zero-allocation gate: the steady-state frame path (render → capture →
+# ISP → perception into pooled buffers) must not touch the heap after
+# warm-up, and the tiled path must stay bit-identical.
+cargo test --release -p lkas-suite --test zero_alloc -q

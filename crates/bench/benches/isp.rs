@@ -5,8 +5,10 @@
 //! the Xavier's.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lkas_imaging::image::RgbImage;
 use lkas_imaging::isp::{IspConfig, IspPipeline};
 use lkas_imaging::sensor::{Sensor, SensorConfig};
+use lkas_imaging::Scratch;
 use lkas_scene::camera::Camera;
 use lkas_scene::render::SceneRenderer;
 use lkas_scene::situation::TABLE3_SITUATIONS;
@@ -23,6 +25,12 @@ fn bench_isp(c: &mut Criterion) {
     for cfg in IspConfig::ALL {
         let pipeline = IspPipeline::new(cfg);
         group.bench_function(cfg.name(), |b| b.iter(|| pipeline.process(&raw)));
+        // The pooled in-place path the HiL loop runs in steady state.
+        let mut scratch = Scratch::new();
+        let mut out = RgbImage::new(2, 2);
+        group.bench_function(&format!("{}_pooled", cfg.name()), |b| {
+            b.iter(|| pipeline.process_into(&raw, &mut scratch, &mut out))
+        });
     }
     group.finish();
 }

@@ -6,9 +6,9 @@ use lkas_imaging::isp::{IspConfig, IspPipeline};
 use lkas_imaging::sensor::{Sensor, SensorConfig};
 use lkas_perception::baselines::{DenseScanlineDetector, LaneDetector, SobelHoughDetector};
 use lkas_perception::bev::BirdsEye;
-use lkas_perception::pipeline::{Perception, PerceptionConfig};
+use lkas_perception::pipeline::{Perception, PerceptionConfig, PerceptionScratch};
 use lkas_perception::roi::Roi;
-use lkas_perception::sliding::sliding_window_search;
+use lkas_perception::sliding::{sliding_window_search, sliding_window_search_with, SlidingScratch};
 use lkas_perception::threshold::binarize;
 use lkas_scene::camera::Camera;
 use lkas_scene::render::SceneRenderer;
@@ -33,6 +33,19 @@ fn bench_perception(c: &mut Criterion) {
     group.bench_function("binarize", |b| b.iter(|| binarize(&bev)));
     group.bench_function("sliding_window", |b| b.iter(|| sliding_window_search(&bev, &mask)));
     group.bench_function("full_pipeline", |b| b.iter(|| pipeline.process(&rgb)));
+    // Scratch-reusing variants: what the HiL loop runs in steady state.
+    let mut bev_out = birds_eye.rectify(&rgb);
+    group.bench_function("bev_rectify_into", |b| {
+        b.iter(|| birds_eye.rectify_into(&rgb, &mut bev_out))
+    });
+    let mut sliding_scratch = SlidingScratch::new();
+    group.bench_function("sliding_window_scratch", |b| {
+        b.iter(|| sliding_window_search_with(&bev, &mask, &mut sliding_scratch))
+    });
+    let mut pscratch = PerceptionScratch::new();
+    group.bench_function("full_pipeline_pooled", |b| {
+        b.iter(|| pipeline.process_into(&rgb, &mut pscratch))
+    });
 
     let sobel = SobelHoughDetector::new(cam.clone());
     let dense = DenseScanlineDetector::new(cam);

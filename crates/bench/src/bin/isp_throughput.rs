@@ -1,0 +1,141 @@
+//! Frame-path throughput: allocating vs pooled, serial vs tiled.
+//!
+//! Measures the steady-state cost of each ISP configuration (S0–S8)
+//! through three paths — the one-shot allocating `process`, the pooled
+//! in-place `process_into` on one thread, and `process_into` with the
+//! row-tiled stages fanned out on worker threads — plus the perception
+//! pipeline with and without a reused scratch. This is the harness
+//! behind the README "Steady-state frame path" table and DESIGN.md §10.
+//!
+//! Flags: `--iters N` (timed iterations per cell, default 40),
+//! `--threads N` (tiled-path worker count, default 4).
+
+use lkas_bench::{arg_value, render_table, write_result};
+use lkas_imaging::image::RgbImage;
+use lkas_imaging::isp::{IspConfig, IspPipeline};
+use lkas_imaging::sensor::{Sensor, SensorConfig};
+use lkas_imaging::Scratch;
+use lkas_perception::pipeline::{Perception, PerceptionConfig, PerceptionScratch};
+use lkas_perception::roi::Roi;
+use lkas_scene::camera::Camera;
+use lkas_scene::render::SceneRenderer;
+use lkas_scene::situation::TABLE3_SITUATIONS;
+use lkas_scene::track::Track;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ConfigRow {
+    config: String,
+    alloc_us: f64,
+    pooled_us: f64,
+    tiled_us: f64,
+    pooled_speedup: f64,
+    tiled_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    iters: usize,
+    tile_threads: usize,
+    isp: Vec<ConfigRow>,
+    perception_alloc_us: f64,
+    perception_pooled_us: f64,
+    perception_speedup: f64,
+}
+
+/// Mean microseconds per call of `f` over `iters` timed iterations
+/// (after 3 warm-up calls that also size any pooled buffers).
+fn time_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn main() {
+    let iters: usize = arg_value("--iters").and_then(|v| v.parse().ok()).unwrap_or(40);
+    let tile_threads: usize = arg_value("--threads").and_then(|v| v.parse().ok()).unwrap_or(4);
+
+    let cam = Camera::default_automotive();
+    let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+    let frame = SceneRenderer::new(cam.clone()).render(&track, 50.0, 0.0, 0.0);
+    let raw = Sensor::new(SensorConfig::default(), 1).capture(&frame, 1.0);
+
+    eprintln!("[isp_throughput] {iters} iters/cell, tiled path on {tile_threads} threads");
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for cfg in IspConfig::ALL {
+        let isp = IspPipeline::new(cfg);
+        let alloc_us = time_us(iters, || {
+            std::hint::black_box(isp.process(&raw));
+        });
+        let mut scratch = Scratch::new();
+        let mut out = RgbImage::new(2, 2);
+        let pooled_us = time_us(iters, || {
+            isp.process_into(&raw, &mut scratch, &mut out);
+            std::hint::black_box(&out);
+        });
+        let mut tiled_scratch = Scratch::with_threads(tile_threads);
+        let tiled_us = time_us(iters, || {
+            isp.process_into(&raw, &mut tiled_scratch, &mut out);
+            std::hint::black_box(&out);
+        });
+        let row = ConfigRow {
+            config: cfg.name().to_string(),
+            alloc_us,
+            pooled_us,
+            tiled_us,
+            pooled_speedup: alloc_us / pooled_us,
+            tiled_speedup: alloc_us / tiled_us,
+        };
+        table.push(vec![
+            row.config.clone(),
+            format!("{alloc_us:.0}"),
+            format!("{pooled_us:.0}"),
+            format!("{tiled_us:.0}"),
+            format!("{:.2}x", row.pooled_speedup),
+            format!("{:.2}x", row.tiled_speedup),
+        ]);
+        rows.push(row);
+    }
+
+    let rgb = IspPipeline::new(IspConfig::S0).process(&raw);
+    let pr = Perception::new(PerceptionConfig::new(Roi::Roi1), cam);
+    let perception_alloc_us = time_us(iters, || {
+        std::hint::black_box(pr.process(&rgb).ok());
+    });
+    let mut pscratch = PerceptionScratch::new();
+    let perception_pooled_us = time_us(iters, || {
+        std::hint::black_box(pr.process_into(&rgb, &mut pscratch).ok());
+    });
+
+    println!(
+        "{}",
+        render_table(&["config", "alloc µs", "pooled µs", "tiled µs", "pooled", "tiled"], &table,)
+    );
+    println!(
+        "perception: alloc {perception_alloc_us:.0} µs, pooled {perception_pooled_us:.0} µs \
+         ({:.2}x)",
+        perception_alloc_us / perception_pooled_us
+    );
+
+    write_result(
+        "isp_throughput",
+        &Report {
+            schema: "lkas-isp-throughput-v1",
+            iters,
+            tile_threads,
+            isp: rows,
+            perception_alloc_us,
+            perception_pooled_us,
+            perception_speedup: perception_alloc_us / perception_pooled_us,
+        },
+    );
+}

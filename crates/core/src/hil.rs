@@ -19,9 +19,11 @@ use crate::qoc::QocAccumulator;
 use lkas_control::controller::{Controller, Measurement};
 use lkas_control::design::{design_controller_cached, ControllerConfig};
 use lkas_faults::{apply_bayer_fault, derive_cycle_seed, FaultPlan, Misprediction};
+use lkas_imaging::image::{RawImage, RgbImage};
 use lkas_imaging::isp::{IspConfig, IspPipeline};
 use lkas_imaging::sensor::{Sensor, SensorConfig};
-use lkas_perception::pipeline::{Perception, PerceptionConfig};
+use lkas_imaging::Scratch;
+use lkas_perception::pipeline::{Perception, PerceptionConfig, PerceptionScratch};
 use lkas_platform::schedule::ClassifierSet;
 use lkas_runtime::{Counter, Metrics, Stage, TraceSink};
 use lkas_scene::camera::Camera;
@@ -91,6 +93,11 @@ pub struct HilConfig {
     /// `TraceRecorder`). Records stage spans and instant events with
     /// deterministic virtual timestamps; `None` disables tracing.
     pub trace_sink: Option<TraceSink>,
+    /// Worker threads for the row-tiled ISP stages (demosaic, denoise).
+    /// `1` (the default) keeps every stage on the calling thread, which
+    /// is also the only fully allocation-free steady state; outputs are
+    /// byte-identical at any thread count.
+    pub tile_threads: usize,
 }
 
 /// One control sample of a recorded trace.
@@ -131,6 +138,7 @@ impl HilConfig {
             fault_plan: None,
             degradation: None,
             trace_sink: None,
+            tile_threads: 1,
         }
     }
 
@@ -202,6 +210,13 @@ impl HilConfig {
         self.trace_sink = Some(sink);
         self
     }
+
+    /// Sets the worker-thread count of the row-tiled ISP stages
+    /// (builder style). Clamped to at least 1.
+    pub fn with_tile_threads(mut self, threads: usize) -> Self {
+        self.tile_threads = threads.max(1);
+        self
+    }
 }
 
 /// Outcome of one HiL run.
@@ -234,6 +249,9 @@ pub struct HilResult {
     pub degraded_entries: u64,
     /// Misses bridged by the hold-and-extrapolate mechanism.
     pub measurement_holds: u64,
+    /// Cycles whose scene render was rejected with a typed
+    /// `RenderError` (the loop coasts frameless instead of aborting).
+    pub render_errors: u64,
     /// Per-sample trace (empty unless [`HilConfig::record_trace`]).
     pub trace: Vec<TraceSample>,
 }
@@ -311,6 +329,16 @@ impl HilSimulator {
             Perception::new(PerceptionConfig::new(knobs.roi), config.camera.clone());
         let mut vehicle = VehicleSim::new(track, VehicleState::centered(knobs.speed_kmph));
 
+        // Reusable frame memory: every cycle writes into the same three
+        // image buffers and draws intermediates from the two scratch
+        // arenas, so the steady-state frame path performs no heap
+        // allocations after the first frame sizes everything.
+        let mut imaging_scratch = Scratch::with_threads(config.tile_threads.max(1));
+        let mut perception_scratch = PerceptionScratch::new();
+        let mut scene_rgb = RgbImage::new(1, 1);
+        let mut raw = RawImage::new(2, 2);
+        let mut rgb = RgbImage::new(1, 1);
+
         let mut qoc = QocAccumulator::new(n_sectors);
         let mut frame_index = 0u64;
         let mut trace: Vec<TraceSample> = Vec::new();
@@ -357,23 +385,44 @@ impl HilSimulator {
                 if let Some(cfg) = staged_isp.take() {
                     isp.set_config(cfg);
                 }
-                // Camera pipeline — skipped entirely on a dropped frame.
-                let frame = if faults.drop_frame {
+                // Camera pipeline — skipped entirely on a dropped frame,
+                // and abandoned for the cycle on a render rejection. The
+                // stages write into the run's reusable buffers.
+                let have_frame = if faults.drop_frame {
                     tally.incr(Counter::FrameDrops);
-                    None
+                    false
                 } else {
                     let (s, d, psi) = vehicle.camera_pose();
-                    let scene_rgb = timed(metrics, Stage::Render, || {
-                        renderer.render(vehicle.track(), s, d, psi)
+                    let rendered = timed(metrics, Stage::Render, || {
+                        renderer.render_into(vehicle.track(), s, d, psi, &mut scene_rgb)
                     });
-                    let mut raw = timed(metrics, Stage::Sensor, || sensor.capture(&scene_rgb, 1.0));
-                    if let Some(kind) = faults.bayer {
-                        apply_bayer_fault(kind, &mut raw, plan_seed, frame_index);
+                    match rendered {
+                        Ok(()) => {
+                            timed(metrics, Stage::Sensor, || {
+                                sensor.capture_into(&scene_rgb, 1.0, &mut raw)
+                            });
+                            if let Some(kind) = faults.bayer {
+                                apply_bayer_fault(kind, &mut raw, plan_seed, frame_index);
+                            }
+                            timed(metrics, Stage::Isp, || {
+                                isp.process_into(&raw, &mut imaging_scratch, &mut rgb)
+                            });
+                            true
+                        }
+                        Err(e) => {
+                            // An invalid camera no longer aborts the run:
+                            // the cycle coasts frameless, like a dropped
+                            // frame, and the rejection is counted.
+                            tally.incr(Counter::RenderErrors);
+                            if let Some(s) = sink {
+                                s.instant(cycle, "render_error", Some(e.to_string()));
+                            }
+                            false
+                        }
                     }
-                    Some(timed(metrics, Stage::Isp, || isp.process(&raw)))
                 };
                 if let Some(s) = sink {
-                    if frame.is_some() {
+                    if have_frame {
                         s.span(cycle, Stage::Render);
                         s.span(cycle, Stage::Sensor);
                         s.span(cycle, Stage::Isp);
@@ -400,8 +449,8 @@ impl HilSimulator {
                         estimate.update_from_truth(&truth, invoked);
                     }
                     SituationSource::Trained(bundle) => {
-                        if let Some(rgb) = &frame {
-                            estimate.update_from_frame(bundle, rgb, &config.camera, invoked);
+                        if have_frame {
+                            estimate.update_from_frame(bundle, &rgb, &config.camera, invoked);
                         }
                     }
                 });
@@ -500,20 +549,22 @@ impl HilSimulator {
                 }
 
                 // Perception, then the degradation policy's substitution.
-                let raw_y_l = match &frame {
-                    Some(rgb) => {
-                        match timed(metrics, Stage::Perception, || perception.process(rgb)) {
-                            Ok(out) => Some(out.y_l),
-                            Err(_) => {
-                                tally.incr(Counter::PerceptionFailures);
-                                None
-                            }
+                let raw_y_l = if have_frame {
+                    let out = timed(metrics, Stage::Perception, || {
+                        perception.process_into(&rgb, &mut perception_scratch)
+                    });
+                    match out {
+                        Ok(out) => Some(out.y_l),
+                        Err(_) => {
+                            tally.incr(Counter::PerceptionFailures);
+                            None
                         }
                     }
-                    None => None,
+                } else {
+                    None
                 };
                 if let Some(s) = sink {
-                    if frame.is_some() {
+                    if have_frame {
                         s.span(cycle, Stage::Perception);
                     }
                 }
@@ -621,6 +672,7 @@ impl HilSimulator {
             degraded_samples: tally.get(Counter::DegradedCycles),
             degraded_entries: tally.get(Counter::DegradedEntries),
             measurement_holds: tally.get(Counter::MeasurementHolds),
+            render_errors: tally.get(Counter::RenderErrors),
             trace,
         }
     }
@@ -808,6 +860,51 @@ mod tests {
         assert_eq!(r.degraded_samples, 0);
         assert_eq!(r.degraded_entries, 0);
         assert_eq!(r.measurement_holds, 0);
+        assert_eq!(r.render_errors, 0);
+    }
+
+    #[test]
+    fn invalid_camera_is_counted_not_fatal() {
+        // A camera that only a deserialized config could produce (the
+        // constructor panics on it): the negative focal length still
+        // rectifies (mirrored homography), but every cycle's render is
+        // rejected, so the loop coasts frameless instead of aborting and
+        // the rejections are reported.
+        let camera: Camera = serde_json::from_str(
+            r#"{"width":256,"height":128,"focal":-150.0,"cu":128.0,"cv":64.0,
+                "height_m":1.3,"pitch":0.1}"#,
+        )
+        .unwrap();
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 60.0);
+        let metrics = Arc::new(Metrics::new());
+        let config = HilConfig::new(Case::Case1, SituationSource::Oracle)
+            .with_camera(camera)
+            .with_max_time(20.0)
+            .with_metrics(Arc::clone(&metrics));
+        let r = HilSimulator::new(track, config).run();
+        assert!(r.samples > 0);
+        assert_eq!(r.render_errors, r.samples, "every cycle's render must be rejected");
+        assert_eq!(r.perception_failures, 0, "perception never ran on a frameless cycle");
+        assert_eq!(metrics.snapshot().counter("render_errors"), Some(r.samples));
+    }
+
+    #[test]
+    fn tile_threads_do_not_change_the_trajectory() {
+        // The tiled ISP stages are byte-identical across thread counts,
+        // so the whole closed-loop trajectory is too.
+        let run = |threads: usize| {
+            let track = Track::for_situation(&TABLE3_SITUATIONS[7], 250.0);
+            let config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+                .with_camera(test_camera())
+                .with_seed(42)
+                .with_tile_threads(threads);
+            HilSimulator::new(track, config).run()
+        };
+        let serial = run(1);
+        let tiled = run(4);
+        assert_eq!(serial.overall_mae(), tiled.overall_mae());
+        assert_eq!(serial.samples, tiled.samples);
+        assert_eq!(serial.crashed, tiled.crashed);
     }
 
     #[test]

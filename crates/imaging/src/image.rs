@@ -99,6 +99,22 @@ impl RawImage {
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
     }
+
+    /// Resizes the frame in place, keeping the existing allocation when
+    /// its capacity suffices (the [`crate::pool::FramePool`] reuse path).
+    /// The photosite contents are unspecified afterwards; every `*_into`
+    /// producer overwrites the whole frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or odd (Bayer quads must tile).
+    pub fn reshape(&mut self, width: usize, height: usize) {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        assert!(width % 2 == 0 && height % 2 == 0, "Bayer frames need even dimensions");
+        self.data.resize(width * height, 0.0);
+        self.width = width;
+        self.height = height;
+    }
 }
 
 /// An interleaved RGB frame with linear or display-referred values in
@@ -172,6 +188,21 @@ impl RgbImage {
     /// Mutably borrows the interleaved RGB data.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
+    }
+
+    /// Resizes the frame in place, keeping the existing allocation when
+    /// its capacity suffices (the [`crate::pool::FramePool`] reuse path).
+    /// The pixel contents are unspecified afterwards; every `*_into`
+    /// producer overwrites the whole frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reshape(&mut self, width: usize, height: usize) {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        self.data.resize(width * height * 3, 0.0);
+        self.width = width;
+        self.height = height;
     }
 
     /// Converts to grayscale with Rec.601 luma weights.
@@ -267,6 +298,20 @@ impl GrayImage {
     /// Mutably borrows the row-major pixel data.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
+    }
+
+    /// Resizes the frame in place, keeping the existing allocation when
+    /// its capacity suffices (the [`crate::pool::FramePool`] reuse path).
+    /// The pixel contents are unspecified afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reshape(&mut self, width: usize, height: usize) {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        self.data.resize(width * height, 0.0);
+        self.width = width;
+        self.height = height;
     }
 
     /// Mean pixel value.

@@ -7,8 +7,20 @@
 //! (profiled runtimes live in `lkas-platform`) at the cost of image
 //! quality, and how much quality matters depends on the *situation* —
 //! which is exactly the trade-off the paper's method exploits.
+//!
+//! # Memory discipline
+//!
+//! The stage implementations are in-place: [`IspStage::apply`] mutates
+//! an RGB frame using a [`Scratch`] for intermediates, and
+//! [`IspPipeline::process_into`] writes into a caller-owned output
+//! frame. Steady-state processing at stable frame dimensions performs no
+//! heap allocations (see `lkas_imaging::pool`). Demosaic and denoise are
+//! tiled row-band parallel on the scratch's executor; every tile runs
+//! identical per-pixel arithmetic on disjoint rows, so the output is
+//! byte-identical for any thread count.
 
 use crate::image::{BayerChannel, RawImage, RgbImage};
+use crate::pool::Scratch;
 use serde::{Deserialize, Serialize};
 
 /// One ISP stage, in the paper's notation.
@@ -36,6 +48,24 @@ impl IspStage {
             IspStage::ColorMap => "CM",
             IspStage::GamutMap => "GM",
             IspStage::ToneMap => "TM",
+        }
+    }
+
+    /// Applies this stage to an RGB frame in place.
+    ///
+    /// This is the single dispatch point for the RGB-domain stages
+    /// (denoise takes its ping-pong buffer from the scratch pool and
+    /// tiles on the scratch executor; the elementwise stages ignore the
+    /// scratch). `Demosaic` is a no-op here: it changes domains
+    /// (RAW → RGB) and is driven by [`demosaic_into`] /
+    /// [`IspPipeline::process_into`] instead.
+    pub fn apply(&self, scratch: &mut Scratch, img: &mut RgbImage) {
+        match self {
+            IspStage::Demosaic => {}
+            IspStage::Denoise => denoise_in_place(img, scratch),
+            IspStage::ColorMap => color_map_in_place(img),
+            IspStage::GamutMap => gamut_map_in_place(img),
+            IspStage::ToneMap => tone_map_in_place(img),
         }
     }
 }
@@ -137,12 +167,17 @@ pub const OUTPUT_LEVELS: u32 = 256;
 /// ```
 /// use lkas_imaging::image::RgbImage;
 /// use lkas_imaging::isp::{IspConfig, IspPipeline};
+/// use lkas_imaging::pool::Scratch;
 /// use lkas_imaging::sensor::{Sensor, SensorConfig};
 ///
 /// let scene = RgbImage::filled(16, 16, [0.2, 0.6, 0.2]);
 /// let raw = Sensor::new(SensorConfig::default(), 0).capture(&scene, 1.0);
+/// // One-shot convenience…
 /// let full = IspPipeline::new(IspConfig::S0).process(&raw);
-/// let approx = IspPipeline::new(IspConfig::S5).process(&raw);
+/// // …or the in-place path with reusable scratch memory.
+/// let mut scratch = Scratch::new();
+/// let mut approx = RgbImage::new(16, 16);
+/// IspPipeline::new(IspConfig::S5).process_into(&raw, &mut scratch, &mut approx);
 /// assert_eq!(full.width(), approx.width());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,110 +203,306 @@ impl IspPipeline {
         self.config = config;
     }
 
+    /// Runs the configured stages on a RAW frame, writing the quantized
+    /// 8-bit-equivalent RGB output into `out` (resized as needed).
+    ///
+    /// This is the steady-state entry point: with a long-lived `scratch`
+    /// and a reused `out`, processing at stable frame dimensions
+    /// performs no heap allocations (when `scratch` is single-threaded)
+    /// and the output is byte-identical to [`IspPipeline::process`] at
+    /// any scratch thread count.
+    pub fn process_into(&self, raw: &RawImage, scratch: &mut Scratch, out: &mut RgbImage) {
+        demosaic_into(raw, scratch, out);
+        for stage in self.config.stages() {
+            stage.apply(scratch, out);
+        }
+        out.quantize(OUTPUT_LEVELS);
+    }
+
     /// Runs the configured stages on a RAW frame and returns the
     /// quantized 8-bit-equivalent RGB output.
+    ///
+    /// Convenience wrapper over [`IspPipeline::process_into`] that
+    /// allocates a fresh output frame and one-shot [`Scratch`] per call;
+    /// loops that care about allocation pressure should hold their own
+    /// scratch and call `process_into`.
     pub fn process(&self, raw: &RawImage) -> RgbImage {
-        let mut rgb = demosaic(raw);
-        for stage in self.config.stages() {
-            match stage {
-                IspStage::Demosaic => {} // always executed above
-                IspStage::Denoise => denoise(&mut rgb),
-                IspStage::ColorMap => color_map(&mut rgb),
-                IspStage::GamutMap => gamut_map(&mut rgb),
-                IspStage::ToneMap => tone_map(&mut rgb),
-            }
-        }
-        rgb.quantize(OUTPUT_LEVELS);
-        rgb
+        let mut scratch = Scratch::new();
+        let mut out = RgbImage::new(raw.width(), raw.height());
+        self.process_into(raw, &mut scratch, &mut out);
+        out
     }
 }
 
-/// Bilinear demosaic of an RGGB Bayer mosaic.
-pub fn demosaic(raw: &RawImage) -> RgbImage {
+// ---------------------------------------------------------------------
+// Stage implementations (in place, tiled where it pays)
+// ---------------------------------------------------------------------
+
+/// Average of the in-bounds 3×3 neighbors holding channel `chan` — the
+/// border path of the demosaic (the interior kernels in
+/// [`demosaic_rows`] walk the same neighbors in the same row-major scan
+/// order, so interior and border agree bit-exactly wherever a pixel has
+/// all nine neighbors).
+fn dm_border_sample(raw: &RawImage, cx: i64, cy: i64, chan: BayerChannel) -> f32 {
     let (w, h) = (raw.width(), raw.height());
-    let mut out = RgbImage::new(w, h);
-    // Average of the neighbors (clamped to the frame) holding channel `c`.
-    let sample = |cx: i64, cy: i64, chan: BayerChannel| -> f32 {
-        let mut sum = 0.0;
-        let mut cnt = 0u32;
-        for dy in -1..=1_i64 {
-            for dx in -1..=1_i64 {
-                let x = cx + dx;
-                let y = cy + dy;
-                if x < 0 || y < 0 || x >= w as i64 || y >= h as i64 {
-                    continue;
-                }
-                let (x, y) = (x as usize, y as usize);
-                let ch = raw.channel_at(x, y);
-                let is_green = matches!(ch, BayerChannel::GreenR | BayerChannel::GreenB);
-                let want_green = matches!(chan, BayerChannel::GreenR | BayerChannel::GreenB);
-                if ch == chan || (is_green && want_green) {
-                    sum += raw.get(x, y);
-                    cnt += 1;
-                }
+    let mut sum = 0.0;
+    let mut cnt = 0u32;
+    for dy in -1..=1_i64 {
+        for dx in -1..=1_i64 {
+            let x = cx + dx;
+            let y = cy + dy;
+            if x < 0 || y < 0 || x >= w as i64 || y >= h as i64 {
+                continue;
+            }
+            let (x, y) = (x as usize, y as usize);
+            let ch = raw.channel_at(x, y);
+            let is_green = matches!(ch, BayerChannel::GreenR | BayerChannel::GreenB);
+            let want_green = matches!(chan, BayerChannel::GreenR | BayerChannel::GreenB);
+            if ch == chan || (is_green && want_green) {
+                sum += raw.get(x, y);
+                cnt += 1;
             }
         }
-        if cnt == 0 {
-            0.0
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        sum / cnt as f32
+    }
+}
+
+/// Demosaics the rows starting at absolute row `y0` into `band`
+/// (interleaved RGB, `band.len() / (3 * raw.width())` rows).
+///
+/// Interior pixels run a fully unrolled per-phase kernel over three raw
+/// row slices; neighbor sums accumulate in the same row-major scan
+/// order as [`dm_border_sample`]'s generic walk, so the result is
+/// bit-exact with it (asserted per pixel by the
+/// `demosaic_interior_matches_border_sampler` test).
+fn demosaic_rows(raw: &RawImage, band: &mut [f32], y0: usize) {
+    let (w, h) = (raw.width(), raw.height());
+    let data = raw.as_slice();
+    for (ry, out_row) in band.chunks_exact_mut(w * 3).enumerate() {
+        let y = y0 + ry;
+        if y == 0 || y + 1 >= h {
+            for x in 0..w {
+                dm_border_pixel(raw, &mut out_row[x * 3..x * 3 + 3], x, y);
+            }
+            continue;
+        }
+        dm_border_pixel(raw, &mut out_row[0..3], 0, y);
+        dm_border_pixel(raw, &mut out_row[(w - 1) * 3..w * 3], w - 1, y);
+        let above = &data[(y - 1) * w..y * w];
+        let cur = &data[y * w..(y + 1) * w];
+        let below = &data[(y + 1) * w..(y + 2) * w];
+        if y & 1 == 0 {
+            // Even row: Red (even x) / GreenR (odd x) photosites.
+            for x in 1..w - 1 {
+                let px = &mut out_row[x * 3..x * 3 + 3];
+                if x & 1 == 0 {
+                    px[0] = cur[x];
+                    px[1] = (above[x] + cur[x - 1] + cur[x + 1] + below[x]) / 4.0;
+                    px[2] = (above[x - 1] + above[x + 1] + below[x - 1] + below[x + 1]) / 4.0;
+                } else {
+                    px[0] = (cur[x - 1] + cur[x + 1]) / 2.0;
+                    px[1] =
+                        (above[x - 1] + above[x + 1] + cur[x] + below[x - 1] + below[x + 1]) / 5.0;
+                    px[2] = (above[x] + below[x]) / 2.0;
+                }
+            }
         } else {
-            sum / cnt as f32
+            // Odd row: GreenB (even x) / Blue (odd x) photosites.
+            for x in 1..w - 1 {
+                let px = &mut out_row[x * 3..x * 3 + 3];
+                if x & 1 == 0 {
+                    px[0] = (above[x] + below[x]) / 2.0;
+                    px[1] =
+                        (above[x - 1] + above[x + 1] + cur[x] + below[x - 1] + below[x + 1]) / 5.0;
+                    px[2] = (cur[x - 1] + cur[x + 1]) / 2.0;
+                } else {
+                    px[0] = (above[x - 1] + above[x + 1] + below[x - 1] + below[x + 1]) / 4.0;
+                    px[1] = (above[x] + cur[x - 1] + cur[x + 1] + below[x]) / 4.0;
+                    px[2] = cur[x];
+                }
+            }
         }
+    }
+}
+
+/// Fills one border pixel through the generic in-bounds neighbor walk.
+fn dm_border_pixel(raw: &RawImage, px: &mut [f32], x: usize, y: usize) {
+    px[0] = dm_border_sample(raw, x as i64, y as i64, BayerChannel::Red);
+    px[1] = dm_border_sample(raw, x as i64, y as i64, BayerChannel::GreenR);
+    px[2] = dm_border_sample(raw, x as i64, y as i64, BayerChannel::Blue);
+}
+
+/// Bilinear demosaic of an RGGB Bayer mosaic into a caller-owned RGB
+/// frame (resized as needed), tiled row-band parallel on the scratch
+/// executor. Byte-identical output for any thread count.
+pub fn demosaic_into(raw: &RawImage, scratch: &mut Scratch, out: &mut RgbImage) {
+    let (w, h) = (raw.width(), raw.height());
+    out.reshape(w, h);
+    let exec = scratch.executor;
+    if exec.threads() == 1 {
+        // Sequential fast path: no job vectors, no allocations.
+        demosaic_rows(raw, out.as_mut_slice(), 0);
+        return;
+    }
+    let band_rows = (h + exec.threads() - 1) / exec.threads();
+    let jobs: Vec<(usize, &mut [f32])> = out
+        .as_mut_slice()
+        .chunks_mut(band_rows * w * 3)
+        .enumerate()
+        .map(|(i, band)| (i * band_rows, band))
+        .collect();
+    exec.run(jobs, |(y0, band)| demosaic_rows(raw, band, y0));
+}
+
+/// Horizontal pass of the separable denoise: reads `src`, writes the
+/// rows starting at `y0` into `band`.
+///
+/// Interior columns skip the tap clamping (the accumulation order is
+/// unchanged, so the result stays bit-exact with the clamped walk);
+/// only the two border columns pay for it.
+fn denoise_horizontal_rows(src: &RgbImage, band: &mut [f32], y0: usize) {
+    const K: [f32; 3] = [0.25, 0.5, 0.25];
+    let w = src.width();
+    let data = src.as_slice();
+    let clamped = |row: &[f32], x: usize, out: &mut [f32]| {
+        let mut acc = [0.0f32; 3];
+        for (t, &k) in K.iter().enumerate() {
+            let xi = (x as i64 + t as i64 - 1).clamp(0, w as i64 - 1) as usize;
+            for c in 0..3 {
+                acc[c] += k * row[xi * 3 + c];
+            }
+        }
+        out.copy_from_slice(&acc);
     };
-    for y in 0..h {
-        for x in 0..w {
-            let r = sample(x as i64, y as i64, BayerChannel::Red);
-            let g = sample(x as i64, y as i64, BayerChannel::GreenR);
-            let b = sample(x as i64, y as i64, BayerChannel::Blue);
-            out.set(x, y, [r, g, b]);
+    for (ry, out_row) in band.chunks_exact_mut(w * 3).enumerate() {
+        let y = y0 + ry;
+        let row = &data[y * w * 3..(y + 1) * w * 3];
+        if w < 2 {
+            for x in 0..w {
+                clamped(row, x, &mut out_row[x * 3..x * 3 + 3]);
+            }
+            continue;
         }
+        clamped(row, 0, &mut out_row[0..3]);
+        for x in 1..w - 1 {
+            let i = x * 3;
+            for c in 0..3 {
+                let mut acc = 0.0f32;
+                acc += K[0] * row[i - 3 + c];
+                acc += K[1] * row[i + c];
+                acc += K[2] * row[i + 3 + c];
+                out_row[i + c] = acc;
+            }
+        }
+        clamped(row, w - 1, &mut out_row[(w - 1) * 3..w * 3]);
     }
-    out
 }
 
-/// 3×3 Gaussian blur (σ ≈ 0.85) applied per channel, in place.
-pub fn denoise(img: &mut RgbImage) {
-    const K: [f32; 3] = [0.25, 0.5, 0.25]; // separable binomial kernel
+/// Vertical pass of the separable denoise: reads `tmp` (the horizontal
+/// pass output), writes the rows starting at `y0` into `band`.
+///
+/// Interior rows read three full row slices with no per-tap clamping;
+/// the first and last image rows use the generic clamped walk.
+fn denoise_vertical_rows(tmp: &RgbImage, band: &mut [f32], y0: usize) {
+    const K: [f32; 3] = [0.25, 0.5, 0.25];
+    let (w, h) = (tmp.width(), tmp.height());
+    let data = tmp.as_slice();
+    for (ry, out_row) in band.chunks_exact_mut(w * 3).enumerate() {
+        let y = y0 + ry;
+        if y == 0 || y + 1 >= h {
+            for x in 0..w {
+                let mut acc = [0.0f32; 3];
+                for (t, &k) in K.iter().enumerate() {
+                    let yi = (y as i64 + t as i64 - 1).clamp(0, h as i64 - 1) as usize;
+                    for c in 0..3 {
+                        acc[c] += k * data[(yi * w + x) * 3 + c];
+                    }
+                }
+                out_row[x * 3..x * 3 + 3].copy_from_slice(&acc);
+            }
+            continue;
+        }
+        let above = &data[(y - 1) * w * 3..y * w * 3];
+        let cur = &data[y * w * 3..(y + 1) * w * 3];
+        let below = &data[(y + 1) * w * 3..(y + 2) * w * 3];
+        for i in 0..w * 3 {
+            let mut acc = 0.0f32;
+            acc += K[0] * above[i];
+            acc += K[1] * cur[i];
+            acc += K[2] * below[i];
+            out_row[i] = acc;
+        }
+    }
+}
+
+/// 3×3 Gaussian blur (σ ≈ 0.85, separable binomial kernel) applied per
+/// channel in place, ping-ponging through a pooled buffer. Both passes
+/// tile row-band parallel; the vertical pass starts only after the full
+/// horizontal pass finished (the executor joins its workers), so
+/// cross-band reads see complete data and the result is byte-identical
+/// for any thread count.
+fn denoise_in_place(img: &mut RgbImage, scratch: &mut Scratch) {
     let (w, h) = (img.width(), img.height());
-    let src = img.clone();
-    // Horizontal pass into `img`, vertical pass back.
-    let mut tmp = RgbImage::new(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            let mut acc = [0.0f32; 3];
-            for (t, &k) in K.iter().enumerate() {
-                let xi = (x as i64 + t as i64 - 1).clamp(0, w as i64 - 1) as usize;
-                let px = src.get(xi, y);
-                for c in 0..3 {
-                    acc[c] += k * px[c];
-                }
-            }
-            tmp.set(x, y, acc);
-        }
+    let mut tmp = scratch.pool.take_rgb(w, h);
+    let exec = scratch.executor;
+    if exec.threads() == 1 {
+        denoise_horizontal_rows(img, tmp.as_mut_slice(), 0);
+        denoise_vertical_rows(&tmp, img.as_mut_slice(), 0);
+    } else {
+        let band_rows = (h + exec.threads() - 1) / exec.threads();
+        let src: &RgbImage = img;
+        let jobs: Vec<(usize, &mut [f32])> = tmp
+            .as_mut_slice()
+            .chunks_mut(band_rows * w * 3)
+            .enumerate()
+            .map(|(i, band)| (i * band_rows, band))
+            .collect();
+        exec.run(jobs, |(y0, band)| denoise_horizontal_rows(src, band, y0));
+        let jobs: Vec<(usize, &mut [f32])> = img
+            .as_mut_slice()
+            .chunks_mut(band_rows * w * 3)
+            .enumerate()
+            .map(|(i, band)| (i * band_rows, band))
+            .collect();
+        let tmp_ref = &tmp;
+        exec.run(jobs, |(y0, band)| denoise_vertical_rows(tmp_ref, band, y0));
     }
-    for y in 0..h {
-        for x in 0..w {
-            let mut acc = [0.0f32; 3];
-            for (t, &k) in K.iter().enumerate() {
-                let yi = (y as i64 + t as i64 - 1).clamp(0, h as i64 - 1) as usize;
-                let px = tmp.get(x, yi);
-                for c in 0..3 {
-                    acc[c] += k * px[c];
-                }
-            }
-            img.set(x, y, acc);
-        }
-    }
+    scratch.pool.put_rgb(tmp);
 }
 
-/// Color-correction matrix: the inverse of the sensor crosstalk, mapping
-/// sensor RGB back to scene-referred RGB. Applied in place.
-pub fn color_map(img: &mut RgbImage) {
+/// Color-correction matrix (inverse sensor crosstalk) applied in place.
+fn color_map_in_place(img: &mut RgbImage) {
     let ccm = ccm();
     for px in img.as_mut_slice().chunks_exact_mut(3) {
         let v = [px[0], px[1], px[2]];
         for (c, row) in ccm.iter().enumerate() {
             px[c] = row[0] * v[0] + row[1] * v[1] + row[2] * v[2];
         }
+    }
+}
+
+/// Soft-knee gamut compression applied in place.
+fn gamut_map_in_place(img: &mut RgbImage) {
+    const KNEE: f32 = 0.9;
+    for v in img.as_mut_slice() {
+        let x = v.max(0.0);
+        *v = if x <= KNEE {
+            x
+        } else {
+            // Asymptotic approach to 1.0 above the knee.
+            KNEE + (1.0 - KNEE) * (1.0 - (-(x - KNEE) / (1.0 - KNEE)).exp())
+        };
+    }
+}
+
+/// sRGB-like gamma encoding (γ = 1/2.2) applied in place.
+fn tone_map_in_place(img: &mut RgbImage) {
+    for v in img.as_mut_slice() {
+        *v = v.max(0.0).powf(1.0 / 2.2);
     }
 }
 
@@ -301,27 +532,43 @@ fn invert3(m: [[f32; 3]; 3]) -> [[f32; 3]; 3] {
     inv
 }
 
+// ---------------------------------------------------------------------
+// Deprecated free-function surface (one release of grace)
+// ---------------------------------------------------------------------
+
+/// Bilinear demosaic of an RGGB Bayer mosaic.
+#[deprecated(since = "0.2.0", note = "use `demosaic_into` with a `Scratch`")]
+pub fn demosaic(raw: &RawImage) -> RgbImage {
+    let mut out = RgbImage::new(raw.width(), raw.height());
+    demosaic_rows(raw, out.as_mut_slice(), 0);
+    out
+}
+
+/// 3×3 Gaussian blur (σ ≈ 0.85) applied per channel, in place.
+#[deprecated(since = "0.2.0", note = "use `IspStage::Denoise.apply` with a `Scratch`")]
+pub fn denoise(img: &mut RgbImage) {
+    denoise_in_place(img, &mut Scratch::new());
+}
+
+/// Color-correction matrix: the inverse of the sensor crosstalk, mapping
+/// sensor RGB back to scene-referred RGB. Applied in place.
+#[deprecated(since = "0.2.0", note = "use `IspStage::ColorMap.apply`")]
+pub fn color_map(img: &mut RgbImage) {
+    color_map_in_place(img);
+}
+
 /// Soft-knee gamut compression: values are clamped to `[0, 1]` with a
 /// smooth roll-off above `knee` instead of a hard clip. Applied in place.
+#[deprecated(since = "0.2.0", note = "use `IspStage::GamutMap.apply`")]
 pub fn gamut_map(img: &mut RgbImage) {
-    const KNEE: f32 = 0.9;
-    for v in img.as_mut_slice() {
-        let x = v.max(0.0);
-        *v = if x <= KNEE {
-            x
-        } else {
-            // Asymptotic approach to 1.0 above the knee.
-            KNEE + (1.0 - KNEE) * (1.0 - (-(x - KNEE) / (1.0 - KNEE)).exp())
-        };
-    }
+    gamut_map_in_place(img);
 }
 
 /// sRGB-like gamma encoding (γ = 1/2.2) — the display/tone-mapping stage.
 /// Applied in place.
+#[deprecated(since = "0.2.0", note = "use `IspStage::ToneMap.apply`")]
 pub fn tone_map(img: &mut RgbImage) {
-    for v in img.as_mut_slice() {
-        *v = v.max(0.0).powf(1.0 / 2.2);
-    }
+    tone_map_in_place(img);
 }
 
 #[cfg(test)]
@@ -331,6 +578,13 @@ mod tests {
 
     fn noiseless_sensor() -> Sensor {
         Sensor::new(SensorConfig { read_noise: 0.0, shot_noise: 0.0, gain: 1.0 }, 0)
+    }
+
+    /// Demosaic through the supported in-place entry point.
+    fn dm(raw: &RawImage) -> RgbImage {
+        let mut out = RgbImage::new(raw.width(), raw.height());
+        demosaic_into(raw, &mut Scratch::new(), &mut out);
+        out
     }
 
     #[test]
@@ -349,7 +603,7 @@ mod tests {
         let mut s = noiseless_sensor();
         let scene = RgbImage::filled(16, 16, [0.5, 0.5, 0.5]);
         let raw = s.capture(&scene, 1.0);
-        let rgb = demosaic(&raw);
+        let rgb = dm(&raw);
         // A flat gray scene through the crosstalk keeps each channel flat.
         let center = rgb.get(8, 8);
         for y in 2..14 {
@@ -363,12 +617,61 @@ mod tests {
     }
 
     #[test]
+    fn demosaic_interior_matches_border_sampler() {
+        // The interior fast path (phase-specialized neighbor tables) must
+        // agree bit-exactly with the generic neighbor walk everywhere.
+        let mut s = Sensor::new(SensorConfig::default(), 13);
+        let scene = RgbImage::filled(32, 16, [0.4, 0.5, 0.3]);
+        let raw = s.capture(&scene, 1.0);
+        let rgb = dm(&raw);
+        for y in 0..raw.height() {
+            for x in 0..raw.width() {
+                let expect = [
+                    dm_border_sample(&raw, x as i64, y as i64, BayerChannel::Red),
+                    dm_border_sample(&raw, x as i64, y as i64, BayerChannel::GreenR),
+                    dm_border_sample(&raw, x as i64, y as i64, BayerChannel::Blue),
+                ];
+                assert_eq!(rgb.get(x, y), expect, "pixel ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_stages_are_byte_identical_across_thread_counts() {
+        let mut s = Sensor::new(SensorConfig::default(), 21);
+        let scene = RgbImage::filled(64, 48, [0.3, 0.5, 0.2]);
+        let raw = s.capture(&scene, 1.0);
+        let reference = IspPipeline::new(IspConfig::S0).process(&raw);
+        for threads in [2, 3, 4, 7] {
+            let mut scratch = Scratch::with_threads(threads);
+            let mut out = RgbImage::new(1, 1);
+            IspPipeline::new(IspConfig::S0).process_into(&raw, &mut scratch, &mut out);
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn process_into_reuses_buffers_in_steady_state() {
+        let mut s = noiseless_sensor();
+        let raw = s.capture(&RgbImage::filled(16, 16, [0.4, 0.4, 0.4]), 1.0);
+        let mut scratch = Scratch::new();
+        let mut out = RgbImage::new(16, 16);
+        let isp = IspPipeline::new(IspConfig::S0);
+        for _ in 0..5 {
+            isp.process_into(&raw, &mut scratch, &mut out);
+        }
+        let stats = scratch.pool().stats();
+        assert_eq!(stats.allocations, 1, "only the denoise ping-pong buffer is ever fresh");
+        assert_eq!(stats.reuses, 4);
+    }
+
+    #[test]
     fn color_map_inverts_crosstalk() {
         let mut s = noiseless_sensor();
         let scene = RgbImage::filled(16, 16, [0.8, 0.6, 0.1]); // yellow-ish
         let raw = s.capture(&scene, 1.0);
-        let mut rgb = demosaic(&raw);
-        color_map(&mut rgb);
+        let mut rgb = dm(&raw);
+        IspStage::ColorMap.apply(&mut Scratch::new(), &mut rgb);
         let px = rgb.get(8, 8);
         assert!((px[0] - 0.8).abs() < 0.05, "R recovered, got {}", px[0]);
         assert!((px[1] - 0.6).abs() < 0.05, "G recovered, got {}", px[1]);
@@ -379,21 +682,20 @@ mod tests {
     fn color_map_restores_yellow_contrast() {
         // Without CM, yellow-vs-gray gray-level contrast is weaker —
         // the effect behind Table III's CM choices for yellow lanes.
-        let mut s = noiseless_sensor();
         let yellow = RgbImage::filled(16, 16, [0.85, 0.70, 0.15]);
         let gray = RgbImage::filled(16, 16, [0.30, 0.30, 0.30]);
         let contrast = |with_cm: bool| -> f32 {
             let mut sy = noiseless_sensor();
             let mut sg = noiseless_sensor();
-            let mut ry = demosaic(&sy.capture(&yellow, 1.0));
-            let mut rg = demosaic(&sg.capture(&gray, 1.0));
+            let mut scratch = Scratch::new();
+            let mut ry = dm(&sy.capture(&yellow, 1.0));
+            let mut rg = dm(&sg.capture(&gray, 1.0));
             if with_cm {
-                color_map(&mut ry);
-                color_map(&mut rg);
+                IspStage::ColorMap.apply(&mut scratch, &mut ry);
+                IspStage::ColorMap.apply(&mut scratch, &mut rg);
             }
             ry.to_gray().get(8, 8) - rg.to_gray().get(8, 8)
         };
-        let _ = &mut s;
         assert!(contrast(true) > contrast(false));
     }
 
@@ -402,27 +704,56 @@ mod tests {
         let mut s = Sensor::new(SensorConfig { read_noise: 0.05, shot_noise: 0.0, gain: 1.0 }, 11);
         let scene = RgbImage::filled(64, 64, [0.5, 0.5, 0.5]);
         let raw = s.capture(&scene, 1.0);
-        let noisy = demosaic(&raw);
+        let noisy = dm(&raw);
         let mut smooth = noisy.clone();
-        denoise(&mut smooth);
+        IspStage::Denoise.apply(&mut Scratch::new(), &mut smooth);
         assert!(smooth.to_gray().std_dev() < 0.8 * noisy.to_gray().std_dev());
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_stage_dispatch() {
+        #![allow(deprecated)]
+        let mut s = Sensor::new(SensorConfig::default(), 5);
+        let raw = s.capture(&RgbImage::filled(32, 16, [0.4, 0.3, 0.5]), 1.0);
+        assert_eq!(demosaic(&raw), dm(&raw));
+        let mut scratch = Scratch::new();
+        for (wrapper, stage) in [
+            (denoise as fn(&mut RgbImage), IspStage::Denoise),
+            (color_map, IspStage::ColorMap),
+            (gamut_map, IspStage::GamutMap),
+            (tone_map, IspStage::ToneMap),
+        ] {
+            let mut a = dm(&raw);
+            let mut b = a.clone();
+            wrapper(&mut a);
+            stage.apply(&mut scratch, &mut b);
+            assert_eq!(a, b, "{}", stage.acronym());
+        }
     }
 
     #[test]
     fn tone_map_brightens_shadows() {
         let mut img = RgbImage::filled(2, 2, [0.1, 0.1, 0.1]);
-        tone_map(&mut img);
+        IspStage::ToneMap.apply(&mut Scratch::new(), &mut img);
         assert!(img.get(0, 0)[0] > 0.3);
     }
 
     #[test]
     fn gamut_map_soft_clips() {
         let mut img = RgbImage::filled(1, 1, [1.5, 0.5, -0.2]);
-        gamut_map(&mut img);
+        IspStage::GamutMap.apply(&mut Scratch::new(), &mut img);
         let px = img.get(0, 0);
         assert!(px[0] <= 1.0 && px[0] > 0.9);
         assert!((px[1] - 0.5).abs() < 1e-6, "in-gamut values unchanged");
         assert_eq!(px[2], 0.0);
+    }
+
+    #[test]
+    fn demosaic_stage_apply_is_structural_noop() {
+        let mut img = RgbImage::filled(4, 4, [0.3, 0.6, 0.9]);
+        let before = img.clone();
+        IspStage::Demosaic.apply(&mut Scratch::new(), &mut img);
+        assert_eq!(img, before);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`isp`] — the five stages, the [`IspStage`](isp::IspStage) /
 //!   [`IspConfig`](isp::IspConfig) knobs (S0–S8) and the
 //!   [`IspPipeline`](isp::IspPipeline),
+//! * [`pool`] — the [`FramePool`](pool::FramePool) buffer arena and the
+//!   [`Scratch`](pool::Scratch) working memory of the zero-allocation
+//!   `*_into` frame path,
 //! * [`metrics`] — MSE / PSNR image-quality metrics used to quantify the
 //!   approximation error.
 //!
@@ -39,8 +42,10 @@
 pub mod image;
 pub mod isp;
 pub mod metrics;
+pub mod pool;
 pub mod sensor;
 
 pub use image::{GrayImage, RawImage, RgbImage};
 pub use isp::{IspConfig, IspPipeline, IspStage};
+pub use pool::{FramePool, PoolStats, Scratch};
 pub use sensor::{Sensor, SensorConfig};

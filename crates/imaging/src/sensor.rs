@@ -80,13 +80,31 @@ impl Sensor {
     /// Captures a scene-referred linear RGB frame into a RAW Bayer frame
     /// under the given `illumination` scale (1.0 = full daylight).
     ///
+    /// Convenience wrapper over [`Sensor::capture_into`] that allocates a
+    /// fresh RAW frame per call.
+    ///
     /// # Panics
     ///
     /// Panics if the scene dimensions are odd (Bayer frames need even
     /// dimensions).
     pub fn capture(&mut self, scene: &RgbImage, illumination: f32) -> RawImage {
+        let mut raw = RawImage::new(scene.width(), scene.height());
+        self.capture_into(scene, illumination, &mut raw);
+        raw
+    }
+
+    /// Captures a scene-referred linear RGB frame into a caller-owned RAW
+    /// Bayer frame (resized as needed) — the allocation-free capture
+    /// path. This is the single capture implementation; RNG consumption
+    /// is identical to [`Sensor::capture`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene dimensions are odd (Bayer frames need even
+    /// dimensions).
+    pub fn capture_into(&mut self, scene: &RgbImage, illumination: f32, raw: &mut RawImage) {
         let (w, h) = (scene.width(), scene.height());
-        let mut raw = RawImage::new(w, h);
+        raw.reshape(w, h);
         let g = self.config.gain;
         for y in 0..h {
             for x in 0..w {
@@ -106,7 +124,6 @@ impl Sensor {
                 raw.set(x, y, (signal + noise).clamp(0.0, 1.0));
             }
         }
-        raw
     }
 
     /// Standard normal sample via Box–Muller (keeps the crate free of a
@@ -187,6 +204,19 @@ mod tests {
         let a = Sensor::new(SensorConfig::default(), 99).capture(&scene, 1.0);
         let b = Sensor::new(SensorConfig::default(), 99).capture(&scene, 1.0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capture_into_matches_capture() {
+        // Same seed, same scene: the out-param path must consume the RNG
+        // identically and produce a bit-identical frame, even when the
+        // destination buffer arrives with stale contents and the wrong
+        // dimensions.
+        let scene = flat_scene(0.3);
+        let fresh = Sensor::new(SensorConfig::default(), 99).capture(&scene, 1.0);
+        let mut reused = RawImage::new(8, 8);
+        Sensor::new(SensorConfig::default(), 99).capture_into(&scene, 1.0, &mut reused);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

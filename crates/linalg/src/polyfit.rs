@@ -4,7 +4,29 @@
 //! `x(y) = a·y² + b·y + c` through candidate lane pixels (paper Sec. II,
 //! "Perception"). This module provides the generic fit.
 
-use crate::{LinalgError, Mat, Result};
+use crate::{LinalgError, Result};
+
+/// Reusable workspace of [`polyfit_into`]: the Vandermonde matrix, the
+/// reflected right-hand side and the Householder vector survive between
+/// fits, so steady-state fitting at a stable sample count performs no
+/// heap allocations. One scratch per fitting loop; contents carry no
+/// state between calls.
+#[derive(Debug, Clone, Default)]
+pub struct PolyfitScratch {
+    /// Vandermonde matrix, row-major n×m.
+    v: Vec<f64>,
+    /// Right-hand side (reflected in place).
+    y: Vec<f64>,
+    /// Householder vector.
+    w: Vec<f64>,
+}
+
+impl PolyfitScratch {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        PolyfitScratch::default()
+    }
+}
 
 /// Fits a polynomial of the given `degree` through `(x, y)` samples in the
 /// least-squares sense and returns its coefficients ordered from the
@@ -33,41 +55,74 @@ use crate::{LinalgError, Mat, Result};
 /// assert!((c[1] - 3.0).abs() < 1e-10);
 /// ```
 pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>> {
+    let mut coeffs = vec![0.0; degree + 1];
+    polyfit_into(xs, ys, &mut coeffs, &mut PolyfitScratch::new())?;
+    Ok(coeffs)
+}
+
+/// [`polyfit`] with caller-owned outputs: the polynomial degree is
+/// `coeffs.len() - 1` and the coefficients are written into `coeffs`
+/// (constant term first). With a reused `scratch` this is the
+/// allocation-free fitting path; results are bit-identical to
+/// [`polyfit`].
+///
+/// # Errors
+///
+/// As [`polyfit`]; additionally rejects an empty `coeffs`. On error
+/// `coeffs` is left unspecified.
+pub fn polyfit_into(
+    xs: &[f64],
+    ys: &[f64],
+    coeffs: &mut [f64],
+    scratch: &mut PolyfitScratch,
+) -> Result<()> {
     if xs.len() != ys.len() {
         return Err(LinalgError::InvalidInput("xs and ys must have equal length"));
     }
+    if coeffs.is_empty() {
+        return Err(LinalgError::InvalidInput("need at least one coefficient"));
+    }
     let n = xs.len();
-    let m = degree + 1;
+    let m = coeffs.len();
     if n < m {
         return Err(LinalgError::InvalidInput("need at least degree+1 samples"));
     }
-    // Build Vandermonde V (n×m) and copy of y.
-    let mut v = Mat::zeros(n, m);
+    // Build Vandermonde V (n×m, row-major) and copy of y.
+    scratch.v.clear();
+    scratch.v.resize(n * m, 0.0);
+    let v = &mut scratch.v;
     for (i, &x) in xs.iter().enumerate() {
         let mut p = 1.0;
         for j in 0..m {
-            v[(i, j)] = p;
+            v[i * m + j] = p;
             p *= x;
         }
     }
-    let mut y: Vec<f64> = ys.to_vec();
+    scratch.y.clear();
+    scratch.y.extend_from_slice(ys);
+    let y = &mut scratch.y;
+    scratch.w.clear();
+    scratch.w.resize(n, 0.0);
+    let w = &mut scratch.w;
 
     // Householder QR: reduce V to upper triangular R while applying the
     // same reflections to y; then back-substitute R c = Qᵀ y.
     for k in 0..m {
         let mut norm = 0.0;
         for i in k..n {
-            norm += v[(i, k)] * v[(i, k)];
+            norm += v[i * m + k] * v[i * m + k];
         }
         let norm = norm.sqrt();
         if norm < 1e-12 {
             return Err(LinalgError::Singular);
         }
-        let alpha = if v[(k, k)] > 0.0 { -norm } else { norm };
-        let mut w = vec![0.0; n];
-        w[k] = v[(k, k)] - alpha;
+        let alpha = if v[k * m + k] > 0.0 { -norm } else { norm };
+        for x in w.iter_mut() {
+            *x = 0.0;
+        }
+        w[k] = v[k * m + k] - alpha;
         for i in (k + 1)..n {
-            w[i] = v[(i, k)];
+            w[i] = v[i * m + k];
         }
         let wnorm2: f64 = w[k..].iter().map(|x| x * x).sum();
         if wnorm2 < 1e-300 {
@@ -76,11 +131,11 @@ pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>> {
         for j in k..m {
             let mut dot = 0.0;
             for i in k..n {
-                dot += w[i] * v[(i, j)];
+                dot += w[i] * v[i * m + j];
             }
             let f = 2.0 * dot / wnorm2;
             for i in k..n {
-                v[(i, j)] -= f * w[i];
+                v[i * m + j] -= f * w[i];
             }
         }
         let mut dot = 0.0;
@@ -93,19 +148,21 @@ pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>> {
         }
     }
     // Back substitution on the m×m upper-triangular block.
-    let mut c = vec![0.0; m];
+    for c in coeffs.iter_mut() {
+        *c = 0.0;
+    }
     for k in (0..m).rev() {
         let mut s = y[k];
         for j in (k + 1)..m {
-            s -= v[(k, j)] * c[j];
+            s -= v[k * m + j] * coeffs[j];
         }
-        let d = v[(k, k)];
+        let d = v[k * m + k];
         if d.abs() < 1e-12 {
             return Err(LinalgError::Singular);
         }
-        c[k] = s / d;
+        coeffs[k] = s / d;
     }
-    Ok(c)
+    Ok(())
 }
 
 /// Evaluates a polynomial with coefficients ordered constant-first (as
@@ -149,6 +206,21 @@ mod tests {
         };
         assert!(rss(c[0], c[1]) <= rss(1.1, 2.0) + 1e-12);
         assert!((c[1] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn polyfit_into_matches_polyfit_bit_exactly() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 / 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.7 - 1.3 * x + 0.11 * x * x).collect();
+        let reference = polyfit(&xs, &ys, 2).unwrap();
+        let mut scratch = PolyfitScratch::new();
+        let mut coeffs = [0.0f64; 3];
+        // Reuse the scratch across calls; every fit must match exactly.
+        for _ in 0..3 {
+            polyfit_into(&xs, &ys, &mut coeffs, &mut scratch).unwrap();
+            assert_eq!(coeffs.as_slice(), reference.as_slice());
+        }
+        assert!(polyfit_into(&xs, &ys, &mut [], &mut scratch).is_err());
     }
 
     #[test]

@@ -31,6 +31,28 @@ pub struct BevImage {
 }
 
 impl BevImage {
+    /// An empty (0×0) view — the reusable target of
+    /// [`BirdsEye::rectify_into`]. The ROI is a placeholder until the
+    /// first rectification overwrites it.
+    pub fn empty() -> Self {
+        BevImage { width: 0, height: 0, score: Vec::new(), roi: Roi::Roi1 }
+    }
+
+    /// Resizes the grid (keeping the score buffer's capacity) and adopts
+    /// the producing rectifier's ROI. Contents are unspecified
+    /// afterwards; `rectify_into` overwrites every cell.
+    pub(crate) fn reshape(&mut self, width: usize, height: usize, roi: Roi) {
+        self.width = width;
+        self.height = height;
+        self.roi = roi;
+        self.score.resize(width * height, 0.0);
+    }
+
+    /// Mutable access to all scores (row-major).
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.score
+    }
+
     /// Grid width.
     pub fn width(&self) -> usize {
         self.width
@@ -113,6 +135,13 @@ pub struct BirdsEye {
     roi: Roi,
     /// Maps ground (x_forward, y_left) to image (u, v).
     ground_to_image: Homography,
+    /// Precomputed image-space sample points `(u, v)` of the default
+    /// `BEV_WIDTH`×`BEV_HEIGHT` grid (row-major). The homography and the
+    /// grid are both fixed per rectifier, so the projection arithmetic is
+    /// hoisted out of the per-frame loop; values are computed with the
+    /// same expressions as the on-the-fly path, keeping outputs
+    /// bit-identical.
+    samples: Vec<(f64, f64)>,
 }
 
 impl BirdsEye {
@@ -139,7 +168,16 @@ impl BirdsEye {
                 .ok_or(lkas_linalg::LinalgError::InvalidInput("ROI corner behind camera"))?;
         }
         let ground_to_image = Homography::from_points(&corners_ground, &corners_px)?;
-        Ok(BirdsEye { roi, ground_to_image })
+        let mut samples = Vec::with_capacity(BEV_WIDTH * BEV_HEIGHT);
+        let g = roi.ground_extent();
+        for row in 0..BEV_HEIGHT {
+            let x = g.x_far - (row as f64 + 0.5) * (g.x_far - g.x_near) / BEV_HEIGHT as f64;
+            for col in 0..BEV_WIDTH {
+                let y = g.y_left - (col as f64 + 0.5) * (g.y_left - g.y_right) / BEV_WIDTH as f64;
+                samples.push(ground_to_image.apply(x, y));
+            }
+        }
+        Ok(BirdsEye { roi, ground_to_image, samples })
     }
 
     /// The ROI being rectified.
@@ -149,8 +187,24 @@ impl BirdsEye {
 
     /// Rectifies a camera frame into the ROI's bird's-eye grid, computing
     /// the marking-likelihood score per cell.
+    ///
+    /// Convenience wrapper over [`BirdsEye::rectify_into`] that allocates
+    /// a fresh grid per call.
     pub fn rectify(&self, frame: &RgbImage) -> BevImage {
-        self.rectify_sized(frame, BEV_WIDTH, BEV_HEIGHT)
+        let mut bev = BevImage::empty();
+        self.rectify_into(frame, &mut bev);
+        bev
+    }
+
+    /// Rectifies a camera frame into a caller-owned bird's-eye grid
+    /// (resized to the default `BEV_WIDTH`×`BEV_HEIGHT`) — the
+    /// allocation-free rectification path, using the sample points
+    /// precomputed at construction.
+    pub fn rectify_into(&self, frame: &RgbImage, out: &mut BevImage) {
+        out.reshape(BEV_WIDTH, BEV_HEIGHT, self.roi);
+        for (cell, &(u, v)) in out.as_mut_slice().iter_mut().zip(&self.samples) {
+            *cell = marking_score(sample_bilinear(frame, u, v));
+        }
     }
 
     /// Rectifies into a custom grid size (used by tests and the dense
@@ -161,6 +215,9 @@ impl BirdsEye {
     /// Panics if either dimension is zero.
     pub fn rectify_sized(&self, frame: &RgbImage, width: usize, height: usize) -> BevImage {
         assert!(width > 0 && height > 0, "BEV dimensions must be nonzero");
+        if (width, height) == (BEV_WIDTH, BEV_HEIGHT) {
+            return self.rectify(frame);
+        }
         let g = self.roi.ground_extent();
         let mut score = vec![0.0f32; width * height];
         for row in 0..height {
@@ -311,6 +368,31 @@ mod tests {
         // Clamped outside.
         let out = sample_bilinear(&img, 5.0, 0.5);
         assert_eq!(out, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn rectify_into_matches_rectify() {
+        let frame = rendered_frame();
+        let be = BirdsEye::new(Camera::default_automotive(), Roi::Roi1).unwrap();
+        let fresh = be.rectify(&frame);
+        // Reused buffer arrives with another rectifier's stale contents
+        // and ROI; the result must still match exactly.
+        let mut reused = BevImage::empty();
+        BirdsEye::new(Camera::default_automotive(), Roi::Roi2)
+            .unwrap()
+            .rectify_into(&frame, &mut reused);
+        be.rectify_into(&frame, &mut reused);
+        assert_eq!(reused.as_slice(), fresh.as_slice());
+        assert_eq!(reused.roi(), Roi::Roi1);
+    }
+
+    #[test]
+    fn rectify_sized_default_dims_matches_rectify() {
+        let frame = rendered_frame();
+        let be = BirdsEye::new(Camera::default_automotive(), Roi::Roi1).unwrap();
+        let a = be.rectify(&frame);
+        let b = be.rectify_sized(&frame, BEV_WIDTH, BEV_HEIGHT);
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub mod roi;
 pub mod sliding;
 pub mod threshold;
 
-pub use pipeline::{Perception, PerceptionConfig, PerceptionError, PerceptionOutput};
+pub use pipeline::{
+    Perception, PerceptionConfig, PerceptionError, PerceptionOutput, PerceptionScratch,
+};
 pub use roi::Roi;
 
 /// Look-ahead distance at which the lateral deviation is evaluated

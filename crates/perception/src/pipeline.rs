@@ -1,9 +1,9 @@
 //! The full perception pipeline: frame in, lateral deviation out.
 
-use crate::bev::BirdsEye;
+use crate::bev::{BevImage, BirdsEye};
 use crate::roi::Roi;
-use crate::sliding::{sliding_window_search, SlidingWindowResult};
-use crate::threshold::binarize;
+use crate::sliding::{sliding_window_search_with, SlidingScratch, SlidingWindowResult};
+use crate::threshold::{binarize_into, BinaryMask};
 use crate::LOOK_AHEAD;
 use lkas_imaging::image::RgbImage;
 use lkas_scene::camera::Camera;
@@ -57,6 +57,38 @@ pub struct PerceptionOutput {
     pub support: usize,
 }
 
+/// Reusable intermediates of one perception invocation: the bird's-eye
+/// grid, the binary mask and the sliding-window/fit workspace. Holding
+/// one `PerceptionScratch` across frames makes
+/// [`Perception::process_into`] allocation-free in the steady state; the
+/// scratch carries no state between calls, so results are identical to
+/// [`Perception::process`]. It outlives ROI reconfigurations — a rebuilt
+/// `Perception` reuses the same buffers.
+#[derive(Debug, Clone)]
+pub struct PerceptionScratch {
+    bev: BevImage,
+    mask: BinaryMask,
+    sliding: SlidingScratch,
+}
+
+impl PerceptionScratch {
+    /// Creates an empty scratch; buffers grow to steady-state size on
+    /// first use.
+    pub fn new() -> Self {
+        PerceptionScratch {
+            bev: BevImage::empty(),
+            mask: BinaryMask::empty(),
+            sliding: SlidingScratch::new(),
+        }
+    }
+}
+
+impl Default for PerceptionScratch {
+    fn default() -> Self {
+        PerceptionScratch::new()
+    }
+}
+
 /// The perception pipeline (ROI → bird's-eye → binarize → sliding
 /// windows → polynomial fit → `y_L`).
 ///
@@ -88,15 +120,33 @@ impl Perception {
 
     /// Processes one ISP output frame.
     ///
+    /// Convenience wrapper over [`Perception::process_into`] that
+    /// allocates one-shot intermediates per call.
+    ///
     /// # Errors
     ///
     /// Returns [`PerceptionError::NoLaneDetected`] when no boundary
     /// passes the quality gates (wrong ROI, unusable image, etc.).
     pub fn process(&self, frame: &RgbImage) -> Result<PerceptionOutput, PerceptionError> {
-        let bev = self.birds_eye.rectify(frame);
-        let mask = binarize(&bev);
-        let fits = sliding_window_search(&bev, &mask);
-        self.deviation_from_fits(&bev, &fits)
+        self.process_into(frame, &mut PerceptionScratch::new())
+    }
+
+    /// Processes one ISP output frame reusing caller-owned intermediates
+    /// — the allocation-free perception path. Results are identical to
+    /// [`Perception::process`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Perception::process`].
+    pub fn process_into(
+        &self,
+        frame: &RgbImage,
+        scratch: &mut PerceptionScratch,
+    ) -> Result<PerceptionOutput, PerceptionError> {
+        self.birds_eye.rectify_into(frame, &mut scratch.bev);
+        binarize_into(&scratch.bev, &mut scratch.mask);
+        let fits = sliding_window_search_with(&scratch.bev, &scratch.mask, &mut scratch.sliding);
+        self.deviation_from_fits(&scratch.bev, &fits)
     }
 
     /// Converts lane fits to the lateral deviation at the look-ahead.
@@ -217,6 +267,22 @@ mod tests {
                 w.support,
                 fine.support
             ),
+        }
+    }
+
+    #[test]
+    fn process_into_matches_process_with_reused_scratch() {
+        let cam = Camera::default_automotive();
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+        let pr = Perception::new(PerceptionConfig::new(Roi::Roi1), cam.clone());
+        let mut scratch = PerceptionScratch::new();
+        for (seed, s) in [(1u64, 10.0), (2, 20.0), (3, 30.0)] {
+            let frame = SceneRenderer::new(cam.clone()).render(&track, s, 0.1, 0.0);
+            let raw = Sensor::new(SensorConfig::default(), seed).capture(&frame, 1.0);
+            let rgb = IspPipeline::new(IspConfig::S0).process(&raw);
+            let fresh = pr.process(&rgb);
+            let reused = pr.process_into(&rgb, &mut scratch);
+            assert_eq!(fresh, reused);
         }
     }
 

@@ -7,7 +7,7 @@
 
 use crate::bev::BevImage;
 use crate::threshold::BinaryMask;
-use lkas_linalg::polyfit::{polyfit, polyval};
+use lkas_linalg::polyfit::{polyfit_into, polyval, PolyfitScratch};
 
 /// Number of vertical windows.
 pub const N_WINDOWS: usize = 12;
@@ -57,50 +57,84 @@ impl SlidingWindowResult {
     }
 }
 
+/// Reusable workspace of [`sliding_window_search_with`]: histograms,
+/// candidate-pixel lists and the polynomial-fit workspace survive between
+/// frames, so the steady-state search performs no heap allocations. One
+/// scratch per perception loop; contents carry no state between calls.
+#[derive(Debug, Clone, Default)]
+pub struct SlidingScratch {
+    hist: Vec<usize>,
+    hist2: Vec<usize>,
+    cols: Vec<f64>,
+    rows: Vec<f64>,
+    res: Vec<f64>,
+    sorted: Vec<f64>,
+    cols2: Vec<f64>,
+    rows2: Vec<f64>,
+    polyfit: PolyfitScratch,
+}
+
+impl SlidingScratch {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        SlidingScratch::default()
+    }
+}
+
 /// Runs the sliding-window lane search over a binarized bird's-eye view.
 ///
 /// Base positions come from a column histogram over the lower half of
 /// the mask; the two strongest, sufficiently separated peaks seed the
 /// left/right searches. Sides are assigned by the ground lateral position
 /// of the base column (positive = left of the vehicle).
+///
+/// Convenience wrapper over [`sliding_window_search_with`] that allocates
+/// a one-shot workspace per call.
 pub fn sliding_window_search(bev: &BevImage, mask: &BinaryMask) -> SlidingWindowResult {
+    sliding_window_search_with(bev, mask, &mut SlidingScratch::new())
+}
+
+/// [`sliding_window_search`] with a caller-owned workspace — the
+/// allocation-free search path. Results are identical.
+pub fn sliding_window_search_with(
+    bev: &BevImage,
+    mask: &BinaryMask,
+    scratch: &mut SlidingScratch,
+) -> SlidingWindowResult {
     let w = mask.width();
     let h = mask.height();
     debug_assert_eq!(w, bev.width());
     debug_assert_eq!(h, bev.height());
 
     // Column histogram over the lower half.
-    let mut hist = vec![0usize; w];
+    scratch.hist.clear();
+    scratch.hist.resize(w, 0);
     for row in h / 2..h {
         for col in 0..w {
             if mask.get(col, row) {
-                hist[col] += 1;
+                scratch.hist[col] += 1;
             }
         }
     }
     let min_sep = (2.0 / bev.meters_per_col()).round() as usize; // ≥ 2 m apart
-    let peak1 = argmax(&hist);
+    let peak1 = argmax(&scratch.hist);
     let mut result = SlidingWindowResult::default();
     let Some((p1, v1)) = peak1 else { return result };
     if v1 == 0 {
         return result;
     }
     // Suppress around the first peak, find the second.
-    let mut hist2 = hist.clone();
+    scratch.hist2.clear();
+    scratch.hist2.extend_from_slice(&scratch.hist);
     let lo = p1.saturating_sub(min_sep / 2);
     let hi = (p1 + min_sep / 2).min(w - 1);
-    for v in &mut hist2[lo..=hi] {
+    for v in &mut scratch.hist2[lo..=hi] {
         *v = 0;
     }
-    let peak2 = argmax(&hist2).filter(|&(_, v)| v >= 3);
+    let peak2 = argmax(&scratch.hist2).filter(|&(_, v)| v >= 3);
 
-    let mut fits: Vec<LaneFit> = Vec::new();
     for base in std::iter::once(p1).chain(peak2.map(|(p, _)| p)) {
-        if let Some(fit) = track_lane(bev, mask, base) {
-            fits.push(fit);
-        }
-    }
-    for fit in fits {
+        let Some(fit) = track_lane(bev, mask, base, scratch) else { continue };
         let lateral = bev.lateral_of_col(fit.base_col as f64);
         let slot = if lateral >= 0.0 { &mut result.left } else { &mut result.right };
         // Keep the better-supported fit if both peaks land on one side.
@@ -121,14 +155,19 @@ fn argmax(values: &[usize]) -> Option<(usize, usize)> {
 }
 
 /// Tracks one lane upward from `base` and fits the polynomial.
-fn track_lane(bev: &BevImage, mask: &BinaryMask, base: usize) -> Option<LaneFit> {
+fn track_lane(
+    bev: &BevImage,
+    mask: &BinaryMask,
+    base: usize,
+    scratch: &mut SlidingScratch,
+) -> Option<LaneFit> {
     let w = mask.width();
     let h = mask.height();
     let margin = (MARGIN_M / bev.meters_per_col()).round().max(2.0) as i64;
     let win_h = h / N_WINDOWS;
     let mut center = base as i64;
-    let mut cols: Vec<f64> = Vec::new();
-    let mut rows: Vec<f64> = Vec::new();
+    scratch.cols.clear();
+    scratch.rows.clear();
 
     for win in 0..N_WINDOWS {
         let row_hi = h - win * win_h; // exclusive
@@ -140,8 +179,8 @@ fn track_lane(bev: &BevImage, mask: &BinaryMask, base: usize) -> Option<LaneFit>
         for row in row_lo..row_hi {
             for col in c_lo..=c_hi {
                 if mask.get(col, row) {
-                    cols.push(col as f64);
-                    rows.push(row as f64);
+                    scratch.cols.push(col as f64);
+                    scratch.rows.push(row as f64);
                     sum_c += col as f64;
                     cnt += 1;
                 }
@@ -152,6 +191,7 @@ fn track_lane(bev: &BevImage, mask: &BinaryMask, base: usize) -> Option<LaneFit>
         }
     }
 
+    let (cols, rows) = (&scratch.cols, &scratch.rows);
     if cols.len() < MIN_PIX_FIT {
         return None;
     }
@@ -161,30 +201,35 @@ fn track_lane(bev: &BevImage, mask: &BinaryMask, base: usize) -> Option<LaneFit>
     if (span as f64) < MIN_ROW_SPAN * h as f64 {
         return None;
     }
-    let coeffs = polyfit(&rows, &cols, 2).ok()?;
+    let mut coeffs = [0.0f64; 3];
+    polyfit_into(rows, cols, &mut coeffs, &mut scratch.polyfit).ok()?;
     // Residual-trimmed refit: window-edge pixels and stray blobs (dash
     // ends, noise) otherwise swing the curvature term, which the
     // look-ahead extrapolation then amplifies.
-    let res: Vec<f64> =
-        rows.iter().zip(&cols).map(|(r, c)| (c - polyval(&coeffs, *r)).abs()).collect();
-    let mut sorted = res.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let sigma = sorted[sorted.len() / 2].max(1.0); // robust scale (median)
+    scratch.res.clear();
+    scratch.res.extend(rows.iter().zip(cols).map(|(r, c)| (c - polyval(&coeffs, *r)).abs()));
+    scratch.sorted.clear();
+    scratch.sorted.extend_from_slice(&scratch.res);
+    // Unstable sort: no temporary buffer, and for plain finite values the
+    // sorted sequence (hence the median) is the same as a stable sort's.
+    scratch.sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let sigma = scratch.sorted[scratch.sorted.len() / 2].max(1.0); // robust scale (median)
     let gate = 2.5 * sigma;
-    let keep: Vec<usize> = (0..cols.len()).filter(|&i| res[i] <= gate).collect();
-    let coeffs = if keep.len() >= MIN_PIX_FIT / 2 && keep.len() < cols.len() {
-        let rows2: Vec<f64> = keep.iter().map(|&i| rows[i]).collect();
-        let cols2: Vec<f64> = keep.iter().map(|&i| cols[i]).collect();
-        polyfit(&rows2, &cols2, 2).unwrap_or(coeffs)
-    } else {
-        coeffs
-    };
-    Some(LaneFit {
-        coeffs: [coeffs[0], coeffs[1], coeffs[2]],
-        n_pixels: cols.len(),
-        row_span: span,
-        base_col: base,
-    })
+    scratch.cols2.clear();
+    scratch.rows2.clear();
+    for i in 0..cols.len() {
+        if scratch.res[i] <= gate {
+            scratch.cols2.push(cols[i]);
+            scratch.rows2.push(rows[i]);
+        }
+    }
+    if scratch.cols2.len() >= MIN_PIX_FIT / 2 && scratch.cols2.len() < cols.len() {
+        let mut refit = [0.0f64; 3];
+        if polyfit_into(&scratch.rows2, &scratch.cols2, &mut refit, &mut scratch.polyfit).is_ok() {
+            coeffs = refit;
+        }
+    }
+    Some(LaneFit { coeffs, n_pixels: scratch.cols.len(), row_span: span, base_col: base })
 }
 
 #[cfg(test)]

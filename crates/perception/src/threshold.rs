@@ -26,6 +26,11 @@ pub struct BinaryMask {
 }
 
 impl BinaryMask {
+    /// An empty (0×0) mask — the reusable target of [`binarize_into`].
+    pub fn empty() -> Self {
+        BinaryMask { width: 0, height: 0, data: Vec::new(), threshold: 0.0 }
+    }
+
     /// Grid width.
     pub fn width(&self) -> usize {
         self.width
@@ -81,17 +86,24 @@ impl BinaryMask {
 /// assert_eq!(mask.count(), 0);
 /// ```
 pub fn binarize(bev: &BevImage) -> BinaryMask {
+    let mut mask = BinaryMask::empty();
+    binarize_into(bev, &mut mask);
+    mask
+}
+
+/// [`binarize`] into a caller-owned mask (resized as needed) — the
+/// allocation-free binarization path.
+pub fn binarize_into(bev: &BevImage, mask: &mut BinaryMask) {
     let data = bev.as_slice();
     let n = data.len() as f32;
     let mean = data.iter().sum::<f32>() / n;
     let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
     let threshold = (mean + K_SIGMA * var.sqrt()).max(MIN_THRESHOLD);
-    BinaryMask {
-        width: bev.width(),
-        height: bev.height(),
-        data: data.iter().map(|&v| v > threshold).collect(),
-        threshold,
-    }
+    mask.width = bev.width();
+    mask.height = bev.height();
+    mask.threshold = threshold;
+    mask.data.clear();
+    mask.data.extend(data.iter().map(|&v| v > threshold));
 }
 
 #[cfg(test)]

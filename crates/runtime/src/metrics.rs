@@ -123,11 +123,15 @@ pub enum Counter {
     DegradedExits,
     /// Control samples spent in the degraded (safe fallback) mode.
     DegradedCycles,
+    /// Scene-render rejections (an invalid camera surfaced as a typed
+    /// `RenderError` instead of a panic); the cycle proceeds frameless,
+    /// as with a dropped frame.
+    RenderErrors,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 20] = [
         Counter::Cycles,
         Counter::PerceptionFailures,
         Counter::SituationSwitches,
@@ -147,6 +151,7 @@ impl Counter {
         Counter::DegradedEntries,
         Counter::DegradedExits,
         Counter::DegradedCycles,
+        Counter::RenderErrors,
     ];
 
     /// The counter's snake_case name as written to JSON.
@@ -171,6 +176,7 @@ impl Counter {
             Counter::DegradedEntries => "degraded_entries",
             Counter::DegradedExits => "degraded_exits",
             Counter::DegradedCycles => "degraded_cycles",
+            Counter::RenderErrors => "render_errors",
         }
     }
 }

@@ -12,6 +12,7 @@
 //! * **image frame**: `u` right (px), `v` down (px), origin at the
 //!   top-left corner.
 
+use crate::render::RenderError;
 use serde::{Deserialize, Serialize};
 
 /// Default frame width used throughout the paper (512×256).
@@ -67,15 +68,26 @@ impl Camera {
     ///
     /// # Panics
     ///
-    /// Panics if dimensions are zero, the focal length is non-positive,
-    /// the mounting height is non-positive, or the pitch is outside
-    /// `(-90°, 90°)`.
+    /// Panics if the parameters are invalid (see [`Camera::try_new`] for
+    /// the fallible variant and the validity rules).
     pub fn new(width: usize, height: usize, focal: f64, height_m: f64, pitch: f64) -> Self {
-        assert!(width > 0 && height > 0, "frame dimensions must be nonzero");
-        assert!(focal > 0.0, "focal length must be positive");
-        assert!(height_m > 0.0, "mounting height must be positive");
-        assert!(pitch.abs() < std::f64::consts::FRAC_PI_2, "pitch must be within (-90°, 90°)");
-        Camera {
+        match Camera::try_new(width, height, focal, height_m, pitch) {
+            Ok(cam) => cam,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a camera with explicit parameters, rejecting invalid ones:
+    /// dimensions must be nonzero, focal length and mounting height
+    /// positive and finite, pitch inside `(-90°, 90°)`.
+    pub fn try_new(
+        width: usize,
+        height: usize,
+        focal: f64,
+        height_m: f64,
+        pitch: f64,
+    ) -> Result<Self, RenderError> {
+        let cam = Camera {
             width,
             height,
             focal,
@@ -83,7 +95,30 @@ impl Camera {
             cv: height as f64 / 2.0,
             height_m,
             pitch,
+        };
+        cam.validate()?;
+        Ok(cam)
+    }
+
+    /// Checks this camera's parameters. A `Camera` built by
+    /// [`Camera::new`]/[`Camera::try_new`] always passes; one arriving by
+    /// deserialization (campaign configs) may not, and the renderer
+    /// validates before touching frame memory instead of aborting the
+    /// worker.
+    pub fn validate(&self) -> Result<(), RenderError> {
+        if self.width == 0 || self.height == 0 {
+            return Err(RenderError::InvalidCamera("frame dimensions must be nonzero"));
         }
+        if !self.focal.is_finite() || self.focal <= 0.0 {
+            return Err(RenderError::InvalidCamera("focal length must be positive and finite"));
+        }
+        if !self.height_m.is_finite() || self.height_m <= 0.0 {
+            return Err(RenderError::InvalidCamera("mounting height must be positive and finite"));
+        }
+        if !self.pitch.is_finite() || self.pitch.abs() >= std::f64::consts::FRAC_PI_2 {
+            return Err(RenderError::InvalidCamera("pitch must be within (-90°, 90°)"));
+        }
+        Ok(())
     }
 
     /// Frame width in pixels.
@@ -219,5 +254,26 @@ mod tests {
     #[should_panic]
     fn invalid_focal_panics() {
         let _ = Camera::new(64, 64, 0.0, 1.3, 0.1);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_parameters() {
+        assert!(Camera::try_new(0, 64, 300.0, 1.3, 0.1).is_err());
+        assert!(Camera::try_new(64, 0, 300.0, 1.3, 0.1).is_err());
+        assert!(Camera::try_new(64, 64, f64::NAN, 1.3, 0.1).is_err());
+        assert!(Camera::try_new(64, 64, 300.0, -1.0, 0.1).is_err());
+        assert!(Camera::try_new(64, 64, 300.0, 1.3, std::f64::consts::FRAC_PI_2).is_err());
+        let cam = Camera::try_new(64, 64, 300.0, 1.3, 0.1).unwrap();
+        assert!(cam.validate().is_ok());
+    }
+
+    #[test]
+    fn deserialized_camera_can_be_invalid_and_is_caught() {
+        // Serde bypasses the constructor checks; `validate` is the
+        // backstop the renderer uses.
+        let json = r#"{"width":0,"height":256,"focal":300.0,"cu":256.0,
+                       "cv":128.0,"height_m":1.3,"pitch":0.1}"#;
+        let cam: Camera = serde_json::from_str(json).unwrap();
+        assert!(cam.validate().is_err());
     }
 }

@@ -39,6 +39,6 @@ pub mod situation;
 pub mod track;
 
 pub use camera::Camera;
-pub use render::SceneRenderer;
+pub use render::{RenderError, SceneRenderer};
 pub use situation::{LaneColor, LaneForm, RoadLayout, SceneKind, SituationFeatures};
 pub use track::{LaneSpec, Sector, Track};

@@ -29,6 +29,33 @@ pub mod albedo {
     pub const SKY: [f32; 3] = [0.55, 0.68, 0.85];
 }
 
+/// Typed failure of the scene-rendering layer.
+///
+/// Rendering a frame used to be infallible-or-abort: an invalid camera
+/// (possible via deserialized campaign configs, which bypass the
+/// [`Camera`] constructor checks) would `panic!` deep inside frame
+/// allocation and take a whole campaign worker down with it. The
+/// fallible entry points ([`SceneRenderer::render_into`],
+/// [`Camera::try_new`]) surface this instead, and the HiL loop reports
+/// it through its result counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenderError {
+    /// The camera model cannot produce a frame: zero-sized, non-positive
+    /// or non-finite focal length / mounting height, or pitch at or past
+    /// ±90°.
+    InvalidCamera(&'static str),
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderError::InvalidCamera(reason) => write!(f, "invalid camera: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
 /// Paved shoulder beyond the markings, in meters.
 const SHOULDER: f64 = 0.6;
 
@@ -70,10 +97,38 @@ impl SceneRenderer {
     /// `(s, d, psi)`: arc position `s` (m), lateral offset `d` from the
     /// lane center (m, positive left), heading error `psi` (rad, positive
     /// = nose pointing left of the lane tangent).
+    ///
+    /// Convenience wrapper over [`SceneRenderer::render_into`] that
+    /// allocates a fresh frame per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the camera is invalid (see [`Camera::validate`]); use
+    /// `render_into` for the fallible, allocation-free path.
     pub fn render(&self, track: &Track, s: f64, d: f64, psi: f64) -> RgbImage {
+        let mut img = RgbImage::new(self.camera.width().max(1), self.camera.height().max(1));
+        match self.render_into(track, s, d, psi, &mut img) {
+            Ok(()) => img,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Renders the frame into a caller-owned buffer (resized as needed) —
+    /// the allocation-free render path, and the fallible one: an invalid
+    /// camera (e.g. deserialized with zero dimensions) returns a
+    /// [`RenderError`] instead of aborting the worker.
+    pub fn render_into(
+        &self,
+        track: &Track,
+        s: f64,
+        d: f64,
+        psi: f64,
+        img: &mut RgbImage,
+    ) -> Result<(), RenderError> {
+        self.camera.validate()?;
         let w = self.camera.width();
         let h = self.camera.height();
-        let mut img = RgbImage::new(w, h);
+        img.reshape(w, h);
         let (sin_psi, cos_psi) = psi.sin_cos();
         let scene = track.sector_at(s).scene;
 
@@ -104,7 +159,7 @@ impl SceneRenderer {
                 img.set(u, v, color);
             }
         }
-        img
+        Ok(())
     }
 
     /// Albedo of the ground at arc position `sp`, lateral offset
@@ -368,6 +423,30 @@ mod tests {
             peak_turn > peak_straight,
             "right turn must shift far markings right: {peak_turn} vs {peak_straight}"
         );
+    }
+
+    #[test]
+    fn render_into_matches_render() {
+        let r = renderer();
+        let track = day_straight_track();
+        let fresh = r.render(&track, 6.0, 0.2, 0.01);
+        // Reused buffer arrives with the wrong dimensions and stale
+        // contents; the output must still be bit-identical.
+        let mut reused = RgbImage::filled(8, 8, [9.0, 9.0, 9.0]);
+        r.render_into(&track, 6.0, 0.2, 0.01, &mut reused).unwrap();
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn render_into_rejects_invalid_deserialized_camera() {
+        let json = r#"{"width":0,"height":256,"focal":300.0,"cu":256.0,
+                       "cv":128.0,"height_m":1.3,"pitch":0.1}"#;
+        let cam: Camera = serde_json::from_str(json).unwrap();
+        let r = SceneRenderer::new(cam);
+        let mut out = RgbImage::new(1, 1);
+        let err = r.render_into(&day_straight_track(), 0.0, 0.0, 0.0, &mut out).unwrap_err();
+        assert!(matches!(err, RenderError::InvalidCamera(_)));
+        assert!(err.to_string().contains("invalid camera"));
     }
 
     #[test]

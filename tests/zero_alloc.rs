@@ -1,0 +1,205 @@
+//! Steady-state allocation audit of the frame path.
+//!
+//! A counting `#[global_allocator]` (thread-local counters, so parallel
+//! test threads don't bleed into each other) proves the redesign's core
+//! claim: after the warm-up cycles size every pooled buffer, one full
+//! camera-to-measurement cycle — render, capture, ISP, perception —
+//! performs **zero heap allocations** on the single-threaded executor.
+//!
+//! With worker threads the executor spawns per call by design, so the
+//! multi-threaded assertion is the next-strongest observable pair: the
+//! frame pool stops allocating, and outputs stay bit-identical to the
+//! single-threaded path.
+
+use lkas_imaging::image::{RawImage, RgbImage};
+use lkas_imaging::isp::{IspConfig, IspPipeline};
+use lkas_imaging::sensor::{Sensor, SensorConfig};
+use lkas_imaging::Scratch;
+use lkas_perception::pipeline::{Perception, PerceptionConfig, PerceptionScratch};
+use lkas_perception::roi::Roi;
+use lkas_scene::camera::Camera;
+use lkas_scene::render::SceneRenderer;
+use lkas_scene::situation::TABLE3_SITUATIONS;
+use lkas_scene::track::Track;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    // Const-initialized and droppable-free, so bumping it from inside
+    // the allocator neither allocates nor registers a TLS destructor.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper counting every acquisition path
+/// (alloc/realloc/alloc_zeroed) on the current thread.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+/// The steady-state stage chain of one HiL control sample, writing into
+/// caller-owned buffers only. Mirrors the cycle body of
+/// `lkas::hil::HilSimulator::run` minus the allocating bookkeeping
+/// (trace recording, pending-command queue) that is not per-frame work.
+#[allow(clippy::too_many_arguments)]
+fn one_cycle(
+    renderer: &SceneRenderer,
+    sensor: &mut Sensor,
+    isp: &IspPipeline,
+    perception: &Perception,
+    track: &Track,
+    s: f64,
+    scene_rgb: &mut RgbImage,
+    raw: &mut RawImage,
+    rgb: &mut RgbImage,
+    scratch: &mut Scratch,
+    pscratch: &mut PerceptionScratch,
+) -> Option<f64> {
+    renderer.render_into(track, s, 0.1, 0.0, scene_rgb).expect("valid camera");
+    sensor.capture_into(scene_rgb, 1.0, raw);
+    isp.process_into(raw, scratch, rgb);
+    perception.process_into(rgb, pscratch).ok().map(|out| out.y_l)
+}
+
+#[test]
+fn steady_state_cycle_allocates_nothing_single_threaded() {
+    let cam = Camera::default_automotive();
+    let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+    let renderer = SceneRenderer::new(cam.clone());
+    let mut sensor = Sensor::new(SensorConfig::default(), 5);
+    let isp = IspPipeline::new(IspConfig::S0);
+    let perception = Perception::new(PerceptionConfig::new(Roi::Roi1), cam);
+    let mut scratch = Scratch::new();
+    let mut pscratch = PerceptionScratch::new();
+    let mut scene_rgb = RgbImage::new(1, 1);
+    let mut raw = RawImage::new(2, 2);
+    let mut rgb = RgbImage::new(1, 1);
+
+    // Warm-up: size every pooled buffer and scratch vector.
+    for i in 0..3 {
+        one_cycle(
+            &renderer,
+            &mut sensor,
+            &isp,
+            &perception,
+            &track,
+            10.0 + i as f64,
+            &mut scene_rgb,
+            &mut raw,
+            &mut rgb,
+            &mut scratch,
+            &mut pscratch,
+        );
+    }
+
+    let before = allocations_on_this_thread();
+    let mut measured = 0usize;
+    for i in 0..25 {
+        if one_cycle(
+            &renderer,
+            &mut sensor,
+            &isp,
+            &perception,
+            &track,
+            20.0 + i as f64,
+            &mut scene_rgb,
+            &mut raw,
+            &mut rgb,
+            &mut scratch,
+            &mut pscratch,
+        )
+        .is_some()
+        {
+            measured += 1;
+        }
+    }
+    let after = allocations_on_this_thread();
+    assert!(measured > 20, "the audited cycles must actually measure lanes");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state cycles must not touch the heap ({} allocations over 25 cycles)",
+        after - before
+    );
+    assert_eq!(scratch.pool().stats().allocations, 1, "one warm-up denoise intermediate");
+}
+
+#[test]
+fn steady_state_pool_is_quiescent_and_identical_at_four_threads() {
+    // Worker threads make global allocation counting meaningless (the
+    // executor spawns scoped threads each call, by design), so assert
+    // the strongest remaining pair: the frame pool stops allocating
+    // after warm-up, and every output matches the 1-thread path bit for
+    // bit.
+    let cam = Camera::default_automotive();
+    let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+    let renderer = SceneRenderer::new(cam.clone());
+    let isp = IspPipeline::new(IspConfig::S0);
+    let perception = Perception::new(PerceptionConfig::new(Roi::Roi1), cam);
+
+    let run = |threads: usize| {
+        let mut sensor = Sensor::new(SensorConfig::default(), 5);
+        let mut scratch = Scratch::with_threads(threads);
+        let mut pscratch = PerceptionScratch::new();
+        let mut scene_rgb = RgbImage::new(1, 1);
+        let mut raw = RawImage::new(2, 2);
+        let mut rgb = RgbImage::new(1, 1);
+        let mut measurements = Vec::new();
+        let mut warmup_allocations = 0;
+        for i in 0..10 {
+            let y_l = one_cycle(
+                &renderer,
+                &mut sensor,
+                &isp,
+                &perception,
+                &track,
+                10.0 + i as f64,
+                &mut scene_rgb,
+                &mut raw,
+                &mut rgb,
+                &mut scratch,
+                &mut pscratch,
+            );
+            measurements.push(y_l);
+            if i == 0 {
+                warmup_allocations = scratch.pool().stats().allocations;
+            }
+        }
+        let frame_bits: Vec<u32> = rgb.as_slice().iter().map(|v| v.to_bits()).collect();
+        (measurements, frame_bits, scratch.pool().stats().allocations, warmup_allocations)
+    };
+
+    let (serial_y, serial_bits, _, _) = run(1);
+    let (tiled_y, tiled_bits, total_allocs, warmup_allocs) = run(4);
+    assert_eq!(serial_y, tiled_y, "measurements must not depend on the thread count");
+    assert_eq!(serial_bits, tiled_bits, "the final frame must be bit-identical");
+    assert_eq!(
+        total_allocs, warmup_allocs,
+        "the frame pool must not allocate after the first cycle"
+    );
+}

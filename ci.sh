@@ -1,30 +1,130 @@
 #!/bin/bash
-# CI gate: build, test, and format check for the whole workspace.
+# CI pipeline: named, individually timed stages (fmt → build → test →
+# smokes → gates). A failed stage does NOT abort the run — every stage
+# executes, the summary table reports each stage's wall-clock and
+# outcome, and the script exits non-zero iff any stage failed.
 # Fully offline — every external dependency is vendored under vendor/
 # (crates.io is unreachable in the eval sandbox; prefer std over new
 # external deps).
-set -e
+set -u
 cd "$(dirname "$0")"
-cargo build --release
-cargo test -q
-cargo fmt --check
+
+# Warnings are errors in CI; the dev loop stays lenient.
+export RUSTFLAGS="-D warnings"
+
+STAGES=()
+TIMES=()
+RESULTS=()
+FAILED=0
+
+stage() {
+  local name="$1"
+  shift
+  echo
+  echo "==> [$name]"
+  local start=$SECONDS
+  if "$@"; then
+    RESULTS+=(ok)
+  else
+    RESULTS+=(FAIL)
+    FAILED=1
+  fi
+  STAGES+=("$name")
+  TIMES+=($((SECONDS - start)))
+}
+
 # Fast robustness-campaign smoke: quick grid, deterministic report.
 # Single worker on purpose: the report is byte-identical for any
 # --threads, but the CI box has one CPU, so extra workers time-slice
 # and inflate the stage latency histograms with preemption noise —
-# the telemetry gate below should measure stage cost, not scheduler
-# jitter.
-cargo run --release -p lkas-bench --bin robustness_campaign -- \
-  --quick --seed 7 --threads 1 --out artifacts/robustness_smoke.json \
-  --metrics-out artifacts/telemetry_smoke_quick.json
+# the telemetry gate should measure stage cost, not scheduler jitter.
+smoke_robustness() {
+  cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    --quick --seed 7 --threads 1 --out artifacts/robustness_smoke.json \
+    --metrics-out artifacts/telemetry_smoke_quick.json
+}
+
 # Telemetry smoke gate: the quick grid's counters must match the
 # checked-in baseline exactly; stage timings may drift within generous
 # bounds (CI machines vary — this catches order-of-magnitude blowups,
 # not percent-level noise).
-cargo run --release -p lkas-bench --bin telemetry_report -- \
-  diff BENCH_telemetry_baseline.json artifacts/telemetry_smoke_quick.json \
-  --max-rel-mean 8 --max-rel-tail 25 --min-mean-us 2
+gate_telemetry() {
+  cargo run --release -p lkas-bench --bin telemetry_report -- \
+    diff BENCH_telemetry_baseline.json artifacts/telemetry_smoke_quick.json \
+    --max-rel-mean 8 --max-rel-tail 25 --min-mean-us 2
+}
+
+# Shard-equivalence gate: run the same quick campaign as shards 0/2 and
+# 1/2, merge the shard artifacts, and require (a) the merged report to
+# be byte-identical to the unsharded smoke report and (b) the merged
+# telemetry to pass the same deterministic-counter diff against the
+# smoke telemetry.
+gate_shard_equivalence() {
+  rm -f artifacts/ci_shard0.ckpt.jsonl artifacts/ci_shard1.ckpt.jsonl &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      --quick --seed 7 --threads 1 --shard 0/2 \
+      --checkpoint artifacts/ci_shard0.ckpt.jsonl \
+      --shard-out artifacts/ci_shard0.json &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      --quick --seed 7 --threads 1 --shard 1/2 \
+      --checkpoint artifacts/ci_shard1.ckpt.jsonl \
+      --shard-out artifacts/ci_shard1.json &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      merge artifacts/ci_shard0.json artifacts/ci_shard1.json \
+      --out artifacts/ci_sharded_report.json \
+      --metrics-out artifacts/ci_sharded_telemetry.json &&
+    cmp artifacts/robustness_smoke.json artifacts/ci_sharded_report.json &&
+    echo "sharded report is byte-identical to the unsharded smoke report" &&
+    cargo run --release -p lkas-bench --bin telemetry_report -- \
+      diff artifacts/telemetry_smoke_quick.json artifacts/ci_sharded_telemetry.json \
+      --max-rel-mean 8 --max-rel-tail 25 --min-mean-us 2
+}
+
 # Zero-allocation gate: the steady-state frame path (render → capture →
 # ISP → perception into pooled buffers) must not touch the heap after
 # warm-up, and the tiled path must stay bit-identical.
-cargo test --release -p lkas-suite --test zero_alloc -q
+gate_zero_alloc() {
+  cargo test --release -p lkas-suite --test zero_alloc -q
+}
+
+# Hygiene gate: generated outputs must never be git-tracked, and the
+# directories that hold them must be ignored.
+gate_hygiene() {
+  local tracked
+  tracked=$(git ls-files -- artifacts logs)
+  if [ -n "$tracked" ]; then
+    echo "error: generated outputs are git-tracked:"
+    echo "$tracked"
+    return 1
+  fi
+  grep -qx '/artifacts/' .gitignore || {
+    echo "error: .gitignore lacks /artifacts/"
+    return 1
+  }
+  grep -qx '/logs/' .gitignore || {
+    echo "error: .gitignore lacks /logs/"
+    return 1
+  }
+  echo "no generated outputs tracked; artifacts/ and logs/ ignored"
+}
+
+stage fmt cargo fmt --check
+stage build cargo build --release
+stage test cargo test -q --workspace
+stage smoke-robustness smoke_robustness
+stage gate-telemetry gate_telemetry
+stage gate-shard-equivalence gate_shard_equivalence
+stage gate-zero-alloc gate_zero_alloc
+stage gate-hygiene gate_hygiene
+
+echo
+echo "== CI summary =="
+for i in "${!STAGES[@]}"; do
+  printf '  %-24s %5ss  %s\n' "${STAGES[$i]}" "${TIMES[$i]}" "${RESULTS[$i]}"
+done
+if [ "$FAILED" -ne 0 ]; then
+  echo "CI: FAILED (at least one stage failed)"
+else
+  echo "CI: PASSED"
+fi
+exit "$FAILED"

@@ -5,31 +5,122 @@
 //! degradation, time in degraded mode) and a telemetry artifact with
 //! the aggregated fault/degradation counters. The report is a pure
 //! function of `(--seed, --quick)`: any `--threads` value produces the
-//! identical bytes.
+//! identical bytes, and so does any `--shard i/N` split merged back
+//! with the `merge` subcommand.
 //!
-//! Usage: `cargo run --release -p lkas-bench --bin robustness_campaign
-//!         [-- --seed 7 --threads 4 --quick --out PATH --metrics-out PATH]`
+//! Usage:
+//! `cargo run --release -p lkas-bench --bin robustness_campaign
+//!  [-- --seed 7 --threads 4 --quick --out PATH --metrics-out PATH]`
+//!
+//! Sharded (each shard writes a mergeable artifact instead of the
+//! report; `--checkpoint` + `--resume` let a killed shard pick up where
+//! it stopped):
+//! `robustness_campaign --quick --shard 0/2 --checkpoint ckpt0.jsonl --resume
+//!  --shard-out shard0.json`
+//!
+//! Merge (validates the shards form one complete partition of the same
+//! configuration, then emits the byte-identical report plus the merged
+//! telemetry):
+//! `robustness_campaign merge shard0.json shard1.json --out PATH
+//!  --metrics-out PATH`
 
-use lkas_bench::robustness::{run_campaign, write_report, CampaignConfig};
+use lkas_bench::robustness::{
+    assemble_report, campaign_spec, config_from_params, report_from_merged, run_campaign_shard,
+    write_report, CampaignConfig, RobustnessReport,
+};
 use lkas_bench::{arg_value, default_threads, render_table, write_metrics, Metrics, ARTIFACTS_DIR};
+use lkas_runtime::{merge_shard_files, read_shard_file, write_shard_file, Shard};
 use std::path::PathBuf;
 use std::sync::Arc;
 
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn report_out_path() -> PathBuf {
+    arg_value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(ARTIFACTS_DIR).join("robustness_report.json"))
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        merge(&args[1..]);
+        return;
+    }
+
     let cfg = CampaignConfig {
         seed: arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(7),
         threads: arg_value("--threads")
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(default_threads),
-        quick: std::env::args().any(|a| a == "--quick"),
+        quick: args.iter().any(|a| a == "--quick"),
     };
-    let out = arg_value("--out")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(ARTIFACTS_DIR).join("robustness_report.json"));
+    let shard = match arg_value("--shard") {
+        Some(text) => Shard::parse(&text).unwrap_or_else(|e| fail(&e)),
+        None => Shard::full(),
+    };
+    let spec = campaign_spec(
+        &cfg,
+        shard,
+        arg_value("--checkpoint").map(PathBuf::from),
+        args.iter().any(|a| a == "--resume"),
+    );
 
     let metrics = Arc::new(Metrics::new());
-    let report = run_campaign(&cfg, Some(&metrics));
+    let run = run_campaign_shard(&cfg, &spec, Some(&metrics));
+    eprintln!(
+        "[campaign] shard {shard}: {} owned, {} evaluated, {} restored (grid {})",
+        run.stats.owned, run.stats.evaluated, run.stats.restored, run.stats.grid_size
+    );
 
+    if !shard.is_full() || arg_value("--shard-out").is_some() {
+        let out = arg_value("--shard-out").map(PathBuf::from).unwrap_or_else(|| {
+            PathBuf::from(ARTIFACTS_DIR)
+                .join(format!("robustness_shard_{}of{}.json", shard.index, shard.count))
+        });
+        write_shard_file(&out, &spec, &run, Some(&metrics));
+        eprintln!("[shard] {}", out.display());
+        return;
+    }
+
+    let report = assemble_report(&cfg, run.entries.into_iter().map(|(_, e)| e).collect());
+    print_report(&cfg, &report);
+    write_report(&report, &report_out_path());
+    write_metrics("robustness_campaign", &metrics);
+}
+
+/// `robustness_campaign merge SHARD...`: fold shard artifacts into the
+/// full report and the merged telemetry artifact.
+fn merge(args: &[String]) {
+    let mut paths = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" | "--metrics-out" => {
+                iter.next();
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown merge flag `{flag}`")),
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if paths.is_empty() {
+        fail("merge needs at least one shard file");
+    }
+    let files =
+        paths.iter().map(|p| read_shard_file(p).unwrap_or_else(|e| fail(&e))).collect::<Vec<_>>();
+    let mut merged = merge_shard_files(files).unwrap_or_else(|e| fail(&e));
+    let cfg = config_from_params(&merged.params).unwrap_or_else(|e| fail(&e));
+    let report = report_from_merged(&cfg, &mut merged).unwrap_or_else(|e| fail(&e));
+    eprintln!("[merge] {} shard file(s), {} grid entries", paths.len(), report.entries.len());
+    print_report(&cfg, &report);
+    write_report(&report, &report_out_path());
+    write_metrics("robustness_campaign", &merged.metrics);
+}
+
+fn print_report(cfg: &CampaignConfig, report: &RobustnessReport) {
     let rows: Vec<Vec<String>> = report
         .entries
         .iter()
@@ -61,7 +152,4 @@ fn main() {
         s.crash_rate_policy_on,
         s.time_in_degraded_frac * 100.0
     );
-
-    write_report(&report, &out);
-    write_metrics("robustness_campaign", &metrics);
 }

@@ -11,15 +11,38 @@
 //! passed to them.
 //!
 //! Usage: `cargo run --release -p lkas-bench --bin table3_characterization [--quick]`
+//!
+//! The sweep runs through the sharded campaign engine, so it can be
+//! split across processes or machines and resumed after a kill:
+//! `table3_characterization --quick --shard 0/2 --checkpoint ckpt0.jsonl
+//!  --resume --shard-out shard0.json`, then
+//! `table3_characterization merge shard0.json shard1.json` reassembles
+//! the byte-identical table and sweep data.
 
-use lkas::characterize::{characterize, CharacterizeConfig};
+use lkas::characterize::{
+    campaign_spec, characterization_from_merged, characterize, characterize_campaign,
+    config_from_params, Characterization, CharacterizeConfig,
+};
 use lkas::knobs::KnobTable;
 use lkas::TABLE3_SITUATIONS;
-use lkas_bench::{arg_value, default_threads, render_table, write_result, ARTIFACTS_DIR};
+use lkas_bench::{arg_value, default_threads, render_table, write_result, Metrics, ARTIFACTS_DIR};
 use lkas_platform::schedule::ClassifierSet;
+use lkas_runtime::{merge_shard_files, read_shard_file, write_shard_file, Shard};
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        merge(&args[1..]);
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
     let mut config = CharacterizeConfig {
         threads: arg_value("--threads")
             .and_then(|v| v.parse().ok())
@@ -29,12 +52,67 @@ fn main() {
     if quick {
         config.track_length_m = 120.0;
     }
+    let shard = match arg_value("--shard") {
+        Some(text) => Shard::parse(&text).unwrap_or_else(|e| fail(&e)),
+        None => Shard::full(),
+    };
     eprintln!(
-        "[characterize] 21 situations, track {} m, {} threads",
+        "[characterize] 21 situations, track {} m, {} threads, shard {shard}",
         config.track_length_m, config.threads
     );
-    let out = characterize(&TABLE3_SITUATIONS, &config);
 
+    if !shard.is_full() || arg_value("--shard-out").is_some() {
+        let spec = campaign_spec(
+            &config,
+            shard,
+            arg_value("--checkpoint").map(PathBuf::from),
+            args.iter().any(|a| a == "--resume"),
+        );
+        let metrics = Metrics::new();
+        let run = characterize_campaign(&TABLE3_SITUATIONS, &config, &spec, Some(&metrics));
+        eprintln!(
+            "[characterize] shard {shard}: {} owned, {} evaluated, {} restored (grid {})",
+            run.stats.owned, run.stats.evaluated, run.stats.restored, run.stats.grid_size
+        );
+        let out = arg_value("--shard-out").map(PathBuf::from).unwrap_or_else(|| {
+            PathBuf::from(ARTIFACTS_DIR)
+                .join(format!("table3_shard_{}of{}.json", shard.index, shard.count))
+        });
+        write_shard_file(&out, &spec, &run, Some(&metrics));
+        eprintln!("[shard] {}", out.display());
+        return;
+    }
+
+    let out = characterize(&TABLE3_SITUATIONS, &config);
+    print_and_cache(&out);
+}
+
+/// `table3_characterization merge SHARD...`: fold shard artifacts into
+/// the full characterization.
+fn merge(args: &[String]) {
+    let paths: Vec<PathBuf> = args
+        .iter()
+        .map(|arg| {
+            if arg.starts_with("--") {
+                fail(&format!("unknown merge flag `{arg}`"));
+            }
+            PathBuf::from(arg)
+        })
+        .collect();
+    if paths.is_empty() {
+        fail("merge needs at least one shard file");
+    }
+    let files =
+        paths.iter().map(|p| read_shard_file(p).unwrap_or_else(|e| fail(&e))).collect::<Vec<_>>();
+    let mut merged = merge_shard_files(files).unwrap_or_else(|e| fail(&e));
+    let config = config_from_params(&merged.params).unwrap_or_else(|e| fail(&e));
+    let out = characterization_from_merged(&TABLE3_SITUATIONS, &config, &mut merged)
+        .unwrap_or_else(|e| fail(&e));
+    eprintln!("[merge] {} shard file(s), {} situations", paths.len(), out.sweeps.len());
+    print_and_cache(&out);
+}
+
+fn print_and_cache(out: &Characterization) {
     let paper = KnobTable::paper_table3();
     let mut rows = Vec::new();
     let mut isp_matches = 0;

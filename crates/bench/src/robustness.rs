@@ -1,23 +1,29 @@
 //! The robustness campaign: a grid of fault plans × evaluation cases,
-//! each run with the degradation policy off and on, fanned across the
-//! shared [`Executor`].
+//! each run with the degradation policy off and on, driven through the
+//! sharded [`lkas_runtime::campaign`] engine.
 //!
-//! The campaign report is a *pure function of `(seed, quick)`*: jobs
-//! carry their grid coordinates, results come back from the executor in
-//! input order, and nothing thread- or time-dependent enters the
-//! report. `--threads 1` and `--threads 4` therefore emit byte-identical
-//! JSON — asserted in `tests/robustness.rs`.
+//! The campaign report is a *pure function of `(seed, quick)`*: the
+//! grid is canonical (same `(key, job)` list on every run), entries
+//! come back in grid order, and nothing thread- or time-dependent
+//! enters the report. `--threads 1` and `--threads 4` therefore emit
+//! byte-identical JSON — and so does any `--shard i/N` split merged
+//! back through [`report_from_merged`] — asserted in
+//! `tests/robustness.rs`.
 
-use crate::{run_hil_jobs, HilJob, Metrics};
+use crate::Metrics;
 use lkas::cases::Case;
 use lkas::degrade::DegradationConfig;
-use lkas::hil::HilResult;
+use lkas::hil::{HilConfig, HilResult, HilSimulator, SituationSource};
 use lkas_faults::FaultPlan;
+use lkas_runtime::{
+    run_campaign as run_campaign_engine, CampaignRun, CampaignSpec, Fingerprint, MergedShards,
+    Shard,
+};
 use lkas_scene::camera::Camera;
 use lkas_scene::situation::TABLE3_SITUATIONS;
 use lkas_scene::track::{Sector, Track};
-use serde::Serialize;
-use std::path::Path;
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Schema tag of the emitted robustness report.
@@ -43,7 +49,7 @@ impl CampaignConfig {
 }
 
 /// One grid point's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignEntry {
     /// Evaluation case name (Table V).
     pub case: String,
@@ -166,58 +172,146 @@ pub fn campaign_cases(quick: bool) -> Vec<Case> {
     }
 }
 
-/// Runs the full campaign grid and assembles the report. Pass a shared
-/// telemetry registry to aggregate stage timings and fault counters
-/// across every run (timings are wall-clock and belong in the separate
-/// telemetry artifact, never in the report).
-pub fn run_campaign(cfg: &CampaignConfig, metrics: Option<&Arc<Metrics>>) -> RobustnessReport {
+/// The stable content fingerprint of a campaign configuration:
+/// everything that determines report content (`seed`, `quick` — track,
+/// camera, plans, and cases all derive from these) and nothing that
+/// does not (`threads`). Embedded in grid keys and shard artifacts so
+/// checkpoints and merges can only combine evaluations of the same
+/// configuration.
+pub fn config_fingerprint(cfg: &CampaignConfig) -> String {
+    Fingerprint::new().push_str("robustness").push_u64(cfg.seed).push_u64(cfg.quick as u64).finish()
+}
+
+/// The canonical campaign grid: `(content key, (case, plan, policy))`
+/// in report order. Every shard of every run regenerates this identical
+/// list — the deterministic partitioner slices it, and the merge
+/// reassembles along it.
+pub fn campaign_grid(cfg: &CampaignConfig) -> Vec<(String, (Case, Arc<FaultPlan>, bool))> {
     let track = campaign_track(cfg.quick);
     // Rough cycle horizon: track length at the slow speed bound over the
     // nominal 25 ms period — plan windows only need to land mid-drive.
     let horizon = (track.total_length() / 8.33 / 0.025) as u64;
     let plans: Vec<Arc<FaultPlan>> =
         standard_plans(cfg.seed, horizon, cfg.quick).into_iter().map(Arc::new).collect();
-    let cases = campaign_cases(cfg.quick);
+    let config_hash = config_fingerprint(cfg);
+    let mut grid = Vec::new();
+    for &case in &campaign_cases(cfg.quick) {
+        for plan in &plans {
+            for policy in [false, true] {
+                let key = format!(
+                    "{}|{}|policy-{}|seed={:016x}|cfg={config_hash}",
+                    case.name(),
+                    plan.name,
+                    if policy { "on" } else { "off" },
+                    cfg.seed
+                );
+                grid.push((key, (case, Arc::clone(plan), policy)));
+            }
+        }
+    }
+    grid
+}
+
+/// Builds the [`CampaignSpec`] for a robustness run: the campaign
+/// identity and parameters that shard artifacts record and the merge
+/// driver reads back.
+pub fn campaign_spec(
+    cfg: &CampaignConfig,
+    shard: Shard,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+) -> CampaignSpec {
+    CampaignSpec {
+        name: "robustness_campaign".to_string(),
+        params: Value::Object(vec![
+            ("seed".to_string(), Value::U64(cfg.seed)),
+            ("quick".to_string(), Value::Bool(cfg.quick)),
+        ]),
+        config_hash: config_fingerprint(cfg),
+        threads: cfg.threads,
+        shard,
+        checkpoint,
+        resume,
+    }
+}
+
+/// Reconstructs the campaign configuration from a shard artifact's
+/// `params` blob (the recorded `config_hash` cross-checks the
+/// reconstruction).
+///
+/// # Errors
+///
+/// Returns a message when a parameter is missing or mistyped.
+pub fn config_from_params(params: &Value) -> Result<CampaignConfig, String> {
+    let Value::Object(fields) = params else {
+        return Err("robustness params are not an object".to_string());
+    };
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("robustness params lack `{name}`"))
+    };
+    let seed = field("seed")?.as_u64().ok_or("`seed` is not an integer")?;
+    let quick = match field("quick")? {
+        Value::Bool(b) => *b,
+        _ => return Err("`quick` is not a bool".to_string()),
+    };
+    Ok(CampaignConfig { seed, quick, threads: 1 })
+}
+
+/// Runs one shard of the campaign grid: restores checkpointed entries,
+/// evaluates the rest through the executor with per-worker telemetry
+/// registries, and returns the shard's entries in canonical grid order.
+pub fn run_campaign_shard(
+    cfg: &CampaignConfig,
+    spec: &CampaignSpec,
+    metrics: Option<&Arc<Metrics>>,
+) -> CampaignRun<CampaignEntry> {
+    let track = campaign_track(cfg.quick);
     let camera = if cfg.quick {
         Camera::new(256, 128, 150.0, 1.3, 6.0_f64.to_radians())
     } else {
         Camera::default_automotive()
     };
-
-    let mut keys: Vec<(Case, Arc<FaultPlan>, bool)> = Vec::new();
-    let mut jobs: Vec<HilJob> = Vec::new();
-    for &case in &cases {
-        for plan in &plans {
-            for policy in [false, true] {
-                let label = format!(
-                    "{} × {} × policy-{}",
-                    case.name(),
-                    plan.name,
-                    if policy { "on" } else { "off" }
-                );
-                let mut job = HilJob::new(label, case, track.clone(), None, cfg.seed);
-                job.config = job.config.with_camera(camera.clone());
-                if !plan.is_empty() {
-                    job.config = job.config.with_fault_plan(Arc::clone(plan));
-                }
-                if policy {
-                    job.config = job.config.with_degradation(DegradationConfig::default());
-                }
-                if let Some(m) = metrics {
-                    job = job.with_metrics(m);
-                }
-                keys.push((case, Arc::clone(plan), policy));
-                jobs.push(job);
+    let shared = metrics.map(Arc::clone);
+    run_campaign_engine(
+        spec,
+        campaign_grid(cfg),
+        metrics.map(|m| m.as_ref()),
+        // Worker-local telemetry registry, merged into the shared one
+        // when the worker drains — same scheme as `run_hil_jobs`, so
+        // the histogram buckets see no cross-thread contention.
+        || shared.as_ref().map(|_| Arc::new(Metrics::new())),
+        |key, (case, plan, policy), local: &mut Option<Arc<Metrics>>| {
+            eprintln!("[run] {key}");
+            let mut config = HilConfig::new(case, SituationSource::Oracle)
+                .with_seed(cfg.seed)
+                .with_camera(camera.clone());
+            if !plan.is_empty() {
+                config = config.with_fault_plan(Arc::clone(&plan));
             }
-        }
-    }
+            if policy {
+                config = config.with_degradation(DegradationConfig::default());
+            }
+            if let Some(local) = local {
+                config = config.with_metrics(Arc::clone(local));
+            }
+            let result = HilSimulator::new(track.clone(), config).run();
+            entry_for(&case, &plan, policy, &result)
+        },
+        |local| {
+            if let (Some(shared), Some(local)) = (&shared, local) {
+                shared.merge_from(&local);
+            }
+        },
+    )
+}
 
-    let results = run_hil_jobs(jobs, cfg.threads);
-    let entries: Vec<CampaignEntry> = keys
-        .iter()
-        .zip(&results)
-        .map(|((case, plan, policy), r)| entry_for(case, plan, *policy, r))
-        .collect();
+/// Assembles full-grid entries (in canonical grid order) into the
+/// report.
+pub fn assemble_report(cfg: &CampaignConfig, entries: Vec<CampaignEntry>) -> RobustnessReport {
     let summary = summarize(&entries);
     RobustnessReport {
         schema: ROBUSTNESS_SCHEMA.to_string(),
@@ -226,6 +320,44 @@ pub fn run_campaign(cfg: &CampaignConfig, metrics: Option<&Arc<Metrics>>) -> Rob
         entries,
         summary,
     }
+}
+
+/// Reassembles a full [`RobustnessReport`] from merged shard artifacts:
+/// walks the canonical grid, takes each entry out of the merged set,
+/// and assembles — byte-identical to the single-process report.
+///
+/// # Errors
+///
+/// Returns a message when the shards were run with a different
+/// configuration, do not cover the grid, or an entry does not
+/// deserialize.
+pub fn report_from_merged(
+    cfg: &CampaignConfig,
+    merged: &mut MergedShards,
+) -> Result<RobustnessReport, String> {
+    let expected = config_fingerprint(cfg);
+    if merged.config_hash != expected {
+        return Err(format!(
+            "merged shards fingerprint {} does not match configuration {expected}",
+            merged.config_hash
+        ));
+    }
+    let mut entries = Vec::new();
+    for (key, _) in campaign_grid(cfg) {
+        entries.push(merged.take::<CampaignEntry>(&key)?);
+    }
+    Ok(assemble_report(cfg, entries))
+}
+
+/// Runs the full campaign grid and assembles the report — the
+/// single-process path: the whole grid through the campaign engine with
+/// no checkpoint. Pass a shared telemetry registry to aggregate stage
+/// timings and fault counters across every run (timings are wall-clock
+/// and belong in the separate telemetry artifact, never in the report).
+pub fn run_campaign(cfg: &CampaignConfig, metrics: Option<&Arc<Metrics>>) -> RobustnessReport {
+    let spec = campaign_spec(cfg, Shard::full(), None, false);
+    let run = run_campaign_shard(cfg, &spec, metrics);
+    assemble_report(cfg, run.entries.into_iter().map(|(_, entry)| entry).collect())
 }
 
 fn entry_for(case: &Case, plan: &FaultPlan, policy: bool, r: &HilResult) -> CampaignEntry {

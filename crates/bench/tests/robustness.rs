@@ -1,8 +1,15 @@
 //! Acceptance tests for the robustness campaign: the report must be a
 //! pure function of `(seed, quick)` — in particular, byte-identical
-//! across Executor thread counts.
+//! across Executor thread counts and across `--shard i/N` splits
+//! merged back together.
 
-use lkas_bench::robustness::{report_json, run_campaign, CampaignConfig, ROBUSTNESS_SCHEMA};
+use lkas_bench::robustness::{
+    campaign_spec, report_from_merged, report_json, run_campaign, run_campaign_shard,
+    CampaignConfig, ROBUSTNESS_SCHEMA,
+};
+use lkas_bench::Metrics;
+use lkas_runtime::{merge_shard_files, read_shard_file, write_shard_file, Counter, Shard};
+use std::sync::Arc;
 
 #[test]
 fn report_is_byte_identical_across_thread_counts() {
@@ -25,4 +32,43 @@ fn report_is_byte_identical_across_thread_counts() {
     for e in sequential.entries.iter().filter(|e| e.plan != "nominal") {
         assert!(e.faulted_cycles > 0, "plan {} must inject faults", e.plan);
     }
+}
+
+#[test]
+fn sharded_report_is_byte_identical_to_single_process() {
+    // The tentpole acceptance on the real campaign: split the quick
+    // grid into shards run at *different* thread counts, write the
+    // shard artifacts, merge them, and require the reassembled report
+    // to match the single-process bytes. (The 1-shard × {1,4}-thread
+    // cell of the matrix is `report_is_byte_identical_across_thread_counts`;
+    // the full {1,2,4} × {1,4} matrix runs on a synthetic grid in the
+    // engine's own tests.)
+    let cfg = CampaignConfig { seed: 7, threads: 2, quick: true };
+    let reference = report_json(&run_campaign(&cfg, None));
+    let dir = std::env::temp_dir().join(format!("lkas-rob-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for (count, threads) in [(2usize, vec![1usize, 4]), (4, vec![2, 3, 1, 4])] {
+        let files: Vec<_> = (0..count)
+            .map(|index| {
+                let shard_cfg = CampaignConfig { threads: threads[index], ..cfg };
+                let spec = campaign_spec(&shard_cfg, Shard { index, count }, None, false);
+                let metrics = Arc::new(Metrics::new());
+                let run = run_campaign_shard(&shard_cfg, &spec, Some(&metrics));
+                let path = dir.join(format!("{count}-{index}.json"));
+                write_shard_file(&path, &spec, &run, Some(&metrics));
+                read_shard_file(&path).unwrap()
+            })
+            .collect();
+        let mut merged = merge_shard_files(files).unwrap();
+        // The shards' telemetry dumps must account for every grid point
+        // exactly once.
+        assert_eq!(merged.metrics.counter(Counter::CampaignEvaluations), 8);
+        let report = report_from_merged(&cfg, &mut merged).unwrap();
+        assert_eq!(
+            report_json(&report).as_bytes(),
+            reference.as_bytes(),
+            "{count} shard(s) must merge to the single-process report"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

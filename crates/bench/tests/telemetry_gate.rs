@@ -145,3 +145,51 @@ fn telemetry_report_diff_exit_codes() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn telemetry_report_failure_modes_are_distinct() {
+    use lkas_runtime::{Counter, Stage};
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("lkas-telemetry-fail-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = write_snapshot(&dir, "good.json", 100);
+
+    // A missing baseline file exits 2 and says it cannot read it.
+    let absent = dir.join("no-such-baseline.json");
+    let out = report_bin().arg("diff").arg(&absent).arg(&good).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing baseline: {out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read") && err.contains("no-such-baseline.json"), "{err}");
+
+    // A malformed candidate exits 2 with a parse (not read) message.
+    let malformed = dir.join("malformed.json");
+    std::fs::write(&malformed, "{ this is not json").unwrap();
+    let out = report_bin().arg("diff").arg(&good).arg(&malformed).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "malformed candidate: {out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse") && err.contains("malformed.json"), "{err}");
+    assert!(!err.contains("cannot read"), "parse failure must not read as an I/O failure: {err}");
+
+    // A drifted deterministic counter exits 1 and names the counter
+    // with both values.
+    let drifted = dir.join("drifted.json");
+    let m = Metrics::new();
+    for _ in 0..20 {
+        m.record(Stage::Perception, Duration::from_micros(100));
+        m.incr(Counter::Cycles);
+    }
+    m.incr(Counter::Cycles); // one extra cycle
+    m.write_json(&drifted).unwrap();
+    let out = report_bin()
+        .args(["diff", "--max-rel-mean", "1000", "--max-rel-tail", "1000"])
+        .arg(&good)
+        .arg(&drifted)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "counter drift: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("counter cycles: 20 -> 21"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

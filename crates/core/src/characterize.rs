@@ -4,19 +4,24 @@
 //! For each situation, every candidate knob tuning (ISP configuration ×
 //! layout-compatible ROI × speed) is evaluated in a closed-loop HiL
 //! simulation and the tuning with the best QoC (lowest MAE) is
-//! recorded. Candidates that crash are disqualified. The sweep is
-//! embarrassingly parallel and fans out over [`lkas_runtime::Executor`],
-//! whose order-preserving results make the sweep output identical for
-//! any worker-thread count.
+//! recorded. Candidates that crash are disqualified. The sweep runs
+//! through the [`lkas_runtime::campaign`] engine: the candidate grid is
+//! canonical (same order on every run), so it can be split into
+//! `--shard i/N` slices, checkpointed and resumed, and merged back into
+//! a [`Characterization`] byte-identical to the single-process sweep at
+//! any shard and thread count.
 
 use crate::cases::Case;
 use crate::hil::{HilConfig, HilResult, HilSimulator, SituationSource};
 use crate::knobs::{candidate_tunings, KnobTable, KnobTuning};
-use lkas_runtime::Executor;
+use lkas_runtime::{
+    run_campaign, CampaignRun, CampaignSpec, Fingerprint, MergedShards, Metrics, Shard,
+};
 use lkas_scene::camera::Camera;
 use lkas_scene::situation::SituationFeatures;
 use lkas_scene::track::Track;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::path::PathBuf;
 
 /// Configuration of a characterization sweep.
 #[derive(Debug, Clone)]
@@ -119,35 +124,146 @@ fn splitmix64(seed: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Characterizes the given situations, returning the regenerated
-/// Table III and the full sweep data.
-pub fn characterize(
+/// The stable content fingerprint of a characterization configuration:
+/// everything that determines evaluation outcomes (track length, camera
+/// model, seed base) and nothing that does not (`threads`). Embedded in
+/// candidate keys and shard artifacts so checkpoints and merges can
+/// only combine evaluations of the same configuration.
+pub fn config_fingerprint(config: &CharacterizeConfig) -> String {
+    Fingerprint::new()
+        .push_str("characterize")
+        .push_f64(config.track_length_m)
+        .push_u64(config.camera.width() as u64)
+        .push_u64(config.camera.height() as u64)
+        .push_f64(config.camera.focal())
+        .push_f64(config.camera.mount_height())
+        .push_f64(config.camera.pitch())
+        .push_u64(config.seed)
+        .finish()
+}
+
+/// The content key of one candidate evaluation: situation, tuning,
+/// derived sensor seed, and the configuration fingerprint. Two grids
+/// that share a key share the evaluation — the basis of the
+/// checkpoint's content-keyed cache.
+pub fn candidate_key(
+    situation_index: usize,
+    situation: &SituationFeatures,
+    tuning: &KnobTuning,
+    seed: u64,
+    config_hash: &str,
+) -> String {
+    format!(
+        "s{situation_index:02}|{}|isp={}|roi={}|v={:.0}|seed={seed:016x}|cfg={config_hash}",
+        situation.describe(),
+        tuning.isp.name(),
+        tuning.roi.name(),
+        tuning.speed_kmph
+    )
+}
+
+/// The canonical characterization grid: `(content key, (situation
+/// index, candidate))` in sweep order. Every shard of every run
+/// regenerates this identical list — the deterministic partitioner
+/// slices it, and the merge reassembles along it.
+pub fn characterize_grid(
     situations: &[SituationFeatures],
     config: &CharacterizeConfig,
-) -> Characterization {
-    // Work list of (situation index, candidate), in sweep order.
-    let mut jobs: Vec<(usize, KnobTuning)> = Vec::new();
+) -> Vec<(String, (usize, KnobTuning))> {
+    let config_hash = config_fingerprint(config);
+    let mut grid = Vec::new();
     for (si, situation) in situations.iter().enumerate() {
         for tuning in candidate_tunings(situation) {
-            jobs.push((si, tuning));
+            let seed = candidate_seed(config.seed, si, &tuning);
+            grid.push((candidate_key(si, situation, &tuning, seed, &config_hash), (si, tuning)));
         }
     }
+    grid
+}
 
-    let outcomes = Executor::new(config.threads).run(jobs, |(si, tuning)| {
-        let seed = candidate_seed(config.seed, si, &tuning);
-        let result = evaluate_candidate(&situations[si], tuning, config, seed);
-        (
-            si,
+/// Builds the [`CampaignSpec`] for a characterization run: the campaign
+/// identity and parameters that shard artifacts record and the merge
+/// driver reads back.
+pub fn campaign_spec(
+    config: &CharacterizeConfig,
+    shard: Shard,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+) -> CampaignSpec {
+    CampaignSpec {
+        name: "table3_characterization".to_string(),
+        params: Value::Object(vec![
+            ("track_length_m".to_string(), Value::F64(config.track_length_m)),
+            ("seed".to_string(), Value::U64(config.seed)),
+        ]),
+        config_hash: config_fingerprint(config),
+        threads: config.threads,
+        shard,
+        checkpoint,
+        resume,
+    }
+}
+
+/// Reconstructs the sweep configuration from a shard artifact's
+/// `params` blob (the camera is the characterization default; the
+/// recorded `config_hash` cross-checks the reconstruction).
+///
+/// # Errors
+///
+/// Returns a message when a parameter is missing or mistyped.
+pub fn config_from_params(params: &Value) -> Result<CharacterizeConfig, String> {
+    let Value::Object(fields) = params else {
+        return Err("characterization params are not an object".to_string());
+    };
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("characterization params lack `{name}`"))
+    };
+    let track_length_m =
+        field("track_length_m")?.as_f64().ok_or("`track_length_m` is not a number")?;
+    let seed = field("seed")?.as_u64().ok_or("`seed` is not an integer")?;
+    Ok(CharacterizeConfig { track_length_m, seed, ..CharacterizeConfig::default() })
+}
+
+/// Runs one shard of the characterization campaign: restores
+/// checkpointed candidates, evaluates the rest, and returns the shard's
+/// outcomes in canonical grid order.
+pub fn characterize_campaign(
+    situations: &[SituationFeatures],
+    config: &CharacterizeConfig,
+    spec: &CampaignSpec,
+    metrics: Option<&Metrics>,
+) -> CampaignRun<CandidateOutcome> {
+    let grid = characterize_grid(situations, config);
+    run_campaign(
+        spec,
+        grid,
+        metrics,
+        || (),
+        |_key, (si, tuning), _state: &mut ()| {
+            let seed = candidate_seed(config.seed, si, &tuning);
+            let result = evaluate_candidate(&situations[si], tuning, config, seed);
             CandidateOutcome {
                 tuning,
                 mae: if result.crashed { None } else { result.overall_mae() },
                 perception_failures: result.perception_failures,
-            },
-        )
-    });
+            }
+        },
+        |()| {},
+    )
+}
 
-    // Collate. Outcomes arrive in job order, so the sweeps (and the
-    // winner on MAE ties) are identical for any thread count.
+/// Collates full-grid outcomes (in canonical grid order) into the
+/// regenerated Table III. Outcome order is deterministic, so the
+/// sweeps — and the winner on MAE ties — are identical for any thread
+/// or shard count.
+pub fn assemble_characterization(
+    situations: &[SituationFeatures],
+    outcomes: impl IntoIterator<Item = (usize, CandidateOutcome)>,
+) -> Characterization {
     let mut sweeps: Vec<(SituationFeatures, Vec<CandidateOutcome>)> =
         situations.iter().map(|s| (*s, Vec::new())).collect();
     for (si, outcome) in outcomes {
@@ -164,6 +280,51 @@ pub fn characterize(
         }
     }
     Characterization { table, sweeps }
+}
+
+/// Reassembles a full [`Characterization`] from merged shard
+/// artifacts: walks the canonical grid, takes each entry out of the
+/// merged set, and collates — byte-identical to the single-process
+/// sweep.
+///
+/// # Errors
+///
+/// Returns a message when the merged set does not cover the grid or an
+/// entry does not deserialize.
+pub fn characterization_from_merged(
+    situations: &[SituationFeatures],
+    config: &CharacterizeConfig,
+    merged: &mut MergedShards,
+) -> Result<Characterization, String> {
+    let expected = config_fingerprint(config);
+    if merged.config_hash != expected {
+        return Err(format!(
+            "merged shards fingerprint {} does not match configuration {expected}",
+            merged.config_hash
+        ));
+    }
+    let mut outcomes = Vec::new();
+    for (key, (si, _)) in characterize_grid(situations, config) {
+        outcomes.push((si, merged.take::<CandidateOutcome>(&key)?));
+    }
+    Ok(assemble_characterization(situations, outcomes))
+}
+
+/// Characterizes the given situations, returning the regenerated
+/// Table III and the full sweep data — the single-process path: the
+/// full grid through the campaign engine with no checkpoint.
+pub fn characterize(
+    situations: &[SituationFeatures],
+    config: &CharacterizeConfig,
+) -> Characterization {
+    let spec = campaign_spec(config, Shard::full(), None, false);
+    let run = characterize_campaign(situations, config, &spec, None);
+    let indices: Vec<usize> =
+        characterize_grid(situations, config).into_iter().map(|(_, (si, _))| si).collect();
+    assemble_characterization(
+        situations,
+        indices.into_iter().zip(run.entries.into_iter().map(|(_, outcome)| outcome)),
+    )
 }
 
 #[cfg(test)]
@@ -220,6 +381,79 @@ mod tests {
         let serial = characterize(&TABLE3_SITUATIONS[0..1], &serial_cfg);
         let parallel = characterize(&TABLE3_SITUATIONS[0..1], &parallel_cfg);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sharded_sweep_merges_byte_identically_with_the_single_process_run() {
+        use lkas_runtime::{merge_shard_files, read_shard_file, write_shard_file};
+        let cfg = tiny_config();
+        let situations = &TABLE3_SITUATIONS[0..1];
+        let reference = characterize(situations, &cfg);
+        let dir = std::env::temp_dir().join(format!("lkas-char-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two shards at different thread counts — neither may matter.
+        let files: Vec<_> = (0..2)
+            .map(|index| {
+                let shard_cfg = CharacterizeConfig { threads: 1 + index, ..cfg.clone() };
+                let spec = campaign_spec(&shard_cfg, Shard { index, count: 2 }, None, false);
+                let run = characterize_campaign(situations, &shard_cfg, &spec, None);
+                let path = dir.join(format!("shard{index}.json"));
+                write_shard_file(&path, &spec, &run, None);
+                read_shard_file(&path).unwrap()
+            })
+            .collect();
+        let mut merged = merge_shard_files(files).unwrap();
+        let assembled = characterization_from_merged(situations, &cfg, &mut merged).unwrap();
+        assert_eq!(
+            serde_json::to_string_pretty(&serde_json::to_value(&assembled)),
+            serde_json::to_string_pretty(&serde_json::to_value(&reference)),
+            "merged shards must reproduce the single-process sweep byte-for-byte"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_from_checkpoint() {
+        use lkas_runtime::{Counter, Metrics};
+        let cfg = CharacterizeConfig { threads: 2, ..tiny_config() };
+        let situations = &TABLE3_SITUATIONS[0..1];
+        let dir = std::env::temp_dir().join(format!("lkas-char-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let checkpoint = dir.join("checkpoint.jsonl");
+
+        // A full run checkpoints all 9 candidates.
+        let spec = campaign_spec(&cfg, Shard::full(), Some(checkpoint.clone()), false);
+        let full = characterize_campaign(situations, &cfg, &spec, None);
+        assert_eq!(full.stats.evaluated, 9);
+        let text = std::fs::read_to_string(&checkpoint).unwrap();
+        assert_eq!(text.lines().count(), 9);
+
+        // Kill after 4 evaluations (any interrupted run leaves a
+        // prefix-complete checkpoint), then resume: telemetry must show
+        // exactly 5 fresh evaluations and 4 restores, and the outcomes
+        // must be identical.
+        let partial: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&checkpoint, partial).unwrap();
+        let spec = campaign_spec(&cfg, Shard::full(), Some(checkpoint), true);
+        let metrics = Metrics::new();
+        let resumed = characterize_campaign(situations, &cfg, &spec, Some(&metrics));
+        assert_eq!(resumed.stats.evaluated, 5);
+        assert_eq!(resumed.stats.restored, 4);
+        assert_eq!(metrics.counter(Counter::CampaignEvaluations), 5);
+        assert_eq!(metrics.counter(Counter::CampaignRestored), 4);
+        assert_eq!(resumed.entries, full.entries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_params_round_trip() {
+        let cfg = tiny_config();
+        let spec = campaign_spec(&cfg, Shard::full(), None, false);
+        let back = config_from_params(&spec.params).unwrap();
+        assert_eq!(back.track_length_m, cfg.track_length_m);
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(config_fingerprint(&back), spec.config_hash);
+        assert!(config_from_params(&Value::Null).is_err());
     }
 
     #[test]

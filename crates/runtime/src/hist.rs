@@ -18,6 +18,7 @@
 //!
 //! [`Metrics`]: crate::Metrics
 
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of log2 buckets: one per power of two of a nanosecond `u64`.
@@ -91,10 +92,24 @@ impl LatencyHistogram {
             max_ns: self.max_ns.load(Ordering::Relaxed),
         }
     }
+
+    /// Adds every observation of a serialized snapshot into `self` —
+    /// the cross-process counterpart of [`LatencyHistogram::merge_from`],
+    /// used when folding shard telemetry dumps back together.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        for (mine, &n) in self.buckets.iter().zip(&snap.counts) {
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total_ns.fetch_add(snap.total_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(snap.max_ns, Ordering::Relaxed);
+    }
 }
 
-/// A plain copy of a [`LatencyHistogram`], for reporting and tests.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A plain copy of a [`LatencyHistogram`], for reporting, tests, and
+/// the raw telemetry dumps shard artifacts carry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts ([`HIST_BUCKETS`] entries).
     pub counts: Vec<u64>,
@@ -172,6 +187,21 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert_eq!(s.percentile_ns(0.5), 0);
         assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn merge_snapshot_round_trips_through_json() {
+        // Dump a histogram, serialize, parse, merge into an empty one:
+        // the result must equal the original exactly.
+        let original = LatencyHistogram::new();
+        for ns in [1u64, 100, 10_000, 1_000_000, 1_000_000] {
+            original.record_ns(ns);
+        }
+        let json = serde_json::to_string(&original.snapshot()).unwrap();
+        let parsed: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = LatencyHistogram::new();
+        restored.merge_snapshot(&parsed);
+        assert_eq!(restored.snapshot(), original.snapshot());
     }
 
     #[test]

@@ -21,17 +21,29 @@
 //!   Perfetto.
 //! - [`report`] — snapshot pretty-printing and the baseline-diff logic
 //!   behind the `telemetry_report` harness and the CI perf smoke gate.
+//! - [`campaign`] — sharded, resumable campaign execution: a
+//!   deterministic `--shard i/N` work-partitioner over any canonical
+//!   candidate grid, a content-keyed JSONL checkpoint that lets an
+//!   interrupted shard resume without re-evaluating completed
+//!   candidates, and a shard-artifact merge whose output is
+//!   byte-identical to the single-process sweep at any shard and
+//!   thread count.
 
+pub mod campaign;
 mod executor;
 mod hist;
 mod metrics;
 pub mod report;
 mod trace;
 
+pub use campaign::{
+    merge_shard_files, read_shard_file, run_campaign, write_shard_file, CampaignRun, CampaignSpec,
+    CampaignStats, Fingerprint, MergedShards, Shard, ShardFile, SHARD_SCHEMA,
+};
 pub use executor::Executor;
 pub use hist::{bucket_index, bucket_upper_ns, HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use metrics::{
-    write_atomic, Counter, Metrics, MetricsSnapshot, Stage, StageSnapshot, StageTimer,
-    TELEMETRY_SCHEMA, TELEMETRY_SCHEMA_V1, TELEMETRY_SCHEMA_V2,
+    write_atomic, Counter, Metrics, MetricsDump, MetricsSnapshot, Stage, StageSnapshot, StageTimer,
+    METRICS_DUMP_SCHEMA, TELEMETRY_SCHEMA, TELEMETRY_SCHEMA_V1, TELEMETRY_SCHEMA_V2,
 };
 pub use trace::{TraceRecorder, TraceSink, CYCLE_TICKS, DEFAULT_TRACE_CAPACITY, STAGE_TICKS};

@@ -127,11 +127,17 @@ pub enum Counter {
     /// `RenderError` instead of a panic); the cycle proceeds frameless,
     /// as with a dropped frame.
     RenderErrors,
+    /// Campaign grid candidates evaluated from scratch by the campaign
+    /// engine this run.
+    CampaignEvaluations,
+    /// Campaign grid candidates restored from a checkpoint instead of
+    /// re-evaluated.
+    CampaignRestored,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 22] = [
         Counter::Cycles,
         Counter::PerceptionFailures,
         Counter::SituationSwitches,
@@ -152,6 +158,8 @@ impl Counter {
         Counter::DegradedExits,
         Counter::DegradedCycles,
         Counter::RenderErrors,
+        Counter::CampaignEvaluations,
+        Counter::CampaignRestored,
     ];
 
     /// The counter's snake_case name as written to JSON.
@@ -177,7 +185,14 @@ impl Counter {
             Counter::DegradedExits => "degraded_exits",
             Counter::DegradedCycles => "degraded_cycles",
             Counter::RenderErrors => "render_errors",
+            Counter::CampaignEvaluations => "campaign_evaluations",
+            Counter::CampaignRestored => "campaign_restored",
         }
+    }
+
+    /// Looks up a counter by its snake_case name.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.iter().copied().find(|c| c.name() == name)
     }
 }
 
@@ -298,6 +313,65 @@ impl Metrics {
             serde_json::to_string_pretty(&self.snapshot()).expect("telemetry snapshot serializes");
         write_atomic(path.as_ref(), (json + "\n").as_bytes())
     }
+
+    /// A raw, lossless, *mergeable* copy of the registry — full
+    /// histogram buckets rather than the percentile summaries of
+    /// [`Metrics::snapshot`]. Shard artifacts carry this form so a
+    /// merge can fold shards' telemetry back together exactly
+    /// ([`Metrics::absorb`]); summaries cannot be merged, buckets can.
+    pub fn dump(&self) -> MetricsDump {
+        MetricsDump {
+            schema: METRICS_DUMP_SCHEMA.to_string(),
+            stages: Stage::ALL
+                .iter()
+                .map(|&stage| (stage.name().to_string(), self.stages[stage as usize].snapshot()))
+                .collect(),
+            counters: Counter::ALL
+                .iter()
+                .map(|&counter| (counter.name().to_string(), self.counter(counter)))
+                .collect(),
+        }
+    }
+
+    /// Adds every observation and counter of a serialized dump into
+    /// `self` — the cross-process counterpart of
+    /// [`Metrics::merge_from`]. Names this build does not know are
+    /// ignored (a newer writer's extra stages or counters cannot be
+    /// represented here).
+    pub fn absorb(&self, dump: &MetricsDump) {
+        for (name, snap) in &dump.stages {
+            if let Some(stage) = Stage::ALL.iter().copied().find(|s| s.name() == name) {
+                self.stages[stage as usize].merge_snapshot(snap);
+            }
+        }
+        for (name, value) in &dump.counters {
+            if *value > 0 {
+                if let Some(counter) = Counter::from_name(name) {
+                    self.add(counter, *value);
+                }
+            }
+        }
+    }
+}
+
+/// Schema tag of the raw mergeable telemetry dump embedded in campaign
+/// shard artifacts.
+pub const METRICS_DUMP_SCHEMA: &str = "lkas-metrics-dump-v1";
+
+/// A raw, mergeable serialization of a [`Metrics`] registry: full
+/// per-stage histogram buckets plus the counters. Unlike
+/// [`MetricsSnapshot`] (percentile summaries for humans and the diff
+/// gate), a dump can be folded into another registry without loss —
+/// that is how a campaign merge reconstructs sweep-wide telemetry from
+/// per-shard runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsDump {
+    /// Schema tag, always [`METRICS_DUMP_SCHEMA`].
+    pub schema: String,
+    /// `(stage name, raw histogram)` pairs, in [`Stage::ALL`] order.
+    pub stages: Vec<(String, HistogramSnapshot)>,
+    /// `(name, value)` counter pairs, in [`Counter::ALL`] order.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Writes `bytes` to `path` atomically: the content lands in a
@@ -531,6 +605,34 @@ mod tests {
         let act = snap.stage("actuation").expect("v3 adds the actuation stage");
         assert_eq!(act.count, 1);
         assert!(act.p50_us.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn dump_absorb_round_trip_equals_direct_recording() {
+        // Two "shard processes" record disjoint work; absorbing their
+        // serialized dumps must equal having recorded everything in one
+        // registry — the property behind the campaign telemetry merge.
+        let (shard_a, shard_b, direct) = (Metrics::new(), Metrics::new(), Metrics::new());
+        for (i, us) in [3u64, 9, 27, 81, 243, 729].iter().enumerate() {
+            let m = if i % 2 == 0 { &shard_a } else { &shard_b };
+            m.record(Stage::Isp, Duration::from_micros(*us));
+            m.incr(Counter::CampaignEvaluations);
+            direct.record(Stage::Isp, Duration::from_micros(*us));
+            direct.incr(Counter::CampaignEvaluations);
+        }
+        let merged = Metrics::new();
+        for shard in [&shard_a, &shard_b] {
+            let json = serde_json::to_string_pretty(&shard.dump()).unwrap();
+            let dump: MetricsDump = serde_json::from_str(&json).unwrap();
+            assert_eq!(dump.schema, METRICS_DUMP_SCHEMA);
+            merged.absorb(&dump);
+        }
+        assert_eq!(merged.snapshot(), direct.snapshot());
+        assert_eq!(merged.stage_histogram(Stage::Isp), direct.stage_histogram(Stage::Isp));
+        // Unknown names from a future writer are ignored, not fatal.
+        let mut alien = shard_a.dump();
+        alien.counters.push(("counter_from_the_future".to_string(), 5));
+        Metrics::new().absorb(&alien);
     }
 
     #[test]

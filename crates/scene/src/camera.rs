@@ -141,6 +141,11 @@ impl Camera {
         self.height_m
     }
 
+    /// Downward pitch of the optical axis in radians.
+    pub fn pitch(&self) -> f64 {
+        self.pitch
+    }
+
     /// Image row of the horizon: ground points project strictly below
     /// this row.
     pub fn horizon_row(&self) -> f64 {

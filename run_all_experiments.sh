@@ -3,8 +3,56 @@
 # studies. On a many-core machine drop the --quick/--half-res flags and
 # raise --seeds. Outputs: stdout tables per harness, JSON in results/,
 # trained artifacts in artifacts/.
+#
+# Sharded mode: `./run_all_experiments.sh --shard I/N [--resume]` runs
+# only the shardable sweeps (table3_characterization and
+# robustness_campaign) on slice I of N, checkpointing each to
+# artifacts/*.ckpt.jsonl so a killed shard resumes with --resume
+# instead of re-evaluating. Run every shard 0..N-1 (any mix of
+# machines or terminals), then fold the shard artifacts back into the
+# byte-identical reports:
+#
+#   cargo run --release -p lkas-bench --bin table3_characterization -- \
+#     merge artifacts/table3_shard_*.json
+#   cargo run --release -p lkas-bench --bin robustness_campaign -- \
+#     merge artifacts/robustness_shard_*.json \
+#     --metrics-out artifacts/telemetry_robustness.json
 set -e
 cd "$(dirname "$0")"
+
+SHARD=""
+RESUME=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --shard)
+      SHARD="$2"
+      shift 2
+      ;;
+    --resume)
+      RESUME="--resume"
+      shift
+      ;;
+    *)
+      echo "usage: $0 [--shard I/N [--resume]]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [ -n "$SHARD" ]; then
+  TAG="${SHARD/\//of}"
+  cargo run --release -p lkas-bench --bin table3_characterization -- \
+    --shard "$SHARD" $RESUME \
+    --checkpoint "artifacts/table3_${TAG}.ckpt.jsonl" \
+    --shard-out "artifacts/table3_shard_${TAG}.json"
+  cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    --seed 7 --shard "$SHARD" $RESUME \
+    --checkpoint "artifacts/robustness_${TAG}.ckpt.jsonl" \
+    --shard-out "artifacts/robustness_shard_${TAG}.json"
+  echo "shard $SHARD done — once every shard has run, merge as shown in the header."
+  exit 0
+fi
+
 cargo run --release -p lkas-bench --bin table5_cases
 cargo run --release -p lkas-bench --bin table2_runtimes
 cargo run --release -p lkas-bench --bin fig1_tradeoff

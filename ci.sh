@@ -9,8 +9,10 @@
 set -u
 cd "$(dirname "$0")"
 
-# Warnings are errors in CI; the dev loop stays lenient.
-export RUSTFLAGS="-D warnings"
+# Warnings are errors in CI; the dev loop stays lenient. Deprecated
+# calls are hard errors too: a removed grace-period shim must take its
+# callers with it, not linger behind an allow.
+export RUSTFLAGS="-D warnings -D deprecated"
 
 STAGES=()
 TIMES=()
@@ -80,6 +82,31 @@ gate_shard_equivalence() {
       --max-rel-mean 8 --max-rel-tail 25 --min-mean-us 2
 }
 
+# Tuner-equivalence gate for the online re-characterization layer:
+# (a) with exploration disabled the tuned loop must be byte-identical
+#     to the frozen-table loop (the drift report is purely behavioral,
+#     so `cmp` proves the tuner changed nothing),
+# (b) the default tuned run must be reproducible across invocations at
+#     a fixed seed, and
+# (c) under the drifted sensor the tuned loop must strictly beat the
+#     frozen table (exit non-zero otherwise).
+gate_tuner_equivalence() {
+  cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    drift --quick --seed 7 --knobs static --out artifacts/ci_drift_static.json &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      drift --quick --seed 7 --knobs tuned --epsilon 0 --out artifacts/ci_drift_eps0.json &&
+    cmp artifacts/ci_drift_static.json artifacts/ci_drift_eps0.json &&
+    echo "exploration-disabled tuner is byte-identical to the frozen table" &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      drift --quick --seed 7 --knobs tuned --out artifacts/ci_drift_tuned_a.json &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      drift --quick --seed 7 --knobs tuned --out artifacts/ci_drift_tuned_b.json &&
+    cmp artifacts/ci_drift_tuned_a.json artifacts/ci_drift_tuned_b.json &&
+    echo "tuned drift report is reproducible at a fixed seed" &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      drift --quick --seed 7 --compare
+}
+
 # Zero-allocation gate: the steady-state frame path (render → capture →
 # ISP → perception into pooled buffers) must not touch the heap after
 # warm-up, and the tiled path must stay bit-identical.
@@ -114,6 +141,7 @@ stage test cargo test -q --workspace
 stage smoke-robustness smoke_robustness
 stage gate-telemetry gate_telemetry
 stage gate-shard-equivalence gate_shard_equivalence
+stage gate-tuner-equivalence gate_tuner_equivalence
 stage gate-zero-alloc gate_zero_alloc
 stage gate-hygiene gate_hygiene
 

@@ -10,7 +10,7 @@
 //!
 //! Usage: `cargo run --release -p lkas-bench --bin ablation_isp [--half-res]`
 
-use lkas::characterize::{evaluate_candidate, CharacterizeConfig};
+use lkas::characterize::{CharacterizeConfig, Characterizer};
 use lkas::knobs::KnobTuning;
 use lkas::TABLE3_SITUATIONS;
 use lkas_bench::{default_threads, render_table, write_result, Executor};
@@ -31,10 +31,11 @@ struct AblationRow {
 }
 
 fn main() {
-    let mut config = CharacterizeConfig { track_length_m: 180.0, ..CharacterizeConfig::default() };
+    let mut config = CharacterizeConfig::new().with_track_length(180.0);
     if !std::env::args().any(|a| a == "--half-res") {
-        config.camera = Camera::default_automotive();
+        config = config.with_camera(Camera::default_automotive());
     }
+    let characterizer = Characterizer::new(config);
     // Benign daytime straight vs the hard dark straight (situation 7).
     let picks = [(0usize, Roi::Roi1, 50.0), (6, Roi::Roi1, 50.0)];
     let mut jobs = Vec::new();
@@ -44,9 +45,8 @@ fn main() {
             jobs.push((situation, KnobTuning::new(isp, roi, speed)));
         }
     }
-    let results = Executor::new(default_threads()).run(jobs.clone(), |(situation, tuning)| {
-        evaluate_candidate(&situation, tuning, &config, 3)
-    });
+    let results = Executor::new(default_threads())
+        .run(jobs.clone(), |(situation, tuning)| characterizer.evaluate(&situation, tuning, 3));
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();

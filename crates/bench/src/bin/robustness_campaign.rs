@@ -23,10 +23,18 @@
 //! telemetry):
 //! `robustness_campaign merge shard0.json shard1.json --out PATH
 //!  --metrics-out PATH`
+//!
+//! Drift axis, standalone (one run of the drifted-sensor scenario; the
+//! report is purely behavioral so `--knobs static` and `--knobs tuned
+//! --epsilon 0` are byte-identical — the CI equivalence gate):
+//! `robustness_campaign drift [--seed 7 --quick --knobs static|tuned
+//!  --epsilon 0.1 --out PATH]`
+//! `robustness_campaign drift --compare` runs both knob sources and
+//! exits non-zero unless the tuned loop strictly improves the MAE.
 
 use lkas_bench::robustness::{
-    assemble_report, campaign_spec, config_from_params, report_from_merged, run_campaign_shard,
-    write_report, CampaignConfig, RobustnessReport,
+    assemble_report, campaign_spec, config_from_params, drift_report_json, report_from_merged,
+    run_campaign_shard, run_drift, write_report, CampaignConfig, DriftKnobs, RobustnessReport,
 };
 use lkas_bench::{arg_value, default_threads, render_table, write_metrics, Metrics, ARTIFACTS_DIR};
 use lkas_runtime::{merge_shard_files, read_shard_file, write_shard_file, Shard};
@@ -50,14 +58,16 @@ fn main() {
         merge(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("drift") {
+        drift(&args);
+        return;
+    }
 
-    let cfg = CampaignConfig {
-        seed: arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(7),
-        threads: arg_value("--threads")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(default_threads),
-        quick: args.iter().any(|a| a == "--quick"),
-    };
+    let cfg = CampaignConfig::new(arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(7))
+        .with_threads(
+            arg_value("--threads").and_then(|s| s.parse().ok()).unwrap_or_else(default_threads),
+        )
+        .with_quick(args.iter().any(|a| a == "--quick"));
     let shard = match arg_value("--shard") {
         Some(text) => Shard::parse(&text).unwrap_or_else(|e| fail(&e)),
         None => Shard::full(),
@@ -120,6 +130,59 @@ fn merge(args: &[String]) {
     write_metrics("robustness_campaign", &merged.metrics);
 }
 
+/// `robustness_campaign drift ...`: one standalone run of the
+/// drifted-sensor scenario, or a static-vs-tuned comparison with
+/// `--compare`.
+fn drift(args: &[String]) {
+    let cfg = CampaignConfig::new(arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(7))
+        .with_quick(args.iter().any(|a| a == "--quick"));
+    let epsilon = arg_value("--epsilon").map(|s| match s.parse::<f64>() {
+        Ok(e) => e,
+        Err(_) => fail(&format!("bad --epsilon `{s}`")),
+    });
+
+    if args.iter().any(|a| a == "--compare") {
+        let stat = run_drift(&cfg, DriftKnobs::Static);
+        let tuned = run_drift(&cfg, DriftKnobs::Tuned { epsilon });
+        let fmt = |r: &lkas_bench::robustness::DriftReport| {
+            if r.crashed {
+                "CRASH".to_string()
+            } else {
+                r.mae.map_or("-".to_string(), |m| format!("{m:.6}"))
+            }
+        };
+        println!(
+            "drift (seed {}, {} track): static MAE {} -> tuned MAE {}",
+            cfg.seed,
+            if cfg.quick { "quick" } else { "full" },
+            fmt(&stat),
+            fmt(&tuned)
+        );
+        match (stat.crashed, tuned.crashed, stat.mae, tuned.mae) {
+            (false, false, Some(s), Some(t)) if t < s => {
+                println!("online re-characterization improves the drifted loop ({:.1}%)", {
+                    (1.0 - t / s) * 100.0
+                });
+            }
+            _ => fail("online tuner did not strictly improve on the frozen table"),
+        }
+        return;
+    }
+
+    let knobs = match arg_value("--knobs").as_deref() {
+        None | Some("static") => DriftKnobs::Static,
+        Some("tuned") => DriftKnobs::Tuned { epsilon },
+        Some(other) => fail(&format!("bad --knobs `{other}` (want static|tuned)")),
+    };
+    let report = run_drift(&cfg, knobs);
+    println!("{}", drift_report_json(&report));
+    if let Some(out) = arg_value("--out").map(PathBuf::from) {
+        lkas_runtime::write_atomic(&out, drift_report_json(&report).as_bytes())
+            .unwrap_or_else(|e| fail(&format!("write {}: {e}", out.display())));
+        eprintln!("[drift] {}", out.display());
+    }
+}
+
 fn print_report(cfg: &CampaignConfig, report: &RobustnessReport) {
     let rows: Vec<Vec<String>> = report
         .entries
@@ -129,6 +192,7 @@ fn print_report(cfg: &CampaignConfig, report: &RobustnessReport) {
                 e.case.clone(),
                 e.plan.clone(),
                 if e.policy { "on" } else { "off" }.to_string(),
+                e.knobs.clone(),
                 if e.crashed { "CRASH" } else { "ok" }.to_string(),
                 e.mae.map_or("-".to_string(), |m| format!("{m:.4}")),
                 e.degraded_samples.to_string(),
@@ -143,7 +207,10 @@ fn print_report(cfg: &CampaignConfig, report: &RobustnessReport) {
     );
     println!(
         "{}",
-        render_table(&["case", "plan", "policy", "outcome", "MAE (m)", "degraded", "holds"], &rows)
+        render_table(
+            &["case", "plan", "policy", "knobs", "outcome", "MAE (m)", "degraded", "holds"],
+            &rows
+        )
     );
     let s = &report.summary;
     println!(
@@ -152,4 +219,11 @@ fn print_report(cfg: &CampaignConfig, report: &RobustnessReport) {
         s.crash_rate_policy_on,
         s.time_in_degraded_frac * 100.0
     );
+    if let (Some(stat), Some(tuned)) = (s.drift_mae_static, s.drift_mae_tuned) {
+        println!(
+            "sensor-drift axis: frozen table MAE {stat:.4} -> online-tuned MAE {tuned:.4} ({}{:.1}%)",
+            if tuned <= stat { "-" } else { "+" },
+            (1.0 - tuned / stat).abs() * 100.0
+        );
+    }
 }

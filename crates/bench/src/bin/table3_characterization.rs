@@ -19,10 +19,7 @@
 //! `table3_characterization merge shard0.json shard1.json` reassembles
 //! the byte-identical table and sweep data.
 
-use lkas::characterize::{
-    campaign_spec, characterization_from_merged, characterize, characterize_campaign,
-    config_from_params, Characterization, CharacterizeConfig,
-};
+use lkas::characterize::{Characterization, CharacterizeConfig, Characterizer};
 use lkas::knobs::KnobTable;
 use lkas::TABLE3_SITUATIONS;
 use lkas_bench::{arg_value, default_threads, render_table, write_result, Metrics, ARTIFACTS_DIR};
@@ -43,33 +40,31 @@ fn main() {
     }
 
     let quick = args.iter().any(|a| a == "--quick");
-    let mut config = CharacterizeConfig {
-        threads: arg_value("--threads")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(default_threads),
-        ..CharacterizeConfig::default()
-    };
+    let mut config = CharacterizeConfig::new().with_threads(
+        arg_value("--threads").and_then(|v| v.parse().ok()).unwrap_or_else(default_threads),
+    );
     if quick {
-        config.track_length_m = 120.0;
+        config = config.with_track_length(120.0);
     }
+    let characterizer = Characterizer::new(config);
     let shard = match arg_value("--shard") {
         Some(text) => Shard::parse(&text).unwrap_or_else(|e| fail(&e)),
         None => Shard::full(),
     };
     eprintln!(
         "[characterize] 21 situations, track {} m, {} threads, shard {shard}",
-        config.track_length_m, config.threads
+        characterizer.config().track_length_m,
+        characterizer.config().threads
     );
 
     if !shard.is_full() || arg_value("--shard-out").is_some() {
-        let spec = campaign_spec(
-            &config,
+        let spec = characterizer.spec(
             shard,
             arg_value("--checkpoint").map(PathBuf::from),
             args.iter().any(|a| a == "--resume"),
         );
         let metrics = Metrics::new();
-        let run = characterize_campaign(&TABLE3_SITUATIONS, &config, &spec, Some(&metrics));
+        let run = characterizer.run_shard(&TABLE3_SITUATIONS, &spec, Some(&metrics));
         eprintln!(
             "[characterize] shard {shard}: {} owned, {} evaluated, {} restored (grid {})",
             run.stats.owned, run.stats.evaluated, run.stats.restored, run.stats.grid_size
@@ -83,8 +78,8 @@ fn main() {
         return;
     }
 
-    let out = characterize(&TABLE3_SITUATIONS, &config);
-    print_and_cache(&out);
+    let out = characterizer.characterize(&TABLE3_SITUATIONS);
+    print_and_cache(&out, &characterizer);
 }
 
 /// `table3_characterization merge SHARD...`: fold shard artifacts into
@@ -105,14 +100,14 @@ fn merge(args: &[String]) {
     let files =
         paths.iter().map(|p| read_shard_file(p).unwrap_or_else(|e| fail(&e))).collect::<Vec<_>>();
     let mut merged = merge_shard_files(files).unwrap_or_else(|e| fail(&e));
-    let config = config_from_params(&merged.params).unwrap_or_else(|e| fail(&e));
-    let out = characterization_from_merged(&TABLE3_SITUATIONS, &config, &mut merged)
-        .unwrap_or_else(|e| fail(&e));
+    let characterizer = Characterizer::from_params(&merged.params).unwrap_or_else(|e| fail(&e));
+    let out =
+        characterizer.from_merged(&TABLE3_SITUATIONS, &mut merged).unwrap_or_else(|e| fail(&e));
     eprintln!("[merge] {} shard file(s), {} situations", paths.len(), out.sweeps.len());
-    print_and_cache(&out);
+    print_and_cache(&out, &characterizer);
 }
 
-fn print_and_cache(out: &Characterization) {
+fn print_and_cache(out: &Characterization, characterizer: &Characterizer) {
     let paper = KnobTable::paper_table3();
     let mut rows = Vec::new();
     let mut isp_matches = 0;
@@ -167,11 +162,16 @@ fn print_and_cache(out: &Characterization) {
         roi_matches, isp_matches
     );
 
-    // Cache for the downstream figures.
+    // Cache for the downstream figures, plus the versioned knob store
+    // the online tuner warm-starts from.
     std::fs::create_dir_all(ARTIFACTS_DIR).expect("create artifacts dir");
     let json = serde_json::to_string_pretty(&out.table).expect("serialize table");
     let path = std::path::Path::new(ARTIFACTS_DIR).join("table3.json");
     std::fs::write(&path, json).expect("write table3");
     eprintln!("[cached] {}", path.display());
+    let store = out.clone().into_store(&characterizer.fingerprint());
+    let store_path = std::path::Path::new(ARTIFACTS_DIR).join("knob_store.json");
+    std::fs::write(&store_path, store.to_json()).expect("write knob store");
+    eprintln!("[cached] {}", store_path.display());
     write_result("table3_characterization", &out.sweeps);
 }

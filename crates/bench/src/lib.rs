@@ -251,9 +251,10 @@ pub fn write_trace(recorder: &TraceRecorder, path: &Path) {
     eprintln!("[trace] {} ({} events)", path.display(), recorder.event_count());
 }
 
-/// Number of worker threads for parallel sweeps.
+/// Number of worker threads for parallel sweeps — the runtime
+/// executor's default, so every harness agrees on one fallback.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    Executor::default_threads()
 }
 
 /// `true` if `--oracle` was passed (skip trained classifiers).

@@ -12,26 +12,37 @@
 
 use crate::Metrics;
 use lkas::cases::Case;
+use lkas::characterize::{CharacterizeConfig, Characterizer, KnobStore};
 use lkas::degrade::DegradationConfig;
 use lkas::hil::{HilConfig, HilResult, HilSimulator, SituationSource};
+use lkas::knobs::KnobTable;
+use lkas::tuner::TunerConfig;
 use lkas_faults::FaultPlan;
+use lkas_imaging::sensor::SensorConfig;
 use lkas_runtime::{
     run_campaign as run_campaign_engine, CampaignRun, CampaignSpec, Fingerprint, MergedShards,
     Shard,
 };
 use lkas_scene::camera::Camera;
-use lkas_scene::situation::TABLE3_SITUATIONS;
+use lkas_scene::situation::{SituationFeatures, TABLE3_SITUATIONS};
 use lkas_scene::track::{Sector, Track};
 use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Schema tag of the emitted robustness report.
-pub const ROBUSTNESS_SCHEMA: &str = "lkas-robustness-v1";
+/// Schema tag of the emitted robustness report. `v2` added the
+/// sensor-drift axis (the `knobs` entry field and the drift summary
+/// statistics).
+pub const ROBUSTNESS_SCHEMA: &str = "lkas-robustness-v2";
 
 /// Campaign parameters. `threads` affects wall-clock only, never report
 /// content.
+///
+/// Construct with [`CampaignConfig::new`] plus the `with_*` builders;
+/// the struct is `#[non_exhaustive]`, so downstream crates go through
+/// the builder surface (individual fields stay readable).
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct CampaignConfig {
     /// Seed shared by the fault plans and the sensor noise.
     pub seed: u64,
@@ -46,6 +57,46 @@ impl CampaignConfig {
     pub fn new(seed: u64) -> Self {
         CampaignConfig { seed, threads: 1, quick: false }
     }
+
+    /// Replaces the worker-thread count (builder style). Clamped to at
+    /// least 1.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Switches the shrunk CI grid on or off (builder style).
+    pub fn with_quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+}
+
+/// Plan name of the sensor-drift grid entries (which carry no fault
+/// plan; the "fault" is a drifted sensor model).
+pub const DRIFT_PLAN_NAME: &str = "sensor-drift";
+
+/// One grid point's work item: a fault-injection run or a
+/// drifted-sensor run comparing knob sources.
+#[derive(Debug, Clone)]
+pub enum CampaignJob {
+    /// A fault-plan run, in the policy-off or policy-on arm.
+    Fault {
+        /// Evaluation case.
+        case: Case,
+        /// Injected fault plan.
+        plan: Arc<FaultPlan>,
+        /// `true` enables the degradation policy.
+        policy: bool,
+    },
+    /// A run under the drifted sensor model ([`drift_sensor`]) on the
+    /// straight dark track, with the frozen characterized table
+    /// (`tuned: false`) or the online tuner warm-started from the
+    /// characterized store (`tuned: true`).
+    Drift {
+        /// `true` runs the online tuner instead of the frozen table.
+        tuned: bool,
+    },
 }
 
 /// One grid point's outcome.
@@ -53,10 +104,13 @@ impl CampaignConfig {
 pub struct CampaignEntry {
     /// Evaluation case name (Table V).
     pub case: String,
-    /// Fault plan name.
+    /// Fault plan name, or [`DRIFT_PLAN_NAME`] for the drift axis.
     pub plan: String,
     /// `true` if the degradation policy was enabled.
     pub policy: bool,
+    /// Knob source: `"static"` (characterized table) or `"tuned"`
+    /// (online re-characterization).
+    pub knobs: String,
     /// `true` if the vehicle left the lane.
     pub crashed: bool,
     /// Sector of the crash, if any.
@@ -98,6 +152,12 @@ pub struct CampaignSummary {
     pub mean_mae_policy_on: Option<f64>,
     /// Fraction of policy-on control samples spent in safe mode.
     pub time_in_degraded_frac: f64,
+    /// Drift-axis MAE with the frozen characterized table (m), `None`
+    /// if the run crashed or the axis was absent.
+    pub drift_mae_static: Option<f64>,
+    /// Drift-axis MAE with the online tuner (m), `None` if the run
+    /// crashed or the axis was absent.
+    pub drift_mae_tuned: Option<f64>,
 }
 
 /// The emitted robustness report.
@@ -163,6 +223,16 @@ pub fn standard_plans(seed: u64, horizon: u64, quick: bool) -> Vec<FaultPlan> {
     plans
 }
 
+/// The campaign camera: half resolution under `--quick` so the CI grid
+/// stays fast, the full automotive model otherwise.
+pub fn campaign_camera(quick: bool) -> Camera {
+    if quick {
+        Camera::new(256, 128, 150.0, 1.3, 6.0_f64.to_radians())
+    } else {
+        Camera::default_automotive()
+    }
+}
+
 /// The evaluation cases in the grid.
 pub fn campaign_cases(quick: bool) -> Vec<Case> {
     if quick {
@@ -170,6 +240,50 @@ pub fn campaign_cases(quick: bool) -> Vec<Case> {
     } else {
         vec![Case::Case1, Case::Case2, Case::Case3, Case::Case4]
     }
+}
+
+/// The situation the drift axis drives: the dark straight with white
+/// continuous markings (Table III situation 7), whose characterized
+/// tuning is the most aggressive ISP approximation — the entry most
+/// exposed to a sensor model drifting away from its characterization.
+pub fn drift_situation() -> SituationFeatures {
+    TABLE3_SITUATIONS[6]
+}
+
+/// The drifted sensor model: noise well above the nominal
+/// characterization conditions, so the frozen table's choice for
+/// [`drift_situation`] is no longer the best arm.
+pub fn drift_sensor() -> SensorConfig {
+    SensorConfig { read_noise: 0.06, shot_noise: 0.08, gain: 1.0 }
+}
+
+/// The drift-axis track: a single long straight in [`drift_situation`],
+/// long enough for the tuner's measurement windows to pay for their
+/// exploration.
+pub fn drift_track(quick: bool) -> Track {
+    Track::for_situation(&drift_situation(), if quick { 400.0 } else { 500.0 })
+}
+
+/// The warm-start [`KnobStore`] for the drift axis: a short
+/// characterization of [`drift_situation`] under the *nominal* sensor,
+/// folded over the paper's Table III prior. The tuner starts from what
+/// design time knew — it must discover the drift online.
+pub fn warm_start_store(seed: u64, camera: &Camera) -> KnobStore {
+    let characterizer = Characterizer::new(
+        CharacterizeConfig::new()
+            .with_track_length(140.0)
+            .with_threads(1)
+            .with_camera(camera.clone())
+            .with_seed(seed),
+    );
+    let sweep = characterizer.characterize(&TABLE3_SITUATIONS[6..7]);
+    let mut store = KnobStore::from_table(KnobTable::paper_table3());
+    for (situation, outcomes) in sweep.sweeps {
+        for outcome in outcomes {
+            store.record_outcome(&situation, outcome.tuning, outcome.mae);
+        }
+    }
+    store
 }
 
 /// The stable content fingerprint of a campaign configuration:
@@ -182,11 +296,11 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> String {
     Fingerprint::new().push_str("robustness").push_u64(cfg.seed).push_u64(cfg.quick as u64).finish()
 }
 
-/// The canonical campaign grid: `(content key, (case, plan, policy))`
-/// in report order. Every shard of every run regenerates this identical
-/// list — the deterministic partitioner slices it, and the merge
-/// reassembles along it.
-pub fn campaign_grid(cfg: &CampaignConfig) -> Vec<(String, (Case, Arc<FaultPlan>, bool))> {
+/// The canonical campaign grid: `(content key, job)` in report order —
+/// the fault grid followed by the two drift-axis entries. Every shard
+/// of every run regenerates this identical list — the deterministic
+/// partitioner slices it, and the merge reassembles along it.
+pub fn campaign_grid(cfg: &CampaignConfig) -> Vec<(String, CampaignJob)> {
     let track = campaign_track(cfg.quick);
     // Rough cycle horizon: track length at the slow speed bound over the
     // nominal 25 ms period — plan windows only need to land mid-drive.
@@ -205,9 +319,18 @@ pub fn campaign_grid(cfg: &CampaignConfig) -> Vec<(String, (Case, Arc<FaultPlan>
                     if policy { "on" } else { "off" },
                     cfg.seed
                 );
-                grid.push((key, (case, Arc::clone(plan), policy)));
+                grid.push((key, CampaignJob::Fault { case, plan: Arc::clone(plan), policy }));
             }
         }
+    }
+    for tuned in [false, true] {
+        let key = format!(
+            "{}|{DRIFT_PLAN_NAME}|knobs-{}|seed={:016x}|cfg={config_hash}",
+            Case::Case4.name(),
+            if tuned { "tuned" } else { "static" },
+            cfg.seed
+        );
+        grid.push((key, CampaignJob::Drift { tuned }));
     }
     grid
 }
@@ -270,11 +393,7 @@ pub fn run_campaign_shard(
     metrics: Option<&Arc<Metrics>>,
 ) -> CampaignRun<CampaignEntry> {
     let track = campaign_track(cfg.quick);
-    let camera = if cfg.quick {
-        Camera::new(256, 128, 150.0, 1.3, 6.0_f64.to_radians())
-    } else {
-        Camera::default_automotive()
-    };
+    let camera = campaign_camera(cfg.quick);
     let shared = metrics.map(Arc::clone);
     run_campaign_engine(
         spec,
@@ -284,22 +403,41 @@ pub fn run_campaign_shard(
         // when the worker drains — same scheme as `run_hil_jobs`, so
         // the histogram buckets see no cross-thread contention.
         || shared.as_ref().map(|_| Arc::new(Metrics::new())),
-        |key, (case, plan, policy), local: &mut Option<Arc<Metrics>>| {
+        |key, job, local: &mut Option<Arc<Metrics>>| {
             eprintln!("[run] {key}");
-            let mut config = HilConfig::new(case, SituationSource::Oracle)
-                .with_seed(cfg.seed)
-                .with_camera(camera.clone());
-            if !plan.is_empty() {
-                config = config.with_fault_plan(Arc::clone(&plan));
+            match job {
+                CampaignJob::Fault { case, plan, policy } => {
+                    let mut config = HilConfig::new(case, SituationSource::Oracle)
+                        .with_seed(cfg.seed)
+                        .with_camera(camera.clone());
+                    if !plan.is_empty() {
+                        config = config.with_fault_plan(Arc::clone(&plan));
+                    }
+                    if policy {
+                        config = config.with_degradation(DegradationConfig::default());
+                    }
+                    if let Some(local) = local {
+                        config = config.with_metrics(Arc::clone(local));
+                    }
+                    let result = HilSimulator::new(track.clone(), config).run();
+                    entry_for(case.name(), &plan.name, policy, "static", &result)
+                }
+                CampaignJob::Drift { tuned } => {
+                    let knobs = if tuned {
+                        DriftKnobs::Tuned { epsilon: None }
+                    } else {
+                        DriftKnobs::Static
+                    };
+                    let result = run_drift_hil(cfg, knobs, local.as_ref().map(Arc::clone));
+                    entry_for(
+                        Case::Case4.name(),
+                        DRIFT_PLAN_NAME,
+                        false,
+                        if tuned { "tuned" } else { "static" },
+                        &result,
+                    )
+                }
             }
-            if policy {
-                config = config.with_degradation(DegradationConfig::default());
-            }
-            if let Some(local) = local {
-                config = config.with_metrics(Arc::clone(local));
-            }
-            let result = HilSimulator::new(track.clone(), config).run();
-            entry_for(&case, &plan, policy, &result)
         },
         |local| {
             if let (Some(shared), Some(local)) = (&shared, local) {
@@ -360,11 +498,109 @@ pub fn run_campaign(cfg: &CampaignConfig, metrics: Option<&Arc<Metrics>>) -> Rob
     assemble_report(cfg, run.entries.into_iter().map(|(_, entry)| entry).collect())
 }
 
-fn entry_for(case: &Case, plan: &FaultPlan, policy: bool, r: &HilResult) -> CampaignEntry {
+/// Which knob source a drift run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftKnobs {
+    /// The frozen characterized table (design-time Table III).
+    Static,
+    /// The online tuner warm-started from the characterized store,
+    /// optionally overriding the default exploration rate (`Some(0.0)`
+    /// disables exploration entirely — pure prior).
+    Tuned {
+        /// Exploration-rate override; `None` keeps the
+        /// [`TunerConfig`] default.
+        epsilon: Option<f64>,
+    },
+}
+
+/// Runs the drifted-sensor scenario once with the chosen knob source.
+/// Shared by the campaign's drift axis and the `drift` subcommand, so
+/// both measure exactly the same loop.
+pub fn run_drift_hil(
+    cfg: &CampaignConfig,
+    knobs: DriftKnobs,
+    metrics: Option<Arc<Metrics>>,
+) -> HilResult {
+    let camera = campaign_camera(cfg.quick);
+    let mut config = HilConfig::new(Case::Case4, SituationSource::Oracle)
+        .with_seed(cfg.seed)
+        .with_camera(camera.clone())
+        .with_sensor(drift_sensor())
+        .with_initial_estimate(drift_situation());
+    if let DriftKnobs::Tuned { epsilon } = knobs {
+        let mut tuner =
+            TunerConfig::new().with_seed(cfg.seed).with_store(warm_start_store(cfg.seed, &camera));
+        if let Some(eps) = epsilon {
+            tuner = tuner.with_epsilon(eps);
+        }
+        config = config.with_tuner(tuner);
+    }
+    if let Some(metrics) = metrics {
+        config = config.with_metrics(metrics);
+    }
+    HilSimulator::new(drift_track(cfg.quick), config).run()
+}
+
+/// Schema tag of the standalone drift report.
+pub const DRIFT_SCHEMA: &str = "lkas-drift-v1";
+
+/// The standalone drift report: *purely behavioral* fields (what the
+/// vehicle did), deliberately excluding the knob source and tuner
+/// counters. With exploration disabled the online tuner must be
+/// indistinguishable from the frozen table, and CI asserts that as
+/// byte-identity between a `--knobs static` and a `--knobs tuned
+/// --epsilon 0` report — possible only because the report carries no
+/// which-mode metadata.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftReport {
+    /// Schema tag ([`DRIFT_SCHEMA`]).
+    pub schema: String,
+    /// Run seed.
+    pub seed: u64,
+    /// `true` for the short CI track.
+    pub quick: bool,
+    /// Overall MAE of `y_L` (m), rounded to µm; `None` after a crash.
+    pub mae: Option<f64>,
+    /// `true` if the vehicle left the lane.
+    pub crashed: bool,
+    /// Control samples taken.
+    pub samples: u64,
+    /// Perception-stage failures (no lane found).
+    pub perception_failures: u64,
+    /// Knob reconfigurations applied during the run.
+    pub reconfigurations: u64,
+}
+
+/// Runs the drift scenario and packages the standalone report.
+pub fn run_drift(cfg: &CampaignConfig, knobs: DriftKnobs) -> DriftReport {
+    let r = run_drift_hil(cfg, knobs, None);
+    DriftReport {
+        schema: DRIFT_SCHEMA.to_string(),
+        seed: cfg.seed,
+        quick: cfg.quick,
+        mae: r.overall_mae().map(round_um),
+        crashed: r.crashed,
+        samples: r.samples,
+        perception_failures: r.perception_failures,
+        reconfigurations: r.reconfigurations,
+    }
+}
+
+/// Serializes a drift report as pretty JSON (byte-stable).
+///
+/// # Panics
+///
+/// Panics on an internal serde error (cannot happen for this type).
+pub fn drift_report_json(report: &DriftReport) -> String {
+    serde_json::to_string_pretty(report).expect("serialize drift report")
+}
+
+fn entry_for(case: &str, plan: &str, policy: bool, knobs: &str, r: &HilResult) -> CampaignEntry {
     CampaignEntry {
-        case: case.name().to_string(),
-        plan: plan.name.clone(),
+        case: case.to_string(),
+        plan: plan.to_string(),
         policy,
+        knobs: knobs.to_string(),
         crashed: r.crashed,
         crash_sector: r.crash_sector,
         mae: r.overall_mae().map(round_um),
@@ -379,7 +615,17 @@ fn entry_for(case: &Case, plan: &FaultPlan, policy: bool, r: &HilResult) -> Camp
 }
 
 fn summarize(entries: &[CampaignEntry]) -> CampaignSummary {
-    let arm = |policy: bool| entries.iter().filter(move |e| e.policy == policy);
+    // The drift axis is its own comparison (static vs tuned knobs); it
+    // stays out of the policy-arm statistics.
+    let fault: Vec<&CampaignEntry> = entries.iter().filter(|e| e.plan != DRIFT_PLAN_NAME).collect();
+    let arm = move |policy: bool| fault.clone().into_iter().filter(move |e| e.policy == policy);
+    let drift_mae = |knobs: &str| {
+        entries
+            .iter()
+            .find(|e| e.plan == DRIFT_PLAN_NAME && e.knobs == knobs)
+            .filter(|e| !e.crashed)
+            .and_then(|e| e.mae)
+    };
     let crashes = |policy: bool| arm(policy).filter(|e| e.crashed).count();
     let mean_mae = |policy: bool| {
         let maes: Vec<f64> = arm(policy).filter(|e| !e.crashed).filter_map(|e| e.mae).collect();
@@ -401,6 +647,8 @@ fn summarize(entries: &[CampaignEntry]) -> CampaignSummary {
         mean_mae_policy_off: mean_mae(false),
         mean_mae_policy_on: mean_mae(true),
         time_in_degraded_frac: rate(on_degraded as usize, on_samples as usize),
+        drift_mae_static: drift_mae("static"),
+        drift_mae_tuned: drift_mae("tuned"),
     }
 }
 
@@ -467,24 +715,33 @@ mod tests {
 
     #[test]
     fn summary_math() {
-        let mk = |policy: bool, crashed: bool, mae: f64, degraded: u64| CampaignEntry {
-            case: "case3".into(),
-            plan: "p".into(),
-            policy,
-            crashed,
-            crash_sector: None,
-            mae: Some(mae),
-            samples: 100,
-            perception_failures: 0,
-            frame_drops: 0,
-            faulted_cycles: 0,
-            degraded_samples: degraded,
-            degraded_entries: 0,
-            measurement_holds: 0,
+        let mk = |plan: &str, policy: bool, knobs: &str, crashed: bool, mae: f64, degraded: u64| {
+            CampaignEntry {
+                case: "case3".into(),
+                plan: plan.into(),
+                policy,
+                knobs: knobs.into(),
+                crashed,
+                crash_sector: None,
+                mae: Some(mae),
+                samples: 100,
+                perception_failures: 0,
+                frame_drops: 0,
+                faulted_cycles: 0,
+                degraded_samples: degraded,
+                degraded_entries: 0,
+                measurement_holds: 0,
+            }
         };
-        let entries =
-            vec![mk(false, true, 0.5, 0), mk(false, false, 0.1, 0), mk(true, false, 0.2, 50)];
+        let entries = vec![
+            mk("p", false, "static", true, 0.5, 0),
+            mk("p", false, "static", false, 0.1, 0),
+            mk("p", true, "static", false, 0.2, 50),
+            mk(DRIFT_PLAN_NAME, false, "static", false, 0.09, 0),
+            mk(DRIFT_PLAN_NAME, false, "tuned", false, 0.08, 0),
+        ];
         let s = summarize(&entries);
+        // Drift entries stay out of the policy arms.
         assert_eq!(s.runs_per_arm, 2);
         assert_eq!(s.crashes_policy_off, 1);
         assert_eq!(s.crashes_policy_on, 0);
@@ -493,5 +750,20 @@ mod tests {
         assert_eq!(s.mean_mae_policy_off, Some(0.1));
         assert_eq!(s.mean_mae_policy_on, Some(0.2));
         assert_eq!(s.time_in_degraded_frac, 0.5);
+        assert_eq!(s.drift_mae_static, Some(0.09));
+        assert_eq!(s.drift_mae_tuned, Some(0.08));
+    }
+
+    #[test]
+    fn drift_axis_rides_at_the_end_of_the_grid() {
+        let cfg = CampaignConfig::new(7).with_quick(true);
+        let grid = campaign_grid(&cfg);
+        // 1 case × 4 plans × 2 policy arms + 2 drift entries.
+        assert_eq!(grid.len(), 10);
+        let tail: Vec<&str> = grid[8..].iter().map(|(k, _)| k.as_str()).collect();
+        assert!(tail[0].contains("sensor-drift|knobs-static"));
+        assert!(tail[1].contains("sensor-drift|knobs-tuned"));
+        assert!(matches!(grid[8].1, CampaignJob::Drift { tuned: false }));
+        assert!(matches!(grid[9].1, CampaignJob::Drift { tuned: true }));
     }
 }

@@ -13,9 +13,9 @@ use std::sync::Arc;
 
 #[test]
 fn report_is_byte_identical_across_thread_counts() {
-    let base = CampaignConfig { seed: 7, threads: 1, quick: true };
+    let base = CampaignConfig::new(7).with_quick(true);
     let sequential = run_campaign(&base, None);
-    let parallel = run_campaign(&CampaignConfig { threads: 4, ..base }, None);
+    let parallel = run_campaign(&base.with_threads(4), None);
     let a = report_json(&sequential);
     let b = report_json(&parallel);
     assert_eq!(a.as_bytes(), b.as_bytes(), "threads=1 and threads=4 must emit identical reports");
@@ -28,10 +28,18 @@ fn report_is_byte_identical_across_thread_counts() {
         assert_eq!(e.faulted_cycles, 0);
         assert_eq!(e.frame_drops, 0);
     }
-    // Faulted plans actually injected something.
-    for e in sequential.entries.iter().filter(|e| e.plan != "nominal") {
+    // Faulted plans actually injected something. (The drift axis
+    // injects no faults — its stress is the drifted sensor model.)
+    for e in sequential.entries.iter().filter(|e| e.plan != "nominal" && e.plan != "sensor-drift") {
         assert!(e.faulted_cycles > 0, "plan {} must inject faults", e.plan);
     }
+    // The drift axis rode along: both knob sources survived, and the
+    // online tuner strictly improved on the frozen table (the
+    // tentpole's measured-not-asserted acceptance).
+    let drift = &sequential.summary;
+    let stat = drift.drift_mae_static.expect("static drift run must finish");
+    let tuned = drift.drift_mae_tuned.expect("tuned drift run must finish");
+    assert!(tuned < stat, "online tuner ({tuned}) must beat the frozen table ({stat})");
 }
 
 #[test]
@@ -43,14 +51,14 @@ fn sharded_report_is_byte_identical_to_single_process() {
     // cell of the matrix is `report_is_byte_identical_across_thread_counts`;
     // the full {1,2,4} × {1,4} matrix runs on a synthetic grid in the
     // engine's own tests.)
-    let cfg = CampaignConfig { seed: 7, threads: 2, quick: true };
+    let cfg = CampaignConfig::new(7).with_threads(2).with_quick(true);
     let reference = report_json(&run_campaign(&cfg, None));
     let dir = std::env::temp_dir().join(format!("lkas-rob-shards-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     for (count, threads) in [(2usize, vec![1usize, 4]), (4, vec![2, 3, 1, 4])] {
         let files: Vec<_> = (0..count)
             .map(|index| {
-                let shard_cfg = CampaignConfig { threads: threads[index], ..cfg };
+                let shard_cfg = cfg.with_threads(threads[index]);
                 let spec = campaign_spec(&shard_cfg, Shard { index, count }, None, false);
                 let metrics = Arc::new(Metrics::new());
                 let run = run_campaign_shard(&shard_cfg, &spec, Some(&metrics));
@@ -61,8 +69,8 @@ fn sharded_report_is_byte_identical_to_single_process() {
             .collect();
         let mut merged = merge_shard_files(files).unwrap();
         // The shards' telemetry dumps must account for every grid point
-        // exactly once.
-        assert_eq!(merged.metrics.counter(Counter::CampaignEvaluations), 8);
+        // exactly once (8 fault entries + 2 drift entries).
+        assert_eq!(merged.metrics.counter(Counter::CampaignEvaluations), 10);
         let report = report_from_merged(&cfg, &mut merged).unwrap();
         assert_eq!(
             report_json(&report).as_bytes(),

@@ -16,6 +16,7 @@ use crate::degrade::{DegradationConfig, DegradationPolicy};
 use crate::identify::{ClassifierBundle, SituationEstimate};
 use crate::knobs::{coarse_roi_for, fine_roi_for, speed_for, KnobTable, KnobTuning};
 use crate::qoc::QocAccumulator;
+use crate::tuner::{KnobTuner, TunerConfig, TunerEvent};
 use lkas_control::controller::{Controller, Measurement};
 use lkas_control::design::{design_controller_cached, ControllerConfig};
 use lkas_faults::{apply_bayer_fault, derive_cycle_seed, FaultPlan, Misprediction};
@@ -62,6 +63,10 @@ pub struct HilConfig {
     /// Characterization table for the knob lookup (Cases 4 and
     /// variable-invocation; ignored by Cases 1–3).
     pub knob_table: KnobTable,
+    /// Sensor noise/gain model (defaults to the nominal automotive
+    /// sensor). Overriding it models hardware drift away from the
+    /// characterized operating point.
+    pub sensor: SensorConfig,
     /// RNG seed for sensor noise.
     pub seed: u64,
     /// Hard wall-clock cap on simulated time (s).
@@ -98,6 +103,12 @@ pub struct HilConfig {
     /// is also the only fully allocation-free steady state; outputs are
     /// byte-identical at any thread count.
     pub tile_threads: usize,
+    /// Online re-characterization layer (see [`crate::tuner`]). When
+    /// set on an ISP-adaptive case, knob decisions consult the bandit
+    /// instead of the static table lookup; in safe mode the tuner
+    /// falls back to the characterized prior. `None` (the default)
+    /// keeps the static Table III behavior.
+    pub tuner: Option<TunerConfig>,
 }
 
 /// One control sample of a recorded trace.
@@ -128,6 +139,7 @@ impl HilConfig {
             case,
             source,
             knob_table: KnobTable::paper_table3(),
+            sensor: SensorConfig::default(),
             seed: 1,
             max_time_s: 600.0,
             camera: Camera::default_automotive(),
@@ -139,6 +151,7 @@ impl HilConfig {
             degradation: None,
             trace_sink: None,
             tile_threads: 1,
+            tuner: None,
         }
     }
 
@@ -151,6 +164,12 @@ impl HilConfig {
     /// Replaces the camera (builder style).
     pub fn with_camera(mut self, camera: Camera) -> Self {
         self.camera = camera;
+        self
+    }
+
+    /// Replaces the sensor model (builder style).
+    pub fn with_sensor(mut self, sensor: SensorConfig) -> Self {
+        self.sensor = sensor;
         self
     }
 
@@ -217,6 +236,12 @@ impl HilConfig {
         self.tile_threads = threads.max(1);
         self
     }
+
+    /// Enables the online re-characterization tuner (builder style).
+    pub fn with_tuner(mut self, tuner: TunerConfig) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
 }
 
 /// Outcome of one HiL run.
@@ -252,6 +277,17 @@ pub struct HilResult {
     /// Cycles whose scene render was rejected with a typed
     /// `RenderError` (the loop coasts frameless instead of aborting).
     pub render_errors: u64,
+    /// Decision windows the online tuner opened (0 without a tuner).
+    pub tuner_decisions: u64,
+    /// Exploratory tuner picks (unexplored-arm visits plus
+    /// epsilon-random draws).
+    pub tuner_explorations: u64,
+    /// Safe-mode entries in which the tuner fell back to the
+    /// characterized prior.
+    pub tuner_fallbacks: u64,
+    /// The tuner's updated knob store (present only when a tuner ran:
+    /// the live, queryable output of online re-characterization).
+    pub knob_store: Option<crate::characterize::KnobStore>,
     /// Per-sample trace (empty unless [`HilConfig::record_trace`]).
     pub trace: Vec<TraceSample>,
 }
@@ -317,12 +353,20 @@ impl HilSimulator {
             None => SituationEstimate::new(),
         };
         let mut knobs = knobs_for_case(config.case, &estimate.current(), &config.knob_table);
+        // The online re-characterization layer only makes sense where
+        // knob decisions are situation-adaptive (Case 4 and the
+        // variable-invocation scheme); on the static cases it is inert.
+        let mut tuner = if config.case.adapts_isp() {
+            config.tuner.clone().map(|t| KnobTuner::new(t, &config.knob_table))
+        } else {
+            None
+        };
         let mut controller_cfg = knobs.controller_config(delay_set);
         let mut controller = fetch_controller(metrics, &controller_cfg);
 
         // Plant, camera stack.
         let renderer = SceneRenderer::new(config.camera.clone());
-        let mut sensor = Sensor::new(SensorConfig::default(), config.seed);
+        let mut sensor = Sensor::new(config.sensor.clone(), config.seed);
         let mut isp = IspPipeline::new(knobs.isp);
         let mut staged_isp: Option<IspConfig> = None;
         let mut perception =
@@ -483,11 +527,46 @@ impl HilSimulator {
                 }
 
                 // Knob reconfiguration: PR/control now, ISP next cycle.
-                // In safe mode the degradation policy's pre-characterized
-                // fallback overrides the situation-aware choice.
-                let new_knobs = match (&policy, degraded) {
-                    (Some(p), true) => p.safe_tuning(estimate.current().layout),
-                    _ => knobs_for_case(config.case, &estimate.current(), &config.knob_table),
+                // With the tuner attached the bandit chooses among the
+                // layout-compatible arms (and falls back to the
+                // characterized prior in safe mode); otherwise the
+                // static table decides, overridden in safe mode by the
+                // degradation policy's pre-characterized fallback.
+                let new_knobs = match tuner.as_mut() {
+                    Some(t) => {
+                        let choice = t.select(&estimate.current(), degraded);
+                        match choice.event {
+                            Some(TunerEvent::Decision { explored }) => {
+                                tally.incr(Counter::TunerDecisions);
+                                if explored {
+                                    tally.incr(Counter::TunerExplorations);
+                                }
+                                if let Some(s) = sink {
+                                    s.instant(
+                                        cycle,
+                                        if explored { "tuner_explore" } else { "tuner_decision" },
+                                        Some(format!(
+                                            "isp={} roi={}",
+                                            choice.tuning.isp.name(),
+                                            choice.tuning.roi.name()
+                                        )),
+                                    );
+                                }
+                            }
+                            Some(TunerEvent::Fallback) => {
+                                tally.incr(Counter::TunerFallbacks);
+                                if let Some(s) = sink {
+                                    s.instant(cycle, "tuner_fallback", None);
+                                }
+                            }
+                            None => {}
+                        }
+                        choice.tuning
+                    }
+                    None => match (&policy, degraded) {
+                        (Some(p), true) => p.safe_tuning(estimate.current().layout),
+                        _ => knobs_for_case(config.case, &estimate.current(), &config.knob_table),
+                    },
                 };
                 if new_knobs != knobs {
                     tally.incr(Counter::KnobReconfigurations);
@@ -567,6 +646,12 @@ impl HilSimulator {
                     if have_frame {
                         s.span(cycle, Stage::Perception);
                     }
+                }
+                // The tuner's reward stream is the raw perception
+                // output, before any degradation hold substitutes a
+                // synthetic measurement.
+                if let Some(t) = tuner.as_mut() {
+                    t.record(raw_y_l);
                 }
                 let y_l = match policy.as_mut() {
                     Some(p) => {
@@ -673,6 +758,13 @@ impl HilSimulator {
             degraded_entries: tally.get(Counter::DegradedEntries),
             measurement_holds: tally.get(Counter::MeasurementHolds),
             render_errors: tally.get(Counter::RenderErrors),
+            tuner_decisions: tally.get(Counter::TunerDecisions),
+            tuner_explorations: tally.get(Counter::TunerExplorations),
+            tuner_fallbacks: tally.get(Counter::TunerFallbacks),
+            knob_store: tuner.map(|mut t| {
+                t.flush();
+                t.into_store()
+            }),
             trace,
         }
     }
@@ -905,6 +997,36 @@ mod tests {
         assert_eq!(serial.overall_mae(), tiled.overall_mae());
         assert_eq!(serial.samples, tiled.samples);
         assert_eq!(serial.crashed, tiled.crashed);
+    }
+
+    #[test]
+    fn tuned_runs_are_invariant_across_tile_threads() {
+        // The online tuner consumes only the (deterministic) closed-loop
+        // measurements, so its decision stream — and therefore the whole
+        // tuned trajectory — must not depend on how many worker threads
+        // the tiled ISP stages use.
+        let run = |threads: usize| {
+            let track = Track::for_situation(&TABLE3_SITUATIONS[6], 180.0);
+            let config = HilConfig::new(Case::Case4, SituationSource::Oracle)
+                .with_camera(test_camera())
+                .with_seed(42)
+                .with_sensor(SensorConfig { read_noise: 0.05, shot_noise: 0.06, gain: 1.0 })
+                .with_initial_estimate(TABLE3_SITUATIONS[6])
+                .with_tuner(TunerConfig::new().with_seed(42))
+                .with_tile_threads(threads);
+            HilSimulator::new(track, config).run()
+        };
+        let serial = run(1);
+        let tiled = run(4);
+        assert_eq!(serial.overall_mae(), tiled.overall_mae());
+        assert_eq!(serial.samples, tiled.samples);
+        assert_eq!(serial.tuner_decisions, tiled.tuner_decisions);
+        assert_eq!(serial.tuner_explorations, tiled.tuner_explorations);
+        assert_eq!(serial.reconfigurations, tiled.reconfigurations);
+        let (a, b) = (serial.knob_store.unwrap(), tiled.knob_store.unwrap());
+        assert!(serial.tuner_decisions > 0, "the run must be long enough to commit windows");
+        assert_eq!(a.version(), b.version(), "learned stores must match");
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //!   the paper's "future work").
 //! * **QoC metric** (Sec. IV-B): [`qoc`] computes the mean absolute
 //!   error of the look-ahead deviation, per track sector and overall.
+//! * **Online re-characterization** (beyond the paper): [`tuner`]
+//!   refines the characterized table at runtime with a seeded,
+//!   deterministic bandit warm-started from the [`characterize`]
+//!   output's versioned [`KnobStore`], falling back to the prior in
+//!   safe mode.
 //! * **Evaluation cases** (Table V): [`cases`].
 //! * **Switched stability** (Sec. III-D): [`stability`] certifies the
 //!   mode family with a common quadratic Lyapunov function.
@@ -51,11 +56,14 @@ pub mod invocation;
 pub mod knobs;
 pub mod qoc;
 pub mod stability;
+pub mod tuner;
 
 pub use cases::Case;
+pub use characterize::{CharacterizeConfig, Characterizer, KnobStore, KNOB_STORE_SCHEMA};
 pub use degrade::{DegradationConfig, DegradationMode, DegradationPolicy};
 pub use hil::{HilConfig, HilResult, HilSimulator, SituationSource};
 pub use knobs::{KnobTable, KnobTuning};
+pub use tuner::{KnobTuner, TunerConfig};
 
 // Re-export the situation taxonomy: it is the crate's core vocabulary.
 pub use lkas_scene::situation::{

@@ -532,45 +532,6 @@ fn invert3(m: [[f32; 3]; 3]) -> [[f32; 3]; 3] {
     inv
 }
 
-// ---------------------------------------------------------------------
-// Deprecated free-function surface (one release of grace)
-// ---------------------------------------------------------------------
-
-/// Bilinear demosaic of an RGGB Bayer mosaic.
-#[deprecated(since = "0.2.0", note = "use `demosaic_into` with a `Scratch`")]
-pub fn demosaic(raw: &RawImage) -> RgbImage {
-    let mut out = RgbImage::new(raw.width(), raw.height());
-    demosaic_rows(raw, out.as_mut_slice(), 0);
-    out
-}
-
-/// 3×3 Gaussian blur (σ ≈ 0.85) applied per channel, in place.
-#[deprecated(since = "0.2.0", note = "use `IspStage::Denoise.apply` with a `Scratch`")]
-pub fn denoise(img: &mut RgbImage) {
-    denoise_in_place(img, &mut Scratch::new());
-}
-
-/// Color-correction matrix: the inverse of the sensor crosstalk, mapping
-/// sensor RGB back to scene-referred RGB. Applied in place.
-#[deprecated(since = "0.2.0", note = "use `IspStage::ColorMap.apply`")]
-pub fn color_map(img: &mut RgbImage) {
-    color_map_in_place(img);
-}
-
-/// Soft-knee gamut compression: values are clamped to `[0, 1]` with a
-/// smooth roll-off above `knee` instead of a hard clip. Applied in place.
-#[deprecated(since = "0.2.0", note = "use `IspStage::GamutMap.apply`")]
-pub fn gamut_map(img: &mut RgbImage) {
-    gamut_map_in_place(img);
-}
-
-/// sRGB-like gamma encoding (γ = 1/2.2) — the display/tone-mapping stage.
-/// Applied in place.
-#[deprecated(since = "0.2.0", note = "use `IspStage::ToneMap.apply`")]
-pub fn tone_map(img: &mut RgbImage) {
-    tone_map_in_place(img);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,27 +669,6 @@ mod tests {
         let mut smooth = noisy.clone();
         IspStage::Denoise.apply(&mut Scratch::new(), &mut smooth);
         assert!(smooth.to_gray().std_dev() < 0.8 * noisy.to_gray().std_dev());
-    }
-
-    #[test]
-    fn deprecated_wrappers_match_stage_dispatch() {
-        #![allow(deprecated)]
-        let mut s = Sensor::new(SensorConfig::default(), 5);
-        let raw = s.capture(&RgbImage::filled(32, 16, [0.4, 0.3, 0.5]), 1.0);
-        assert_eq!(demosaic(&raw), dm(&raw));
-        let mut scratch = Scratch::new();
-        for (wrapper, stage) in [
-            (denoise as fn(&mut RgbImage), IspStage::Denoise),
-            (color_map, IspStage::ColorMap),
-            (gamut_map, IspStage::GamutMap),
-            (tone_map, IspStage::ToneMap),
-        ] {
-            let mut a = dm(&raw);
-            let mut b = a.clone();
-            wrapper(&mut a);
-            stage.apply(&mut scratch, &mut b);
-            assert_eq!(a, b, "{}", stage.acronym());
-        }
     }
 
     #[test]

@@ -26,6 +26,20 @@ impl Executor {
         Executor { threads: threads.max(1) }
     }
 
+    /// The default worker-thread count: the machine's available
+    /// parallelism, falling back to 1 (sequential) when the platform
+    /// cannot report it. Every sweep driver that wants "as many workers
+    /// as the machine has" routes through here, so batch and online
+    /// paths agree on worker sizing.
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+
+    /// An executor sized by [`Executor::default_threads`].
+    pub fn with_default_threads() -> Self {
+        Executor::new(Executor::default_threads())
+    }
+
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -157,6 +171,12 @@ mod tests {
         assert_eq!(results, vec![3, 1, 2]);
         // threads = 1 runs on the calling thread in input order.
         assert_eq!(*order.lock().unwrap(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(Executor::default_threads() >= 1);
+        assert_eq!(Executor::with_default_threads().threads(), Executor::default_threads());
     }
 
     #[test]

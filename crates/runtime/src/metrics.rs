@@ -133,11 +133,20 @@ pub enum Counter {
     /// Campaign grid candidates restored from a checkpoint instead of
     /// re-evaluated.
     CampaignRestored,
+    /// Knob decisions taken by the online re-characterization tuner
+    /// (one per completed reward window or situation switch).
+    TunerDecisions,
+    /// Tuner decisions that picked a non-prior arm to gather reward
+    /// (unexplored-arm visits plus epsilon-random picks).
+    TunerExplorations,
+    /// Tuner decisions forced back to the characterized prior tuning
+    /// (safe-mode entries and post-degradation resets).
+    TunerFallbacks,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::Cycles,
         Counter::PerceptionFailures,
         Counter::SituationSwitches,
@@ -160,6 +169,9 @@ impl Counter {
         Counter::RenderErrors,
         Counter::CampaignEvaluations,
         Counter::CampaignRestored,
+        Counter::TunerDecisions,
+        Counter::TunerExplorations,
+        Counter::TunerFallbacks,
     ];
 
     /// The counter's snake_case name as written to JSON.
@@ -187,6 +199,9 @@ impl Counter {
             Counter::RenderErrors => "render_errors",
             Counter::CampaignEvaluations => "campaign_evaluations",
             Counter::CampaignRestored => "campaign_restored",
+            Counter::TunerDecisions => "tuner_decisions",
+            Counter::TunerExplorations => "tuner_explorations",
+            Counter::TunerFallbacks => "tuner_fallbacks",
         }
     }
 

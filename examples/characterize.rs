@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example characterize`
 
-use lkas::characterize::{evaluate_candidate, CharacterizeConfig};
+use lkas::characterize::{CharacterizeConfig, Characterizer};
 use lkas::knobs::{candidate_tunings, KnobTuning};
 use lkas::TABLE3_SITUATIONS;
 use lkas_platform::schedule::ClassifierSet;
@@ -11,7 +11,7 @@ use lkas_platform::schedule::ClassifierSet;
 fn main() {
     // Situation 8: right turn, white continuous, day.
     let situation = TABLE3_SITUATIONS[7];
-    let config = CharacterizeConfig::default();
+    let characterizer = Characterizer::new(CharacterizeConfig::new());
     println!(
         "characterizing \"{situation}\" ({} candidates)…\n",
         candidate_tunings(&situation).len()
@@ -23,7 +23,7 @@ fn main() {
 
     let mut best: Option<(KnobTuning, f64)> = None;
     for tuning in candidate_tunings(&situation) {
-        let result = evaluate_candidate(&situation, tuning, &config, 5);
+        let result = characterizer.evaluate(&situation, tuning, 5);
         let timing = tuning.schedule(ClassifierSet::all()).timing();
         let (mae_text, verdict) = if result.crashed {
             ("-".to_string(), "CRASH")

@@ -107,6 +107,78 @@ gate_tuner_equivalence() {
       drift --quick --seed 7 --compare
 }
 
+# Fleet-service smoke gate: boot the daemon on an ephemeral port,
+# submit the quick campaign twice through fleetctl, and require
+# (a) the cold payload to be byte-identical to the single-process
+#     smoke report (the fleet path runs the same grid through
+#     `evaluate_job`),
+# (b) the second submission to be served from the fingerprint cache
+#     with identical bytes, and
+# (c) a capacity-0 daemon to reject a submission through admission
+#     control (exit code 3) instead of hanging or crashing.
+gate_fleet_smoke() {
+  cargo build --release -p lkas-bench --bin fleetd --bin fleetctl || return 1
+  rm -f artifacts/ci_fleetd.log artifacts/ci_fleet_cold.json artifacts/ci_fleet_warm.json
+  ./target/release/fleetd --addr 127.0.0.1:0 --workers 1 \
+    > artifacts/ci_fleetd.log 2>> artifacts/ci_fleetd.log &
+  local daemon=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^fleetd listening on //p' artifacts/ci_fleetd.log)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "error: fleetd did not report its address"
+    kill "$daemon" 2> /dev/null
+    return 1
+  fi
+  local spec='{"kind": "campaign", "seed": 7, "quick": true}'
+  local ok=0
+  ./target/release/fleetctl submit --addr "$addr" --spec "$spec" \
+    --out artifacts/ci_fleet_cold.json 2> artifacts/ci_fleet_cold.err &&
+    grep -q 'cached: false' artifacts/ci_fleet_cold.err &&
+    cmp artifacts/robustness_smoke.json artifacts/ci_fleet_cold.json &&
+    echo "fleet campaign payload is byte-identical to the single-process report" &&
+    ./target/release/fleetctl submit --addr "$addr" --spec "$spec" \
+      --out artifacts/ci_fleet_warm.json 2> artifacts/ci_fleet_warm.err &&
+    grep -q 'cached: true' artifacts/ci_fleet_warm.err &&
+    cmp artifacts/ci_fleet_cold.json artifacts/ci_fleet_warm.json &&
+    echo "repeat submission served from the fingerprint cache, identical bytes" ||
+    ok=1
+  ./target/release/fleetctl shutdown --addr "$addr" > /dev/null || ok=1
+  wait "$daemon" || ok=1
+  [ "$ok" -eq 0 ] || return 1
+
+  # Admission control: a zero-capacity daemon must reject, not hang.
+  ./target/release/fleetd --addr 127.0.0.1:0 --queue-capacity 0 \
+    > artifacts/ci_fleetd0.log 2>> artifacts/ci_fleetd0.log &
+  local daemon0=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^fleetd listening on //p' artifacts/ci_fleetd0.log)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "error: zero-capacity fleetd did not report its address"
+    kill "$daemon0" 2> /dev/null
+    return 1
+  fi
+  ./target/release/fleetctl submit --addr "$addr" --spec "$spec" \
+    2> artifacts/ci_fleet_reject.err
+  local code=$?
+  if [ "$code" -ne 3 ] || ! grep -q 'rejected:' artifacts/ci_fleet_reject.err; then
+    echo "error: expected admission rejection (exit 3), got exit $code"
+    ./target/release/fleetctl shutdown --addr "$addr" > /dev/null
+    wait "$daemon0"
+    return 1
+  fi
+  echo "zero-capacity daemon rejected the submission through admission control"
+  ./target/release/fleetctl shutdown --addr "$addr" > /dev/null &&
+    wait "$daemon0"
+}
+
 # Zero-allocation gate: the steady-state frame path (render → capture →
 # ISP → perception into pooled buffers) must not touch the heap after
 # warm-up, and the tiled path must stay bit-identical.
@@ -142,6 +214,7 @@ stage smoke-robustness smoke_robustness
 stage gate-telemetry gate_telemetry
 stage gate-shard-equivalence gate_shard_equivalence
 stage gate-tuner-equivalence gate_tuner_equivalence
+stage gate-fleet-smoke gate_fleet_smoke
 stage gate-zero-alloc gate_zero_alloc
 stage gate-hygiene gate_hygiene
 

@@ -1,0 +1,73 @@
+//! `fleetd` — the lane-keeping fleet daemon.
+//!
+//! Binds a TCP listener and serves the fleet protocol (line-delimited
+//! JSON, see DESIGN.md §14) with the [`BenchRunner`] job plug-in:
+//! robustness-campaign grid points, whole campaigns, and ad-hoc drift
+//! scenarios, with per-job priorities, bounded-queue admission control,
+//! a fingerprint-keyed results cache, and per-tenant persisted knob
+//! stores.
+//!
+//! Usage:
+//! `cargo run --release -p lkas-bench --bin fleetd
+//!  [-- --addr 127.0.0.1:0 --workers 1 --queue-capacity 64
+//!   --cache-capacity 256 --max-line-bytes 1048576 --store-dir artifacts]`
+//!
+//! The daemon prints `fleetd listening on <ADDR>` to stdout once bound
+//! (scripts scrape the ephemeral port from it) and runs until a client
+//! sends a `shutdown` request.
+
+use lkas_bench::arg_value;
+use lkas_bench::fleet::BenchRunner;
+use lkas_fleet::{serve, FleetConfig};
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn numeric_flag(name: &str, default: usize) -> usize {
+    match arg_value(name) {
+        None => default,
+        Some(text) => text.parse().unwrap_or_else(|_| fail(&format!("bad {name} `{text}`"))),
+    }
+}
+
+fn main() {
+    let defaults = FleetConfig::default();
+    let config = FleetConfig {
+        workers: numeric_flag("--workers", defaults.workers),
+        queue_capacity: match arg_value("--queue-capacity") {
+            None => defaults.queue_capacity,
+            Some(text) => {
+                text.parse().unwrap_or_else(|_| fail(&format!("bad --queue-capacity `{text}`")))
+            }
+        },
+        max_line_bytes: numeric_flag("--max-line-bytes", defaults.max_line_bytes),
+        cache_capacity: numeric_flag("--cache-capacity", defaults.cache_capacity),
+        store_dir: arg_value("--store-dir").map(PathBuf::from),
+    };
+    if let Some(dir) = &config.store_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(&format!("create store dir {}: {e}", dir.display())));
+    }
+
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| fail(&format!("bind {addr}: {e}")));
+    let bound = listener.local_addr().unwrap_or_else(|e| fail(&format!("local addr: {e}")));
+    println!("fleetd listening on {bound}");
+    std::io::stdout().flush().expect("flush stdout");
+    eprintln!(
+        "[fleetd] workers={} queue-capacity={} cache-capacity={} store-dir={}",
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity,
+        config.store_dir.as_ref().map_or("(none)".to_string(), |d| d.display().to_string())
+    );
+
+    serve(listener, Arc::new(BenchRunner), config).unwrap_or_else(|e| fail(&format!("serve: {e}")));
+    eprintln!("[fleetd] shut down");
+}

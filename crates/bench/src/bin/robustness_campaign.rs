@@ -28,13 +28,16 @@
 //! report is purely behavioral so `--knobs static` and `--knobs tuned
 //! --epsilon 0` are byte-identical — the CI equivalence gate):
 //! `robustness_campaign drift [--seed 7 --quick --knobs static|tuned
-//!  --epsilon 0.1 --out PATH]`
+//!  --epsilon 0.1 --situation IDX --out PATH]`
+//! `--situation` picks the Table 3 situation the drifted sensor runs
+//! in (default: the campaign's primary drift situation).
 //! `robustness_campaign drift --compare` runs both knob sources and
 //! exits non-zero unless the tuned loop strictly improves the MAE.
 
 use lkas_bench::robustness::{
     assemble_report, campaign_spec, config_from_params, drift_report_json, report_from_merged,
     run_campaign_shard, run_drift, write_report, CampaignConfig, DriftKnobs, RobustnessReport,
+    DRIFT_SITUATIONS,
 };
 use lkas_bench::{arg_value, default_threads, render_table, write_metrics, Metrics, ARTIFACTS_DIR};
 use lkas_runtime::{merge_shard_files, read_shard_file, write_shard_file, Shard};
@@ -140,10 +143,19 @@ fn drift(args: &[String]) {
         Ok(e) => e,
         Err(_) => fail(&format!("bad --epsilon `{s}`")),
     });
+    let situation = match arg_value("--situation") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(i) if i < lkas::TABLE3_SITUATIONS.len() => i,
+            _ => {
+                fail(&format!("bad --situation `{s}` (want 0..{})", lkas::TABLE3_SITUATIONS.len()))
+            }
+        },
+        None => DRIFT_SITUATIONS[0],
+    };
 
     if args.iter().any(|a| a == "--compare") {
-        let stat = run_drift(&cfg, DriftKnobs::Static);
-        let tuned = run_drift(&cfg, DriftKnobs::Tuned { epsilon });
+        let stat = run_drift(&cfg, DriftKnobs::Static, situation);
+        let tuned = run_drift(&cfg, DriftKnobs::Tuned { epsilon }, situation);
         let fmt = |r: &lkas_bench::robustness::DriftReport| {
             if r.crashed {
                 "CRASH".to_string()
@@ -174,7 +186,7 @@ fn drift(args: &[String]) {
         Some("tuned") => DriftKnobs::Tuned { epsilon },
         Some(other) => fail(&format!("bad --knobs `{other}` (want static|tuned)")),
     };
-    let report = run_drift(&cfg, knobs);
+    let report = run_drift(&cfg, knobs, situation);
     println!("{}", drift_report_json(&report));
     if let Some(out) = arg_value("--out").map(PathBuf::from) {
         lkas_runtime::write_atomic(&out, drift_report_json(&report).as_bytes())

@@ -5,6 +5,7 @@
 //! pieces: parallel HiL execution, classifier-bundle caching, plain-text
 //! table rendering, and JSON result emission into `results/`.
 
+pub mod fleet;
 pub mod robustness;
 
 use lkas::cases::Case;

@@ -30,10 +30,12 @@ use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Schema tag of the emitted robustness report. `v2` added the
-/// sensor-drift axis (the `knobs` entry field and the drift summary
-/// statistics).
-pub const ROBUSTNESS_SCHEMA: &str = "lkas-robustness-v2";
+/// Schema tag of the emitted robustness report. `v3` widened the
+/// sensor-drift axis from one situation to [`DRIFT_SITUATIONS`] (the
+/// `situation` entry field and the per-situation `drift_situations`
+/// summary); `v2` introduced the axis (the `knobs` entry field and the
+/// drift summary statistics).
+pub const ROBUSTNESS_SCHEMA: &str = "lkas-robustness-v3";
 
 /// Campaign parameters. `threads` affects wall-clock only, never report
 /// content.
@@ -41,7 +43,7 @@ pub const ROBUSTNESS_SCHEMA: &str = "lkas-robustness-v2";
 /// Construct with [`CampaignConfig::new`] plus the `with_*` builders;
 /// the struct is `#[non_exhaustive]`, so downstream crates go through
 /// the builder surface (individual fields stay readable).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct CampaignConfig {
     /// Seed shared by the fault plans and the sensor noise.
@@ -89,11 +91,14 @@ pub enum CampaignJob {
         /// `true` enables the degradation policy.
         policy: bool,
     },
-    /// A run under the drifted sensor model ([`drift_sensor`]) on the
-    /// straight dark track, with the frozen characterized table
-    /// (`tuned: false`) or the online tuner warm-started from the
-    /// characterized store (`tuned: true`).
+    /// A run under the drifted sensor model ([`drift_sensor`]) on a
+    /// single-situation straight track, with the frozen characterized
+    /// table (`tuned: false`) or the online tuner warm-started from
+    /// the characterized store (`tuned: true`).
     Drift {
+        /// Index into [`TABLE3_SITUATIONS`] of the driven situation
+        /// (one of [`DRIFT_SITUATIONS`]).
+        situation: usize,
         /// `true` runs the online tuner instead of the frozen table.
         tuned: bool,
     },
@@ -111,6 +116,9 @@ pub struct CampaignEntry {
     /// Knob source: `"static"` (characterized table) or `"tuned"`
     /// (online re-characterization).
     pub knobs: String,
+    /// Drift-axis entries: index into [`TABLE3_SITUATIONS`] of the
+    /// driven situation. `None` on the fault axis.
+    pub situation: Option<usize>,
     /// `true` if the vehicle left the lane.
     pub crashed: bool,
     /// Sector of the crash, if any.
@@ -152,12 +160,28 @@ pub struct CampaignSummary {
     pub mean_mae_policy_on: Option<f64>,
     /// Fraction of policy-on control samples spent in safe mode.
     pub time_in_degraded_frac: f64,
-    /// Drift-axis MAE with the frozen characterized table (m), `None`
-    /// if the run crashed or the axis was absent.
+    /// Primary drift-situation MAE ([`DRIFT_SITUATIONS`]`[0]`) with
+    /// the frozen characterized table (m), `None` if the run crashed
+    /// or the axis was absent.
     pub drift_mae_static: Option<f64>,
-    /// Drift-axis MAE with the online tuner (m), `None` if the run
-    /// crashed or the axis was absent.
+    /// Primary drift-situation MAE with the online tuner (m), `None`
+    /// if the run crashed or the axis was absent.
     pub drift_mae_tuned: Option<f64>,
+    /// Per-situation drift results, in [`DRIFT_SITUATIONS`] order.
+    pub drift_situations: Vec<DriftSituationSummary>,
+}
+
+/// The drift axis outcome for one situation: the static/tuned MAE
+/// pair the online re-characterization is judged by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftSituationSummary {
+    /// Index into [`TABLE3_SITUATIONS`].
+    pub situation: usize,
+    /// MAE with the frozen characterized table (m), `None` after a
+    /// crash.
+    pub mae_static: Option<f64>,
+    /// MAE with the online tuner (m), `None` after a crash.
+    pub mae_tuned: Option<f64>,
 }
 
 /// The emitted robustness report.
@@ -242,12 +266,20 @@ pub fn campaign_cases(quick: bool) -> Vec<Case> {
     }
 }
 
-/// The situation the drift axis drives: the dark straight with white
-/// continuous markings (Table III situation 7), whose characterized
-/// tuning is the most aggressive ISP approximation — the entry most
-/// exposed to a sensor model drifting away from its characterization.
+/// The situations the drift axis grids over, as indices into
+/// [`TABLE3_SITUATIONS`]: the dark straight with white continuous
+/// markings (index 6, the primary — its characterized tuning is the
+/// most aggressive ISP approximation and therefore the entry most
+/// exposed to a drifted sensor), plus the nominal daylight straight
+/// (index 0) and its dashed-marking variant (index 1), which bound how
+/// the tuner behaves where the frozen table is *less* fragile.
+pub const DRIFT_SITUATIONS: [usize; 3] = [6, 0, 1];
+
+/// The primary drift situation ([`DRIFT_SITUATIONS`]`[0]`) — the one
+/// the headline `drift_mae_static/tuned` summary fields and the
+/// standalone `drift` subcommand default to.
 pub fn drift_situation() -> SituationFeatures {
-    TABLE3_SITUATIONS[6]
+    TABLE3_SITUATIONS[DRIFT_SITUATIONS[0]]
 }
 
 /// The drifted sensor model: noise well above the nominal
@@ -257,18 +289,19 @@ pub fn drift_sensor() -> SensorConfig {
     SensorConfig { read_noise: 0.06, shot_noise: 0.08, gain: 1.0 }
 }
 
-/// The drift-axis track: a single long straight in [`drift_situation`],
-/// long enough for the tuner's measurement windows to pay for their
-/// exploration.
-pub fn drift_track(quick: bool) -> Track {
-    Track::for_situation(&drift_situation(), if quick { 400.0 } else { 500.0 })
+/// The drift-axis track: a single long straight in one drift
+/// situation, long enough for the tuner's measurement windows to pay
+/// for their exploration.
+pub fn drift_track(situation: &SituationFeatures, quick: bool) -> Track {
+    Track::for_situation(situation, if quick { 400.0 } else { 500.0 })
 }
 
-/// The warm-start [`KnobStore`] for the drift axis: a short
-/// characterization of [`drift_situation`] under the *nominal* sensor,
-/// folded over the paper's Table III prior. The tuner starts from what
-/// design time knew — it must discover the drift online.
-pub fn warm_start_store(seed: u64, camera: &Camera) -> KnobStore {
+/// The warm-start [`KnobStore`] for one drift-axis situation (an index
+/// into [`TABLE3_SITUATIONS`]): a short characterization of that
+/// situation under the *nominal* sensor, folded over the paper's
+/// Table III prior. The tuner starts from what design time knew — it
+/// must discover the drift online.
+pub fn warm_start_store(seed: u64, camera: &Camera, situation_index: usize) -> KnobStore {
     let characterizer = Characterizer::new(
         CharacterizeConfig::new()
             .with_track_length(140.0)
@@ -276,7 +309,8 @@ pub fn warm_start_store(seed: u64, camera: &Camera) -> KnobStore {
             .with_camera(camera.clone())
             .with_seed(seed),
     );
-    let sweep = characterizer.characterize(&TABLE3_SITUATIONS[6..7]);
+    let sweep =
+        characterizer.characterize(&TABLE3_SITUATIONS[situation_index..situation_index + 1]);
     let mut store = KnobStore::from_table(KnobTable::paper_table3());
     for (situation, outcomes) in sweep.sweeps {
         for outcome in outcomes {
@@ -293,11 +327,19 @@ pub fn warm_start_store(seed: u64, camera: &Camera) -> KnobStore {
 /// checkpoints and merges can only combine evaluations of the same
 /// configuration.
 pub fn config_fingerprint(cfg: &CampaignConfig) -> String {
-    Fingerprint::new().push_str("robustness").push_u64(cfg.seed).push_u64(cfg.quick as u64).finish()
+    // The leading tag carries the grid revision: v3 widened the drift
+    // axis, so v2-era checkpoints and shard artifacts can never be
+    // merged into a v3 run.
+    Fingerprint::new()
+        .push_str("robustness-v3")
+        .push_u64(cfg.seed)
+        .push_u64(cfg.quick as u64)
+        .finish()
 }
 
 /// The canonical campaign grid: `(content key, job)` in report order —
-/// the fault grid followed by the two drift-axis entries. Every shard
+/// the fault grid followed by the drift axis (a static/tuned pair per
+/// [`DRIFT_SITUATIONS`] entry). Every shard
 /// of every run regenerates this identical list — the deterministic
 /// partitioner slices it, and the merge reassembles along it.
 pub fn campaign_grid(cfg: &CampaignConfig) -> Vec<(String, CampaignJob)> {
@@ -323,14 +365,16 @@ pub fn campaign_grid(cfg: &CampaignConfig) -> Vec<(String, CampaignJob)> {
             }
         }
     }
-    for tuned in [false, true] {
-        let key = format!(
-            "{}|{DRIFT_PLAN_NAME}|knobs-{}|seed={:016x}|cfg={config_hash}",
-            Case::Case4.name(),
-            if tuned { "tuned" } else { "static" },
-            cfg.seed
-        );
-        grid.push((key, CampaignJob::Drift { tuned }));
+    for &situation in &DRIFT_SITUATIONS {
+        for tuned in [false, true] {
+            let key = format!(
+                "{}|{DRIFT_PLAN_NAME}|s{situation:02}|knobs-{}|seed={:016x}|cfg={config_hash}",
+                Case::Case4.name(),
+                if tuned { "tuned" } else { "static" },
+                cfg.seed
+            );
+            grid.push((key, CampaignJob::Drift { situation, tuned }));
+        }
     }
     grid
 }
@@ -405,39 +449,7 @@ pub fn run_campaign_shard(
         || shared.as_ref().map(|_| Arc::new(Metrics::new())),
         |key, job, local: &mut Option<Arc<Metrics>>| {
             eprintln!("[run] {key}");
-            match job {
-                CampaignJob::Fault { case, plan, policy } => {
-                    let mut config = HilConfig::new(case, SituationSource::Oracle)
-                        .with_seed(cfg.seed)
-                        .with_camera(camera.clone());
-                    if !plan.is_empty() {
-                        config = config.with_fault_plan(Arc::clone(&plan));
-                    }
-                    if policy {
-                        config = config.with_degradation(DegradationConfig::default());
-                    }
-                    if let Some(local) = local {
-                        config = config.with_metrics(Arc::clone(local));
-                    }
-                    let result = HilSimulator::new(track.clone(), config).run();
-                    entry_for(case.name(), &plan.name, policy, "static", &result)
-                }
-                CampaignJob::Drift { tuned } => {
-                    let knobs = if tuned {
-                        DriftKnobs::Tuned { epsilon: None }
-                    } else {
-                        DriftKnobs::Static
-                    };
-                    let result = run_drift_hil(cfg, knobs, local.as_ref().map(Arc::clone));
-                    entry_for(
-                        Case::Case4.name(),
-                        DRIFT_PLAN_NAME,
-                        false,
-                        if tuned { "tuned" } else { "static" },
-                        &result,
-                    )
-                }
-            }
+            evaluate_job(cfg, &track, &camera, &job, local.as_ref().map(Arc::clone))
         },
         |local| {
             if let (Some(shared), Some(local)) = (&shared, local) {
@@ -445,6 +457,51 @@ pub fn run_campaign_shard(
             }
         },
     )
+}
+
+/// Evaluates one grid point. This is the single simulation path behind
+/// both drivers: the campaign engine's shard closure and the fleet
+/// service's per-job runner call exactly this function, which is what
+/// makes a fleet-assembled report byte-identical to the single-process
+/// one.
+pub fn evaluate_job(
+    cfg: &CampaignConfig,
+    track: &Track,
+    camera: &Camera,
+    job: &CampaignJob,
+    metrics: Option<Arc<Metrics>>,
+) -> CampaignEntry {
+    match job {
+        CampaignJob::Fault { case, plan, policy } => {
+            let mut config = HilConfig::new(*case, SituationSource::Oracle)
+                .with_seed(cfg.seed)
+                .with_camera(camera.clone());
+            if !plan.is_empty() {
+                config = config.with_fault_plan(Arc::clone(plan));
+            }
+            if *policy {
+                config = config.with_degradation(DegradationConfig::default());
+            }
+            if let Some(metrics) = metrics {
+                config = config.with_metrics(metrics);
+            }
+            let result = HilSimulator::new(track.clone(), config).run();
+            entry_for(case.name(), &plan.name, *policy, "static", None, &result)
+        }
+        CampaignJob::Drift { situation, tuned } => {
+            let knobs =
+                if *tuned { DriftKnobs::Tuned { epsilon: None } } else { DriftKnobs::Static };
+            let result = run_drift_hil(cfg, knobs, *situation, metrics);
+            entry_for(
+                Case::Case4.name(),
+                DRIFT_PLAN_NAME,
+                false,
+                if *tuned { "tuned" } else { "static" },
+                Some(*situation),
+                &result,
+            )
+        }
+    }
 }
 
 /// Assembles full-grid entries (in canonical grid order) into the
@@ -513,23 +570,43 @@ pub enum DriftKnobs {
     },
 }
 
-/// Runs the drifted-sensor scenario once with the chosen knob source.
-/// Shared by the campaign's drift axis and the `drift` subcommand, so
-/// both measure exactly the same loop.
+/// Runs the drifted-sensor scenario once with the chosen knob source,
+/// on the situation at `situation_index` (an index into
+/// [`TABLE3_SITUATIONS`]). Shared by the campaign's drift axis and the
+/// `drift` subcommand, so both measure exactly the same loop.
 pub fn run_drift_hil(
     cfg: &CampaignConfig,
     knobs: DriftKnobs,
+    situation_index: usize,
+    metrics: Option<Arc<Metrics>>,
+) -> HilResult {
+    run_drift_hil_with_store(cfg, knobs, situation_index, None, metrics)
+}
+
+/// [`run_drift_hil`] with an explicit warm-start store for the tuned
+/// arm (a tenant's persisted [`KnobStore`] in the fleet service).
+/// `None` falls back to the freshly characterized [`warm_start_store`];
+/// the override is ignored by the static arm. The evolved store comes
+/// back in [`HilResult::knob_store`], which is how a fleet job feeds a
+/// tenant's learning back into persistence.
+pub fn run_drift_hil_with_store(
+    cfg: &CampaignConfig,
+    knobs: DriftKnobs,
+    situation_index: usize,
+    store_override: Option<KnobStore>,
     metrics: Option<Arc<Metrics>>,
 ) -> HilResult {
     let camera = campaign_camera(cfg.quick);
+    let situation = TABLE3_SITUATIONS[situation_index];
     let mut config = HilConfig::new(Case::Case4, SituationSource::Oracle)
         .with_seed(cfg.seed)
         .with_camera(camera.clone())
         .with_sensor(drift_sensor())
-        .with_initial_estimate(drift_situation());
+        .with_initial_estimate(situation);
     if let DriftKnobs::Tuned { epsilon } = knobs {
-        let mut tuner =
-            TunerConfig::new().with_seed(cfg.seed).with_store(warm_start_store(cfg.seed, &camera));
+        let store =
+            store_override.unwrap_or_else(|| warm_start_store(cfg.seed, &camera, situation_index));
+        let mut tuner = TunerConfig::new().with_seed(cfg.seed).with_store(store);
         if let Some(eps) = epsilon {
             tuner = tuner.with_epsilon(eps);
         }
@@ -538,7 +615,7 @@ pub fn run_drift_hil(
     if let Some(metrics) = metrics {
         config = config.with_metrics(metrics);
     }
-    HilSimulator::new(drift_track(cfg.quick), config).run()
+    HilSimulator::new(drift_track(&situation, cfg.quick), config).run()
 }
 
 /// Schema tag of the standalone drift report.
@@ -571,9 +648,17 @@ pub struct DriftReport {
     pub reconfigurations: u64,
 }
 
-/// Runs the drift scenario and packages the standalone report.
-pub fn run_drift(cfg: &CampaignConfig, knobs: DriftKnobs) -> DriftReport {
-    let r = run_drift_hil(cfg, knobs, None);
+/// Runs the drift scenario on one situation (an index into
+/// [`TABLE3_SITUATIONS`]) and packages the standalone report.
+pub fn run_drift(cfg: &CampaignConfig, knobs: DriftKnobs, situation_index: usize) -> DriftReport {
+    drift_report_for(cfg, &run_drift_hil(cfg, knobs, situation_index, None))
+}
+
+/// Packages a drift-scenario [`HilResult`] as the standalone report.
+/// Split out of [`run_drift`] for drivers that run the loop themselves
+/// (the fleet service runs [`run_drift_hil_with_store`] with a tenant's
+/// persisted store, then packages the result with this).
+pub fn drift_report_for(cfg: &CampaignConfig, r: &HilResult) -> DriftReport {
     DriftReport {
         schema: DRIFT_SCHEMA.to_string(),
         seed: cfg.seed,
@@ -595,12 +680,20 @@ pub fn drift_report_json(report: &DriftReport) -> String {
     serde_json::to_string_pretty(report).expect("serialize drift report")
 }
 
-fn entry_for(case: &str, plan: &str, policy: bool, knobs: &str, r: &HilResult) -> CampaignEntry {
+fn entry_for(
+    case: &str,
+    plan: &str,
+    policy: bool,
+    knobs: &str,
+    situation: Option<usize>,
+    r: &HilResult,
+) -> CampaignEntry {
     CampaignEntry {
         case: case.to_string(),
         plan: plan.to_string(),
         policy,
         knobs: knobs.to_string(),
+        situation,
         crashed: r.crashed,
         crash_sector: r.crash_sector,
         mae: r.overall_mae().map(round_um),
@@ -619,13 +712,30 @@ fn summarize(entries: &[CampaignEntry]) -> CampaignSummary {
     // stays out of the policy-arm statistics.
     let fault: Vec<&CampaignEntry> = entries.iter().filter(|e| e.plan != DRIFT_PLAN_NAME).collect();
     let arm = move |policy: bool| fault.clone().into_iter().filter(move |e| e.policy == policy);
-    let drift_mae = |knobs: &str| {
+    let drift_mae = |situation: usize, knobs: &str| {
         entries
             .iter()
-            .find(|e| e.plan == DRIFT_PLAN_NAME && e.knobs == knobs)
+            .find(|e| {
+                e.plan == DRIFT_PLAN_NAME && e.situation == Some(situation) && e.knobs == knobs
+            })
             .filter(|e| !e.crashed)
             .and_then(|e| e.mae)
     };
+    // One row per situation the entries actually carry (grid order), so
+    // a partial entry set — e.g. the unit tests below — summarizes what
+    // it has instead of inventing rows.
+    let mut drift_situations = Vec::new();
+    for entry in entries.iter().filter(|e| e.plan == DRIFT_PLAN_NAME) {
+        if let Some(situation) = entry.situation {
+            if drift_situations.iter().all(|s: &DriftSituationSummary| s.situation != situation) {
+                drift_situations.push(DriftSituationSummary {
+                    situation,
+                    mae_static: drift_mae(situation, "static"),
+                    mae_tuned: drift_mae(situation, "tuned"),
+                });
+            }
+        }
+    }
     let crashes = |policy: bool| arm(policy).filter(|e| e.crashed).count();
     let mean_mae = |policy: bool| {
         let maes: Vec<f64> = arm(policy).filter(|e| !e.crashed).filter_map(|e| e.mae).collect();
@@ -647,8 +757,9 @@ fn summarize(entries: &[CampaignEntry]) -> CampaignSummary {
         mean_mae_policy_off: mean_mae(false),
         mean_mae_policy_on: mean_mae(true),
         time_in_degraded_frac: rate(on_degraded as usize, on_samples as usize),
-        drift_mae_static: drift_mae("static"),
-        drift_mae_tuned: drift_mae("tuned"),
+        drift_mae_static: drift_mae(DRIFT_SITUATIONS[0], "static"),
+        drift_mae_tuned: drift_mae(DRIFT_SITUATIONS[0], "tuned"),
+        drift_situations,
     }
 }
 
@@ -721,6 +832,7 @@ mod tests {
                 plan: plan.into(),
                 policy,
                 knobs: knobs.into(),
+                situation: (plan == DRIFT_PLAN_NAME).then_some(DRIFT_SITUATIONS[0]),
                 crashed,
                 crash_sector: None,
                 mae: Some(mae),
@@ -752,18 +864,34 @@ mod tests {
         assert_eq!(s.time_in_degraded_frac, 0.5);
         assert_eq!(s.drift_mae_static, Some(0.09));
         assert_eq!(s.drift_mae_tuned, Some(0.08));
+        assert_eq!(
+            s.drift_situations,
+            vec![DriftSituationSummary {
+                situation: DRIFT_SITUATIONS[0],
+                mae_static: Some(0.09),
+                mae_tuned: Some(0.08),
+            }]
+        );
     }
 
     #[test]
     fn drift_axis_rides_at_the_end_of_the_grid() {
         let cfg = CampaignConfig::new(7).with_quick(true);
         let grid = campaign_grid(&cfg);
-        // 1 case × 4 plans × 2 policy arms + 2 drift entries.
-        assert_eq!(grid.len(), 10);
-        let tail: Vec<&str> = grid[8..].iter().map(|(k, _)| k.as_str()).collect();
-        assert!(tail[0].contains("sensor-drift|knobs-static"));
-        assert!(tail[1].contains("sensor-drift|knobs-tuned"));
-        assert!(matches!(grid[8].1, CampaignJob::Drift { tuned: false }));
-        assert!(matches!(grid[9].1, CampaignJob::Drift { tuned: true }));
+        // 1 case × 4 plans × 2 policy arms + 3 situations × 2 drift
+        // entries.
+        assert_eq!(grid.len(), 14);
+        for (offset, &situation) in DRIFT_SITUATIONS.iter().enumerate() {
+            let (static_key, static_job) = &grid[8 + 2 * offset];
+            let (tuned_key, tuned_job) = &grid[9 + 2 * offset];
+            assert!(static_key.contains(&format!("sensor-drift|s{situation:02}|knobs-static")));
+            assert!(tuned_key.contains(&format!("sensor-drift|s{situation:02}|knobs-tuned")));
+            assert!(
+                matches!(static_job, CampaignJob::Drift { situation: s, tuned: false } if *s == situation)
+            );
+            assert!(
+                matches!(tuned_job, CampaignJob::Drift { situation: s, tuned: true } if *s == situation)
+            );
+        }
     }
 }

@@ -40,6 +40,20 @@ fn report_is_byte_identical_across_thread_counts() {
     let stat = drift.drift_mae_static.expect("static drift run must finish");
     let tuned = drift.drift_mae_tuned.expect("tuned drift run must finish");
     assert!(tuned < stat, "online tuner ({tuned}) must beat the frozen table ({stat})");
+    // Every widened-axis situation reports both arms, and the headline
+    // numbers are the primary situation's pair.
+    use lkas_bench::robustness::DRIFT_SITUATIONS;
+    assert_eq!(
+        drift.drift_situations.iter().map(|d| d.situation).collect::<Vec<_>>(),
+        DRIFT_SITUATIONS.to_vec(),
+        "per-situation summaries must cover the drift axis in grid order"
+    );
+    for d in &drift.drift_situations {
+        assert!(d.mae_static.is_some(), "situation {} missing static MAE", d.situation);
+        assert!(d.mae_tuned.is_some(), "situation {} missing tuned MAE", d.situation);
+    }
+    assert_eq!(drift.drift_situations[0].mae_static, Some(stat));
+    assert_eq!(drift.drift_situations[0].mae_tuned, Some(tuned));
 }
 
 #[test]
@@ -69,8 +83,8 @@ fn sharded_report_is_byte_identical_to_single_process() {
             .collect();
         let mut merged = merge_shard_files(files).unwrap();
         // The shards' telemetry dumps must account for every grid point
-        // exactly once (8 fault entries + 2 drift entries).
-        assert_eq!(merged.metrics.counter(Counter::CampaignEvaluations), 10);
+        // exactly once (8 fault entries + 3 situations × 2 drift arms).
+        assert_eq!(merged.metrics.counter(Counter::CampaignEvaluations), 14);
         let report = report_from_merged(&cfg, &mut merged).unwrap();
         assert_eq!(
             report_json(&report).as_bytes(),

@@ -243,6 +243,40 @@ impl KnobStore {
         self.version += 1;
     }
 
+    /// Folds another store's sweep outcomes into this one,
+    /// version-monotonically: when `other` carries the higher version
+    /// its outcomes override this store's on conflict, otherwise this
+    /// store's entries win and `other` only fills gaps. The merged
+    /// version is the maximum of the two, so a merge never rolls a
+    /// persisted store backwards (the fleet daemon uses this to absorb
+    /// a tenant's on-disk store into a live one, and vice versa).
+    pub fn merge_from(&mut self, other: &KnobStore) {
+        let theirs_newer = other.version > self.version;
+        for (situation, sweep) in &other.sweeps {
+            let mine = match self.sweeps.iter_mut().find(|(s, _)| s == situation) {
+                Some((_, sweep)) => sweep,
+                None => {
+                    self.sweeps.push((*situation, Vec::new()));
+                    &mut self.sweeps.last_mut().expect("just pushed").1
+                }
+            };
+            for (tuning, mae) in sweep {
+                match mine.iter_mut().find(|(t, _)| t == tuning) {
+                    Some(slot) => {
+                        if theirs_newer {
+                            slot.1 = *mae;
+                        }
+                    }
+                    None => mine.push((*tuning, *mae)),
+                }
+            }
+        }
+        if self.config_hash.is_empty() {
+            self.config_hash = other.config_hash.clone();
+        }
+        self.version = self.version.max(other.version);
+    }
+
     /// Serializes the store as pretty JSON.
     ///
     /// # Panics

@@ -1,0 +1,140 @@
+//! The fingerprint-keyed results cache.
+//!
+//! Entries are keyed `(config_hash, job_key)` — the same canonical
+//! pair the campaign engine bakes into checkpoint keys — so a cache
+//! hit is only possible when both the daemon configuration fingerprint
+//! *and* the canonical job identity match, and a config change
+//! naturally invalidates every entry made under the old hash. Payloads
+//! are stored as immutable [`Value`] trees behind `Arc`, and because
+//! the vendored `serde_json` prints a `Value` byte-identically to the
+//! struct it came from, a replayed payload is byte-for-byte the fresh
+//! one. Eviction is FIFO under a capacity bound.
+
+use serde::Value;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The canonical identity of a cacheable result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Campaign-style configuration fingerprint (16 hex digits).
+    pub config_hash: String,
+    /// Canonical job key within that configuration.
+    pub job_key: String,
+}
+
+struct CacheState {
+    entries: HashMap<CacheKey, Arc<Value>>,
+    fifo: VecDeque<CacheKey>,
+}
+
+/// A bounded `(config_hash, job_key)` → result-payload cache.
+pub struct ResultsCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+}
+
+impl ResultsCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        ResultsCache {
+            state: Mutex::new(CacheState { entries: HashMap::new(), fifo: VecDeque::new() }),
+            capacity,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached payload for `key`, if present.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Value>> {
+        self.state.lock().expect("cache lock").entries.get(key).cloned()
+    }
+
+    /// Stores `payload` under `key`, evicting the oldest entry when at
+    /// capacity. Re-inserting an existing key replaces the payload
+    /// without consuming a slot.
+    pub fn put(&self, key: CacheKey, payload: Arc<Value>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("cache lock");
+        if state.entries.insert(key.clone(), payload).is_some() {
+            return;
+        }
+        state.fifo.push_back(key);
+        while state.entries.len() > self.capacity {
+            if let Some(oldest) = state.fifo.pop_front() {
+                state.entries.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(hash: &str, job: &str) -> CacheKey {
+        CacheKey { config_hash: hash.to_string(), job_key: job.to_string() }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_payload() {
+        let cache = ResultsCache::new(4);
+        let payload = Arc::new(Value::Str("report".into()));
+        cache.put(key("aaaa", "job-1"), Arc::clone(&payload));
+        assert_eq!(cache.get(&key("aaaa", "job-1")), Some(payload));
+    }
+
+    #[test]
+    fn config_hash_partitions_the_keyspace() {
+        let cache = ResultsCache::new(4);
+        cache.put(key("aaaa", "job-1"), Arc::new(Value::U64(1)));
+        // The same job key under a different config hash is a miss —
+        // this is how a config change invalidates prior results.
+        assert_eq!(cache.get(&key("bbbb", "job-1")), None);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = ResultsCache::new(2);
+        cache.put(key("h", "a"), Arc::new(Value::U64(1)));
+        cache.put(key("h", "b"), Arc::new(Value::U64(2)));
+        cache.put(key("h", "c"), Arc::new(Value::U64(3)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key("h", "a")), None);
+        assert!(cache.get(&key("h", "b")).is_some());
+        assert!(cache.get(&key("h", "c")).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_evicting() {
+        let cache = ResultsCache::new(2);
+        cache.put(key("h", "a"), Arc::new(Value::U64(1)));
+        cache.put(key("h", "b"), Arc::new(Value::U64(2)));
+        cache.put(key("h", "a"), Arc::new(Value::U64(9)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key("h", "a")), Some(Arc::new(Value::U64(9))));
+        assert!(cache.get(&key("h", "b")).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultsCache::new(0);
+        cache.put(key("h", "a"), Arc::new(Value::U64(1)));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key("h", "a")), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! A bounded priority job queue with admission control.
+//!
+//! The queue is the daemon's single scheduling point: submissions are
+//! admitted (or refused with a reason) under a capacity bound, workers
+//! block on [`JobQueue::pop`] and always receive the highest-priority
+//! pending job, and ties run in submission order so equal-priority
+//! work is FIFO-fair. Everything is a `Mutex` + `Condvar` — no
+//! lock-free cleverness is warranted at job granularity (jobs are
+//! whole simulations; the queue is touched a handful of times per
+//! second at most).
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// The queue already holds `capacity` pending jobs.
+    Saturated {
+        /// Jobs pending at refusal time.
+        queued: usize,
+        /// The admission bound.
+        capacity: usize,
+    },
+    /// The queue was closed (daemon shutting down).
+    Closed,
+}
+
+impl Admission {
+    /// Human-readable refusal reason for the wire.
+    pub fn reason(&self) -> String {
+        match self {
+            Admission::Saturated { queued, capacity } => {
+                format!("queue saturated: {queued} of {capacity} slots pending")
+            }
+            Admission::Closed => "daemon is shutting down".to_string(),
+        }
+    }
+}
+
+struct Entry<T> {
+    priority: u8,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier submission
+        // (lower seq) first.
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A bounded, closable max-priority queue. See the module docs.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(State { heap: BinaryHeap::new(), next_seq: 0, closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently pending (admitted, not yet popped).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").heap.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `item` at `priority`, or refuses it.
+    ///
+    /// # Errors
+    ///
+    /// [`Admission::Saturated`] when `capacity` jobs are already
+    /// pending, [`Admission::Closed`] after [`JobQueue::close`].
+    pub fn push(&self, priority: u8, item: T) -> Result<(), Admission> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(Admission::Closed);
+        }
+        if state.heap.len() >= self.capacity {
+            return Err(Admission::Saturated { queued: state.heap.len(), capacity: self.capacity });
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(Entry { priority, seq, item });
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available and returns the
+    /// highest-priority one (ties: earliest submitted). Returns `None`
+    /// once the queue is closed *and* drained — the worker-pool exit
+    /// signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(entry) = state.heap.pop() {
+                return Some(entry.item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Removes and returns every pending job matching `pred` (used to
+    /// cancel queued work; running jobs are out of the queue's reach).
+    pub fn remove_if(&self, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        let entries = std::mem::take(&mut state.heap).into_vec();
+        let mut removed = Vec::new();
+        for entry in entries {
+            if pred(&entry.item) {
+                removed.push(entry.item);
+            } else {
+                state.heap.push(entry);
+            }
+        }
+        removed
+    }
+
+    /// Closes the queue: future pushes fail with [`Admission::Closed`],
+    /// and blocked/future pops drain the remaining jobs then return
+    /// `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pops_by_priority_then_submission_order() {
+        let queue = JobQueue::new(16);
+        queue.push(1, "low-a").unwrap();
+        queue.push(5, "high-a").unwrap();
+        queue.push(3, "mid").unwrap();
+        queue.push(5, "high-b").unwrap();
+        queue.push(1, "low-b").unwrap();
+        let order: Vec<_> = (0..5).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(order, ["high-a", "high-b", "mid", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn saturation_refuses_with_counts() {
+        let queue = JobQueue::new(2);
+        queue.push(0, 1).unwrap();
+        queue.push(0, 2).unwrap();
+        assert_eq!(queue.push(0, 3), Err(Admission::Saturated { queued: 2, capacity: 2 }));
+        // Popping frees a slot.
+        assert_eq!(queue.pop(), Some(1));
+        queue.push(0, 3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let queue = JobQueue::new(4);
+        queue.push(2, "x").unwrap();
+        queue.close();
+        assert_eq!(queue.push(9, "y"), Err(Admission::Closed));
+        assert_eq!(queue.pop(), Some("x"));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let queue = Arc::new(JobQueue::<u32>::new(4));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        // Give the waiter a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn remove_if_cancels_pending() {
+        let queue = JobQueue::new(8);
+        for id in 0..4u32 {
+            queue.push(0, id).unwrap();
+        }
+        let mut removed = queue.remove_if(|&id| id % 2 == 1);
+        removed.sort_unstable();
+        assert_eq!(removed, [1, 3]);
+        queue.close();
+        let mut left = Vec::new();
+        while let Some(id) = queue.pop() {
+            left.push(id);
+        }
+        assert_eq!(left, [0, 2]);
+    }
+}

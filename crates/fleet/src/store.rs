@@ -1,0 +1,194 @@
+//! Per-tenant persisted [`KnobStore`]s.
+//!
+//! Each tenant's learned knob store lives at
+//! `<dir>/knob_store_<tenant>.json`. Stores are loaded lazily on first
+//! touch, merged version-monotonically with whatever is already on
+//! disk ([`KnobStore::merge_from`]), and written back atomically
+//! (temp + rename via the runtime's [`write_atomic`]) so a killed
+//! daemon never leaves a torn store and a restarted daemon never rolls
+//! a tenant's learning backwards. Without a `--store-dir` the registry
+//! still works — stores are merely session-lived.
+
+use lkas::characterize::KnobStore;
+use lkas_runtime::write_atomic;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Maps a tenant name to a filesystem-safe store file name. Anything
+/// outside `[A-Za-z0-9_-]` becomes `_`, so a hostile tenant string
+/// cannot escape the store directory.
+pub fn store_file_name(tenant: &str) -> String {
+    let safe: String = tenant
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    format!("knob_store_{safe}.json")
+}
+
+/// A lazily-loaded, persisted registry of per-tenant knob stores.
+pub struct TenantStores {
+    dir: Option<PathBuf>,
+    stores: Mutex<HashMap<String, KnobStore>>,
+}
+
+impl TenantStores {
+    /// A registry persisting under `dir`, or in-memory only when
+    /// `None`.
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        TenantStores { dir: dir.clone(), stores: Mutex::new(HashMap::new()) }
+    }
+
+    /// The persistence directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn path_for(&self, tenant: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|dir| dir.join(store_file_name(tenant)))
+    }
+
+    /// The tenant's current store: the in-memory one, hydrated from
+    /// disk on first touch. `None` when the tenant has no store yet.
+    pub fn get(&self, tenant: &str) -> Option<KnobStore> {
+        let mut stores = self.stores.lock().expect("stores lock");
+        if let Some(store) = stores.get(tenant) {
+            return Some(store.clone());
+        }
+        let path = self.path_for(tenant)?;
+        let json = std::fs::read_to_string(path).ok()?;
+        let store = KnobStore::from_json(&json).ok()?;
+        stores.insert(tenant.to_string(), store.clone());
+        Some(store)
+    }
+
+    /// The tenant's store version, or 0 when none exists. Job keys for
+    /// store-dependent (tuned) runs bake this in, so a result computed
+    /// against an older store can never be replayed from the cache once
+    /// the tenant has learned more.
+    pub fn version(&self, tenant: &str) -> u64 {
+        self.get(tenant).map(|s| s.version()).unwrap_or(0)
+    }
+
+    /// Absorbs an evolved store for `tenant`: merges it
+    /// version-monotonically into the in-memory (and any on-disk)
+    /// state, then persists the merge atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a filesystem failure; the in-memory merge
+    /// survives regardless.
+    pub fn absorb(&self, tenant: &str, evolved: &KnobStore) -> Result<(), String> {
+        let mut stores = self.stores.lock().expect("stores lock");
+        // Hydrate from disk first so a restarted daemon merges into its
+        // persisted history instead of clobbering it.
+        if !stores.contains_key(tenant) {
+            if let Some(path) = self.path_for(tenant) {
+                if let Ok(json) = std::fs::read_to_string(&path) {
+                    if let Ok(on_disk) = KnobStore::from_json(&json) {
+                        stores.insert(tenant.to_string(), on_disk);
+                    }
+                }
+            }
+        }
+        let merged = match stores.get_mut(tenant) {
+            Some(store) => {
+                store.merge_from(evolved);
+                store.clone()
+            }
+            None => {
+                stores.insert(tenant.to_string(), evolved.clone());
+                evolved.clone()
+            }
+        };
+        drop(stores);
+        if let Some(path) = self.path_for(tenant) {
+            write_atomic(&path, (merged.to_json() + "\n").as_bytes())
+                .map_err(|e| format!("persist knob store for `{tenant}`: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Tenants with an in-memory store (loaded or absorbed this
+    /// session).
+    pub fn loaded_tenants(&self) -> Vec<String> {
+        let mut tenants: Vec<String> =
+            self.stores.lock().expect("stores lock").keys().cloned().collect();
+        tenants.sort();
+        tenants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkas::knobs::KnobTable;
+    use lkas::TABLE3_SITUATIONS;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lkas-fleet-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_names_are_sanitized() {
+        assert_eq!(store_file_name("acme"), "knob_store_acme.json");
+        assert_eq!(store_file_name("../../etc/passwd"), "knob_store_______etc_passwd.json");
+        assert_eq!(store_file_name("a b/c"), "knob_store_a_b_c.json");
+    }
+
+    #[test]
+    fn absorb_persists_and_reload_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let stores = TenantStores::new(Some(dir.clone()));
+        let mut evolved = KnobStore::from_table(KnobTable::paper_table3());
+        let situation = TABLE3_SITUATIONS[0];
+        let tuning = evolved.prior(&situation);
+        evolved.record_outcome(&situation, tuning, Some(0.05));
+        stores.absorb("acme", &evolved).unwrap();
+        assert!(dir.join("knob_store_acme.json").is_file());
+
+        // A fresh registry (fresh daemon) sees the persisted version.
+        let reloaded = TenantStores::new(Some(dir.clone()));
+        assert_eq!(reloaded.version("acme"), evolved.version());
+        assert_eq!(reloaded.get("acme").unwrap(), evolved);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_is_version_monotonic() {
+        let dir = temp_dir("monotonic");
+        let stores = TenantStores::new(Some(dir.clone()));
+        let situation = TABLE3_SITUATIONS[0];
+
+        let mut newer = KnobStore::from_table(KnobTable::paper_table3());
+        let tuning = newer.prior(&situation);
+        newer.record_outcome(&situation, tuning, Some(0.04));
+        newer.record_outcome(&situation, tuning, Some(0.03));
+        stores.absorb("t", &newer).unwrap();
+        let v_after_newer = stores.version("t");
+
+        // Absorbing an older store must not roll the version back, and
+        // the newer outcome must survive.
+        let mut older = KnobStore::from_table(KnobTable::paper_table3());
+        older.record_outcome(&situation, tuning, Some(0.09));
+        stores.absorb("t", &older).unwrap();
+        assert_eq!(stores.version("t"), v_after_newer.max(older.version()));
+        let merged = stores.get("t").unwrap();
+        assert_eq!(merged.prior_mae(&situation, &tuning), Some(0.03));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_only_registry_works_without_a_dir() {
+        let stores = TenantStores::new(None);
+        assert_eq!(stores.version("ghost"), 0);
+        let evolved = KnobStore::from_table(KnobTable::paper_table3());
+        stores.absorb("ghost", &evolved).unwrap();
+        assert_eq!(stores.version("ghost"), evolved.version());
+        assert_eq!(stores.loaded_tenants(), ["ghost"]);
+    }
+}

@@ -1,0 +1,126 @@
+//! The worker pool: N threads draining a [`JobQueue`].
+//!
+//! Each worker loops on [`JobQueue::pop`] and hands every job to a
+//! shared handler; when the queue is closed and drained, pops return
+//! `None` and the workers exit, so [`WorkerPool::join`] is a clean
+//! barrier for daemon shutdown. A handler panic kills only its job's
+//! worker thread (surfaced by `join`), never the queue.
+
+use crate::queue::JobQueue;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A fixed-size pool of job-draining threads.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) that pop jobs from
+    /// `queue` and run `handler` on each until the queue closes.
+    pub fn spawn<T, F>(workers: usize, queue: Arc<JobQueue<T>>, handler: F) -> Self
+    where
+        T: Send + 'static,
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        let handler = Arc::new(handler);
+        let handles = (0..workers.max(1))
+            .map(|index| {
+                let queue = Arc::clone(&queue);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("fleet-worker-{index}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            handler(job);
+                        }
+                    })
+                    .expect("spawn fleet worker")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Worker threads in the pool.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// `true` only for a pool that has already been joined.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to exit (close the queue first, or this
+    /// blocks forever). Returns the number of workers that panicked.
+    pub fn join(mut self) -> usize {
+        let mut panicked = 0;
+        for handle in self.handles.drain(..) {
+            if handle.join().is_err() {
+                panicked += 1;
+            }
+        }
+        panicked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn pool_drains_queue_and_joins() {
+        let queue = Arc::new(JobQueue::new(64));
+        let sum = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let sum = Arc::clone(&sum);
+            WorkerPool::spawn(3, Arc::clone(&queue), move |n: u64| {
+                sum.fetch_add(n, Ordering::Relaxed);
+            })
+        };
+        assert_eq!(pool.len(), 3);
+        for n in 1..=10 {
+            queue.push(0, n).unwrap();
+        }
+        queue.close();
+        assert_eq!(pool.join(), 0);
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn single_worker_runs_jobs_in_priority_order() {
+        let queue = Arc::new(JobQueue::new(64));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Pre-load before spawning so the lone worker observes the full
+        // queue and must drain it by priority.
+        queue.push(1, "c").unwrap();
+        queue.push(9, "a").unwrap();
+        queue.push(5, "b").unwrap();
+        queue.close();
+        let pool = {
+            let order = Arc::clone(&order);
+            WorkerPool::spawn(1, Arc::clone(&queue), move |label: &str| {
+                order.lock().unwrap().push(label);
+            })
+        };
+        assert_eq!(pool.join(), 0);
+        assert_eq!(*order.lock().unwrap(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn panicking_handler_is_contained() {
+        let queue = Arc::new(JobQueue::new(8));
+        queue.push(0, true).unwrap();
+        queue.push(0, false).unwrap();
+        queue.close();
+        let pool = WorkerPool::spawn(1, Arc::clone(&queue), |explode: bool| {
+            if explode {
+                panic!("job failure");
+            }
+        });
+        // The panic is reported, not propagated.
+        assert_eq!(pool.join(), 1);
+    }
+}

@@ -142,11 +142,20 @@ pub enum Counter {
     /// Tuner decisions forced back to the characterized prior tuning
     /// (safe-mode entries and post-degradation resets).
     TunerFallbacks,
+    /// Jobs admitted to a fleet daemon's queue.
+    FleetJobsAccepted,
+    /// Jobs refused by fleet admission control (queue saturated).
+    FleetJobsRejected,
+    /// Fleet submissions answered from the fingerprint-keyed results
+    /// cache without re-simulation.
+    FleetCacheHits,
+    /// Fleet jobs that missed the results cache and were simulated.
+    FleetCacheMisses,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 29] = [
         Counter::Cycles,
         Counter::PerceptionFailures,
         Counter::SituationSwitches,
@@ -172,6 +181,10 @@ impl Counter {
         Counter::TunerDecisions,
         Counter::TunerExplorations,
         Counter::TunerFallbacks,
+        Counter::FleetJobsAccepted,
+        Counter::FleetJobsRejected,
+        Counter::FleetCacheHits,
+        Counter::FleetCacheMisses,
     ];
 
     /// The counter's snake_case name as written to JSON.
@@ -202,6 +215,10 @@ impl Counter {
             Counter::TunerDecisions => "tuner_decisions",
             Counter::TunerExplorations => "tuner_explorations",
             Counter::TunerFallbacks => "tuner_fallbacks",
+            Counter::FleetJobsAccepted => "fleet_jobs_accepted",
+            Counter::FleetJobsRejected => "fleet_jobs_rejected",
+            Counter::FleetCacheHits => "fleet_cache_hits",
+            Counter::FleetCacheMisses => "fleet_cache_misses",
         }
     }
 

@@ -17,11 +17,18 @@
 #   cargo run --release -p lkas-bench --bin robustness_campaign -- \
 #     merge artifacts/robustness_shard_*.json \
 #     --metrics-out artifacts/telemetry_robustness.json
+#
+# Fleet mode: `./run_all_experiments.sh --fleet` runs the robustness
+# campaign through the fleet daemon (fleetd/fleetctl) instead of the
+# batch binary: identical report bytes, but repeat invocations are
+# answered from the daemon's fingerprint cache and tenant knob stores
+# persist under artifacts/. See DESIGN.md §14.
 set -e
 cd "$(dirname "$0")"
 
 SHARD=""
 RESUME=""
+FLEET=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --shard)
@@ -32,8 +39,12 @@ while [ $# -gt 0 ]; do
       RESUME="--resume"
       shift
       ;;
+    --fleet)
+      FLEET=1
+      shift
+      ;;
     *)
-      echo "usage: $0 [--shard I/N [--resume]]" >&2
+      echo "usage: $0 [--shard I/N [--resume]] [--fleet]" >&2
       exit 2
       ;;
   esac
@@ -63,4 +74,25 @@ cargo run --release -p lkas-bench --bin fig8_dynamic -- --seeds 3 --metrics-out 
 cargo run --release -p lkas-bench --bin lqg_study
 cargo run --release -p lkas-bench --bin ablation_isp
 cargo run --release -p lkas-bench --bin ablation_invocation
-cargo run --release -p lkas-bench --bin robustness_campaign -- --seed 7 --metrics-out artifacts/telemetry_robustness.json
+if [ -n "$FLEET" ]; then
+  # Serve the campaign through the fleet daemon: same bytes as the
+  # batch binary, but cached for repeat runs.
+  cargo build --release -p lkas-bench --bin fleetd --bin fleetctl
+  ./target/release/fleetd --addr 127.0.0.1:0 --store-dir artifacts \
+    > artifacts/fleetd.log 2>> artifacts/fleetd.log &
+  FLEETD_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^fleetd listening on //p' artifacts/fleetd.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || { echo "fleetd did not come up" >&2; exit 1; }
+  ./target/release/fleetctl submit --addr "$ADDR" --tenant experiments \
+    --spec '{"kind": "campaign", "seed": 7}' \
+    --out artifacts/robustness_report.json
+  ./target/release/fleetctl shutdown --addr "$ADDR"
+  wait "$FLEETD_PID"
+else
+  cargo run --release -p lkas-bench --bin robustness_campaign -- --seed 7 --metrics-out artifacts/telemetry_robustness.json
+fi

@@ -107,6 +107,40 @@ gate_tuner_equivalence() {
       drift --quick --seed 7 --compare
 }
 
+# Stream-equivalence gate for the per-cycle telemetry bus:
+# (a) folding the streamed CycleDelta capture must reproduce the
+#     end-of-run telemetry snapshot byte-for-byte (the stream carries
+#     every raw sample and counter increment, losslessly),
+# (b) the deterministic stream (no wall-clock samples attached) must be
+#     byte-identical across tile-thread counts, and
+# (c) the stream-fed tuner at eps=0 must still be byte-identical to the
+#     frozen-table drift report from gate-tuner-equivalence.
+gate_stream_equivalence() {
+  cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    drift --quick --seed 7 --knobs static \
+    --stream-out artifacts/ci_stream_static.jsonl \
+    --metrics-out artifacts/ci_stream_metrics.json \
+    --out artifacts/ci_stream_report.json > /dev/null &&
+    cargo run --release -p lkas-bench --bin telemetry_report -- \
+      fold artifacts/ci_stream_static.jsonl --out artifacts/ci_stream_folded.json &&
+    cmp artifacts/ci_stream_metrics.json artifacts/ci_stream_folded.json &&
+    echo "folded per-cycle stream is byte-identical to the end-of-run snapshot" &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      drift --quick --seed 7 --knobs static --tile-threads 1 \
+      --stream-out artifacts/ci_stream_t1.jsonl > /dev/null &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      drift --quick --seed 7 --knobs static --tile-threads 4 \
+      --stream-out artifacts/ci_stream_t4.jsonl > /dev/null &&
+    cmp artifacts/ci_stream_t1.jsonl artifacts/ci_stream_t4.jsonl &&
+    echo "per-cycle stream is byte-identical across tile-thread counts" &&
+    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+      drift --quick --seed 7 --knobs tuned --epsilon 0 \
+      --stream-out artifacts/ci_stream_eps0.jsonl \
+      --out artifacts/ci_drift_stream_eps0.json > /dev/null &&
+    cmp artifacts/ci_drift_static.json artifacts/ci_drift_stream_eps0.json &&
+    echo "stream-fed tuner at eps=0 reproduces the frozen-table report"
+}
+
 # Fleet-service smoke gate: boot the daemon on an ephemeral port,
 # submit the quick campaign twice through fleetctl, and require
 # (a) the cold payload to be byte-identical to the single-process
@@ -214,6 +248,7 @@ stage smoke-robustness smoke_robustness
 stage gate-telemetry gate_telemetry
 stage gate-shard-equivalence gate_shard_equivalence
 stage gate-tuner-equivalence gate_tuner_equivalence
+stage gate-stream-equivalence gate_stream_equivalence
 stage gate-fleet-smoke gate_fleet_smoke
 stage gate-zero-alloc gate_zero_alloc
 stage gate-hygiene gate_hygiene

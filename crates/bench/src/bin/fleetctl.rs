@@ -8,17 +8,30 @@
 //!    [--out PATH]`
 //!   Progress and telemetry events stream to stderr; the result payload
 //!   prints to stdout as pretty JSON (byte-identical between a cold run
-//!   and a cache replay). Exits 0 on a result, 3 on rejection, 4 on
-//!   failure, 2 on usage or transport errors.
+//!   and a cache replay).
 //! * `status` — print the daemon's queue/cache/job table.
-//! * `watch --job N` — attach to a job and stream it to completion.
+//! * `watch --job N [--follow] [--json|--human]` — attach to a job and
+//!   stream it to completion. `--follow` prints the job's live
+//!   per-cycle telemetry (`CycleDelta` frames) as they arrive; without
+//!   it per-cycle frames are counted but not printed. `--json` emits
+//!   every event as one compact JSON line on stdout (machine
+//!   consumption); `--human` (the default) renders one-line summaries.
 //! * `cancel --job N` — cancel a queued job.
 //! * `shutdown` — ask the daemon to drain and exit.
+//!
+//! Exit codes (submit/watch): `0` result delivered, `3` submission
+//! rejected by admission control, `4` job failed, `5` job cancelled,
+//! `6` connection to the daemon lost mid-stream, `2` usage or other
+//! transport errors.
 
 use lkas_bench::{arg_value, render_table};
 use lkas_fleet::{ClientError, Event, FleetClient, RequestOp, SubmitRequest};
 use serde::Value;
 use std::path::PathBuf;
+
+/// Exit code when the daemon connection died mid-stream (distinct from
+/// the job-failed code so scripts can retry connection losses).
+const EXIT_CONNECTION_LOST: i32 = 6;
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -49,18 +62,100 @@ fn main() {
     }
 }
 
+/// How watched events render.
+#[derive(Clone, Copy)]
+struct WatchMode {
+    /// Print live per-cycle `CycleDelta` frames (not just count them).
+    follow: bool,
+    /// Emit every event as one compact JSON line instead of one-line
+    /// human summaries.
+    json: bool,
+}
+
+impl WatchMode {
+    fn human() -> WatchMode {
+        WatchMode { follow: false, json: false }
+    }
+
+    fn from_args() -> WatchMode {
+        let json = std::env::args().any(|a| a == "--json");
+        if json && std::env::args().any(|a| a == "--human") {
+            fail("--json and --human are mutually exclusive");
+        }
+        WatchMode { follow: std::env::args().any(|a| a == "--follow"), json }
+    }
+}
+
+/// One-line human rendering of a live `CycleDelta` frame.
+fn render_cycle(job: u64, delta: &Value) {
+    let field = |name: &str| match delta {
+        Value::Object(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+        _ => None,
+    };
+    let num = |name: &str| field(name).and_then(Value::as_u64).unwrap_or(0);
+    let offset = |name: &str| match field(name) {
+        Some(Value::Null) | None => "-".to_string(),
+        Some(v) => v.as_f64().map_or("-".to_string(), |y| format!("{y:+.4}")),
+    };
+    let labels = match field("labels") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .filter_map(|v| match v {
+                Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join(","),
+        _ => String::new(),
+    };
+    eprintln!(
+        "[job {job}] cycle {} t={}us y_l={} true={}{}{}",
+        num("cycle"),
+        num("ts_us"),
+        offset("y_l_measured"),
+        offset("y_l_true"),
+        if labels.is_empty() { "" } else { " " },
+        labels
+    );
+}
+
 /// Streams a submitted or watched job to its terminal event; returns
 /// the process exit code.
-fn stream_to_terminal(client: &mut FleetClient, out: Option<&PathBuf>) -> i32 {
-    let terminal = client
-        .wait_terminal(|event| match event {
+fn stream_to_terminal(client: &mut FleetClient, out: Option<&PathBuf>, mode: WatchMode) -> i32 {
+    let mut cycles = 0u64;
+    let terminal = client.wait_terminal(|event| {
+        if mode.json {
+            println!("{}", serde_json::to_string(event).expect("serialize event"));
+            return;
+        }
+        match event {
             Event::Progress { job, completed, total } => {
                 eprintln!("[job {job}] progress {completed}/{total}");
             }
-            Event::Telemetry { job, .. } => eprintln!("[job {job}] telemetry snapshot"),
+            Event::Telemetry { job, .. } => eprintln!("[job {job}] telemetry delta"),
+            Event::CycleDelta { job, delta } => {
+                cycles += 1;
+                if mode.follow {
+                    render_cycle(*job, delta);
+                }
+            }
             _ => {}
-        })
-        .unwrap_or_else(|e| fail(&format!("stream: {e}")));
+        }
+    });
+    let terminal = match terminal {
+        Ok(terminal) => terminal,
+        Err(e) if e.is_connection_lost() => {
+            eprintln!("error: {e}");
+            return EXIT_CONNECTION_LOST;
+        }
+        Err(e) => fail(&format!("stream: {e}")),
+    };
+    if mode.json {
+        println!("{}", serde_json::to_string(&terminal).expect("serialize event"));
+    }
+    if cycles > 0 && !mode.follow {
+        eprintln!("[stream] {cycles} per-cycle events (re-run with --follow to print them)");
+    }
     match terminal {
         Event::Result { job, cached, payload } => {
             eprintln!("[job {job}] done (cached: {cached})");
@@ -74,6 +169,7 @@ fn stream_to_terminal(client: &mut FleetClient, out: Option<&PathBuf>) -> i32 {
                         .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
                     eprintln!("[result] {}", path.display());
                 }
+                None if mode.json => {}
                 None => println!("{pretty}"),
             }
             0
@@ -84,7 +180,7 @@ fn stream_to_terminal(client: &mut FleetClient, out: Option<&PathBuf>) -> i32 {
         }
         Event::Cancelled { job } => {
             eprintln!("[job {job}] cancelled");
-            4
+            5
         }
         other => fail(&format!("unexpected terminal event {other:?}")),
     }
@@ -115,7 +211,7 @@ fn submit() {
         Event::Accepted { job, key, .. } => {
             eprintln!("[job {job}] accepted: {key}");
             if wait {
-                stream_to_terminal(&mut client, out.as_ref())
+                stream_to_terminal(&mut client, out.as_ref(), WatchMode::human())
             } else {
                 println!("{job}");
                 0
@@ -182,7 +278,7 @@ fn watch() {
     let out = arg_value("--out").map(PathBuf::from);
     let mut client = connect();
     client.send(RequestOp::Watch { job }).unwrap_or_else(|e| fail(&format!("watch: {e}")));
-    std::process::exit(stream_to_terminal(&mut client, out.as_ref()));
+    std::process::exit(stream_to_terminal(&mut client, out.as_ref(), WatchMode::from_args()));
 }
 
 fn cancel() {
@@ -203,7 +299,9 @@ fn shutdown() {
     match client.next_event() {
         Ok(Event::ShuttingDown) => println!("daemon shutting down"),
         Ok(other) => fail(&format!("unexpected shutdown answer {other:?}")),
-        Err(ClientError::Protocol(_)) => println!("daemon shutting down"),
+        Err(ClientError::Protocol(_) | ClientError::Disconnected(_)) => {
+            println!("daemon shutting down")
+        }
         Err(e) => fail(&format!("shutdown: {e}")),
     }
 }

@@ -10,7 +10,15 @@
 //! Usage:
 //! `cargo run --release -p lkas-bench --bin fleetd
 //!  [-- --addr 127.0.0.1:0 --workers 1 --queue-capacity 64
-//!   --cache-capacity 256 --max-line-bytes 1048576 --store-dir artifacts]`
+//!   --cache-capacity 256 --max-line-bytes 1048576 --store-dir artifacts
+//!   --watch-capacity 4096 --flight-dir artifacts/flight]`
+//!
+//! `--watch-capacity` bounds each watcher's event ring (a slow watcher
+//! loses its oldest events — counted under `stream_dropped` — instead
+//! of ever stalling a job). `--flight-dir` enables per-job flight
+//! recording: the ring of recent per-cycle events is dumped to
+//! `<dir>/job<N>-flight.json` on safe-mode entry, a runner panic, or a
+//! cancellation request against the running job.
 //!
 //! The daemon prints `fleetd listening on <ADDR>` to stdout once bound
 //! (scripts scrape the ephemeral port from it) and runs until a client
@@ -49,10 +57,16 @@ fn main() {
         max_line_bytes: numeric_flag("--max-line-bytes", defaults.max_line_bytes),
         cache_capacity: numeric_flag("--cache-capacity", defaults.cache_capacity),
         store_dir: arg_value("--store-dir").map(PathBuf::from),
+        watch_capacity: numeric_flag("--watch-capacity", defaults.watch_capacity),
+        flight_dir: arg_value("--flight-dir").map(PathBuf::from),
     };
     if let Some(dir) = &config.store_dir {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| fail(&format!("create store dir {}: {e}", dir.display())));
+    }
+    if let Some(dir) = &config.flight_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(&format!("create flight dir {}: {e}", dir.display())));
     }
 
     let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
@@ -60,12 +74,18 @@ fn main() {
     let bound = listener.local_addr().unwrap_or_else(|e| fail(&format!("local addr: {e}")));
     println!("fleetd listening on {bound}");
     std::io::stdout().flush().expect("flush stdout");
+    let dir_or_none = |dir: &Option<PathBuf>| {
+        dir.as_ref().map_or("(none)".to_string(), |d| d.display().to_string())
+    };
     eprintln!(
-        "[fleetd] workers={} queue-capacity={} cache-capacity={} store-dir={}",
+        "[fleetd] workers={} queue-capacity={} cache-capacity={} store-dir={} \
+         watch-capacity={} flight-dir={}",
         config.workers,
         config.queue_capacity,
         config.cache_capacity,
-        config.store_dir.as_ref().map_or("(none)".to_string(), |d| d.display().to_string())
+        dir_or_none(&config.store_dir),
+        config.watch_capacity,
+        dir_or_none(&config.flight_dir)
     );
 
     serve(listener, Arc::new(BenchRunner), config).unwrap_or_else(|e| fail(&format!("serve: {e}")));

@@ -28,19 +28,29 @@
 //! report is purely behavioral so `--knobs static` and `--knobs tuned
 //! --epsilon 0` are byte-identical — the CI equivalence gate):
 //! `robustness_campaign drift [--seed 7 --quick --knobs static|tuned
-//!  --epsilon 0.1 --situation IDX --out PATH]`
+//!  --epsilon 0.1 --situation IDX --out PATH --stream-out PATH.jsonl
+//!  --metrics-out PATH --flight-out PATH --tile-threads N]`
 //! `--situation` picks the Table 3 situation the drifted sensor runs
 //! in (default: the campaign's primary drift situation).
+//! `--stream-out` captures the per-cycle telemetry stream as JSONL
+//! (one `lkas-stream-v1` `CycleDelta` per line; byte-identical across
+//! `--tile-threads` values), `--metrics-out` the end-of-run telemetry
+//! snapshot (`telemetry_report fold` of the stream reproduces it
+//! byte-for-byte), and `--flight-out` arms a flight recorder that
+//! dumps its ring if the loop enters degraded mode.
 //! `robustness_campaign drift --compare` runs both knob sources and
 //! exits non-zero unless the tuned loop strictly improves the MAE.
 
 use lkas_bench::robustness::{
-    assemble_report, campaign_spec, config_from_params, drift_report_json, report_from_merged,
-    run_campaign_shard, run_drift, write_report, CampaignConfig, DriftKnobs, RobustnessReport,
-    DRIFT_SITUATIONS,
+    assemble_report, campaign_spec, config_from_params, drift_report_for, drift_report_json,
+    report_from_merged, run_campaign_shard, run_drift, run_drift_hil_tapped, write_report,
+    CampaignConfig, DriftKnobs, DriftTaps, RobustnessReport, DRIFT_SITUATIONS,
 };
 use lkas_bench::{arg_value, default_threads, render_table, write_metrics, Metrics, ARTIFACTS_DIR};
-use lkas_runtime::{merge_shard_files, read_shard_file, write_shard_file, Shard};
+use lkas_runtime::{
+    merge_shard_files, read_shard_file, write_shard_file, FlightRecorder, Shard, TelemetryBus,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -186,12 +196,60 @@ fn drift(args: &[String]) {
         Some("tuned") => DriftKnobs::Tuned { epsilon },
         Some(other) => fail(&format!("bad --knobs `{other}` (want static|tuned)")),
     };
-    let report = run_drift(&cfg, knobs, situation);
+    let tile_threads = match arg_value("--tile-threads") {
+        None => 0,
+        Some(text) => {
+            text.parse().unwrap_or_else(|_| fail(&format!("bad --tile-threads `{text}`")))
+        }
+    };
+    let stream_out = arg_value("--stream-out").map(PathBuf::from);
+    let metrics_out = arg_value("--metrics-out").map(PathBuf::from);
+    let flight_out = arg_value("--flight-out").map(PathBuf::from);
+
+    // One ring big enough for every cycle of the run: the stream is
+    // drained after the loop finishes, so any eviction would leave a
+    // hole in the folded artifact.
+    let bus = stream_out.as_ref().map(|_| Arc::new(TelemetryBus::new(1 << 17)));
+    let sub = bus.as_ref().map(|bus| bus.subscribe());
+    let flight = flight_out
+        .as_ref()
+        .map(|path| Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY).with_auto_dump(path)));
+    let metrics = metrics_out.as_ref().map(|_| Arc::new(Metrics::new()));
+    let taps = DriftTaps { stream: bus, flight: flight.clone(), tile_threads };
+
+    let result = run_drift_hil_tapped(&cfg, knobs, situation, None, metrics.clone(), &taps);
+    let report = drift_report_for(&cfg, &result);
     println!("{}", drift_report_json(&report));
     if let Some(out) = arg_value("--out").map(PathBuf::from) {
         lkas_runtime::write_atomic(&out, drift_report_json(&report).as_bytes())
             .unwrap_or_else(|e| fail(&format!("write {}: {e}", out.display())));
         eprintln!("[drift] {}", out.display());
+    }
+    if let (Some(sub), Some(path)) = (sub, stream_out) {
+        if sub.dropped() > 0 {
+            fail(&format!("stream ring overflowed ({} events evicted)", sub.dropped()));
+        }
+        let mut lines = String::new();
+        let mut count = 0u64;
+        for delta in sub.drain() {
+            lines.push_str(&serde_json::to_string(&delta).expect("serialize cycle delta"));
+            lines.push('\n');
+            count += 1;
+        }
+        lkas_runtime::write_atomic(&path, lines.as_bytes())
+            .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
+        eprintln!("[stream] {} ({count} cycles)", path.display());
+    }
+    if let (Some(metrics), Some(path)) = (metrics, metrics_out) {
+        metrics
+            .write_json(&path)
+            .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
+        eprintln!("[telemetry] {}", path.display());
+    }
+    if let (Some(flight), Some(path)) = (flight, flight_out) {
+        if flight.dumps() > 0 {
+            eprintln!("[flight] {} ({} dump(s))", path.display(), flight.dumps());
+        }
     }
 }
 

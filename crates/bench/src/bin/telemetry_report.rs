@@ -6,6 +6,8 @@
 //! telemetry_report show SNAPSHOT.json
 //! telemetry_report diff BASELINE.json CANDIDATE.json \
 //!     [--max-rel-mean F] [--max-rel-tail F] [--min-mean-us F] [--no-counters]
+//! telemetry_report fold STREAM.jsonl [--out SNAPSHOT.json]
+//! telemetry_report tail STREAM.jsonl [--last N]
 //! ```
 //!
 //! `show` pretty-prints a `lkas-telemetry-v{1,2,3}` artifact.
@@ -16,9 +18,19 @@
 //! p50/p90/p99) gate on relative thresholds. Exit code 0 means the
 //! gate passes, 1 means at least one regression, 2 means usage or I/O
 //! error. `ci.sh` runs this against `BENCH_telemetry_baseline.json`.
+//!
+//! `fold` replays a per-cycle stream capture (one `lkas-stream-v1`
+//! `CycleDelta` per line, from `robustness_campaign drift
+//! --stream-out`) into a telemetry snapshot. With `--out` it writes
+//! the exact bytes `Metrics::write_json` produces, so
+//! `cmp folded.json metrics.json` is the stream-equivalence gate.
+//!
+//! `tail` pretty-prints the last N events of a stream capture
+//! (default 10) — lane-offset estimate vs ground truth, stage latency
+//! samples, counter increments, and event labels per cycle.
 
 use lkas_runtime::report::{diff_snapshots, format_snapshot, DiffThresholds};
-use lkas_runtime::MetricsSnapshot;
+use lkas_runtime::{CycleDelta, MetricsSnapshot};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -86,8 +98,85 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
-        _ => usage("expected `show` or `diff`"),
+        Some("fold") => {
+            let rest = &args[1..];
+            let Some(path) = rest.iter().find(|a| !a.starts_with("--")) else {
+                return usage("fold takes a stream capture path");
+            };
+            let deltas = match load_stream(path) {
+                Ok(d) => d,
+                Err(e) => return fail(&e),
+            };
+            let metrics = lkas_runtime::fold(&deltas);
+            match flag_value(rest, "--out") {
+                Some(out) => {
+                    if let Err(e) = metrics.write_json(out) {
+                        return fail(&format!("cannot write {out}: {e}"));
+                    }
+                    eprintln!("[fold] {} event(s) -> {out}", deltas.len());
+                }
+                None => print!("{}", format_snapshot(&metrics.snapshot())),
+            }
+            ExitCode::SUCCESS
+        }
+        Some("tail") => {
+            let rest = &args[1..];
+            let Some(path) = rest.iter().find(|a| !a.starts_with("--")) else {
+                return usage("tail takes a stream capture path");
+            };
+            let last = match flag_value(rest, "--last") {
+                None => 10,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => return usage("--last takes a count"),
+                },
+            };
+            let deltas = match load_stream(path) {
+                Ok(d) => d,
+                Err(e) => return fail(&e),
+            };
+            let skip = deltas.len().saturating_sub(last);
+            for delta in &deltas[skip..] {
+                println!("{}", format_cycle(delta));
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage("expected `show`, `diff`, `fold`, or `tail`"),
     }
+}
+
+/// One human-readable line per stream event.
+fn format_cycle(delta: &CycleDelta) -> String {
+    let offset = |v: Option<f64>| v.map_or("-".to_string(), |y| format!("{y:+.4}"));
+    let mut line = format!(
+        "cycle {:>6} t={:>9}us y_l={} true={}",
+        delta.cycle,
+        delta.ts_us,
+        offset(delta.y_l_measured),
+        offset(delta.y_l_true)
+    );
+    for (stage, samples) in &delta.samples {
+        let ns: Vec<String> = samples.iter().map(|n| format!("{n}ns")).collect();
+        line.push_str(&format!(" {stage}={}", ns.join("/")));
+    }
+    for (counter, inc) in &delta.counters {
+        line.push_str(&format!(" {counter}+{inc}"));
+    }
+    if !delta.labels.is_empty() {
+        line.push_str(&format!(" [{}]", delta.labels.join(",")));
+    }
+    line
+}
+
+fn load_stream(path: &str) -> Result<Vec<CycleDelta>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            serde_json::from_str(line).map_err(|e| format!("{path}:{}: bad event: {e}", i + 1))
+        })
+        .collect()
 }
 
 fn load(path: &str) -> Result<MetricsSnapshot, String> {

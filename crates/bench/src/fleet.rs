@@ -25,13 +25,16 @@
 
 use crate::robustness::{
     assemble_report, campaign_camera, campaign_grid, campaign_track, config_fingerprint,
-    drift_report_for, evaluate_job, run_drift_hil_with_store, CampaignConfig, DriftKnobs,
+    drift_report_for, evaluate_job_tapped, run_drift_hil_tapped, CampaignConfig, DriftKnobs,
+    DriftTaps,
 };
 use lkas::TABLE3_SITUATIONS;
 use lkas_fleet::{JobContext, JobKey, JobRunner, TenantStores};
-use lkas_runtime::Counter;
+use lkas_runtime::{Counter, TelemetryBus, DEFAULT_STREAM_CAPACITY};
 use serde::{Serialize, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Schema tag of the `grid` job payload (one wrapped campaign entry).
 pub const ENTRY_SCHEMA: &str = "lkas-fleet-entry-v1";
@@ -186,6 +189,48 @@ impl FleetSpec {
 /// whole campaigns, and ad-hoc drift scenarios.
 pub struct BenchRunner;
 
+/// Runs `work` with live observability taps: the simulation publishes
+/// per-cycle events to a private bus, and a forwarder thread drains the
+/// subscription while the run is still going, re-emitting each event to
+/// the job's watchers as an `Event::CycleDelta` frame. The daemon's
+/// per-job flight recorder (when configured) rides the same taps. The
+/// bus is drop-oldest, so a slow watcher path costs evicted frames,
+/// never simulation stalls.
+fn with_live_taps<T: Send>(ctx: &JobContext, work: impl FnOnce(&DriftTaps) -> T + Send) -> T {
+    let bus = Arc::new(TelemetryBus::new(DEFAULT_STREAM_CAPACITY));
+    let sub = bus.subscribe();
+    let taps =
+        DriftTaps { stream: Some(bus), flight: ctx.flight_recorder().cloned(), tile_threads: 0 };
+    let done = AtomicBool::new(false);
+    // Sets the stop flag even when `work` unwinds, so the scope's
+    // implicit join cannot deadlock on a forwarder that never exits.
+    struct StopOnDrop<'a>(&'a AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+    std::thread::scope(|scope| {
+        let forwarder = scope.spawn(|| loop {
+            for delta in sub.drain() {
+                ctx.emit_cycle(&delta);
+            }
+            if done.load(Ordering::Acquire) {
+                for delta in sub.drain() {
+                    ctx.emit_cycle(&delta);
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        });
+        let stop = StopOnDrop(&done);
+        let out = work(&taps);
+        drop(stop);
+        forwarder.join().expect("cycle forwarder");
+        out
+    })
+}
+
 impl JobRunner for BenchRunner {
     fn job_key(
         &self,
@@ -240,8 +285,16 @@ impl JobRunner for BenchRunner {
                 let track = campaign_track(cfg.quick);
                 let camera = campaign_camera(cfg.quick);
                 ctx.emit_progress(0, 1);
-                let entry =
-                    evaluate_job(&cfg, &track, &camera, job, Some(Arc::clone(ctx.metrics())));
+                let entry = with_live_taps(ctx, |taps| {
+                    evaluate_job_tapped(
+                        &cfg,
+                        &track,
+                        &camera,
+                        job,
+                        Some(Arc::clone(ctx.metrics())),
+                        taps,
+                    )
+                });
                 ctx.metrics().incr(Counter::CampaignEvaluations);
                 ctx.emit_telemetry();
                 ctx.emit_progress(1, 1);
@@ -256,19 +309,23 @@ impl JobRunner for BenchRunner {
                 let track = campaign_track(cfg.quick);
                 let camera = campaign_camera(cfg.quick);
                 let total = grid.len() as u64;
-                let mut entries = Vec::with_capacity(grid.len());
-                for (done, (_, job)) in grid.iter().enumerate() {
-                    entries.push(evaluate_job(
-                        &cfg,
-                        &track,
-                        &camera,
-                        job,
-                        Some(Arc::clone(ctx.metrics())),
-                    ));
-                    ctx.metrics().incr(Counter::CampaignEvaluations);
-                    ctx.emit_progress(done as u64 + 1, total);
-                    ctx.emit_telemetry();
-                }
+                let entries = with_live_taps(ctx, |taps| {
+                    let mut entries = Vec::with_capacity(grid.len());
+                    for (done, (_, job)) in grid.iter().enumerate() {
+                        entries.push(evaluate_job_tapped(
+                            &cfg,
+                            &track,
+                            &camera,
+                            job,
+                            Some(Arc::clone(ctx.metrics())),
+                            taps,
+                        ));
+                        ctx.metrics().incr(Counter::CampaignEvaluations);
+                        ctx.emit_progress(done as u64 + 1, total);
+                        ctx.emit_telemetry();
+                    }
+                    entries
+                });
                 // The assembled report serializes through the same
                 // `Serialize` impl as `report_json`, so a pretty-print
                 // of this payload is byte-identical to the
@@ -282,13 +339,16 @@ impl JobRunner for BenchRunner {
                 // characterization inside the runner).
                 let store_override = if tuned { ctx.tenant_store() } else { None };
                 ctx.emit_progress(0, 1);
-                let result = run_drift_hil_with_store(
-                    &cfg,
-                    knobs,
-                    situation,
-                    store_override,
-                    Some(Arc::clone(ctx.metrics())),
-                );
+                let result = with_live_taps(ctx, |taps| {
+                    run_drift_hil_tapped(
+                        &cfg,
+                        knobs,
+                        situation,
+                        store_override,
+                        Some(Arc::clone(ctx.metrics())),
+                        taps,
+                    )
+                });
                 if tuned {
                     if let Some(evolved) = &result.knob_store {
                         ctx.record_store(evolved)?;

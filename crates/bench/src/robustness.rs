@@ -459,6 +459,36 @@ pub fn run_campaign_shard(
     )
 }
 
+/// Optional observability taps and execution knobs for a single HiL
+/// run: a per-cycle stream bus, a flight recorder, and a tile-thread
+/// override. The default (no taps, `tile_threads` 0) leaves the
+/// simulation exactly as the untapped entry points configure it, so
+/// tapped and untapped runs stay byte-identical.
+#[derive(Debug, Default, Clone)]
+pub struct DriftTaps {
+    /// Per-cycle [`CycleDelta`](lkas_runtime::CycleDelta) stream bus.
+    pub stream: Option<Arc<lkas_runtime::TelemetryBus>>,
+    /// Bounded ring of recent cycles, dumped on safe-mode entry.
+    pub flight: Option<Arc<lkas_runtime::FlightRecorder>>,
+    /// ISP tile-thread override; 0 keeps the [`HilConfig`] default.
+    pub tile_threads: usize,
+}
+
+impl DriftTaps {
+    fn apply(&self, mut config: HilConfig) -> HilConfig {
+        if let Some(stream) = &self.stream {
+            config = config.with_stream(Arc::clone(stream));
+        }
+        if let Some(flight) = &self.flight {
+            config = config.with_flight_recorder(Arc::clone(flight));
+        }
+        if self.tile_threads > 0 {
+            config = config.with_tile_threads(self.tile_threads);
+        }
+        config
+    }
+}
+
 /// Evaluates one grid point. This is the single simulation path behind
 /// both drivers: the campaign engine's shard closure and the fleet
 /// service's per-job runner call exactly this function, which is what
@@ -470,6 +500,21 @@ pub fn evaluate_job(
     camera: &Camera,
     job: &CampaignJob,
     metrics: Option<Arc<Metrics>>,
+) -> CampaignEntry {
+    evaluate_job_tapped(cfg, track, camera, job, metrics, &DriftTaps::default())
+}
+
+/// [`evaluate_job`] with observability taps: the fleet runner attaches
+/// a stream bus (forwarded to watchers as live `CycleDelta` frames)
+/// and the daemon's per-job flight recorder. Taps never change the
+/// entry — the bus is non-blocking and the recorder only observes.
+pub fn evaluate_job_tapped(
+    cfg: &CampaignConfig,
+    track: &Track,
+    camera: &Camera,
+    job: &CampaignJob,
+    metrics: Option<Arc<Metrics>>,
+    taps: &DriftTaps,
 ) -> CampaignEntry {
     match job {
         CampaignJob::Fault { case, plan, policy } => {
@@ -485,13 +530,13 @@ pub fn evaluate_job(
             if let Some(metrics) = metrics {
                 config = config.with_metrics(metrics);
             }
-            let result = HilSimulator::new(track.clone(), config).run();
+            let result = HilSimulator::new(track.clone(), taps.apply(config)).run();
             entry_for(case.name(), &plan.name, *policy, "static", None, &result)
         }
         CampaignJob::Drift { situation, tuned } => {
             let knobs =
                 if *tuned { DriftKnobs::Tuned { epsilon: None } } else { DriftKnobs::Static };
-            let result = run_drift_hil(cfg, knobs, *situation, metrics);
+            let result = run_drift_hil_tapped(cfg, knobs, *situation, None, metrics, taps);
             entry_for(
                 Case::Case4.name(),
                 DRIFT_PLAN_NAME,
@@ -596,6 +641,29 @@ pub fn run_drift_hil_with_store(
     store_override: Option<KnobStore>,
     metrics: Option<Arc<Metrics>>,
 ) -> HilResult {
+    run_drift_hil_tapped(
+        cfg,
+        knobs,
+        situation_index,
+        store_override,
+        metrics,
+        &DriftTaps::default(),
+    )
+}
+
+/// [`run_drift_hil_with_store`] with observability taps (stream bus,
+/// flight recorder, tile-thread override). With an external stream the
+/// tuner consumes its reward window from that bus instead of a private
+/// one — behaviorally identical, which CI asserts as eps=0 report
+/// byte-identity.
+pub fn run_drift_hil_tapped(
+    cfg: &CampaignConfig,
+    knobs: DriftKnobs,
+    situation_index: usize,
+    store_override: Option<KnobStore>,
+    metrics: Option<Arc<Metrics>>,
+    taps: &DriftTaps,
+) -> HilResult {
     let camera = campaign_camera(cfg.quick);
     let situation = TABLE3_SITUATIONS[situation_index];
     let mut config = HilConfig::new(Case::Case4, SituationSource::Oracle)
@@ -615,7 +683,7 @@ pub fn run_drift_hil_with_store(
     if let Some(metrics) = metrics {
         config = config.with_metrics(metrics);
     }
-    HilSimulator::new(drift_track(&situation, cfg.quick), config).run()
+    HilSimulator::new(drift_track(&situation, cfg.quick), taps.apply(config)).run()
 }
 
 /// Schema tag of the standalone drift report.

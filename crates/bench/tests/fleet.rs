@@ -119,33 +119,51 @@ fn fleet_reassembles_the_campaign_byte_identically_and_replays_from_cache() {
         watcher.send(RequestOp::Watch { job: watched_job }).expect("send watch");
         let mut progress = 0usize;
         let mut telemetry = 0usize;
+        let mut cycles = 0usize;
         let terminal = watcher
             .wait_terminal(|event| match event {
                 Event::Progress { .. } => progress += 1,
-                Event::Telemetry { job, snapshot } => {
+                Event::Telemetry { job, delta } => {
                     telemetry += 1;
-                    // The snapshot is an incremental telemetry-v3
-                    // document of the job's own registry.
-                    let Value::Object(fields) = snapshot else { panic!("snapshot shape") };
+                    // The delta is a sparse telemetry-delta document of
+                    // the job's own registry since the last emission.
+                    let Value::Object(fields) = delta else { panic!("delta shape") };
                     assert!(fields.iter().any(|(n, v)| {
-                        n == "schema" && v == &Value::Str("lkas-telemetry-v3".to_string())
+                        n == "schema"
+                            && v == &Value::Str(lkas_runtime::TELEMETRY_DELTA_SCHEMA.to_string())
                     }));
+                    assert_eq!(*job, watched_job);
+                }
+                Event::CycleDelta { job, delta } => {
+                    cycles += 1;
+                    // Live per-cycle frames carry the stream schema's
+                    // virtual-timestamp invariant over the wire.
+                    let Value::Object(fields) = delta else { panic!("cycle delta shape") };
+                    let num = |name: &str| {
+                        fields
+                            .iter()
+                            .find(|(n, _)| n == name)
+                            .and_then(|(_, v)| v.as_u64())
+                            .expect("cycle delta field")
+                    };
+                    assert_eq!(num("ts_us"), num("cycle") * lkas_runtime::CYCLE_TICKS);
                     assert_eq!(*job, watched_job);
                 }
                 _ => {}
             })
             .expect("watch stream");
         assert!(matches!(terminal, Event::Result { cached: false, .. }));
-        (progress, telemetry)
+        (progress, telemetry, cycles)
     });
 
     // Drain: every job reaches a terminal state.
     wait_until(Duration::from_secs(600), || {
         status_of(addr).jobs.iter().all(|j| j.state == JobState::Done)
     });
-    let (progress, telemetry) = streamed.join().expect("watcher thread");
+    let (progress, telemetry, cycles) = streamed.join().expect("watcher thread");
     assert!(progress >= 1, "watched job streamed no progress");
-    assert!(telemetry >= 1, "watched job streamed no telemetry snapshot");
+    assert!(telemetry >= 1, "watched job streamed no telemetry delta");
+    assert!(cycles >= 1, "watched job streamed no live per-cycle events");
 
     // Priority-ordered scheduling: among the jobs that queued behind
     // the blocker, dispatch order must be (priority desc, submission

@@ -26,13 +26,16 @@ use lkas_imaging::sensor::{Sensor, SensorConfig};
 use lkas_imaging::Scratch;
 use lkas_perception::pipeline::{Perception, PerceptionConfig, PerceptionScratch};
 use lkas_platform::schedule::ClassifierSet;
-use lkas_runtime::{Counter, Metrics, Stage, TraceSink};
+use lkas_runtime::{
+    Counter, CycleDelta, FlightRecorder, Metrics, Stage, Subscription, TelemetryBus, TraceSink,
+};
 use lkas_scene::camera::Camera;
 use lkas_scene::render::SceneRenderer;
 use lkas_scene::situation::SituationFeatures;
 use lkas_scene::track::Track;
 use lkas_vehicle::sim::{VehicleSim, VehicleState};
 use lkas_vehicle::PHYSICS_STEP_S;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Where the situation decisions come from.
@@ -109,6 +112,21 @@ pub struct HilConfig {
     /// falls back to the characterized prior. `None` (the default)
     /// keeps the static Table III behavior.
     pub tuner: Option<TunerConfig>,
+    /// Per-cycle telemetry stream. When set, the loop publishes one
+    /// [`CycleDelta`] per control sample (stage latency samples when a
+    /// registry is attached, counter deltas, the lane-offset estimate
+    /// vs ground truth, tuner/fault/degradation labels) with
+    /// drop-oldest backpressure: a slow subscriber loses old frames
+    /// (accounted on the bus as `stream_dropped`) but never stalls the
+    /// control loop. `None` leaves external streaming off; a run with
+    /// a tuner still streams internally (the tuner's reward window is
+    /// fed from the stream).
+    pub stream: Option<Arc<TelemetryBus>>,
+    /// Flight recorder: a bounded ring of the most recent cycle events,
+    /// dumpable as a post-mortem artifact. The loop feeds it every
+    /// published delta; with an auto-dump path configured the recorder
+    /// writes itself out on safe-mode entry (`degraded_enter`).
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 /// One control sample of a recorded trace.
@@ -152,6 +170,8 @@ impl HilConfig {
             trace_sink: None,
             tile_threads: 1,
             tuner: None,
+            stream: None,
+            flight: None,
         }
     }
 
@@ -240,6 +260,18 @@ impl HilConfig {
     /// Enables the online re-characterization tuner (builder style).
     pub fn with_tuner(mut self, tuner: TunerConfig) -> Self {
         self.tuner = Some(tuner);
+        self
+    }
+
+    /// Attaches a per-cycle telemetry stream (builder style).
+    pub fn with_stream(mut self, bus: Arc<TelemetryBus>) -> Self {
+        self.stream = Some(bus);
+        self
+    }
+
+    /// Attaches a flight recorder (builder style).
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(recorder);
         self
     }
 }
@@ -361,8 +393,32 @@ impl HilSimulator {
         } else {
             None
         };
+        // ---- per-cycle telemetry stream ------------------------------
+        // With a tuner but no external stream the loop still streams
+        // internally: the tuner's reward window is fed from a private
+        // bus subscription drained every cycle, so the stream-fed path
+        // is the *only* path (the reward values and their interleaving
+        // with `select` are unchanged from the old in-loop buffer).
+        let internal_bus = if tuner.is_some() && config.stream.is_none() {
+            Some(TelemetryBus::new(4))
+        } else {
+            None
+        };
+        let bus: Option<&TelemetryBus> = config.stream.as_deref().or(internal_bus.as_ref());
+        let tuner_sub: Option<Subscription> =
+            if tuner.is_some() { bus.map(TelemetryBus::subscribe) } else { None };
+        let flight = config.flight.as_deref();
+        let wants_delta = bus.is_some() || flight.is_some();
+        let clock = StageClock {
+            metrics,
+            probe: RefCell::new(Vec::new()),
+            probing: wants_delta && metrics.is_some(),
+        };
+        let mut counter_base = vec![0u64; Counter::ALL.len()];
+        let mut open_delta: Option<CycleDelta> = None;
+
         let mut controller_cfg = knobs.controller_config(delay_set);
-        let mut controller = fetch_controller(metrics, &controller_cfg);
+        let mut controller = fetch_controller(&tally, &controller_cfg);
 
         // Plant, camera stack.
         let renderer = SceneRenderer::new(config.camera.clone());
@@ -399,15 +455,38 @@ impl HilSimulator {
         while !vehicle.finished() && vehicle.time_s() < config.max_time_s {
             if t_ms + 1e-9 >= next_sample_ms {
                 // ---- control sample -------------------------------------
-                tally.incr(Counter::Cycles);
+                // Seal and publish the previous cycle's delta first: the
+                // inter-sample Actuation recordings belong to it, and
+                // the stream-fed tuner must see cycle N's reward before
+                // cycle N+1's `select` — the same interleaving the
+                // in-loop buffer had.
+                if let Some(delta) = open_delta.take() {
+                    publish_delta(
+                        delta,
+                        &clock,
+                        &tally,
+                        &mut counter_base,
+                        bus,
+                        flight,
+                        tuner.as_mut(),
+                        tuner_sub.as_ref(),
+                    );
+                }
                 let cycle = frame_index;
+                if wants_delta {
+                    open_delta = Some(CycleDelta::new(cycle));
+                }
+                tally.incr(Counter::Cycles);
                 let faults =
                     fault_plan.as_ref().map(|p| p.faults_at(frame_index)).unwrap_or_default();
                 if faults.any() {
                     tally.incr(Counter::FaultsInjected);
-                    if let Some(s) = sink {
-                        for label in faults.trace_labels() {
+                    for label in faults.trace_labels() {
+                        if let Some(s) = sink {
                             s.instant(cycle, label, None);
+                        }
+                        if let Some(d) = open_delta.as_mut() {
+                            d.labels.push(label.to_string());
                         }
                     }
                 }
@@ -437,18 +516,18 @@ impl HilSimulator {
                     false
                 } else {
                     let (s, d, psi) = vehicle.camera_pose();
-                    let rendered = timed(metrics, Stage::Render, || {
+                    let rendered = clock.timed(Stage::Render, || {
                         renderer.render_into(vehicle.track(), s, d, psi, &mut scene_rgb)
                     });
                     match rendered {
                         Ok(()) => {
-                            timed(metrics, Stage::Sensor, || {
+                            clock.timed(Stage::Sensor, || {
                                 sensor.capture_into(&scene_rgb, 1.0, &mut raw)
                             });
                             if let Some(kind) = faults.bayer {
                                 apply_bayer_fault(kind, &mut raw, plan_seed, frame_index);
                             }
-                            timed(metrics, Stage::Isp, || {
+                            clock.timed(Stage::Isp, || {
                                 isp.process_into(&raw, &mut imaging_scratch, &mut rgb)
                             });
                             true
@@ -460,6 +539,9 @@ impl HilSimulator {
                             tally.incr(Counter::RenderErrors);
                             if let Some(s) = sink {
                                 s.instant(cycle, "render_error", Some(e.to_string()));
+                            }
+                            if let Some(d) = open_delta.as_mut() {
+                                d.labels.push("render_error".to_string());
                             }
                             false
                         }
@@ -483,7 +565,7 @@ impl HilSimulator {
                     degraded,
                 );
                 let previous_estimate = estimate.current();
-                timed(metrics, Stage::Classifier, || match &config.source {
+                clock.timed(Stage::Classifier, || match &config.source {
                     SituationSource::Oracle => {
                         // A frame classifier sees the *preview* region,
                         // so the oracle reports the situation ~12 m
@@ -521,6 +603,9 @@ impl HilSimulator {
                     if let Some(s) = sink {
                         s.instant(cycle, "situation_switch", Some(estimate.current().describe()));
                     }
+                    if let Some(d) = open_delta.as_mut() {
+                        d.labels.push("situation_switch".to_string());
+                    }
                 }
                 if estimate.current() != vehicle.preview_situation(ORACLE_PREVIEW_M) {
                     tally.incr(Counter::Misidentifications);
@@ -541,10 +626,12 @@ impl HilSimulator {
                                 if explored {
                                     tally.incr(Counter::TunerExplorations);
                                 }
+                                let label =
+                                    if explored { "tuner_explore" } else { "tuner_decision" };
                                 if let Some(s) = sink {
                                     s.instant(
                                         cycle,
-                                        if explored { "tuner_explore" } else { "tuner_decision" },
+                                        label,
                                         Some(format!(
                                             "isp={} roi={}",
                                             choice.tuning.isp.name(),
@@ -552,11 +639,17 @@ impl HilSimulator {
                                         )),
                                     );
                                 }
+                                if let Some(d) = open_delta.as_mut() {
+                                    d.labels.push(label.to_string());
+                                }
                             }
                             Some(TunerEvent::Fallback) => {
                                 tally.incr(Counter::TunerFallbacks);
                                 if let Some(s) = sink {
                                     s.instant(cycle, "tuner_fallback", None);
+                                }
+                                if let Some(d) = open_delta.as_mut() {
+                                    d.labels.push("tuner_fallback".to_string());
                                 }
                             }
                             None => {}
@@ -579,12 +672,18 @@ impl HilSimulator {
                         if let Some(s) = sink {
                             s.instant(cycle, "reconfig:perception", None);
                         }
+                        if let Some(d) = open_delta.as_mut() {
+                            d.labels.push("reconfig:perception".to_string());
+                        }
                     }
                     if new_knobs.isp != knobs.isp {
                         staged_isp = Some(new_knobs.isp);
                         tally.incr(Counter::IspReconfigurations);
                         if let Some(s) = sink {
                             s.instant(cycle, "reconfig:isp", None);
+                        }
+                        if let Some(d) = open_delta.as_mut() {
+                            d.labels.push("reconfig:isp".to_string());
                         }
                     }
                     vehicle.set_target_speed_kmph(new_knobs.speed_kmph);
@@ -617,7 +716,7 @@ impl HilSimulator {
                 }
                 if new_cfg != controller_cfg {
                     let mut next =
-                        timed(metrics, Stage::Control, || fetch_controller(metrics, &new_cfg));
+                        clock.timed(Stage::Control, || fetch_controller(&tally, &new_cfg));
                     next.adopt_state(&controller);
                     controller = next;
                     controller_cfg = new_cfg;
@@ -625,11 +724,14 @@ impl HilSimulator {
                     if let Some(s) = sink {
                         s.instant(cycle, "reconfig:control", None);
                     }
+                    if let Some(d) = open_delta.as_mut() {
+                        d.labels.push("reconfig:control".to_string());
+                    }
                 }
 
                 // Perception, then the degradation policy's substitution.
                 let raw_y_l = if have_frame {
-                    let out = timed(metrics, Stage::Perception, || {
+                    let out = clock.timed(Stage::Perception, || {
                         perception.process_into(&rgb, &mut perception_scratch)
                     });
                     match out {
@@ -647,11 +749,15 @@ impl HilSimulator {
                         s.span(cycle, Stage::Perception);
                     }
                 }
-                // The tuner's reward stream is the raw perception
-                // output, before any degradation hold substitutes a
-                // synthetic measurement.
-                if let Some(t) = tuner.as_mut() {
-                    t.record(raw_y_l);
+                // The cycle event carries the raw perception output —
+                // before any degradation hold substitutes a synthetic
+                // measurement — next to the ground truth. The
+                // stream-fed tuner reads its reward from exactly this
+                // field when the delta is published at the top of the
+                // next cycle.
+                if let Some(d) = open_delta.as_mut() {
+                    d.y_l_measured = raw_y_l;
+                    d.y_l_true = Some(vehicle.true_y_l());
                 }
                 let y_l = match policy.as_mut() {
                     Some(p) => {
@@ -661,17 +767,26 @@ impl HilSimulator {
                             if let Some(s) = sink {
                                 s.instant(cycle, "measurement_hold", None);
                             }
+                            if let Some(d) = open_delta.as_mut() {
+                                d.labels.push("measurement_hold".to_string());
+                            }
                         }
                         if obs.entered {
                             tally.incr(Counter::DegradedEntries);
                             if let Some(s) = sink {
                                 s.instant(cycle, "degraded_enter", None);
                             }
+                            if let Some(d) = open_delta.as_mut() {
+                                d.labels.push("degraded_enter".to_string());
+                            }
                         }
                         if obs.exited {
                             tally.incr(Counter::DegradedExits);
                             if let Some(s) = sink {
                                 s.instant(cycle, "degraded_exit", None);
+                            }
+                            if let Some(d) = open_delta.as_mut() {
+                                d.labels.push("degraded_exit".to_string());
                             }
                         }
                         obs.y_l
@@ -685,7 +800,7 @@ impl HilSimulator {
                 // the safest blind behavior (an explicit zero-steering
                 // override would freeze a mid-correction heading error
                 // and integrate it into a departure over a long outage).
-                let u = timed(metrics, Stage::Control, || {
+                let u = clock.timed(Stage::Control, || {
                     controller.step(&Measurement { y_l, yaw_rate: vehicle.state().r })
                 });
                 if let Some(s) = sink {
@@ -719,7 +834,7 @@ impl HilSimulator {
             // then advance physics. Timed as the actuation stage; this
             // runs once per 5 ms physics step, so its count exceeds the
             // cycle count.
-            let sector = timed(metrics, Stage::Actuation, || {
+            let sector = clock.timed(Stage::Actuation, || {
                 while let Some(&(act_t, cmd)) = pending.first() {
                     if act_t <= t_ms + 1e-9 {
                         active_cmd = cmd;
@@ -741,6 +856,23 @@ impl HilSimulator {
                 crash_sector = Some(sector);
                 break;
             }
+        }
+
+        // Final flush: the last cycle's delta (including the trailing
+        // physics-step Actuation recordings) reaches the subscribers,
+        // the flight recorder, and the tuner's open reward window
+        // before that window is committed below.
+        if let Some(delta) = open_delta.take() {
+            publish_delta(
+                delta,
+                &clock,
+                &tally,
+                &mut counter_base,
+                bus,
+                flight,
+                tuner.as_mut(),
+                tuner_sub.as_ref(),
+            );
         }
 
         HilResult {
@@ -815,28 +947,88 @@ impl Tally<'_> {
     }
 }
 
-/// Runs `work` timed against `stage` when telemetry is attached, or
-/// plainly otherwise.
-fn timed<T>(metrics: Option<&Metrics>, stage: Stage, work: impl FnOnce() -> T) -> T {
-    match metrics {
-        Some(m) => m.time(stage, work),
-        None => work(),
+/// Stage timing shared between the telemetry registry and the per-cycle
+/// stream: each stage is measured once and the same nanosecond
+/// observation is written to both sides, which is what makes a folded
+/// stream byte-identical to the end-of-run registry snapshot.
+struct StageClock<'a> {
+    metrics: Option<&'a Metrics>,
+    /// Observations since the last cycle delta was sealed. Collected
+    /// only while a stream or flight consumer is attached (nothing
+    /// drains it otherwise).
+    probe: RefCell<Vec<(Stage, u64)>>,
+    probing: bool,
+}
+
+impl StageClock<'_> {
+    /// Runs `work` timed against `stage` when telemetry is attached, or
+    /// plainly otherwise.
+    fn timed<T>(&self, stage: Stage, work: impl FnOnce() -> T) -> T {
+        let Some(m) = self.metrics else { return work() };
+        let started = std::time::Instant::now();
+        let out = work();
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        m.record_ns(stage, ns);
+        if self.probing {
+            self.probe.borrow_mut().push((stage, ns));
+        }
+        out
+    }
+}
+
+/// Seals one cycle's delta — the stage observations probed since the
+/// previous seal plus the counter increments against `counter_base` —
+/// and hands it to the stream subscribers, the flight recorder, and the
+/// stream-fed tuner's reward window.
+#[allow(clippy::too_many_arguments)]
+fn publish_delta(
+    mut delta: CycleDelta,
+    clock: &StageClock<'_>,
+    tally: &Tally<'_>,
+    counter_base: &mut [u64],
+    bus: Option<&TelemetryBus>,
+    flight: Option<&FlightRecorder>,
+    tuner: Option<&mut KnobTuner>,
+    tuner_sub: Option<&Subscription>,
+) {
+    let picks = std::mem::take(&mut *clock.probe.borrow_mut());
+    for stage in Stage::ALL {
+        let list: Vec<u64> = picks.iter().filter(|(s, _)| *s == stage).map(|&(_, ns)| ns).collect();
+        if !list.is_empty() {
+            delta.samples.push((stage.name().to_string(), list));
+        }
+    }
+    for (slot, counter) in counter_base.iter_mut().zip(Counter::ALL) {
+        let now = tally.get(counter);
+        if now > *slot {
+            delta.counters.push((counter.name().to_string(), now - *slot));
+        }
+        *slot = now;
+    }
+    if let Some(b) = bus {
+        b.publish(&delta);
+    }
+    if let Some(f) = flight {
+        f.ingest(&delta);
+    }
+    if let (Some(t), Some(sub)) = (tuner, tuner_sub) {
+        for d in sub.drain() {
+            t.record_delta(&d);
+        }
     }
 }
 
 /// Fetches a controller through the process-wide memoizing design cache
-/// (`lkas_control::design::design_controller_cached`), recording
-/// hit/miss counters when telemetry is attached.
-fn fetch_controller(metrics: Option<&Metrics>, cfg: &ControllerConfig) -> Controller {
+/// (`lkas_control::design::design_controller_cached`), recording the
+/// hit/miss counters through the run tally.
+fn fetch_controller(tally: &Tally<'_>, cfg: &ControllerConfig) -> Controller {
     let (controller, cache_hit) =
         design_controller_cached(cfg).expect("controller design for built-in knob space");
-    if let Some(m) = metrics {
-        m.incr(if cache_hit {
-            Counter::ControllerCacheHits
-        } else {
-            Counter::ControllerCacheMisses
-        });
-    }
+    tally.incr(if cache_hit {
+        Counter::ControllerCacheHits
+    } else {
+        Counter::ControllerCacheMisses
+    });
     controller
 }
 
@@ -1178,6 +1370,126 @@ mod tests {
                 + snap.counter("controller_cache_misses").unwrap()
                 >= 1
         );
+    }
+
+    #[test]
+    fn folded_stream_matches_the_registry_snapshot() {
+        use lkas_runtime::{fold, TelemetryBus};
+        use lkas_scene::track::Sector;
+        // Straight → right turn so labels and reconfiguration counters
+        // actually flow through the stream.
+        let s1 = Sector::for_situation(&TABLE3_SITUATIONS[0], 120.0);
+        let s2 = Sector::for_situation(&TABLE3_SITUATIONS[7], 200.0);
+        let track = Track::new(vec![s1, s2]);
+        let metrics = Arc::new(Metrics::new());
+        let bus = Arc::new(TelemetryBus::new(1 << 14));
+        let sub = bus.subscribe();
+        let config = HilConfig::new(Case::Case4, SituationSource::Oracle)
+            .with_camera(test_camera())
+            .with_seed(42)
+            .with_metrics(Arc::clone(&metrics))
+            .with_stream(Arc::clone(&bus));
+        let result = HilSimulator::new(track, config).run();
+        let deltas = sub.drain();
+        assert_eq!(deltas.len() as u64, result.samples, "one delta per control sample");
+        assert_eq!(bus.dropped(), 0, "the ring must hold the whole run");
+        for d in &deltas {
+            assert_eq!(d.ts_us, d.cycle * lkas_runtime::CYCLE_TICKS, "virtual timestamps");
+        }
+        assert!(deltas.iter().all(|d| d.y_l_true.is_some()));
+        assert!(deltas.iter().any(|d| d.y_l_measured.is_some()));
+        assert!(deltas.iter().any(|d| d.labels.iter().any(|l| l == "situation_switch")));
+        // Replaying the per-cycle deltas into a fresh registry lands on
+        // the exact end-of-run snapshot: every stage observation and
+        // counter increment reached the stream, and nothing else
+        // touched the registry.
+        assert_eq!(fold(deltas.iter()).snapshot(), metrics.snapshot());
+    }
+
+    #[test]
+    fn stream_is_identical_across_tile_threads_without_metrics() {
+        use lkas_runtime::TelemetryBus;
+        // Wall-clock stage samples only ride along when a registry is
+        // attached, so a metrics-free stream is a pure function of the
+        // (thread-count-invariant) trajectory.
+        let run = |threads: usize| {
+            let track = Track::for_situation(&TABLE3_SITUATIONS[7], 250.0);
+            let bus = Arc::new(TelemetryBus::new(1 << 14));
+            let sub = bus.subscribe();
+            let config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+                .with_camera(test_camera())
+                .with_seed(42)
+                .with_tile_threads(threads)
+                .with_stream(bus);
+            HilSimulator::new(track, config).run();
+            sub.drain()
+        };
+        let serial = run(1);
+        let tiled = run(4);
+        assert!(!serial.is_empty());
+        assert!(serial.iter().all(|d| d.samples.is_empty()), "no latency samples without metrics");
+        assert!(serial.iter().any(|d| !d.labels.is_empty()));
+        assert!(serial.iter().any(|d| !d.counters.is_empty()));
+        assert_eq!(serial, tiled, "deltas must not depend on the tile-worker count");
+    }
+
+    #[test]
+    fn external_stream_does_not_perturb_the_tuned_trajectory() {
+        use lkas_runtime::TelemetryBus;
+        let base = || {
+            HilConfig::new(Case::Case4, SituationSource::Oracle)
+                .with_camera(test_camera())
+                .with_seed(42)
+                .with_sensor(SensorConfig { read_noise: 0.05, shot_noise: 0.06, gain: 1.0 })
+                .with_initial_estimate(TABLE3_SITUATIONS[6])
+                .with_tuner(TunerConfig::new().with_seed(42))
+        };
+        let track = || Track::for_situation(&TABLE3_SITUATIONS[6], 180.0);
+        let private = HilSimulator::new(track(), base()).run();
+        // A deliberately tiny ring with a subscriber that never drains:
+        // the lazy subscriber overflows and loses old frames, but the
+        // tuner rides its own per-cycle subscription and the trajectory
+        // is untouched — backpressure never reaches the control loop.
+        let bus = Arc::new(TelemetryBus::new(2));
+        let lazy = bus.subscribe();
+        let external = HilSimulator::new(track(), base().with_stream(Arc::clone(&bus))).run();
+        assert!(lazy.dropped() > 0, "the tiny ring must overflow the lazy subscriber");
+        assert_eq!(bus.dropped(), lazy.dropped());
+        assert_eq!(private.overall_mae(), external.overall_mae());
+        assert_eq!(private.tuner_decisions, external.tuner_decisions);
+        assert_eq!(private.knob_store.unwrap(), external.knob_store.unwrap());
+    }
+
+    #[test]
+    fn flight_recorder_dumps_on_safe_mode_entry() {
+        use lkas_runtime::{FlightDump, FlightRecorder};
+        use lkas_scene::track::Sector;
+        let path =
+            std::env::temp_dir().join(format!("lkas-hil-flight-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // The blindfold scenario from the degradation acceptance test:
+        // a long frame-drop burst trips safe mode mid-straight.
+        let plan = Arc::new(FaultPlan::named("blindfold", 7).drop_burst(150, 500));
+        let track = Track::new(vec![
+            Sector::for_situation(&TABLE3_SITUATIONS[0], 300.0),
+            Sector::for_situation(&TABLE3_SITUATIONS[7], 140.0),
+            Sector::for_situation(&TABLE3_SITUATIONS[0], 80.0),
+        ]);
+        let recorder = Arc::new(FlightRecorder::new(64).with_auto_dump(path.clone()));
+        let config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+            .with_camera(test_camera())
+            .with_seed(7)
+            .with_fault_plan(plan)
+            .with_degradation(DegradationConfig::default())
+            .with_flight_recorder(Arc::clone(&recorder));
+        let r = HilSimulator::new(track, config).run();
+        assert!(r.degraded_entries >= 1, "the burst must trip safe mode");
+        assert!(recorder.dumps() >= 1, "safe-mode entry must auto-dump the ring");
+        let dump: FlightDump =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(dump.reason, "degraded_enter");
+        assert!(dump.deltas.iter().any(|d| d.labels.iter().any(|l| l == "degraded_enter")));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -13,15 +13,28 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub enum ClientError {
     /// The transport failed.
     Io(std::io::Error),
-    /// The server's frame could not be interpreted (or the stream
-    /// ended where an event was expected).
+    /// The connection ended where an event was expected (clean EOF or
+    /// a frame truncated by the peer going away).
+    Disconnected(String),
+    /// The server's frame could not be interpreted.
     Protocol(String),
+}
+
+impl ClientError {
+    /// `true` when the failure means the daemon went away mid-stream
+    /// (transport error or EOF), as opposed to a frame the client could
+    /// not interpret. `fleetctl` maps this onto its distinct
+    /// connection-lost exit code.
+    pub fn is_connection_lost(&self) -> bool {
+        matches!(self, ClientError::Io(_) | ClientError::Disconnected(_))
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Disconnected(msg) => write!(f, "connection lost: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
@@ -77,16 +90,17 @@ impl FleetClient {
     ///
     /// # Errors
     ///
-    /// [`ClientError::Protocol`] on EOF or an undecodable frame,
-    /// [`ClientError::Io`] on transport failure.
+    /// [`ClientError::Disconnected`] on EOF, [`ClientError::Protocol`]
+    /// on an undecodable frame, [`ClientError::Io`] on transport
+    /// failure.
     pub fn next_event(&mut self) -> Result<Event, ClientError> {
         match read_frame(&mut self.reader, DEFAULT_MAX_LINE_BYTES)? {
             FrameRead::Frame(line) => decode_response(&line)
                 .map(|response| response.event)
                 .map_err(|e| ClientError::Protocol(format!("{:?}: {}", e.kind, e.message))),
-            FrameRead::Eof => Err(ClientError::Protocol("connection closed".to_string())),
+            FrameRead::Eof => Err(ClientError::Disconnected("connection closed".to_string())),
             FrameRead::Truncated => {
-                Err(ClientError::Protocol("response truncated mid-frame".to_string()))
+                Err(ClientError::Disconnected("response truncated mid-frame".to_string()))
             }
             FrameRead::Oversized { at_least } => {
                 Err(ClientError::Protocol(format!("oversized response frame ({at_least}+ bytes)")))

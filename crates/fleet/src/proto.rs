@@ -128,13 +128,30 @@ pub enum Event {
         /// Total work units.
         total: u64,
     },
-    /// An incremental telemetry-v3 snapshot of the job's metrics
-    /// registry.
+    /// An incremental, delta-encoded telemetry frame: only the stage
+    /// histogram buckets and counters that changed since the job's
+    /// previous `Telemetry` frame are carried (the first frame encodes
+    /// everything-from-empty). Replaying every frame in order through
+    /// [`apply_delta`](lkas_runtime::apply_delta) reconstructs the
+    /// job's registry exactly.
     Telemetry {
-        /// The job the snapshot belongs to.
+        /// The job the frame belongs to.
         job: u64,
-        /// A serialized [`MetricsSnapshot`](lkas_runtime::MetricsSnapshot).
-        snapshot: Value,
+        /// A serialized [`MetricsDelta`](lkas_runtime::MetricsDelta)
+        /// (`lkas-telemetry-delta-v1`).
+        delta: Value,
+    },
+    /// One per-cycle telemetry event from a running job's stream
+    /// (`fleetctl watch` renders these live). Forwarded with
+    /// drop-oldest backpressure: a slow watcher loses old frames —
+    /// accounted under the daemon's `stream_dropped` counter — but
+    /// never stalls the job.
+    CycleDelta {
+        /// The job the cycle belongs to.
+        job: u64,
+        /// A serialized [`CycleDelta`](lkas_runtime::CycleDelta)
+        /// (`lkas-stream-v1`).
+        delta: Value,
     },
     /// The job finished; `payload` is the runner's result document.
     Result {
@@ -430,6 +447,8 @@ mod tests {
             Event::Accepted { job: 1, key: "k".into(), config_hash: "abc".into() },
             Event::Rejected { reason: "full".into(), queued: 4, capacity: 4 },
             Event::Progress { job: 1, completed: 3, total: 10 },
+            Event::Telemetry { job: 1, delta: Value::Object(vec![]) },
+            Event::CycleDelta { job: 1, delta: Value::Object(vec![]) },
             Event::Result { job: 1, cached: true, payload: Value::Str("report".into()) },
             Event::Failed { job: 1, message: "boom".into() },
             Event::Cancelled { job: 1 },

@@ -25,16 +25,18 @@ use crate::queue::JobQueue;
 use crate::store::TenantStores;
 use crate::worker::WorkerPool;
 use lkas::characterize::KnobStore;
-use lkas_runtime::{Counter, Metrics};
+use lkas_runtime::{
+    Counter, CycleDelta, DeltaTracker, FlightRecorder, Metrics, DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_STREAM_CAPACITY,
+};
 use serde::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +52,15 @@ pub struct FleetConfig {
     /// Directory for per-tenant persisted knob stores (`None` keeps
     /// stores session-lived).
     pub store_dir: Option<PathBuf>,
+    /// Per-watcher event-ring bound. A watcher that cannot keep up
+    /// loses its oldest buffered events (accounted under the daemon's
+    /// `stream_dropped` counter) instead of ever blocking the job.
+    pub watch_capacity: usize,
+    /// Directory for per-job flight-recorder artifacts (`None`
+    /// disables flight recording). A job's ring is dumped to
+    /// `job<N>-flight.json` on safe-mode entry, a runner panic, or a
+    /// cancellation request against the running job.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -60,8 +71,15 @@ impl Default for FleetConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             cache_capacity: 256,
             store_dir: None,
+            watch_capacity: DEFAULT_STREAM_CAPACITY,
+            flight_dir: None,
         }
     }
+}
+
+/// The path a job's flight-recorder artifact is dumped to.
+fn flight_path(dir: &std::path::Path, job: u64) -> PathBuf {
+    dir.join(format!("job{job}-flight.json"))
 }
 
 /// The canonical identity a runner assigns a job.
@@ -80,6 +98,8 @@ pub struct JobContext {
     tenant: Option<String>,
     metrics: Arc<Metrics>,
     stores: Arc<TenantStores>,
+    delta: Mutex<DeltaTracker>,
+    flight: Option<Arc<FlightRecorder>>,
     emit: Box<dyn Fn(Event) + Send + Sync>,
 }
 
@@ -120,16 +140,114 @@ impl JobContext {
         }
     }
 
+    /// The job's flight recorder, when the daemon was configured with
+    /// a flight directory. Runners attach it to their simulations so
+    /// the ring holds real cycle events when a post-mortem dump fires.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
     /// Streams a progress event to the job's watchers.
     pub fn emit_progress(&self, completed: u64, total: u64) {
         (self.emit)(Event::Progress { job: self.job, completed, total });
     }
 
-    /// Streams an incremental telemetry-v3 snapshot of the job's
-    /// registry to its watchers.
+    /// Streams a delta-encoded telemetry frame to the job's watchers:
+    /// only the histogram buckets and counters that changed since this
+    /// job's previous frame go on the wire (the first frame encodes
+    /// everything-from-empty).
     pub fn emit_telemetry(&self) {
-        let snapshot = serde::Serialize::to_value(&self.metrics.snapshot());
-        (self.emit)(Event::Telemetry { job: self.job, snapshot });
+        let delta = self.delta.lock().expect("delta tracker lock").diff(&self.metrics);
+        (self.emit)(Event::Telemetry { job: self.job, delta: serde::Serialize::to_value(&delta) });
+    }
+
+    /// Streams one per-cycle telemetry event to the job's watchers.
+    pub fn emit_cycle(&self, delta: &CycleDelta) {
+        (self.emit)(Event::CycleDelta { job: self.job, delta: serde::Serialize::to_value(delta) });
+    }
+}
+
+/// A bounded, drop-oldest event channel from a job to one watcher
+/// connection. The sending side (the worker running the job) never
+/// blocks: when the watcher's connection thread cannot drain fast
+/// enough the ring evicts its oldest event and reports the eviction,
+/// which [`Shared::notify`] accounts under `stream_dropped`.
+struct WatcherChannel {
+    state: Mutex<WatcherRing>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct WatcherRing {
+    events: VecDeque<Event>,
+    sender_closed: bool,
+    receiver_closed: bool,
+}
+
+struct WatcherSender(Arc<WatcherChannel>);
+struct WatcherReceiver(Arc<WatcherChannel>);
+
+fn watcher_channel(capacity: usize) -> (WatcherSender, WatcherReceiver) {
+    let channel = Arc::new(WatcherChannel {
+        state: Mutex::new(WatcherRing {
+            events: VecDeque::new(),
+            sender_closed: false,
+            receiver_closed: false,
+        }),
+        ready: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (WatcherSender(Arc::clone(&channel)), WatcherReceiver(channel))
+}
+
+impl WatcherSender {
+    /// Enqueues without ever blocking: a full ring evicts its oldest
+    /// event first. Returns the eviction count, or `Err(())` once the
+    /// watcher's connection is gone (the caller prunes the sender).
+    fn send(&self, event: Event) -> Result<u64, ()> {
+        let mut state = self.0.state.lock().expect("watcher ring lock");
+        if state.receiver_closed {
+            return Err(());
+        }
+        let mut evicted = 0u64;
+        while state.events.len() >= self.0.capacity {
+            state.events.pop_front();
+            evicted += 1;
+        }
+        state.events.push_back(event);
+        drop(state);
+        self.0.ready.notify_one();
+        Ok(evicted)
+    }
+}
+
+impl Drop for WatcherSender {
+    fn drop(&mut self) {
+        self.0.state.lock().expect("watcher ring lock").sender_closed = true;
+        self.0.ready.notify_all();
+    }
+}
+
+impl WatcherReceiver {
+    /// Blocks for the next buffered event; `None` once the sender side
+    /// closed and the ring is drained.
+    fn recv(&self) -> Option<Event> {
+        let mut state = self.0.state.lock().expect("watcher ring lock");
+        loop {
+            if let Some(event) = state.events.pop_front() {
+                return Some(event);
+            }
+            if state.sender_closed {
+                return None;
+            }
+            state = self.0.ready.wait(state).expect("watcher ring lock");
+        }
+    }
+}
+
+impl Drop for WatcherReceiver {
+    fn drop(&mut self) {
+        self.0.state.lock().expect("watcher ring lock").receiver_closed = true;
     }
 }
 
@@ -172,7 +290,8 @@ struct JobRecord {
     cached: bool,
     result: Option<Arc<Value>>,
     error: Option<String>,
-    watchers: Vec<mpsc::Sender<Event>>,
+    watchers: Vec<WatcherSender>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl JobRecord {
@@ -207,16 +326,30 @@ struct Shared {
 }
 
 impl Shared {
-    /// Sends `event` to every watcher of `job`, dropping watchers whose
-    /// connections went away; a terminal event also ends the watch
-    /// list.
+    /// Sends `event` to every watcher of `job` without ever blocking:
+    /// a watcher whose ring is full loses its oldest buffered event
+    /// (accounted under `stream_dropped`), and watchers whose
+    /// connections went away are pruned. A terminal event also ends
+    /// the watch list.
     fn notify(&self, job: u64, event: Event) {
-        let mut jobs = self.jobs.lock().expect("jobs lock");
-        if let Some(record) = jobs.get_mut(&job) {
-            record.watchers.retain(|w| w.send(event.clone()).is_ok());
-            if event.is_terminal() {
-                record.watchers.clear();
+        let mut dropped = 0u64;
+        {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            if let Some(record) = jobs.get_mut(&job) {
+                record.watchers.retain(|w| match w.send(event.clone()) {
+                    Ok(evicted) => {
+                        dropped += evicted;
+                        true
+                    }
+                    Err(()) => false,
+                });
+                if event.is_terminal() {
+                    record.watchers.clear();
+                }
             }
+        }
+        if dropped > 0 {
+            self.metrics.add(Counter::StreamDropped, dropped);
         }
     }
 
@@ -304,6 +437,9 @@ pub fn serve(
 
 /// Executes one dequeued job on a worker thread.
 fn run_job(shared: &Arc<Shared>, job: u64) {
+    let flight = shared.config.flight_dir.as_ref().map(|dir| {
+        Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY).with_auto_dump(flight_path(dir, job)))
+    });
     let (spec, tenant) = {
         let mut jobs = shared.jobs.lock().expect("jobs lock");
         let Some(record) = jobs.get_mut(&job) else { return };
@@ -313,6 +449,9 @@ fn run_job(shared: &Arc<Shared>, job: u64) {
         }
         record.state = JobState::Running;
         record.started_order = Some(shared.dispatch.fetch_add(1, Ordering::SeqCst));
+        // Held in the record so a cancellation request against the
+        // running job can dump the ring from the connection thread.
+        record.flight = flight.clone();
         (record.spec.clone(), record.tenant.clone())
     };
 
@@ -322,6 +461,8 @@ fn run_job(shared: &Arc<Shared>, job: u64) {
         tenant,
         metrics: Arc::clone(&metrics),
         stores: Arc::clone(&shared.stores),
+        delta: Mutex::new(DeltaTracker::new()),
+        flight: flight.clone(),
         emit: {
             let shared = Arc::clone(shared);
             Box::new(move |event| shared.notify(job, event))
@@ -329,13 +470,29 @@ fn run_job(shared: &Arc<Shared>, job: u64) {
     };
     shared.metrics.incr(Counter::FleetCacheMisses);
     let runner = Arc::clone(&shared.runner);
-    let outcome = catch_unwind(AssertUnwindSafe(|| runner.run(&spec, &ctx)))
-        .unwrap_or_else(|_| Err("job runner panicked".to_string()));
+    let outcome = match catch_unwind(AssertUnwindSafe(|| runner.run(&spec, &ctx))) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            // Post-mortem: the ring holds the cycles leading up to the
+            // panic (best-effort — the job is already failed).
+            if let (Some(f), Some(dir)) = (&flight, &shared.config.flight_dir) {
+                let _ = f.dump(flight_path(dir, job), "runner_panic");
+            }
+            Err("job runner panicked".to_string())
+        }
+    };
     shared.metrics.merge_from(&metrics);
+    if let Some(f) = &flight {
+        // Dump accounting happens daemon-side only, never inside a
+        // job's own registry, so cached/streamed result identity is
+        // unaffected.
+        shared.metrics.add(Counter::FlightDumps, f.dumps());
+    }
 
     let event = {
         let mut jobs = shared.jobs.lock().expect("jobs lock");
         let Some(record) = jobs.get_mut(&job) else { return };
+        record.flight = None;
         match outcome {
             Ok(payload) => {
                 let payload = Arc::new(payload);
@@ -484,6 +641,7 @@ fn handle_submit(
                 result: Some(Arc::clone(&payload)),
                 error: None,
                 watchers: Vec::new(),
+                flight: None,
             },
         );
         write_event(writer, Event::Accepted { job, key, config_hash })?;
@@ -508,9 +666,10 @@ fn handle_submit(
             result: None,
             error: None,
             watchers: Vec::new(),
+            flight: None,
         };
         let receiver = wait.then(|| {
-            let (sender, receiver) = mpsc::channel();
+            let (sender, receiver) = watcher_channel(shared.config.watch_capacity);
             record.watchers.push(sender);
             receiver
         });
@@ -537,8 +696,8 @@ fn handle_submit(
 }
 
 /// Forwards watcher events onto the wire until a terminal one.
-fn stream_events(writer: &mut TcpStream, receiver: &mpsc::Receiver<Event>) -> std::io::Result<()> {
-    while let Ok(event) = receiver.recv() {
+fn stream_events(writer: &mut TcpStream, receiver: &WatcherReceiver) -> std::io::Result<()> {
+    while let Some(event) = receiver.recv() {
         let terminal = event.is_terminal();
         write_event(writer, event)?;
         if terminal {
@@ -556,7 +715,7 @@ fn handle_watch(shared: &Arc<Shared>, writer: &mut TcpStream, job: u64) -> std::
             Some(record) => match record.terminal_event(job) {
                 Some(event) => Ok(Err(event)),
                 None => {
-                    let (sender, receiver) = mpsc::channel();
+                    let (sender, receiver) = watcher_channel(shared.config.watch_capacity);
                     record.watchers.push(sender);
                     Ok(Ok(receiver))
                 }
@@ -572,6 +731,7 @@ fn handle_watch(shared: &Arc<Shared>, writer: &mut TcpStream, job: u64) -> std::
 
 fn handle_cancel(shared: &Arc<Shared>, writer: &mut TcpStream, job: u64) -> std::io::Result<()> {
     let removed = shared.queue.remove_if(|&id| id == job);
+    let mut post_mortem: Option<Arc<FlightRecorder>> = None;
     let event = {
         let mut jobs = shared.jobs.lock().expect("jobs lock");
         match jobs.get_mut(&job) {
@@ -582,12 +742,24 @@ fn handle_cancel(shared: &Arc<Shared>, writer: &mut TcpStream, job: u64) -> std:
                 record.state = JobState::Cancelled;
                 Event::Cancelled { job }
             }
-            Some(record) => Event::Error(WireError::new(
-                ErrorKind::BadRequest,
-                format!("job {job} is {:?} and cannot be cancelled", record.state),
-            )),
+            Some(record) => {
+                // A running job finishes, but the cancellation request
+                // is a post-mortem trigger: its flight ring is dumped
+                // (outside the lock) so the requester can inspect what
+                // the job was doing.
+                if record.state == JobState::Running {
+                    post_mortem = record.flight.clone();
+                }
+                Event::Error(WireError::new(
+                    ErrorKind::BadRequest,
+                    format!("job {job} is {:?} and cannot be cancelled", record.state),
+                ))
+            }
         }
     };
+    if let (Some(f), Some(dir)) = (post_mortem, &shared.config.flight_dir) {
+        let _ = f.dump(flight_path(dir, job), "cancel_requested");
+    }
     if matches!(event, Event::Cancelled { .. }) {
         shared.notify(job, Event::Cancelled { job });
     }

@@ -70,6 +70,20 @@ impl JobRunner for MockRunner {
         let run = self.runs.fetch_add(1, Ordering::SeqCst);
         ctx.emit_progress(1, 2);
         ctx.emit_telemetry();
+        // `cycles: "<n>"` emits n per-cycle stream events; `fat: true`
+        // pads each one so a stalled watcher's transport backs up fast.
+        let cycles = match Self::field(spec, "cycles") {
+            Some(Value::Str(n)) => n.parse::<u64>().unwrap_or(0),
+            _ => 0,
+        };
+        let fat = matches!(Self::field(spec, "fat"), Some(Value::Bool(true)));
+        for i in 0..cycles {
+            let mut delta = lkas_runtime::CycleDelta::new(i);
+            if fat {
+                delta.labels.push("x".repeat(8192));
+            }
+            ctx.emit_cycle(&delta);
+        }
         ctx.emit_progress(2, 2);
         let name = match Self::field(spec, "name") {
             Some(Value::Str(name)) => name.clone(),
@@ -152,9 +166,15 @@ fn submit_streams_progress_telemetry_and_result() {
     let terminal = client
         .wait_terminal(|event| match event {
             Event::Progress { completed, total, .. } => progress.push((*completed, *total)),
-            Event::Telemetry { snapshot, .. } => {
-                // The streamed snapshot is a full telemetry-v3 document.
-                assert!(matches!(snapshot, Value::Object(_)));
+            Event::Telemetry { delta, .. } => {
+                // The streamed frame is a sparse telemetry-delta-v1
+                // document, not a full snapshot.
+                let Value::Object(fields) = delta else { panic!("delta must be an object") };
+                let schema = fields.iter().find(|(n, _)| n == "schema");
+                assert_eq!(
+                    schema.map(|(_, v)| v),
+                    Some(&Value::Str(lkas_runtime::TELEMETRY_DELTA_SCHEMA.to_string()))
+                );
                 telemetry += 1;
             }
             other => panic!("unexpected event {other:?}"),
@@ -395,4 +415,150 @@ fn failed_jobs_report_failure_and_watch_replays_terminal_state() {
     let Event::Failed { job: replayed, .. } = watcher.next_event().unwrap() else { panic!() };
     assert_eq!(replayed, job);
     daemon.shutdown();
+}
+
+fn stream_dropped(info: &lkas_fleet::proto::StatusInfo) -> u64 {
+    info.counters.iter().find(|(name, _)| name == "stream_dropped").map(|(_, v)| *v).unwrap_or(0)
+}
+
+#[test]
+fn slow_watcher_never_blocks_the_job_and_drops_are_accounted() {
+    // A tiny ring plus fat per-cycle frames: the submitting client
+    // never reads while the job runs, so its transport backs up, the
+    // ring overflows, and the daemon must drop-oldest rather than
+    // stall the worker.
+    let config = FleetConfig { watch_capacity: 8, ..FleetConfig::default() };
+    let daemon = Daemon::start(config);
+    let mut client = daemon.client();
+    let cycles = 3000u64;
+    let spec = Value::Object(vec![
+        ("name".to_string(), Value::Str("firehose".to_string())),
+        ("cycles".to_string(), Value::Str(cycles.to_string())),
+        ("fat".to_string(), Value::Bool(true)),
+    ]);
+    let accepted =
+        client.submit(SubmitRequest { tenant: None, priority: 0, wait: true, spec }).unwrap();
+    let Event::Accepted { job, .. } = accepted else { panic!("got {accepted:?}") };
+
+    // The job must reach Done while its watcher is still stalled.
+    let mut status_client = daemon.client();
+    let mut done = false;
+    for _ in 0..2000 {
+        status_client.send(RequestOp::Status).unwrap();
+        let Event::Status(info) = status_client.next_event().unwrap() else { panic!() };
+        if info.jobs.iter().any(|j| j.job == job && j.state == JobState::Done) {
+            done = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(done, "job must finish even though its watcher never reads");
+
+    // Drain the stalled watcher: whatever survived the ring arrives,
+    // ending in the terminal event (which is never evicted by later
+    // pushes because it is the last one).
+    let mut received = 0u64;
+    let terminal = client.wait_terminal(|_| received += 1).unwrap();
+    assert!(matches!(terminal, Event::Result { .. }), "got {terminal:?}");
+
+    status_client.send(RequestOp::Status).unwrap();
+    let Event::Status(info) = status_client.next_event().unwrap() else { panic!() };
+    let dropped = stream_dropped(&info);
+    assert!(dropped > 0, "the stalled watcher must have overflowed its ring");
+    // Conservation: the job emitted two progress frames, one telemetry
+    // frame, `cycles` cycle deltas, and one terminal event; every one
+    // of them was either delivered or accounted as dropped.
+    assert_eq!(received + 1 + dropped, cycles + 4);
+    daemon.shutdown();
+}
+
+#[test]
+fn disconnected_watcher_is_pruned_and_daemon_stays_healthy() {
+    let daemon = Daemon::start(FleetConfig::default());
+
+    // A gated job so a watcher can attach while it is running.
+    let mut submitter = daemon.client();
+    let spec = Value::Object(vec![
+        ("name".to_string(), Value::Str("observed".to_string())),
+        ("block".to_string(), Value::Bool(true)),
+        ("cycles".to_string(), Value::Str("200".to_string())),
+    ]);
+    let accepted =
+        submitter.submit(SubmitRequest { tenant: None, priority: 0, wait: false, spec }).unwrap();
+    let Event::Accepted { job, .. } = accepted else { panic!("got {accepted:?}") };
+    let mut status_client = daemon.client();
+    for _ in 0..200 {
+        status_client.send(RequestOp::Status).unwrap();
+        let Event::Status(info) = status_client.next_event().unwrap() else { panic!() };
+        if info.jobs.iter().any(|j| j.job == job && j.state == JobState::Running) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Attach a watcher, then vanish before any event flows.
+    {
+        let mut watcher = daemon.client();
+        watcher.send(RequestOp::Watch { job }).unwrap();
+    }
+
+    daemon.runner.release();
+    let mut done = false;
+    for _ in 0..400 {
+        status_client.send(RequestOp::Status).unwrap();
+        let Event::Status(info) = status_client.next_event().unwrap() else { panic!() };
+        if info.jobs.iter().any(|j| j.job == job && j.state == JobState::Done) {
+            done = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(done, "job must finish after its watcher disconnected");
+
+    // The daemon is still fully serviceable afterwards.
+    let mut client = daemon.client();
+    let accepted = client.submit(Daemon::submit("aftermath", 1, true)).unwrap();
+    assert!(matches!(accepted, Event::Accepted { .. }), "got {accepted:?}");
+    let terminal = client.wait_terminal(|_| {}).unwrap();
+    assert!(matches!(terminal, Event::Result { .. }), "got {terminal:?}");
+    daemon.shutdown();
+}
+
+mod watcher_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// For any ring capacity and event volume, delivered events
+        /// plus the daemon's `stream_dropped` counter exactly equals
+        /// the number of events the job emitted.
+        #[test]
+        fn delivered_plus_dropped_equals_emitted(
+            capacity in 1usize..12,
+            cycles in 1u64..150,
+        ) {
+            let config = FleetConfig { watch_capacity: capacity, ..FleetConfig::default() };
+            let daemon = Daemon::start(config);
+            let mut client = daemon.client();
+            let spec = Value::Object(vec![
+                ("name".to_string(), Value::Str(format!("prop-{capacity}-{cycles}"))),
+                ("cycles".to_string(), Value::Str(cycles.to_string())),
+            ]);
+            let accepted = client
+                .submit(SubmitRequest { tenant: None, priority: 0, wait: true, spec })
+                .unwrap();
+            prop_assert!(matches!(accepted, Event::Accepted { .. }), "got {:?}", accepted);
+            let mut received = 0u64;
+            let terminal = client.wait_terminal(|_| received += 1).unwrap();
+            prop_assert!(matches!(terminal, Event::Result { .. }), "got {:?}", terminal);
+
+            let mut status_client = daemon.client();
+            status_client.send(RequestOp::Status).unwrap();
+            let Event::Status(info) = status_client.next_event().unwrap() else { panic!() };
+            prop_assert_eq!(received + 1 + stream_dropped(&info), cycles + 4);
+            daemon.shutdown();
+        }
+    }
 }

@@ -19,6 +19,11 @@
 //!   per-cycle spans and instant events with deterministic virtual
 //!   timestamps, exportable as Chrome trace-event JSON viewable in
 //!   Perfetto.
+//! - [`TelemetryBus`] / [`CycleDelta`] — a bounded, non-blocking
+//!   per-cycle telemetry stream with drop-oldest backpressure
+//!   (`stream_dropped` accounting), plus the [`FlightRecorder`]
+//!   post-mortem ring and the sparse [`MetricsDelta`] encoding the
+//!   fleet daemon streams to watchers.
 //! - [`report`] — snapshot pretty-printing and the baseline-diff logic
 //!   behind the `telemetry_report` harness and the CI perf smoke gate.
 //! - [`campaign`] — sharded, resumable campaign execution: a
@@ -34,6 +39,7 @@ mod executor;
 mod hist;
 mod metrics;
 pub mod report;
+mod stream;
 mod trace;
 
 pub use campaign::{
@@ -45,5 +51,10 @@ pub use hist::{bucket_index, bucket_upper_ns, HistogramSnapshot, LatencyHistogra
 pub use metrics::{
     write_atomic, Counter, Metrics, MetricsDump, MetricsSnapshot, Stage, StageSnapshot, StageTimer,
     METRICS_DUMP_SCHEMA, TELEMETRY_SCHEMA, TELEMETRY_SCHEMA_V1, TELEMETRY_SCHEMA_V2,
+};
+pub use stream::{
+    apply_delta, fold, CycleDelta, DeltaTracker, FlightDump, FlightRecorder, MetricsDelta,
+    StageDelta, Subscription, TelemetryBus, DEFAULT_FLIGHT_CAPACITY, DEFAULT_STREAM_CAPACITY,
+    FLIGHT_SCHEMA, FLIGHT_TRIGGER_LABEL, STREAM_SCHEMA, TELEMETRY_DELTA_SCHEMA,
 };
 pub use trace::{TraceRecorder, TraceSink, CYCLE_TICKS, DEFAULT_TRACE_CAPACITY, STAGE_TICKS};

@@ -73,6 +73,11 @@ impl Stage {
             Stage::Actuation => "actuation",
         }
     }
+
+    /// Looks up a stage by its snake_case name.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.name() == name)
+    }
 }
 
 /// Monotonic event counters tracked alongside stage timings.
@@ -151,11 +156,18 @@ pub enum Counter {
     FleetCacheHits,
     /// Fleet jobs that missed the results cache and were simulated.
     FleetCacheMisses,
+    /// Per-cycle telemetry events evicted from a bounded stream ring
+    /// (drop-oldest backpressure on a slow subscriber). Accounted by
+    /// the bus/daemon, never by a simulation run's own registry, so a
+    /// folded stream stays byte-identical to the run snapshot.
+    StreamDropped,
+    /// Flight-recorder rings dumped as post-mortem artifacts.
+    FlightDumps,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 31] = [
         Counter::Cycles,
         Counter::PerceptionFailures,
         Counter::SituationSwitches,
@@ -185,6 +197,8 @@ impl Counter {
         Counter::FleetJobsRejected,
         Counter::FleetCacheHits,
         Counter::FleetCacheMisses,
+        Counter::StreamDropped,
+        Counter::FlightDumps,
     ];
 
     /// The counter's snake_case name as written to JSON.
@@ -219,6 +233,8 @@ impl Counter {
             Counter::FleetJobsRejected => "fleet_jobs_rejected",
             Counter::FleetCacheHits => "fleet_cache_hits",
             Counter::FleetCacheMisses => "fleet_cache_misses",
+            Counter::StreamDropped => "stream_dropped",
+            Counter::FlightDumps => "flight_dumps",
         }
     }
 
@@ -264,6 +280,16 @@ impl Metrics {
     /// Records one observation of `elapsed` for `stage`.
     pub fn record(&self, stage: Stage, elapsed: Duration) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.record_ns(stage, ns);
+    }
+
+    /// Records one observation of exactly `ns` nanoseconds for `stage`.
+    ///
+    /// The telemetry stream carries the same raw values, so recording
+    /// the identical `u64` into both the registry and a
+    /// [`crate::CycleDelta`] keeps a folded stream byte-identical to
+    /// the end-of-run snapshot.
+    pub fn record_ns(&self, stage: Stage, ns: u64) {
         self.stages[stage as usize].record_ns(ns);
     }
 
@@ -285,6 +311,13 @@ impl Metrics {
     /// A plain copy of one stage's latency histogram.
     pub fn stage_histogram(&self, stage: Stage) -> HistogramSnapshot {
         self.stages[stage as usize].snapshot()
+    }
+
+    /// Adds every observation of `snap` into `stage`'s histogram — the
+    /// per-stage counterpart of [`Metrics::absorb`], used when applying
+    /// sparse telemetry deltas ([`crate::apply_delta`]).
+    pub fn merge_stage_snapshot(&self, stage: Stage, snap: &HistogramSnapshot) {
+        self.stages[stage as usize].merge_snapshot(snap);
     }
 
     /// Increments `counter` by one.

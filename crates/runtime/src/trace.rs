@@ -17,6 +17,11 @@
 //! happened in which cycle*, while the latency histograms of
 //! [`Metrics`] carry the real timing distribution.
 //!
+//! The per-cycle telemetry stream ([`crate::TelemetryBus`]) stamps its
+//! [`crate::CycleDelta`] events in the same tick base
+//! (`cycle × CYCLE_TICKS`), so trace spans and streamed events line up
+//! on a common virtual clock.
+//!
 //! Open an exported `.trace.json` in Perfetto
 //! (<https://ui.perfetto.dev>, "Open trace file") or
 //! `chrome://tracing`.

@@ -82,6 +82,30 @@ gate_shard_equivalence() {
       --max-rel-mean 8 --max-rel-tail 25 --min-mean-us 2
 }
 
+# Certificate gate for the perception-error-profile layer:
+# (a) the v4 report — per-cell certificates and the blind-burst
+#     head-to-head included — must be byte-identical between
+#     --threads 1 and --threads 4 (the ℓ₁-gain accumulation is
+#     sequential f64, so worker count must not leak into margins),
+# (b) the 2-shard merge from gate-shard-equivalence must carry the
+#     same certificate bytes (cmp against the smoke report),
+# (c) every campaign cell must carry a fitted-profile certificate, and
+# (d) the pinned Case-3 blind burst must conclude that observer
+#     coasting beats hold-and-extrapolate.
+gate_certificates() {
+  cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    --quick --seed 7 --threads 4 --out artifacts/ci_cert_t4.json > /dev/null &&
+    cmp artifacts/robustness_smoke.json artifacts/ci_cert_t4.json &&
+    echo "certificate report is byte-identical across 1-vs-4 worker threads" &&
+    cmp artifacts/robustness_smoke.json artifacts/ci_sharded_report.json &&
+    echo "certificate report is byte-identical across the 2-shard merge" &&
+    ! grep -q '"certificate": null' artifacts/robustness_smoke.json &&
+    ! grep -q '"worst_certificate": null' artifacts/robustness_smoke.json &&
+    echo "every campaign cell carries a certificate margin" &&
+    grep -q '"observer_beats_hold": true' artifacts/robustness_smoke.json &&
+    echo "observer coasting beats hold-and-extrapolate on the blind burst"
+}
+
 # Tuner-equivalence gate for the online re-characterization layer:
 # (a) with exploration disabled the tuned loop must be byte-identical
 #     to the frozen-table loop (the drift report is purely behavioral,
@@ -247,6 +271,7 @@ stage test cargo test -q --workspace
 stage smoke-robustness smoke_robustness
 stage gate-telemetry gate_telemetry
 stage gate-shard-equivalence gate_shard_equivalence
+stage gate-certificates gate_certificates
 stage gate-tuner-equivalence gate_tuner_equivalence
 stage gate-stream-equivalence gate_stream_equivalence
 stage gate-fleet-smoke gate_fleet_smoke

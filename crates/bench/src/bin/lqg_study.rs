@@ -12,7 +12,7 @@
 use lkas_bench::{default_threads, render_table, write_result, Executor};
 use lkas_control::controller::{Controller, Measurement};
 use lkas_control::design::{design_controller, ControllerConfig};
-use lkas_control::lqg::{design_lqg_controller, NoiseModel};
+use lkas_control::lqg::{LqgDesign, NoiseModel};
 use lkas_control::model::{kmph_to_mps, VehicleParams};
 use lkas_control::ACTUATOR_TIME_CONSTANT_S;
 use lkas_linalg::expm::zoh_discretize_with_delay;
@@ -65,13 +65,10 @@ fn main() {
     let sigmas = [0.02, 0.08, 0.20];
     let designs: Vec<(String, Controller)> = vec![
         ("nominal LQR".into(), design_controller(&cfg).expect("design")),
-        (
-            "LQG σ=0.05 (default)".into(),
-            design_lqg_controller(&cfg, &NoiseModel::default()).expect("design"),
-        ),
+        ("LQG σ=0.05 (default)".into(), LqgDesign::new(cfg).design().expect("design")),
         (
             "LQG σ=0.20 (noisy-vision)".into(),
-            design_lqg_controller(&cfg, &NoiseModel::noisy_vision()).expect("design"),
+            LqgDesign::new(cfg).with_noise(NoiseModel::noisy_vision()).design().expect("design"),
         ),
     ];
     let jobs: Vec<(String, Controller, f64)> = sigmas

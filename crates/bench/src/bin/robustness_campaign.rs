@@ -261,12 +261,14 @@ fn print_report(cfg: &CampaignConfig, report: &RobustnessReport) {
             vec![
                 e.case.clone(),
                 e.plan.clone(),
-                if e.policy { "on" } else { "off" }.to_string(),
+                e.coast.clone(),
                 e.knobs.clone(),
                 if e.crashed { "CRASH" } else { "ok" }.to_string(),
                 e.mae.map_or("-".to_string(), |m| format!("{m:.4}")),
                 e.degraded_samples.to_string(),
                 e.measurement_holds.to_string(),
+                e.observer_coasts.to_string(),
+                e.certificate.map_or("-".to_string(), |m| format!("{m:.3}")),
             ]
         })
         .collect();
@@ -278,17 +280,44 @@ fn print_report(cfg: &CampaignConfig, report: &RobustnessReport) {
     println!(
         "{}",
         render_table(
-            &["case", "plan", "policy", "knobs", "outcome", "MAE (m)", "degraded", "holds"],
+            &[
+                "case", "plan", "coast", "knobs", "outcome", "MAE (m)", "degraded", "holds",
+                "coasts", "cert",
+            ],
             &rows
         )
     );
     let s = &report.summary;
     println!(
-        "crash rate: {:.2} (policy off) -> {:.2} (policy on); time degraded: {:.1}%",
+        "crash rate: {:.2} (off) -> {:.2} (hold) -> {:.2} (observer); time degraded: {:.1}%",
         s.crash_rate_policy_off,
         s.crash_rate_policy_on,
+        s.crash_rate_observer,
         s.time_in_degraded_frac * 100.0
     );
+    println!(
+        "certificates: {}/{} cells certified (worst margin {})",
+        s.certified_cells,
+        s.certificate_cells,
+        s.worst_certificate.map_or("-".to_string(), |m| format!("{m:.3}")),
+    );
+    if let Some(burst) = &s.blind_burst {
+        let outcome = |crashed: bool, samples: u64, mae: Option<f64>| {
+            if crashed {
+                format!("CRASH after {samples} samples")
+            } else {
+                format!("survived (MAE {})", mae.map_or("-".to_string(), |m| format!("{m:.4}")))
+            }
+        };
+        println!(
+            "blind burst ({}, {}): hold {} vs observer {} -> observer_beats_hold={}",
+            burst.case,
+            burst.plan,
+            outcome(burst.hold_crashed, burst.hold_samples, burst.hold_mae),
+            outcome(burst.observer_crashed, burst.observer_samples, burst.observer_mae),
+            burst.observer_beats_hold
+        );
+    }
     if let (Some(stat), Some(tuned)) = (s.drift_mae_static, s.drift_mae_tuned) {
         println!(
             "sensor-drift axis: frozen table MAE {stat:.4} -> online-tuned MAE {tuned:.4} ({}{:.1}%)",

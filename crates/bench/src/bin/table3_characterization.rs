@@ -23,6 +23,7 @@ use lkas::characterize::{Characterization, CharacterizeConfig, Characterizer};
 use lkas::knobs::KnobTable;
 use lkas::TABLE3_SITUATIONS;
 use lkas_bench::{arg_value, default_threads, render_table, write_result, Metrics, ARTIFACTS_DIR};
+use lkas_control::design_controller;
 use lkas_platform::schedule::ClassifierSet;
 use lkas_runtime::{merge_shard_files, read_shard_file, write_shard_file, Shard};
 use std::path::PathBuf;
@@ -115,17 +116,35 @@ fn print_and_cache(out: &Characterization, characterizer: &Characterizer) {
     for (i, situation) in TABLE3_SITUATIONS.iter().enumerate() {
         let ours = out.table.get(situation);
         let theirs = paper.get(situation).expect("paper covers all 21");
-        let (isp, roi, speed, cfg_str) = match ours {
+        let (isp, roi, speed, cfg_str, cert) = match ours {
             Some(t) => {
                 let cfg = t.controller_config(ClassifierSet::all());
+                // The winning cell's robustness certificate: the
+                // perception-error profile fitted during its sweep run,
+                // propagated through the closed loop designed at the
+                // cell's own [v, h, τ] operating point.
+                let cert = out
+                    .sweeps
+                    .iter()
+                    .find(|(s, _)| s == situation)
+                    .and_then(|(_, outcomes)| outcomes.iter().find(|c| c.tuning == t))
+                    .and_then(|c| {
+                        let profile = c.moments.fit();
+                        design_controller(&cfg)
+                            .ok()
+                            .map(|ctl| lkas_control::certify(&ctl, &profile).margin)
+                    })
+                    .map(|m| format!("{m:.3}"))
+                    .unwrap_or_else(|| "-".into());
                 (
                     t.isp.name().to_string(),
                     t.roi.name().to_string(),
                     format!("{:.0}", t.speed_kmph),
                     format!("[{:.0}, {:.0}, {:.0}]", cfg.speed_kmph, cfg.h_ms, cfg.tau_ms),
+                    cert,
                 )
             }
-            None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            None => ("-".into(), "-".into(), "-".into(), "-".into(), "-".into()),
         };
         if let Some(t) = ours {
             if t.isp == theirs.isp {
@@ -144,6 +163,7 @@ fn print_and_cache(out: &Characterization, characterizer: &Characterizer) {
             speed,
             cfg_str,
             mae,
+            cert,
             format!("{} {}", theirs.isp.name(), theirs.roi.name()),
         ]);
     }
@@ -151,7 +171,7 @@ fn print_and_cache(out: &Characterization, characterizer: &Characterizer) {
     println!(
         "{}",
         render_table(
-            &["#", "situation", "ISP", "ROI", "v", "[v,h,τ]", "MAE", "paper (ISP ROI)"],
+            &["#", "situation", "ISP", "ROI", "v", "[v,h,τ]", "MAE", "cert", "paper (ISP ROI)"],
             &rows
         )
     );
@@ -169,6 +189,10 @@ fn print_and_cache(out: &Characterization, characterizer: &Characterizer) {
     let path = std::path::Path::new(ARTIFACTS_DIR).join("table3.json");
     std::fs::write(&path, json).expect("write table3");
     eprintln!("[cached] {}", path.display());
+    let profiles = out.error_profiles(&characterizer.fingerprint());
+    let profiles_path = std::path::Path::new(ARTIFACTS_DIR).join("error_profiles.json");
+    std::fs::write(&profiles_path, profiles.to_json()).expect("write error profiles");
+    eprintln!("[cached] {}", profiles_path.display());
     let store = out.clone().into_store(&characterizer.fingerprint());
     let store_path = std::path::Path::new(ARTIFACTS_DIR).join("knob_store.json");
     std::fs::write(&store_path, store.to_json()).expect("write knob store");

@@ -1,6 +1,7 @@
 //! The robustness campaign: a grid of fault plans × evaluation cases,
-//! each run with the degradation policy off and on, driven through the
-//! sharded [`lkas_runtime::campaign`] engine.
+//! each run under three degradation arms — policy off, the legacy
+//! hold-and-extrapolate policy, and the observer-coast policy — driven
+//! through the sharded [`lkas_runtime::campaign`] engine.
 //!
 //! The campaign report is a *pure function of `(seed, quick)`*: the
 //! grid is canonical (same `(key, job)` list on every run), entries
@@ -13,7 +14,7 @@
 use crate::Metrics;
 use lkas::cases::Case;
 use lkas::characterize::{CharacterizeConfig, Characterizer, KnobStore};
-use lkas::degrade::DegradationConfig;
+use lkas::degrade::{CoastPolicy, DegradationConfig};
 use lkas::hil::{HilConfig, HilResult, HilSimulator, SituationSource};
 use lkas::knobs::KnobTable;
 use lkas::tuner::TunerConfig;
@@ -30,12 +31,16 @@ use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Schema tag of the emitted robustness report. `v3` widened the
-/// sensor-drift axis from one situation to [`DRIFT_SITUATIONS`] (the
-/// `situation` entry field and the per-situation `drift_situations`
-/// summary); `v2` introduced the axis (the `knobs` entry field and the
-/// drift summary statistics).
-pub const ROBUSTNESS_SCHEMA: &str = "lkas-robustness-v3";
+/// Schema tag of the emitted robustness report. `v4` split the single
+/// policy-on arm into hold-and-extrapolate vs observer-coast (the
+/// `coast` entry field, the observer summary statistics, and the
+/// `blind_burst` head-to-head) and propagated each entry's fitted
+/// perception-error profile into a per-cell robustness `certificate`;
+/// `v3` widened the sensor-drift axis from one situation to
+/// [`DRIFT_SITUATIONS`] (the `situation` entry field and the
+/// per-situation `drift_situations` summary); `v2` introduced the axis
+/// (the `knobs` entry field and the drift summary statistics).
+pub const ROBUSTNESS_SCHEMA: &str = "lkas-robustness-v4";
 
 /// Campaign parameters. `threads` affects wall-clock only, never report
 /// content.
@@ -78,18 +83,82 @@ impl CampaignConfig {
 /// plan; the "fault" is a drifted sensor model).
 pub const DRIFT_PLAN_NAME: &str = "sensor-drift";
 
+/// Plan name of the blind-burst head-to-head entries (the pinned
+/// hold-vs-observer scenario; see [`blind_burst_track`]).
+pub const BLIND_BURST_PLAN_NAME: &str = "blind-burst";
+
+/// The degradation arm a fault-grid entry runs under. The campaign
+/// grids every `(case, plan)` cell over all three, so every report
+/// carries the off/hold A/B the policy was originally judged by *and*
+/// the hold/observer A/B the coasting estimator is judged by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyArm {
+    /// No degradation policy: raw misses reach the controller.
+    Off,
+    /// [`DegradationConfig::default`] with the legacy
+    /// hold-and-extrapolate bridging ([`CoastPolicy::HoldAndExtrapolate`]).
+    Hold,
+    /// [`DegradationConfig::default`] with the observer-based coasting
+    /// estimator ([`CoastPolicy::ObserverCoast`]).
+    Observer,
+}
+
+impl PolicyArm {
+    /// All arms, in grid order.
+    pub const ALL: [PolicyArm; 3] = [PolicyArm::Off, PolicyArm::Hold, PolicyArm::Observer];
+
+    /// The report's `coast` column value (also the grid-key fragment
+    /// suffix).
+    pub fn coast_name(self) -> &'static str {
+        match self {
+            PolicyArm::Off => "off",
+            PolicyArm::Hold => "hold",
+            PolicyArm::Observer => "observer",
+        }
+    }
+
+    /// `true` when a degradation policy runs at all (the legacy
+    /// `policy` report column).
+    pub fn policy_enabled(self) -> bool {
+        self != PolicyArm::Off
+    }
+
+    /// The degradation configuration of this arm, `None` for
+    /// [`PolicyArm::Off`]. Hold and observer differ *only* in
+    /// [`CoastPolicy`], so their A/B isolates the coasting estimator.
+    pub fn degradation(self) -> Option<DegradationConfig> {
+        match self {
+            PolicyArm::Off => None,
+            PolicyArm::Hold => {
+                Some(DegradationConfig::default().with_coast(CoastPolicy::HoldAndExtrapolate))
+            }
+            PolicyArm::Observer => {
+                Some(DegradationConfig::default().with_coast(CoastPolicy::ObserverCoast))
+            }
+        }
+    }
+}
+
 /// One grid point's work item: a fault-injection run or a
 /// drifted-sensor run comparing knob sources.
 #[derive(Debug, Clone)]
 pub enum CampaignJob {
-    /// A fault-plan run, in the policy-off or policy-on arm.
+    /// A fault-plan run, in one of the three degradation arms.
     Fault {
         /// Evaluation case.
         case: Case,
         /// Injected fault plan.
         plan: Arc<FaultPlan>,
-        /// `true` enables the degradation policy.
-        policy: bool,
+        /// Degradation arm.
+        arm: PolicyArm,
+    },
+    /// The pinned blind-burst scenario ([`blind_burst_track`] +
+    /// [`blind_burst_plan`]) in the hold or observer arm — the
+    /// head-to-head the coasting estimator is judged by.
+    BlindBurst {
+        /// Degradation arm ([`PolicyArm::Hold`] or
+        /// [`PolicyArm::Observer`]).
+        arm: PolicyArm,
     },
     /// A run under the drifted sensor model ([`drift_sensor`]) on a
     /// single-situation straight track, with the frozen characterized
@@ -113,6 +182,10 @@ pub struct CampaignEntry {
     pub plan: String,
     /// `true` if the degradation policy was enabled.
     pub policy: bool,
+    /// Miss-bridging arm: `"off"` (no policy), `"hold"`
+    /// (hold-and-extrapolate), or `"observer"` (observer coasting).
+    /// Drift-axis entries run policy-free and report `"off"`.
+    pub coast: String,
     /// Knob source: `"static"` (characterized table) or `"tuned"`
     /// (online re-characterization).
     pub knobs: String,
@@ -139,27 +212,60 @@ pub struct CampaignEntry {
     pub degraded_entries: u64,
     /// Misses bridged by hold-and-extrapolate.
     pub measurement_holds: u64,
+    /// Misses beyond the hold budget bridged by the observer's
+    /// open-loop estimate (observer arm only).
+    pub observer_coasts: u64,
+    /// Innovation-gated re-acquisitions after a coast (observer arm
+    /// only).
+    pub observer_reacquisitions: u64,
+    /// Per-cell robustness margin: the run's fitted perception-error
+    /// profile propagated through the nominal closed loop
+    /// ([`lkas_control::certify`]); `< 1` is certified. `None` when the
+    /// run took no control samples.
+    pub certificate: Option<f64>,
 }
 
-/// Aggregates over the grid, split by policy arm.
+/// Aggregates over the grid, split by degradation arm. The
+/// `policy_off`/`policy_on` pair keeps its historical meaning — the
+/// original off-vs-hold A/B — and the observer arm reports alongside,
+/// so v3-era trend tracking stays comparable.
 #[derive(Debug, Clone, Serialize)]
 pub struct CampaignSummary {
-    /// Grid points per policy arm.
+    /// Grid points per degradation arm.
     pub runs_per_arm: usize,
     /// Crashes with the policy off.
     pub crashes_policy_off: usize,
-    /// Crashes with the policy on.
+    /// Crashes under hold-and-extrapolate.
     pub crashes_policy_on: usize,
+    /// Crashes under observer coasting.
+    pub crashes_observer: usize,
     /// Crash fraction with the policy off.
     pub crash_rate_policy_off: f64,
-    /// Crash fraction with the policy on.
+    /// Crash fraction under hold-and-extrapolate.
     pub crash_rate_policy_on: f64,
+    /// Crash fraction under observer coasting.
+    pub crash_rate_observer: f64,
     /// Mean MAE across non-crashed policy-off runs (m).
     pub mean_mae_policy_off: Option<f64>,
-    /// Mean MAE across non-crashed policy-on runs (m).
+    /// Mean MAE across non-crashed hold-arm runs (m).
     pub mean_mae_policy_on: Option<f64>,
-    /// Fraction of policy-on control samples spent in safe mode.
+    /// Mean MAE across non-crashed observer-arm runs (m).
+    pub mean_mae_observer: Option<f64>,
+    /// Fraction of policy-enabled control samples spent in safe mode
+    /// (hold and observer arms pooled).
     pub time_in_degraded_frac: f64,
+    /// Fault-grid entries carrying a certificate.
+    pub certificate_cells: usize,
+    /// Fault-grid entries whose certificate margin is `< 1`.
+    pub certified_cells: usize,
+    /// Largest certificate margin over the fault grid (the cell
+    /// closest to — or past — losing its certificate).
+    pub worst_certificate: Option<f64>,
+    /// Head-to-head on the pinned Case-3 blind-burst scenario
+    /// ([`blind_burst_track`]): does observer coasting beat
+    /// hold-and-extrapolate where the loop goes blind? `None` when the
+    /// grid lacks the scenario (partial entry sets).
+    pub blind_burst: Option<BlindBurstComparison>,
     /// Primary drift-situation MAE ([`DRIFT_SITUATIONS`]`[0]`) with
     /// the frozen characterized table (m), `None` if the run crashed
     /// or the axis was absent.
@@ -169,6 +275,37 @@ pub struct CampaignSummary {
     pub drift_mae_tuned: Option<f64>,
     /// Per-situation drift results, in [`DRIFT_SITUATIONS`] order.
     pub drift_situations: Vec<DriftSituationSummary>,
+}
+
+/// The Case-3 blind-burst head-to-head: the hold and observer arms of
+/// the pinned blind-burst cell, reduced to the lexicographic survival
+/// metric the coasting estimator is judged by — survive when the other
+/// arm crashes; if both crash, stay in the lane longer; if both
+/// survive, track at least as accurately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlindBurstComparison {
+    /// Evaluation case of the compared cell.
+    pub case: String,
+    /// Fault plan of the compared cell.
+    pub plan: String,
+    /// `true` if the hold arm left the lane.
+    pub hold_crashed: bool,
+    /// `true` if the observer arm left the lane.
+    pub observer_crashed: bool,
+    /// Control samples the hold arm survived.
+    pub hold_samples: u64,
+    /// Control samples the observer arm survived.
+    pub observer_samples: u64,
+    /// Hold-arm MAE (m), `None` after a crash.
+    pub hold_mae: Option<f64>,
+    /// Observer-arm MAE (m), `None` after a crash.
+    pub observer_mae: Option<f64>,
+    /// Misses the observer arm bridged beyond the hold budget.
+    pub observer_coasts: u64,
+    /// Innovation-gated re-acquisitions in the observer arm.
+    pub observer_reacquisitions: u64,
+    /// The lexicographic verdict (see type docs). CI gates on this.
+    pub observer_beats_hold: bool,
 }
 
 /// The drift axis outcome for one situation: the static/tuned MAE
@@ -266,6 +403,25 @@ pub fn campaign_cases(quick: bool) -> Vec<Case> {
     }
 }
 
+/// The blind-burst track: one long daylight straight. Deliberately
+/// *not* the campaign track and *not* `quick`-dependent — the
+/// head-to-head isolates what happens when the loop goes blind
+/// mid-straight and must re-acquire, with no curve to entangle the
+/// verdict (the gyro-corrected coast cannot sense road curvature, so a
+/// curve would measure the scenario, not the estimator). Mirrors the
+/// `observer_coast_outlasts_hold_and_extrapolate_through_a_blind_burst`
+/// acceptance test in `lkas::hil`.
+pub fn blind_burst_track() -> Track {
+    Track::for_situation(&TABLE3_SITUATIONS[0], 600.0)
+}
+
+/// The blind-burst fault plan: a 400-cycle frame-drop burst starting
+/// at cycle 200 — roughly 10 s blind at 50 km/h, two orders of
+/// magnitude past the hold budget.
+pub fn blind_burst_plan(seed: u64) -> FaultPlan {
+    FaultPlan::named(BLIND_BURST_PLAN_NAME, seed).drop_burst(200, 400)
+}
+
 /// The situations the drift axis grids over, as indices into
 /// [`TABLE3_SITUATIONS`]: the dark straight with white continuous
 /// markings (index 6, the primary — its characterized tuning is the
@@ -327,11 +483,11 @@ pub fn warm_start_store(seed: u64, camera: &Camera, situation_index: usize) -> K
 /// checkpoints and merges can only combine evaluations of the same
 /// configuration.
 pub fn config_fingerprint(cfg: &CampaignConfig) -> String {
-    // The leading tag carries the grid revision: v3 widened the drift
-    // axis, so v2-era checkpoints and shard artifacts can never be
-    // merged into a v3 run.
+    // The leading tag carries the grid revision: v4 split the policy
+    // arm three ways, so v3-era checkpoints and shard artifacts can
+    // never be merged into a v4 run.
     Fingerprint::new()
-        .push_str("robustness-v3")
+        .push_str("robustness-v4")
         .push_u64(cfg.seed)
         .push_u64(cfg.quick as u64)
         .finish()
@@ -353,17 +509,26 @@ pub fn campaign_grid(cfg: &CampaignConfig) -> Vec<(String, CampaignJob)> {
     let mut grid = Vec::new();
     for &case in &campaign_cases(cfg.quick) {
         for plan in &plans {
-            for policy in [false, true] {
+            for arm in PolicyArm::ALL {
                 let key = format!(
-                    "{}|{}|policy-{}|seed={:016x}|cfg={config_hash}",
+                    "{}|{}|arm-{}|seed={:016x}|cfg={config_hash}",
                     case.name(),
                     plan.name,
-                    if policy { "on" } else { "off" },
+                    arm.coast_name(),
                     cfg.seed
                 );
-                grid.push((key, CampaignJob::Fault { case, plan: Arc::clone(plan), policy }));
+                grid.push((key, CampaignJob::Fault { case, plan: Arc::clone(plan), arm }));
             }
         }
+    }
+    for arm in [PolicyArm::Hold, PolicyArm::Observer] {
+        let key = format!(
+            "{}|{BLIND_BURST_PLAN_NAME}|arm-{}|seed={:016x}|cfg={config_hash}",
+            Case::Case3.name(),
+            arm.coast_name(),
+            cfg.seed
+        );
+        grid.push((key, CampaignJob::BlindBurst { arm }));
     }
     for &situation in &DRIFT_SITUATIONS {
         for tuned in [false, true] {
@@ -517,21 +682,40 @@ pub fn evaluate_job_tapped(
     taps: &DriftTaps,
 ) -> CampaignEntry {
     match job {
-        CampaignJob::Fault { case, plan, policy } => {
+        CampaignJob::Fault { case, plan, arm } => {
             let mut config = HilConfig::new(*case, SituationSource::Oracle)
                 .with_seed(cfg.seed)
-                .with_camera(camera.clone());
+                .with_camera(camera.clone())
+                .with_error_fit(true);
             if !plan.is_empty() {
                 config = config.with_fault_plan(Arc::clone(plan));
             }
-            if *policy {
-                config = config.with_degradation(DegradationConfig::default());
+            if let Some(degradation) = arm.degradation() {
+                config = config.with_degradation(degradation);
             }
             if let Some(metrics) = metrics {
                 config = config.with_metrics(metrics);
             }
             let result = HilSimulator::new(track.clone(), taps.apply(config)).run();
-            entry_for(case.name(), &plan.name, *policy, "static", None, &result)
+            entry_for(case.name(), &plan.name, *arm, "static", None, &result)
+        }
+        CampaignJob::BlindBurst { arm } => {
+            // Pinned scenario: its own track, camera, and plan — the
+            // campaign's `--quick` flag must not move the goalposts of
+            // the hold-vs-observer verdict.
+            let mut config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+                .with_seed(cfg.seed)
+                .with_camera(campaign_camera(true))
+                .with_fault_plan(Arc::new(blind_burst_plan(cfg.seed)))
+                .with_error_fit(true);
+            if let Some(degradation) = arm.degradation() {
+                config = config.with_degradation(degradation);
+            }
+            if let Some(metrics) = metrics {
+                config = config.with_metrics(metrics);
+            }
+            let result = HilSimulator::new(blind_burst_track(), taps.apply(config)).run();
+            entry_for(Case::Case3.name(), BLIND_BURST_PLAN_NAME, *arm, "static", None, &result)
         }
         CampaignJob::Drift { situation, tuned } => {
             let knobs =
@@ -540,7 +724,7 @@ pub fn evaluate_job_tapped(
             entry_for(
                 Case::Case4.name(),
                 DRIFT_PLAN_NAME,
-                false,
+                PolicyArm::Off,
                 if *tuned { "tuned" } else { "static" },
                 Some(*situation),
                 &result,
@@ -670,7 +854,8 @@ pub fn run_drift_hil_tapped(
         .with_seed(cfg.seed)
         .with_camera(camera.clone())
         .with_sensor(drift_sensor())
-        .with_initial_estimate(situation);
+        .with_initial_estimate(situation)
+        .with_error_fit(true);
     if let DriftKnobs::Tuned { epsilon } = knobs {
         let store =
             store_override.unwrap_or_else(|| warm_start_store(cfg.seed, &camera, situation_index));
@@ -748,10 +933,31 @@ pub fn drift_report_json(report: &DriftReport) -> String {
     serde_json::to_string_pretty(report).expect("serialize drift report")
 }
 
+/// The closed loop certificates propagate through: the paper's nominal
+/// Table I design (50 km/h, 25 ms period, 24.6 ms delay). The
+/// *profile* is per cell; the loop is held fixed so margins compare
+/// across cells on the error envelope alone.
+fn certification_controller() -> lkas_control::Controller {
+    lkas_control::design_controller(&lkas_control::ControllerConfig {
+        speed_kmph: 50.0,
+        h_ms: 25.0,
+        tau_ms: 24.6,
+    })
+    .expect("nominal certification design")
+}
+
+/// Propagates a run's fitted perception-error profile into the
+/// per-cell robustness margin (sequential f64 — bit-identical on every
+/// thread count and shard split).
+fn certificate_for(r: &HilResult) -> Option<f64> {
+    let profile = r.error_profile()?;
+    Some(round_um(lkas_control::certify(&certification_controller(), &profile).margin))
+}
+
 fn entry_for(
     case: &str,
     plan: &str,
-    policy: bool,
+    arm: PolicyArm,
     knobs: &str,
     situation: Option<usize>,
     r: &HilResult,
@@ -759,7 +965,8 @@ fn entry_for(
     CampaignEntry {
         case: case.to_string(),
         plan: plan.to_string(),
-        policy,
+        policy: arm.policy_enabled(),
+        coast: arm.coast_name().to_string(),
         knobs: knobs.to_string(),
         situation,
         crashed: r.crashed,
@@ -772,14 +979,48 @@ fn entry_for(
         degraded_samples: r.degraded_samples,
         degraded_entries: r.degraded_entries,
         measurement_holds: r.measurement_holds,
+        observer_coasts: r.observer_coasts,
+        observer_reacquisitions: r.observer_reacquisitions,
+        certificate: certificate_for(r),
+    }
+}
+
+/// The blind-burst head-to-head, reduced from the hold/observer pair
+/// of one cell.
+fn compare_blind_burst(hold: &CampaignEntry, obs: &CampaignEntry) -> BlindBurstComparison {
+    // Lexicographic: survival, then (both crashed) distance survived,
+    // then (both survived) tracking accuracy — where a coasted burst
+    // must do no worse than a held one.
+    let observer_beats_hold = match (hold.crashed, obs.crashed) {
+        (true, false) => true,
+        (false, true) => false,
+        (true, true) => obs.samples > hold.samples,
+        (false, false) => matches!((obs.mae, hold.mae), (Some(o), Some(h)) if o <= h),
+    };
+    BlindBurstComparison {
+        case: obs.case.clone(),
+        plan: obs.plan.clone(),
+        hold_crashed: hold.crashed,
+        observer_crashed: obs.crashed,
+        hold_samples: hold.samples,
+        observer_samples: obs.samples,
+        hold_mae: hold.mae,
+        observer_mae: obs.mae,
+        observer_coasts: obs.observer_coasts,
+        observer_reacquisitions: obs.observer_reacquisitions,
+        observer_beats_hold,
     }
 }
 
 fn summarize(entries: &[CampaignEntry]) -> CampaignSummary {
-    // The drift axis is its own comparison (static vs tuned knobs); it
-    // stays out of the policy-arm statistics.
-    let fault: Vec<&CampaignEntry> = entries.iter().filter(|e| e.plan != DRIFT_PLAN_NAME).collect();
-    let arm = move |policy: bool| fault.clone().into_iter().filter(move |e| e.policy == policy);
+    // The drift axis (static vs tuned knobs) and the blind-burst axis
+    // (hold vs observer, no off arm) are their own comparisons; both
+    // stay out of the three-arm fault statistics.
+    let fault: Vec<&CampaignEntry> = entries
+        .iter()
+        .filter(|e| e.plan != DRIFT_PLAN_NAME && e.plan != BLIND_BURST_PLAN_NAME)
+        .collect();
+    let arm = |coast: &'static str| fault.iter().copied().filter(move |e| e.coast == coast);
     let drift_mae = |situation: usize, knobs: &str| {
         entries
             .iter()
@@ -804,27 +1045,52 @@ fn summarize(entries: &[CampaignEntry]) -> CampaignSummary {
             }
         }
     }
-    let crashes = |policy: bool| arm(policy).filter(|e| e.crashed).count();
-    let mean_mae = |policy: bool| {
-        let maes: Vec<f64> = arm(policy).filter(|e| !e.crashed).filter_map(|e| e.mae).collect();
+    let crashes = |coast: &'static str| arm(coast).filter(|e| e.crashed).count();
+    let mean_mae = |coast: &'static str| {
+        let maes: Vec<f64> = arm(coast).filter(|e| !e.crashed).filter_map(|e| e.mae).collect();
         if maes.is_empty() {
             None
         } else {
             Some(round_um(maes.iter().sum::<f64>() / maes.len() as f64))
         }
     };
-    let runs_per_arm = arm(false).count();
-    let (on_degraded, on_samples) =
-        arm(true).fold((0u64, 0u64), |(d, s), e| (d + e.degraded_samples, s + e.samples));
+    let runs_per_arm = arm("off").count();
+    let (on_degraded, on_samples) = fault
+        .iter()
+        .filter(|e| e.policy)
+        .fold((0u64, 0u64), |(d, s), e| (d + e.degraded_samples, s + e.samples));
+    // The certificate census runs over the fault grid: how many cells
+    // carry a margin, how many certify, and the worst margin seen.
+    let margins: Vec<f64> = fault.iter().filter_map(|e| e.certificate).collect();
+    let certified_cells = margins.iter().filter(|&&m| m < 1.0).count();
+    let worst_certificate = margins
+        .iter()
+        .copied()
+        .fold(None, |worst: Option<f64>, m| Some(worst.map_or(m, |w| if m > w { m } else { w })));
+    // The blind-burst head-to-head: hold arm vs observer arm of the
+    // pinned scenario.
+    let burst_arm =
+        |coast: &str| entries.iter().find(|e| e.plan == BLIND_BURST_PLAN_NAME && e.coast == coast);
+    let blind_burst = match (burst_arm("hold"), burst_arm("observer")) {
+        (Some(hold), Some(obs)) => Some(compare_blind_burst(hold, obs)),
+        _ => None,
+    };
     CampaignSummary {
         runs_per_arm,
-        crashes_policy_off: crashes(false),
-        crashes_policy_on: crashes(true),
-        crash_rate_policy_off: rate(crashes(false), runs_per_arm),
-        crash_rate_policy_on: rate(crashes(true), runs_per_arm),
-        mean_mae_policy_off: mean_mae(false),
-        mean_mae_policy_on: mean_mae(true),
+        crashes_policy_off: crashes("off"),
+        crashes_policy_on: crashes("hold"),
+        crashes_observer: crashes("observer"),
+        crash_rate_policy_off: rate(crashes("off"), runs_per_arm),
+        crash_rate_policy_on: rate(crashes("hold"), runs_per_arm),
+        crash_rate_observer: rate(crashes("observer"), runs_per_arm),
+        mean_mae_policy_off: mean_mae("off"),
+        mean_mae_policy_on: mean_mae("hold"),
+        mean_mae_observer: mean_mae("observer"),
         time_in_degraded_frac: rate(on_degraded as usize, on_samples as usize),
+        certificate_cells: margins.len(),
+        certified_cells,
+        worst_certificate,
+        blind_burst,
         drift_mae_static: drift_mae(DRIFT_SITUATIONS[0], "static"),
         drift_mae_tuned: drift_mae(DRIFT_SITUATIONS[0], "tuned"),
         drift_situations,
@@ -892,44 +1158,66 @@ mod tests {
         }
     }
 
+    fn mk(
+        plan: &str,
+        coast: &str,
+        knobs: &str,
+        crashed: bool,
+        mae: f64,
+        degraded: u64,
+        certificate: Option<f64>,
+    ) -> CampaignEntry {
+        CampaignEntry {
+            case: "case3".into(),
+            plan: plan.into(),
+            policy: coast != "off",
+            coast: coast.into(),
+            knobs: knobs.into(),
+            situation: (plan == DRIFT_PLAN_NAME).then_some(DRIFT_SITUATIONS[0]),
+            crashed,
+            crash_sector: None,
+            mae: Some(mae),
+            samples: 100,
+            perception_failures: 0,
+            frame_drops: 0,
+            faulted_cycles: 0,
+            degraded_samples: degraded,
+            degraded_entries: 0,
+            measurement_holds: 0,
+            observer_coasts: 0,
+            observer_reacquisitions: 0,
+            certificate,
+        }
+    }
+
     #[test]
     fn summary_math() {
-        let mk = |plan: &str, policy: bool, knobs: &str, crashed: bool, mae: f64, degraded: u64| {
-            CampaignEntry {
-                case: "case3".into(),
-                plan: plan.into(),
-                policy,
-                knobs: knobs.into(),
-                situation: (plan == DRIFT_PLAN_NAME).then_some(DRIFT_SITUATIONS[0]),
-                crashed,
-                crash_sector: None,
-                mae: Some(mae),
-                samples: 100,
-                perception_failures: 0,
-                frame_drops: 0,
-                faulted_cycles: 0,
-                degraded_samples: degraded,
-                degraded_entries: 0,
-                measurement_holds: 0,
-            }
-        };
         let entries = vec![
-            mk("p", false, "static", true, 0.5, 0),
-            mk("p", false, "static", false, 0.1, 0),
-            mk("p", true, "static", false, 0.2, 50),
-            mk(DRIFT_PLAN_NAME, false, "static", false, 0.09, 0),
-            mk(DRIFT_PLAN_NAME, false, "tuned", false, 0.08, 0),
+            mk("p", "off", "static", true, 0.5, 0, Some(1.2)),
+            mk("p", "off", "static", false, 0.1, 0, Some(0.1)),
+            mk("p", "hold", "static", false, 0.2, 50, Some(0.5)),
+            mk("p", "observer", "static", false, 0.15, 30, Some(0.4)),
+            mk(DRIFT_PLAN_NAME, "off", "static", false, 0.09, 0, None),
+            mk(DRIFT_PLAN_NAME, "off", "tuned", false, 0.08, 0, None),
         ];
         let s = summarize(&entries);
         // Drift entries stay out of the policy arms.
         assert_eq!(s.runs_per_arm, 2);
         assert_eq!(s.crashes_policy_off, 1);
         assert_eq!(s.crashes_policy_on, 0);
+        assert_eq!(s.crashes_observer, 0);
         assert_eq!(s.crash_rate_policy_off, 0.5);
         // Crashed runs are excluded from the MAE mean (footnote-7 rule).
         assert_eq!(s.mean_mae_policy_off, Some(0.1));
         assert_eq!(s.mean_mae_policy_on, Some(0.2));
-        assert_eq!(s.time_in_degraded_frac, 0.5);
+        assert_eq!(s.mean_mae_observer, Some(0.15));
+        // Hold and observer samples pool into the degraded fraction.
+        assert_eq!(s.time_in_degraded_frac, 0.4);
+        // Certificate census: drift rows stay out; the crashed off-arm
+        // cell's margin past 1 is the worst.
+        assert_eq!(s.certificate_cells, 4);
+        assert_eq!(s.certified_cells, 3);
+        assert_eq!(s.worst_certificate, Some(1.2));
         assert_eq!(s.drift_mae_static, Some(0.09));
         assert_eq!(s.drift_mae_tuned, Some(0.08));
         assert_eq!(
@@ -943,15 +1231,66 @@ mod tests {
     }
 
     #[test]
+    fn blind_burst_comparison_is_lexicographic() {
+        // Both arms of the pinned blind-burst cell present: the summary
+        // reduces them to the head-to-head.
+        let hold = mk(BLIND_BURST_PLAN_NAME, "hold", "static", true, 0.4, 50, None);
+        let mut obs = mk(BLIND_BURST_PLAN_NAME, "observer", "static", false, 0.2, 40, None);
+        obs.observer_coasts = 300;
+        obs.observer_reacquisitions = 1;
+        let s = summarize(&[hold.clone(), obs.clone()]);
+        let burst = s.blind_burst.expect("both arms present");
+        assert!(burst.hold_crashed && !burst.observer_crashed);
+        assert!(burst.observer_beats_hold, "survival beats a crash");
+        assert_eq!(burst.observer_coasts, 300);
+        assert_eq!(burst.observer_reacquisitions, 1);
+        // The axis stays out of the three-arm fault statistics.
+        assert_eq!(s.runs_per_arm, 0);
+        assert_eq!(s.certificate_cells, 0);
+        // Both crash: longer survival wins; equal survival loses.
+        let crash = |samples| {
+            let mut e = mk(BLIND_BURST_PLAN_NAME, "observer", "static", true, 0.4, 0, None);
+            e.samples = samples;
+            e
+        };
+        let s = summarize(&[hold.clone(), crash(150)]);
+        assert!(s.blind_burst.unwrap().observer_beats_hold);
+        let s = summarize(&[hold.clone(), crash(100)]);
+        assert!(!s.blind_burst.unwrap().observer_beats_hold);
+        // Both survive: the observer must track at least as accurately.
+        let survive_hold = mk(BLIND_BURST_PLAN_NAME, "hold", "static", false, 0.2, 50, None);
+        let tie = mk(BLIND_BURST_PLAN_NAME, "observer", "static", false, 0.2, 40, None);
+        assert!(summarize(&[survive_hold.clone(), tie]).blind_burst.unwrap().observer_beats_hold);
+        let worse = mk(BLIND_BURST_PLAN_NAME, "observer", "static", false, 0.3, 40, None);
+        assert!(!summarize(&[survive_hold, worse]).blind_burst.unwrap().observer_beats_hold);
+        // A lone arm yields no comparison.
+        assert!(summarize(&[hold]).blind_burst.is_none());
+    }
+
+    #[test]
+    fn lane_half_width_matches_the_scene_geometry() {
+        // The certificate normalizes against the control crate's lane
+        // half-width constant; it must mirror the scene the campaign
+        // actually drives.
+        assert_eq!(lkas_control::LANE_HALF_WIDTH_M, lkas_scene::track::LANE_WIDTH / 2.0);
+    }
+
+    #[test]
     fn drift_axis_rides_at_the_end_of_the_grid() {
         let cfg = CampaignConfig::new(7).with_quick(true);
         let grid = campaign_grid(&cfg);
-        // 1 case × 4 plans × 2 policy arms + 3 situations × 2 drift
-        // entries.
-        assert_eq!(grid.len(), 14);
+        // 1 case × 4 plans × 3 degradation arms + 2 blind-burst arms +
+        // 3 situations × 2 drift entries.
+        assert_eq!(grid.len(), 20);
+        let (burst_hold_key, burst_hold) = &grid[12];
+        let (burst_obs_key, burst_obs) = &grid[13];
+        assert!(burst_hold_key.contains("blind-burst|arm-hold"));
+        assert!(burst_obs_key.contains("blind-burst|arm-observer"));
+        assert!(matches!(burst_hold, CampaignJob::BlindBurst { arm: PolicyArm::Hold }));
+        assert!(matches!(burst_obs, CampaignJob::BlindBurst { arm: PolicyArm::Observer }));
         for (offset, &situation) in DRIFT_SITUATIONS.iter().enumerate() {
-            let (static_key, static_job) = &grid[8 + 2 * offset];
-            let (tuned_key, tuned_job) = &grid[9 + 2 * offset];
+            let (static_key, static_job) = &grid[14 + 2 * offset];
+            let (tuned_key, tuned_job) = &grid[15 + 2 * offset];
             assert!(static_key.contains(&format!("sensor-drift|s{situation:02}|knobs-static")));
             assert!(tuned_key.contains(&format!("sensor-drift|s{situation:02}|knobs-tuned")));
             assert!(

@@ -33,6 +33,30 @@ fn report_is_byte_identical_across_thread_counts() {
     for e in sequential.entries.iter().filter(|e| e.plan != "nominal" && e.plan != "sensor-drift") {
         assert!(e.faulted_cycles > 0, "plan {} must inject faults", e.plan);
     }
+    // Every entry propagated its fitted perception-error profile into
+    // a per-cell certificate, and the nominal cells certify.
+    for e in &sequential.entries {
+        assert!(
+            e.certificate.is_some(),
+            "cell {}/{}/{} lacks a certificate",
+            e.case,
+            e.plan,
+            e.coast
+        );
+    }
+    for e in sequential.entries.iter().filter(|e| e.plan == "nominal") {
+        assert!(e.certificate.unwrap() < 1.0, "nominal cell must certify ({:?})", e.certificate);
+    }
+    assert_eq!(sequential.summary.certificate_cells, 12, "fault grid carries the census");
+    assert!(sequential.summary.worst_certificate.is_some());
+    // The blind-burst head-to-head: the observer arm coasts through a
+    // 10 s outage the hold arm does not survive.
+    let burst = sequential.summary.blind_burst.as_ref().expect("blind-burst axis present");
+    assert!(burst.hold_crashed, "hold arm must crash in the pinned blind burst");
+    assert!(!burst.observer_crashed, "observer arm must survive the pinned blind burst");
+    assert!(burst.observer_beats_hold);
+    assert!(burst.observer_coasts > 0, "the observer arm must actually coast");
+    assert!(burst.observer_reacquisitions >= 1, "re-acquisition must be exercised");
     // The drift axis rode along: both knob sources survived, and the
     // online tuner strictly improved on the frozen table (the
     // tentpole's measured-not-asserted acceptance).
@@ -83,8 +107,9 @@ fn sharded_report_is_byte_identical_to_single_process() {
             .collect();
         let mut merged = merge_shard_files(files).unwrap();
         // The shards' telemetry dumps must account for every grid point
-        // exactly once (8 fault entries + 3 situations × 2 drift arms).
-        assert_eq!(merged.metrics.counter(Counter::CampaignEvaluations), 14);
+        // exactly once (4 plans × 3 degradation arms + 2 blind-burst
+        // arms + 3 situations × 2 drift arms).
+        assert_eq!(merged.metrics.counter(Counter::CampaignEvaluations), 20);
         let report = report_from_merged(&cfg, &mut merged).unwrap();
         assert_eq!(
             report_json(&report).as_bytes(),

@@ -93,6 +93,14 @@ impl Controller {
         &self.k
     }
 
+    /// The observer (predictor) gain `L` (n×2, columns: vision `y_L`,
+    /// gyro yaw rate). Measurement error enters the closed loop through
+    /// this gain — the robustness certificate propagates a perception
+    /// error envelope through its vision column.
+    pub fn observer_gain(&self) -> &Mat {
+        &self.l
+    }
+
     /// Current state estimate `[v_y, r, Δψ, y, δ]`.
     pub fn state_estimate(&self) -> Vec<f64> {
         (0..self.x_hat.rows()).map(|i| self.x_hat[(i, 0)]).collect()

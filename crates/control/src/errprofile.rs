@@ -1,0 +1,122 @@
+//! Perception error profiles (Dean–Matni–Recht, "Robust Guarantees for
+//! Perception-Based Control").
+//!
+//! The perception stage is not a clean sensor: the lane-offset estimate
+//! `y_L` it produces carries a bias (systematic offset of the fitted
+//! lane model), zero-mean noise (pixel quantization, sensor noise fed
+//! through binarization), and outright misses (no lane found in the
+//! window). A [`PerceptionErrorProfile`] captures those three moments
+//! per `(situation, knob-config)` cell, measured from closed-loop runs
+//! against ground truth. Downstream it feeds
+//!
+//! * the LQG design's measurement-noise covariance
+//!   ([`crate::lqg::NoiseModel::from_profile`]),
+//! * the coasting observer's Kalman gain
+//!   ([`crate::observer::LaneObserver`]), and
+//! * the per-cell robustness certificate
+//!   ([`crate::certify`]): the profile's worst-case envelope is pushed
+//!   through the closed loop to a margin against the lane half-width.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured error statistics of the perception stage's `y_L` estimate
+/// against ground truth, for one `(situation, knob-config)` cell.
+///
+/// All fields are plain moments so profiles fitted on different shards
+/// of a campaign can be merged exactly (see `lkas::errprofile` for the
+/// fitter and the versioned store).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionErrorProfile {
+    /// Mean of `y_L_measured − y_L_true` over cycles with a measurement
+    /// (m). Positive = perception reads the vehicle further left than
+    /// it is.
+    pub bias: f64,
+    /// Standard deviation of the measurement error around the bias (m).
+    pub noise_std: f64,
+    /// Fraction of cycles in which perception produced no estimate at
+    /// all, in `[0, 1]`.
+    pub miss_rate: f64,
+}
+
+impl PerceptionErrorProfile {
+    /// The nominal profile: the numbers the LQG design historically
+    /// hard-coded as its default noise model (σ(y_L) = 0.05 m, no bias,
+    /// no misses). Used wherever no fitted profile is available.
+    pub fn nominal() -> Self {
+        PerceptionErrorProfile { bias: 0.0, noise_std: 0.05, miss_rate: 0.0 }
+    }
+
+    /// The degraded-vision profile: the paper's left-turn dotted-lane
+    /// observation (Sec. IV-C), historically hard-coded as
+    /// `NoiseModel::noisy_vision`'s σ(y_L) = 0.20 m.
+    pub fn noisy_vision() -> Self {
+        PerceptionErrorProfile { bias: 0.0, noise_std: 0.20, miss_rate: 0.0 }
+    }
+
+    /// A profile from explicit moments, with `noise_std` and
+    /// `miss_rate` clamped to their valid ranges.
+    pub fn from_moments(bias: f64, noise_std: f64, miss_rate: f64) -> Self {
+        PerceptionErrorProfile {
+            bias,
+            noise_std: noise_std.max(0.0),
+            miss_rate: miss_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The worst-case measurement-error envelope `|bias| + 3σ` (m): the
+    /// bound the certificate propagates through the closed loop. Misses
+    /// are not folded in here — they are handled structurally by the
+    /// hold/coast policy, not as amplitude error.
+    pub fn envelope(&self) -> f64 {
+        self.bias.abs() + 3.0 * self.noise_std
+    }
+
+    /// Measurement-noise variance for Kalman design (m²), floored so a
+    /// too-clean fit (short run, near-zero sample variance) cannot
+    /// produce a singular or absurdly trusting observer.
+    pub fn measurement_variance(&self) -> f64 {
+        let sigma = self.noise_std.max(MIN_NOISE_STD);
+        sigma * sigma
+    }
+}
+
+impl Default for PerceptionErrorProfile {
+    fn default() -> Self {
+        PerceptionErrorProfile::nominal()
+    }
+}
+
+/// Floor on the fitted noise std when used as a Kalman design input
+/// (m). Short fits can report near-zero variance; an observer designed
+/// against that would trust vision absolutely.
+pub const MIN_NOISE_STD: f64 = 0.005;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_the_historical_noise_model() {
+        let p = PerceptionErrorProfile::nominal();
+        assert_eq!(p.noise_std, 0.05);
+        assert_eq!(p.bias, 0.0);
+        assert_eq!(p.miss_rate, 0.0);
+        assert_eq!(PerceptionErrorProfile::noisy_vision().noise_std, 0.20);
+        assert_eq!(PerceptionErrorProfile::default(), PerceptionErrorProfile::nominal());
+    }
+
+    #[test]
+    fn envelope_is_bias_plus_three_sigma() {
+        let p = PerceptionErrorProfile::from_moments(-0.02, 0.1, 0.05);
+        assert!((p.envelope() - (0.02 + 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_are_clamped() {
+        let p = PerceptionErrorProfile::from_moments(0.0, -1.0, 2.0);
+        assert_eq!(p.noise_std, 0.0);
+        assert_eq!(p.miss_rate, 1.0);
+        // And the Kalman variance is floored away from zero.
+        assert!(p.measurement_variance() >= MIN_NOISE_STD * MIN_NOISE_STD);
+    }
+}

@@ -14,7 +14,16 @@
 //! * [`controller`] — the runtime controller (estimate → gain → steer),
 //! * [`lqg`] — the LQG variant the paper names as future work
 //!   (Sec. IV-C): the observer gain becomes a steady-state Kalman gain
-//!   for explicit sensor-noise models,
+//!   for explicit sensor-noise models, configured through the
+//!   [`lqg::LqgDesign`] builder,
+//! * [`errprofile`] — measured perception error profiles (bias, noise
+//!   std, miss rate of `y_L` vs ground truth) feeding the LQG noise
+//!   model, the coasting observer, and the certificates,
+//! * [`observer`] — the steady-state Kalman [`observer::LaneObserver`]
+//!   the degradation policy coasts on through perception outages,
+//! * [`certify`] — propagation of an error profile through the closed
+//!   loop into a per-cell robustness margin against the lane
+//!   half-width,
 //! * [`stability`] — closed-loop Schur checks and the common quadratic
 //!   Lyapunov function (CQLF) search certifying switched stability
 //!   across situation-specific `(h_i, τ_i)` modes (Sec. III-D).
@@ -30,15 +39,21 @@
 //! assert!(controller.is_stable());
 //! ```
 
+pub mod certify;
 pub mod controller;
 pub mod design;
+pub mod errprofile;
 pub mod lqg;
 pub mod model;
+pub mod observer;
 pub mod stability;
 
+pub use certify::{certify, RobustnessCertificate, LANE_HALF_WIDTH_M};
 pub use controller::{Controller, Measurement};
 pub use design::{design_controller, ControllerConfig};
+pub use errprofile::PerceptionErrorProfile;
 pub use model::{VehicleParams, LOOK_AHEAD_M};
+pub use observer::LaneObserver;
 
 /// Steering-angle saturation applied by the controller and the plant
 /// (rad, ≈ 30°).

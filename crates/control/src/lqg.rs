@@ -7,11 +7,17 @@
 //! implements that extension: the same delay-augmented LQR gain, but the
 //! observer gain is a steady-state Kalman gain computed from explicit
 //! process / measurement noise covariances — in particular a per-design
-//! vision-noise level σ(y_L) that the characterization can set per
-//! situation.
+//! vision-noise level σ(y_L) that a fitted
+//! [`PerceptionErrorProfile`] sets per `(situation, knob-config)` cell.
+//!
+//! Designs are configured through the [`LqgDesign`] builder (the
+//! `HilConfig`/`CharacterizeConfig` idiom): construct with
+//! [`LqgDesign::new`], override the noise model / vehicle / weights
+//! with the `with_*` builders, and call [`LqgDesign::design`].
 
 use crate::controller::Controller;
 use crate::design::{ControllerConfig, LqrWeights};
+use crate::errprofile::PerceptionErrorProfile;
 use crate::model::{kmph_to_mps, VehicleParams};
 use lkas_linalg::expm::zoh_discretize_with_delay;
 use lkas_linalg::{riccati, LinalgError, Mat};
@@ -31,100 +37,159 @@ pub struct NoiseModel {
 
 impl Default for NoiseModel {
     fn default() -> Self {
-        NoiseModel { sigma_y_l: 0.05, sigma_yaw: 0.002, sigma_process: 0.05 }
+        NoiseModel::from_profile(&PerceptionErrorProfile::nominal())
     }
 }
 
 impl NoiseModel {
     /// Noise model for left turns with dotted lanes, where the paper
     /// observes substantially higher vision noise (Sec. IV-C,
-    /// situations 15 & 16; Sec. IV-E, sectors 4 & 6).
+    /// situations 15 & 16; Sec. IV-E, sectors 4 & 6). Derived from the
+    /// documented default [`PerceptionErrorProfile::noisy_vision`]
+    /// profile (σ(y_L) = 0.20 m).
     pub fn noisy_vision() -> Self {
-        NoiseModel { sigma_y_l: 0.20, ..NoiseModel::default() }
+        NoiseModel::from_profile(&PerceptionErrorProfile::noisy_vision())
+    }
+
+    /// A noise model whose vision channel comes from a fitted
+    /// perception error profile: σ(y_L) is the profile's
+    /// (floor-clamped) noise std, while the gyro and process channels
+    /// keep their nominal hardware levels — perception fitting says
+    /// nothing about them.
+    pub fn from_profile(profile: &PerceptionErrorProfile) -> Self {
+        NoiseModel {
+            sigma_y_l: profile.measurement_variance().sqrt(),
+            sigma_yaw: 0.002,
+            sigma_process: 0.05,
+        }
     }
 }
 
-/// Designs an LQG controller: LQR gain identical to
-/// [`crate::design::design_controller_with`], observer gain from the
-/// given noise model.
+/// Builder-configured LQG design: LQR gain identical to
+/// [`crate::design::design_controller_with`], observer gain from an
+/// explicit noise model.
 ///
-/// # Errors
-///
-/// Returns [`LinalgError`] for invalid `(h, τ)` or Riccati failures.
+/// The struct is `#[non_exhaustive]`; construct with [`LqgDesign::new`]
+/// and the `with_*` builders (fields stay readable).
 ///
 /// # Example
 ///
 /// ```
 /// use lkas_control::design::ControllerConfig;
-/// use lkas_control::lqg::{design_lqg_controller, NoiseModel};
+/// use lkas_control::lqg::{LqgDesign, NoiseModel};
 ///
 /// let cfg = ControllerConfig { speed_kmph: 30.0, h_ms: 25.0, tau_ms: 23.1 };
-/// let ctl = design_lqg_controller(&cfg, &NoiseModel::noisy_vision()).unwrap();
+/// let ctl = LqgDesign::new(cfg).with_noise(NoiseModel::noisy_vision()).design().unwrap();
 /// assert!(ctl.is_stable());
 /// ```
-pub fn design_lqg_controller(
-    config: &ControllerConfig,
-    noise: &NoiseModel,
-) -> Result<Controller, LinalgError> {
-    design_lqg_controller_with(config, noise, &VehicleParams::default(), &LqrWeights::default())
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct LqgDesign {
+    /// The `(v, h, τ)` design point.
+    pub config: ControllerConfig,
+    /// Process / measurement noise covariances for the Kalman observer.
+    pub noise: NoiseModel,
+    /// Vehicle parameters of the design plant.
+    pub vehicle: VehicleParams,
+    /// LQR stage-cost weights.
+    pub weights: LqrWeights,
 }
 
-/// LQG design with explicit vehicle parameters and LQR weights.
-///
-/// # Errors
-///
-/// See [`design_lqg_controller`].
-pub fn design_lqg_controller_with(
-    config: &ControllerConfig,
-    noise: &NoiseModel,
-    vehicle: &VehicleParams,
-    weights: &LqrWeights,
-) -> Result<Controller, LinalgError> {
-    let h = config.h_ms / 1000.0;
-    let tau = config.tau_ms / 1000.0;
-    if !(tau > 0.0 && tau <= h) {
-        return Err(LinalgError::InvalidInput("τ must lie in (0, h]"));
+impl LqgDesign {
+    /// A design for a `(v, h, τ)` point with the default noise model,
+    /// vehicle, and weights.
+    pub fn new(config: ControllerConfig) -> Self {
+        LqgDesign {
+            config,
+            noise: NoiseModel::default(),
+            vehicle: VehicleParams::default(),
+            weights: LqrWeights::default(),
+        }
     }
-    let vx = kmph_to_mps(config.speed_kmph);
-    let a = vehicle.a_matrix_with_actuator(vx, crate::ACTUATOR_TIME_CONSTANT_S);
-    let b = VehicleParams::b_matrix_with_actuator(crate::ACTUATOR_TIME_CONSTANT_S);
-    let (ad, b_prev, b_curr) = zoh_discretize_with_delay(&a, &b, h, tau)?;
 
-    // Identical LQR synthesis to the nominal design.
-    let n = 5;
-    let mut a_aug = Mat::zeros(n + 1, n + 1);
-    a_aug.set_block(0, 0, &ad);
-    a_aug.set_block(0, n, &b_prev);
-    let mut b_aug = Mat::zeros(n + 1, 1);
-    b_aug.set_block(0, 0, &b_curr);
-    b_aug[(n, 0)] = 1.0;
-    let c = VehicleParams::c_look_ahead_act();
-    let mut q = c.transpose().matmul(&c)?.scale(weights.q_yl);
-    q[(1, 1)] += weights.q_r;
-    let mut q_aug = Mat::zeros(n + 1, n + 1);
-    q_aug.set_block(0, 0, &q);
-    q_aug[(n, n)] = 1e-6;
-    let r = Mat::from_rows(&[&[weights.r_steer]]);
-    let (k_aug, _) = riccati::lqr(&a_aug, &b_aug, &q_aug, &r)?;
-
-    // Kalman observer from the explicit noise model. Process noise
-    // enters as lateral-force disturbances along the steering-force
-    // direction of the 4-state chassis (the actuator state is driven by
-    // our own commands and carries no disturbance).
-    let c_meas = VehicleParams::c_measurements_act();
-    let b4 = vehicle.b_matrix();
-    let mut g = Mat::zeros(n, 1);
-    for i in 0..4 {
-        g[(i, 0)] = b4[(i, 0)] * noise.sigma_process * h;
+    /// Replaces the noise model (builder style).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
     }
-    let mut w = g.matmul(&g.transpose())?;
-    for i in 0..n {
-        w[(i, i)] += 1e-8; // keep W strictly PD for the dual DARE
-    }
-    let v = Mat::diag(&[noise.sigma_y_l * noise.sigma_y_l, noise.sigma_yaw * noise.sigma_yaw]);
-    let l = riccati::kalman_gain(&ad, &c_meas, &w, &v)?;
 
-    Ok(Controller::from_design(*config, ad, b_prev, b_curr, k_aug, l, c_meas))
+    /// Derives the noise model from a fitted perception error profile
+    /// (builder style) — shorthand for
+    /// `with_noise(NoiseModel::from_profile(profile))`.
+    pub fn with_profile(mut self, profile: &PerceptionErrorProfile) -> Self {
+        self.noise = NoiseModel::from_profile(profile);
+        self
+    }
+
+    /// Replaces the vehicle parameters (builder style).
+    pub fn with_vehicle(mut self, vehicle: VehicleParams) -> Self {
+        self.vehicle = vehicle;
+        self
+    }
+
+    /// Replaces the LQR weights (builder style).
+    pub fn with_weights(mut self, weights: LqrWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Designs the controller: delay-augmented LQR gain plus a
+    /// steady-state Kalman observer gain from the configured noise
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError`] for invalid `(h, τ)` or Riccati
+    /// failures.
+    pub fn design(&self) -> Result<Controller, LinalgError> {
+        let config = &self.config;
+        let h = config.h_ms / 1000.0;
+        let tau = config.tau_ms / 1000.0;
+        if !(tau > 0.0 && tau <= h) {
+            return Err(LinalgError::InvalidInput("τ must lie in (0, h]"));
+        }
+        let vx = kmph_to_mps(config.speed_kmph);
+        let a = self.vehicle.a_matrix_with_actuator(vx, crate::ACTUATOR_TIME_CONSTANT_S);
+        let b = VehicleParams::b_matrix_with_actuator(crate::ACTUATOR_TIME_CONSTANT_S);
+        let (ad, b_prev, b_curr) = zoh_discretize_with_delay(&a, &b, h, tau)?;
+
+        // Identical LQR synthesis to the nominal design.
+        let n = 5;
+        let mut a_aug = Mat::zeros(n + 1, n + 1);
+        a_aug.set_block(0, 0, &ad);
+        a_aug.set_block(0, n, &b_prev);
+        let mut b_aug = Mat::zeros(n + 1, 1);
+        b_aug.set_block(0, 0, &b_curr);
+        b_aug[(n, 0)] = 1.0;
+        let c = VehicleParams::c_look_ahead_act();
+        let mut q = c.transpose().matmul(&c)?.scale(self.weights.q_yl);
+        q[(1, 1)] += self.weights.q_r;
+        let mut q_aug = Mat::zeros(n + 1, n + 1);
+        q_aug.set_block(0, 0, &q);
+        q_aug[(n, n)] = 1e-6;
+        let r = Mat::from_rows(&[&[self.weights.r_steer]]);
+        let (k_aug, _) = riccati::lqr(&a_aug, &b_aug, &q_aug, &r)?;
+
+        // Kalman observer from the explicit noise model. Process noise
+        // enters as lateral-force disturbances along the steering-force
+        // direction of the 4-state chassis (the actuator state is
+        // driven by our own commands and carries no disturbance).
+        let c_meas = VehicleParams::c_measurements_act();
+        let b4 = self.vehicle.b_matrix();
+        let mut g = Mat::zeros(n, 1);
+        for i in 0..4 {
+            g[(i, 0)] = b4[(i, 0)] * self.noise.sigma_process * h;
+        }
+        let mut w = g.matmul(&g.transpose())?;
+        for i in 0..n {
+            w[(i, i)] += 1e-8; // keep W strictly PD for the dual DARE
+        }
+        let noise = &self.noise;
+        let v = Mat::diag(&[noise.sigma_y_l * noise.sigma_y_l, noise.sigma_yaw * noise.sigma_yaw]);
+        let l = riccati::kalman_gain(&ad, &c_meas, &w, &v)?;
+
+        Ok(Controller::from_design(*config, ad, b_prev, b_curr, k_aug, l, c_meas))
+    }
 }
 
 #[cfg(test)]
@@ -141,16 +206,30 @@ mod tests {
     #[test]
     fn lqg_design_is_stable() {
         for noise in [NoiseModel::default(), NoiseModel::noisy_vision()] {
-            let ctl = design_lqg_controller(&cfg(), &noise).unwrap();
+            let ctl = LqgDesign::new(cfg()).with_noise(noise).design().unwrap();
             assert!(ctl.is_stable());
         }
     }
 
     #[test]
+    fn noise_model_derives_from_profiles() {
+        // The documented default profiles reproduce the historical
+        // hard-coded numbers exactly.
+        assert_eq!(NoiseModel::default().sigma_y_l, 0.05);
+        assert_eq!(NoiseModel::noisy_vision().sigma_y_l, 0.20);
+        // A fitted profile flows into the vision channel, floored away
+        // from zero.
+        let fitted = PerceptionErrorProfile::from_moments(0.01, 0.12, 0.0);
+        assert!((NoiseModel::from_profile(&fitted).sigma_y_l - 0.12).abs() < 1e-12);
+        let degenerate = PerceptionErrorProfile::from_moments(0.0, 0.0, 0.0);
+        assert!(NoiseModel::from_profile(&degenerate).sigma_y_l > 0.0);
+    }
+
+    #[test]
     fn noisy_vision_trusts_measurements_less() {
         // Higher σ(y_L) shrinks the observer gain on the vision channel.
-        let trusting = design_lqg_controller(&cfg(), &NoiseModel::default()).unwrap();
-        let wary = design_lqg_controller(&cfg(), &NoiseModel::noisy_vision()).unwrap();
+        let trusting = LqgDesign::new(cfg()).design().unwrap();
+        let wary = LqgDesign::new(cfg()).with_noise(NoiseModel::noisy_vision()).design().unwrap();
         // Observe the correction magnitude for a pure y_L innovation
         // (gate disabled: this probe is exactly the outlier the gate
         // would reject).
@@ -192,13 +271,13 @@ mod tests {
             steer_energy
         };
         let nominal = crate::design::design_controller(&cfg()).unwrap();
-        let lqg = design_lqg_controller(&cfg(), &NoiseModel::noisy_vision()).unwrap();
+        let lqg = LqgDesign::new(cfg()).with_noise(NoiseModel::noisy_vision()).design().unwrap();
         assert!(sim(lqg) < sim(nominal), "LQG must spend less steering energy under vision noise");
     }
 
     #[test]
     fn invalid_config_rejected() {
         let bad = ControllerConfig { speed_kmph: 30.0, h_ms: 25.0, tau_ms: 26.0 };
-        assert!(design_lqg_controller(&bad, &NoiseModel::default()).is_err());
+        assert!(LqgDesign::new(bad).design().is_err());
     }
 }

@@ -19,6 +19,7 @@
 //! updates it with measured closed-loop outcomes.
 
 use crate::cases::Case;
+use crate::errprofile::{ErrorProfileStore, ProfileFitter};
 use crate::hil::{HilConfig, HilResult, HilSimulator, SituationSource};
 use crate::knobs::{candidate_tunings, KnobTable, KnobTuning};
 use lkas_imaging::sensor::SensorConfig;
@@ -114,6 +115,10 @@ pub struct CandidateOutcome {
     pub mae: Option<f64>,
     /// Perception failures during the run (diagnostic).
     pub perception_failures: u64,
+    /// Raw perception-error moments of the run — the cell's
+    /// [`crate::errprofile::PerceptionErrorProfile`] source data,
+    /// persisted as moments so shard merges stay exact.
+    pub moments: ProfileFitter,
 }
 
 /// Full characterization output: the best tuning per situation plus the
@@ -131,6 +136,36 @@ impl Characterization {
     pub fn best_mae(&self, situation: &SituationFeatures) -> Option<f64> {
         let best = self.table.get(situation)?;
         self.sweeps.iter().find(|(s, _)| s == situation)?.1.iter().find(|c| c.tuning == best)?.mae
+    }
+
+    /// The canonical cell key of one `(situation, knob-config)` pair in
+    /// the [`ErrorProfileStore`] emitted by
+    /// [`Characterization::error_profiles`].
+    pub fn profile_cell_key(situation: &SituationFeatures, tuning: &KnobTuning) -> String {
+        format!(
+            "{}|isp={}|roi={}|v={:.0}",
+            situation.describe(),
+            tuning.isp.name(),
+            tuning.roi.name(),
+            tuning.speed_kmph
+        )
+    }
+
+    /// Packages the sweep's per-cell perception-error moments as a
+    /// versioned [`ErrorProfileStore`] stamped with the originating
+    /// configuration's fingerprint — the `lkas-errprofile-v1` artifact
+    /// persisted alongside the knob store.
+    pub fn error_profiles(&self, config_hash: &str) -> ErrorProfileStore {
+        let mut store = ErrorProfileStore::new(config_hash);
+        for (situation, outcomes) in &self.sweeps {
+            for outcome in outcomes {
+                store.record(
+                    &Characterization::profile_cell_key(situation, &outcome.tuning),
+                    outcome.moments,
+                );
+            }
+        }
+        store
     }
 
     /// Packages the characterization as a versioned [`KnobStore`]
@@ -357,9 +392,13 @@ impl Characterizer {
     /// and merges can only combine evaluations of the same
     /// configuration.
     pub fn fingerprint(&self) -> String {
+        // The leading tag carries the sweep revision: v2 added the
+        // per-cell perception-error moments to [`CandidateOutcome`], so
+        // v1-era checkpoints and shard artifacts can never be merged
+        // into a v2 run.
         let config = &self.config;
         Fingerprint::new()
-            .push_str("characterize")
+            .push_str("characterize-v2")
             .push_f64(config.track_length_m)
             .push_u64(config.camera.width() as u64)
             .push_u64(config.camera.height() as u64)
@@ -412,7 +451,8 @@ impl Characterizer {
             .with_camera(self.config.camera.clone())
             .with_sensor(self.config.sensor.clone())
             .with_seed(seed)
-            .with_initial_estimate(*situation);
+            .with_initial_estimate(*situation)
+            .with_error_fit(true);
         HilSimulator::new(track, hil).run()
     }
 
@@ -496,6 +536,7 @@ impl Characterizer {
                     tuning,
                     mae: if result.crashed { None } else { result.overall_mae() },
                     perception_failures: result.perception_failures,
+                    moments: result.error_fit.unwrap_or_default(),
                 }
             },
             |()| {},
@@ -620,6 +661,24 @@ mod tests {
         // 23+16.5+... forces h = 45 with three classifiers, while
         // S3–S8 reach h = 25).
         assert_ne!(best.isp, IspConfig::S0);
+    }
+
+    #[test]
+    fn sweep_fits_per_cell_error_profiles() {
+        let c = tiny();
+        let out = c.characterize(&TABLE3_SITUATIONS[0..1]);
+        let store = out.error_profiles(&c.fingerprint());
+        assert_eq!(store.cells().count(), 9, "one profile cell per candidate");
+        for (key, moments) in store.cells() {
+            assert!(moments.cycles() > 0, "cell {key} saw no cycles");
+        }
+        // The winning cell's profile is sane: noisy but roughly
+        // unbiased, with few misses on the benign straight.
+        let best = out.table.get(&TABLE3_SITUATIONS[0]).unwrap();
+        let key = Characterization::profile_cell_key(&TABLE3_SITUATIONS[0], &best);
+        let profile = store.profile(&key).expect("winner has a fitted cell");
+        assert!(profile.noise_std > 0.0 && profile.noise_std < 0.5, "σ = {}", profile.noise_std);
+        assert!(profile.miss_rate < 0.5, "miss rate = {}", profile.miss_rate);
     }
 
     #[test]

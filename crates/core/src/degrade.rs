@@ -2,7 +2,7 @@
 //!
 //! The paper's runtime adapts knobs to the *situation*; this module
 //! adds the orthogonal safety layer: adapting to *sensing failure*.
-//! Two mechanisms, both bounded and hysteretic:
+//! Three mechanisms, all bounded and hysteretic:
 //!
 //! 1. **Hold-and-extrapolate** — when perception misses a cycle, the
 //!    last good `y_L` is extrapolated with its (smoothed, slew-clamped)
@@ -11,7 +11,17 @@
 //!    the controller keeps a measurement instead of coasting its
 //!    observer open-loop. Beyond the budget the hold is released (a
 //!    stale extrapolation is worse than an honest miss).
-//! 2. **Safe mode** — after [`DegradationConfig::safe_mode_after`]
+//! 2. **Observer coasting** ([`CoastPolicy::ObserverCoast`]) — instead
+//!    of releasing into a blind miss, the policy coasts on a
+//!    steady-state Kalman [`LaneObserver`] of the chassis: the camera
+//!    path is down but the gyro is a separate device, so the coast
+//!    stays measurement-corrected in `(v_y, r)` while heading and
+//!    offset integrate open-loop on the model. Returning measurements
+//!    are *innovation-gated*: one that disagrees with the coasted
+//!    estimate by more than [`DegradationConfig::reacquire_gate_m`] is
+//!    rejected as a glitch, so a single wild frame cannot yank the loop
+//!    sideways at the end of an outage.
+//! 3. **Safe mode** — after [`DegradationConfig::safe_mode_after`]
 //!    consecutive misses the loop falls back to a pre-characterized
 //!    safe tuning: exact ISP (S0), the layout-appropriate coarse ROI,
 //!    and reduced speed. It re-enters nominal operation only after
@@ -21,21 +31,54 @@
 //!    shortens the sampling period and so shrinks the wall-clock length
 //!    of any fixed-cycle outage.
 //!
-//! Once the miss budget is exhausted the policy flags cycles as blind
-//! ([`Observation::blind`]) and hands the controller an honest miss:
-//! the LQR coasts on its open-loop observer estimate, completing any
-//! in-flight lateral correction. Pinning a stale fake `y_L` for the
+//! Under the legacy [`CoastPolicy::HoldAndExtrapolate`] (kept
+//! selectable for A/B comparison — the robustness campaign runs both
+//! arms), once the miss budget is exhausted the policy flags cycles as
+//! blind ([`Observation::blind`]) and hands the controller an honest
+//! miss: the LQR coasts on its open-loop observer estimate, completing
+//! any in-flight lateral correction. Pinning a stale fake `y_L` for the
 //! whole outage was tried and rejected — a constant fabricated lane
 //! offset fed alongside the real gyro destabilizes the hybrid observer
-//! update, which is worse than honest coasting.
+//! update, which is worse than honest coasting. The observer coast
+//! avoids that failure mode structurally: its substituted `y_L` is not
+//! a stale constant but a model-propagated, gyro-corrected estimate
+//! whose innovation against the controller's own prediction stays
+//! small.
 
 use crate::knobs::{coarse_roi_for, KnobTuning};
+use lkas_control::errprofile::PerceptionErrorProfile;
+use lkas_control::observer::LaneObserver;
 use lkas_imaging::isp::IspConfig;
 use lkas_scene::situation::RoadLayout;
 use serde::{Deserialize, Serialize};
 
+/// How the policy bridges perception outages beyond the hold budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CoastPolicy {
+    /// Legacy behavior: hold-and-extrapolate within the budget, then
+    /// release into honest blind misses.
+    #[default]
+    HoldAndExtrapolate,
+    /// Coast on the steady-state Kalman [`LaneObserver`]: held *and*
+    /// blind cycles are bridged with the gyro-corrected model estimate,
+    /// and re-acquisition is innovation-gated.
+    ObserverCoast,
+}
+
+/// Re-acquisition override: after this many consecutive gated
+/// rejections the next measurement is accepted unconditionally, so the
+/// observer can re-acquire after a genuine jump (mirrors the
+/// controller's own innovation gate).
+const MAX_REACQUIRE_REJECTS: u32 = 8;
+
 /// Tuning of the degradation state machine.
+///
+/// Construct with [`DegradationConfig::new`] (the [`Default`] baseline)
+/// plus the `with_*` builders; the struct is `#[non_exhaustive]`, so
+/// downstream crates go through the builder surface (individual fields
+/// stay readable).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct DegradationConfig {
     /// Maximum consecutive misses bridged by hold-and-extrapolate.
     pub miss_budget: u32,
@@ -57,6 +100,15 @@ pub struct DegradationConfig {
     /// [0, 1). Bounds the total extrapolation of a budget-length hold
     /// to `trend / (1 - trend_decay)` even if the budget is raised.
     pub trend_decay: f64,
+    /// Outage-bridging strategy beyond the hold budget.
+    pub coast: CoastPolicy,
+    /// Innovation gate on re-acquisition after an observer coast (m):
+    /// a returning measurement farther than this from the coasted
+    /// estimate is rejected as a perception glitch.
+    pub reacquire_gate_m: f64,
+    /// Perception error profile the coasting observer is designed
+    /// against (sets how much a re-acquired vision channel is trusted).
+    pub profile: PerceptionErrorProfile,
 }
 
 impl Default for DegradationConfig {
@@ -69,7 +121,78 @@ impl Default for DegradationConfig {
             max_hold_slew_m: 0.05,
             trend_alpha: 0.25,
             trend_decay: 0.8,
+            coast: CoastPolicy::default(),
+            reacquire_gate_m: 0.5,
+            profile: PerceptionErrorProfile::nominal(),
         }
+    }
+}
+
+impl DegradationConfig {
+    /// The default baseline (equivalent to `default()`).
+    pub fn new() -> Self {
+        DegradationConfig::default()
+    }
+
+    /// Replaces the hold budget (builder style).
+    pub fn with_miss_budget(mut self, miss_budget: u32) -> Self {
+        self.miss_budget = miss_budget;
+        self
+    }
+
+    /// Replaces the safe-mode entry threshold (builder style).
+    pub fn with_safe_mode_after(mut self, safe_mode_after: u32) -> Self {
+        self.safe_mode_after = safe_mode_after;
+        self
+    }
+
+    /// Replaces the recovery hysteresis (builder style).
+    pub fn with_recovery_hits(mut self, recovery_hits: u32) -> Self {
+        self.recovery_hits = recovery_hits;
+        self
+    }
+
+    /// Replaces the safe-mode speed (builder style).
+    pub fn with_safe_speed(mut self, safe_speed_kmph: f64) -> Self {
+        self.safe_speed_kmph = safe_speed_kmph;
+        self
+    }
+
+    /// Replaces the hold slew bound (builder style).
+    pub fn with_max_hold_slew(mut self, max_hold_slew_m: f64) -> Self {
+        self.max_hold_slew_m = max_hold_slew_m;
+        self
+    }
+
+    /// Replaces the trend smoothing factor (builder style).
+    pub fn with_trend_alpha(mut self, trend_alpha: f64) -> Self {
+        self.trend_alpha = trend_alpha;
+        self
+    }
+
+    /// Replaces the trend decay (builder style).
+    pub fn with_trend_decay(mut self, trend_decay: f64) -> Self {
+        self.trend_decay = trend_decay;
+        self
+    }
+
+    /// Replaces the coasting policy (builder style).
+    pub fn with_coast(mut self, coast: CoastPolicy) -> Self {
+        self.coast = coast;
+        self
+    }
+
+    /// Replaces the re-acquisition innovation gate (builder style).
+    pub fn with_reacquire_gate(mut self, reacquire_gate_m: f64) -> Self {
+        self.reacquire_gate_m = reacquire_gate_m;
+        self
+    }
+
+    /// Replaces the perception error profile the coasting observer is
+    /// designed against (builder style).
+    pub fn with_profile(mut self, profile: PerceptionErrorProfile) -> Self {
+        self.profile = profile;
+        self
     }
 }
 
@@ -86,23 +209,57 @@ pub enum DegradationMode {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observation {
     /// The measurement handed to the controller: the real one, a held
-    /// extrapolation, or `None` once the miss budget is exhausted.
+    /// extrapolation / observer estimate, or `None` once the miss
+    /// budget is exhausted under the legacy hold policy.
     pub y_l: Option<f64>,
-    /// `true` if `y_l` is an extrapolated hold, not a real measurement.
+    /// `true` if `y_l` is a within-budget bridge (extrapolated hold or
+    /// observer estimate), not a real measurement.
     pub held: bool,
-    /// `true` if the cycle is fully blind (a miss that no hold
-    /// bridges): the controller sees an honest miss and coasts on its
-    /// open-loop observer estimate.
+    /// `true` if the cycle is fully blind (a miss past the budget that
+    /// nothing bridges): the controller sees an honest miss and coasts
+    /// on its open-loop observer estimate. Never set under
+    /// [`CoastPolicy::ObserverCoast`] while the observer is live.
     pub blind: bool,
+    /// `true` if `y_l` is the coasting observer's estimate for a miss
+    /// past the hold budget (the observer-coast replacement for a blind
+    /// cycle), or for a gated (rejected) measurement.
+    pub coasted: bool,
+    /// `true` if this cycle re-acquired vision after an observer coast
+    /// (the returning measurement passed the innovation gate).
+    pub reacquired: bool,
     /// `true` if this cycle entered safe mode.
     pub entered: bool,
     /// `true` if this cycle exited safe mode.
     pub exited: bool,
 }
 
+impl Observation {
+    fn pass(y_l: Option<f64>, held: bool, blind: bool, entered: bool, exited: bool) -> Self {
+        Observation { y_l, held, blind, coasted: false, reacquired: false, entered, exited }
+    }
+}
+
+/// Plant-side context the observer coast needs each cycle: what the
+/// controller commanded and what the inertial sensors read. The legacy
+/// hold policy ignores it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoastInput {
+    /// The steering command applied over the elapsed period (rad).
+    pub steering: f64,
+    /// Gyro yaw rate (rad/s) — a separate device from the camera, so
+    /// it survives perception outages.
+    pub yaw_rate: f64,
+    /// Current commanded speed (km/h); the observer redesigns when it
+    /// crosses a design-point boundary.
+    pub speed_kmph: f64,
+    /// Current sampling period (ms).
+    pub h_ms: f64,
+}
+
 /// The per-run degradation state machine. Feed it every perception
-/// outcome via [`DegradationPolicy::observe`]; read the mode and the
-/// substituted measurement back.
+/// outcome via [`DegradationPolicy::observe`] (legacy hold arm) or
+/// [`DegradationPolicy::observe_with`] (required for the observer
+/// coast); read the mode and the substituted measurement back.
 #[derive(Debug, Clone)]
 pub struct DegradationPolicy {
     config: DegradationConfig,
@@ -111,6 +268,12 @@ pub struct DegradationPolicy {
     consecutive_hits: u32,
     last_y: Option<f64>,
     trend: f64,
+    /// `true` once the observer coast has bridged a past-budget miss;
+    /// cleared by a gated re-acquisition.
+    coasting: bool,
+    /// Consecutive gated rejections while re-acquiring.
+    rejects: u32,
+    observer: Option<LaneObserver>,
 }
 
 impl DegradationPolicy {
@@ -123,6 +286,9 @@ impl DegradationPolicy {
             consecutive_hits: 0,
             last_y: None,
             trend: 0.0,
+            coasting: false,
+            rejects: 0,
+            observer: None,
         }
     }
 
@@ -149,39 +315,35 @@ impl DegradationPolicy {
 
     /// Feeds one perception outcome through the state machine and
     /// returns the measurement the controller should see plus any mode
-    /// transition that fired.
+    /// transition that fired. This is the legacy entry point: without
+    /// plant context the observer coast cannot run, so the behavior is
+    /// the hold-and-extrapolate state machine regardless of
+    /// [`DegradationConfig::coast`].
     pub fn observe(&mut self, measured: Option<f64>) -> Observation {
+        self.observe_hold(measured)
+    }
+
+    /// Like [`DegradationPolicy::observe`], but with the plant-side
+    /// context that lets [`CoastPolicy::ObserverCoast`] run its Kalman
+    /// coast. Under the legacy policy the input is ignored and the
+    /// behavior is bit-identical to [`DegradationPolicy::observe`].
+    pub fn observe_with(&mut self, measured: Option<f64>, input: &CoastInput) -> Observation {
+        match self.config.coast {
+            CoastPolicy::HoldAndExtrapolate => self.observe_hold(measured),
+            CoastPolicy::ObserverCoast => self.observe_coast(measured, input),
+        }
+    }
+
+    /// The legacy hold-and-extrapolate state machine.
+    fn observe_hold(&mut self, measured: Option<f64>) -> Observation {
         match measured {
             Some(y) => {
-                let delta = match self.last_y {
-                    Some(prev) => {
-                        (y - prev).clamp(-self.config.max_hold_slew_m, self.config.max_hold_slew_m)
-                    }
-                    None => 0.0,
-                };
-                self.trend += self.config.trend_alpha * (delta - self.trend);
-                self.last_y = Some(y);
-                self.consecutive_misses = 0;
-                self.consecutive_hits += 1;
-                let mut exited = false;
-                if self.mode == DegradationMode::Degraded
-                    && self.consecutive_hits >= self.config.recovery_hits
-                {
-                    self.mode = DegradationMode::Nominal;
-                    exited = true;
-                }
-                Observation { y_l: Some(y), held: false, blind: false, entered: false, exited }
+                self.absorb_hit(y);
+                let exited = self.mark_hit();
+                Observation::pass(Some(y), false, false, false, exited)
             }
             None => {
-                self.consecutive_misses += 1;
-                self.consecutive_hits = 0;
-                let mut entered = false;
-                if self.mode == DegradationMode::Nominal
-                    && self.consecutive_misses >= self.config.safe_mode_after
-                {
-                    self.mode = DegradationMode::Degraded;
-                    entered = true;
-                }
+                let entered = self.mark_miss();
                 // The hold only bridges short glitches: past the budget
                 // an honest miss beats an ever-staler extrapolation.
                 if self.consecutive_misses <= self.config.miss_budget {
@@ -189,18 +351,161 @@ impl DegradationPolicy {
                         let held = prev + self.trend;
                         self.trend *= self.config.trend_decay;
                         self.last_y = Some(held);
-                        return Observation {
-                            y_l: Some(held),
-                            held: true,
-                            blind: false,
-                            entered,
-                            exited: false,
-                        };
+                        return Observation::pass(Some(held), true, false, entered, false);
                     }
                 }
-                Observation { y_l: None, held: false, blind: true, entered, exited: false }
+                Observation::pass(None, false, true, entered, false)
             }
         }
+    }
+
+    /// The observer-coast state machine: the Kalman estimate bridges
+    /// every miss, and re-acquisition is innovation-gated.
+    fn observe_coast(&mut self, measured: Option<f64>, input: &CoastInput) -> Observation {
+        self.ensure_observer(input);
+        let Some(mut observer) = self.observer.take() else {
+            // Observer design failed (off the model's speed envelope):
+            // degrade gracefully to the legacy hold machine.
+            return self.observe_hold(measured);
+        };
+        let obs = match measured {
+            Some(y) => {
+                let gated = self.coasting
+                    && observer.innovation(y).abs() > self.config.reacquire_gate_m
+                    && self.rejects < MAX_REACQUIRE_REJECTS;
+                if gated {
+                    // A returning frame that disagrees wildly with the
+                    // coasted estimate: reject it as a glitch and keep
+                    // coasting — the stale-hold destabilization this
+                    // module documents is exactly what an ungated
+                    // accept reproduces.
+                    self.rejects += 1;
+                    observer.step(input.steering, None, input.yaw_rate);
+                    let entered = self.mark_miss();
+                    Observation {
+                        y_l: Some(observer.y_l_estimate()),
+                        held: false,
+                        blind: false,
+                        coasted: true,
+                        reacquired: false,
+                        entered,
+                        exited: false,
+                    }
+                } else {
+                    let reacquired = self.coasting;
+                    if reacquired {
+                        // Snap the measurable channels before trusting
+                        // the innovation again.
+                        observer.rebase(y, input.yaw_rate);
+                    }
+                    self.coasting = false;
+                    self.rejects = 0;
+                    observer.step(input.steering, Some(y), input.yaw_rate);
+                    self.absorb_hit(y);
+                    let exited = self.mark_hit();
+                    Observation {
+                        y_l: Some(y),
+                        held: false,
+                        blind: false,
+                        coasted: false,
+                        reacquired,
+                        entered: false,
+                        exited,
+                    }
+                }
+            }
+            None => {
+                observer.step(input.steering, None, input.yaw_rate);
+                let entered = self.mark_miss();
+                let estimate = observer.y_l_estimate();
+                let within_budget = self.consecutive_misses <= self.config.miss_budget;
+                if !within_budget {
+                    self.coasting = true;
+                }
+                // Keep the hold trend bookkeeping alive so a fallback
+                // to the legacy machine (observer redesign failure)
+                // stays coherent.
+                self.last_y = Some(estimate);
+                Observation {
+                    y_l: Some(estimate),
+                    held: within_budget && self.last_y.is_some(),
+                    blind: false,
+                    coasted: !within_budget,
+                    reacquired: false,
+                    entered,
+                    exited: false,
+                }
+            }
+        };
+        self.observer = Some(observer);
+        obs
+    }
+
+    /// Lazily (re)designs the observer for the current operating
+    /// point. Redesigns only when the quantized `(speed, h)` point
+    /// moves — a Riccati solve per knob switch, not per cycle.
+    fn ensure_observer(&mut self, input: &CoastInput) {
+        let stale = match &self.observer {
+            Some(observer) => {
+                let (speed, h) = observer.operating_point();
+                (speed - input.speed_kmph).abs() > 0.05 || (h - input.h_ms).abs() > 1e-3
+            }
+            None => true,
+        };
+        if stale {
+            let previous = self.observer.take();
+            self.observer =
+                LaneObserver::design(input.speed_kmph, input.h_ms, &self.config.profile).ok().map(
+                    |mut observer| {
+                        // Carry the estimate across the redesign; at a
+                        // knob switch the plant state does not jump.
+                        if let Some(previous) = previous {
+                            observer.rebase(previous.y_l_estimate(), input.yaw_rate);
+                        } else if let Some(y) = self.last_y {
+                            observer.rebase(y, input.yaw_rate);
+                        }
+                        observer
+                    },
+                );
+        }
+    }
+
+    /// Shared hit bookkeeping: trend update and history.
+    fn absorb_hit(&mut self, y: f64) {
+        let delta = match self.last_y {
+            Some(prev) => {
+                (y - prev).clamp(-self.config.max_hold_slew_m, self.config.max_hold_slew_m)
+            }
+            None => 0.0,
+        };
+        self.trend += self.config.trend_alpha * (delta - self.trend);
+        self.last_y = Some(y);
+    }
+
+    /// Shared hit transition: returns `true` when safe mode exits.
+    fn mark_hit(&mut self) -> bool {
+        self.consecutive_misses = 0;
+        self.consecutive_hits += 1;
+        if self.mode == DegradationMode::Degraded
+            && self.consecutive_hits >= self.config.recovery_hits
+        {
+            self.mode = DegradationMode::Nominal;
+            return true;
+        }
+        false
+    }
+
+    /// Shared miss transition: returns `true` when safe mode enters.
+    fn mark_miss(&mut self) -> bool {
+        self.consecutive_misses += 1;
+        self.consecutive_hits = 0;
+        if self.mode == DegradationMode::Nominal
+            && self.consecutive_misses >= self.config.safe_mode_after
+        {
+            self.mode = DegradationMode::Degraded;
+            return true;
+        }
+        false
     }
 }
 
@@ -210,6 +515,14 @@ mod tests {
 
     fn policy() -> DegradationPolicy {
         DegradationPolicy::new(DegradationConfig::default())
+    }
+
+    fn coast_policy() -> DegradationPolicy {
+        DegradationPolicy::new(DegradationConfig::new().with_coast(CoastPolicy::ObserverCoast))
+    }
+
+    fn input() -> CoastInput {
+        CoastInput { steering: 0.0, yaw_rate: 0.0, speed_kmph: 50.0, h_ms: 25.0 }
     }
 
     #[test]
@@ -352,5 +665,147 @@ mod tests {
         let obs = p.observe(None);
         assert!(obs.held && !obs.blind);
         assert!(!p.observe(Some(0.1)).blind);
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = DegradationConfig::new()
+            .with_miss_budget(6)
+            .with_safe_mode_after(10)
+            .with_recovery_hits(20)
+            .with_safe_speed(25.0)
+            .with_max_hold_slew(0.1)
+            .with_trend_alpha(0.5)
+            .with_trend_decay(0.9)
+            .with_coast(CoastPolicy::ObserverCoast)
+            .with_reacquire_gate(0.3)
+            .with_profile(PerceptionErrorProfile::noisy_vision());
+        assert_eq!(cfg.miss_budget, 6);
+        assert_eq!(cfg.safe_mode_after, 10);
+        assert_eq!(cfg.recovery_hits, 20);
+        assert_eq!(cfg.safe_speed_kmph, 25.0);
+        assert_eq!(cfg.max_hold_slew_m, 0.1);
+        assert_eq!(cfg.trend_alpha, 0.5);
+        assert_eq!(cfg.trend_decay, 0.9);
+        assert_eq!(cfg.coast, CoastPolicy::ObserverCoast);
+        assert_eq!(cfg.reacquire_gate_m, 0.3);
+        assert_eq!(cfg.profile, PerceptionErrorProfile::noisy_vision());
+        // The baseline keeps the legacy arm.
+        assert_eq!(DegradationConfig::new().coast, CoastPolicy::HoldAndExtrapolate);
+    }
+
+    #[test]
+    fn observe_with_is_identical_to_observe_under_the_legacy_arm() {
+        let mut legacy = policy();
+        let mut with_input = policy();
+        let stream = [Some(0.1), Some(0.12), None, None, None, None, None, Some(0.2), None];
+        for measured in stream {
+            assert_eq!(legacy.observe(measured), with_input.observe_with(measured, &input()));
+        }
+    }
+
+    #[test]
+    fn observer_coast_bridges_past_the_hold_budget() {
+        let cfg = DegradationConfig::new().with_coast(CoastPolicy::ObserverCoast);
+        let mut p = coast_policy();
+        // Converge the observer on a steady offset.
+        for _ in 0..50 {
+            p.observe_with(Some(0.2), &input());
+        }
+        for k in 1..=cfg.miss_budget {
+            let obs = p.observe_with(None, &input());
+            assert!(obs.held && !obs.coasted && !obs.blind, "miss {k} within budget is held");
+            assert!(obs.y_l.is_some());
+        }
+        // Past the budget the estimate keeps flowing: coasted, never
+        // blind.
+        for k in 0..40 {
+            let obs = p.observe_with(None, &input());
+            assert!(obs.coasted && !obs.blind && !obs.held, "coast cycle {k}");
+            let y = obs.y_l.expect("coast estimate");
+            assert!(y.is_finite() && y.abs() < 1.0, "coast estimate stays sane, got {y}");
+        }
+        assert!(p.is_degraded(), "safe-mode bookkeeping still runs under the coast");
+    }
+
+    #[test]
+    fn reacquisition_is_innovation_gated() {
+        let mut p = coast_policy();
+        for _ in 0..50 {
+            p.observe_with(Some(0.2), &input());
+        }
+        for _ in 0..10 {
+            p.observe_with(None, &input());
+        }
+        // A wild returning frame (2 m off the coasted estimate — a lane
+        // mis-association) is rejected: the cycle stays a coast.
+        let wild = p.observe_with(Some(2.2), &input());
+        assert!(wild.coasted && !wild.reacquired, "wild frame must be gated");
+        assert!((wild.y_l.unwrap() - 0.2).abs() < 0.2, "estimate must not jump");
+        // A consistent frame re-acquires.
+        let good = p.observe_with(Some(0.21), &input());
+        assert!(good.reacquired && !good.coasted);
+        assert_eq!(good.y_l, Some(0.21));
+        // Once re-acquired, ordinary hits are ordinary.
+        let next = p.observe_with(Some(0.22), &input());
+        assert!(!next.reacquired && !next.coasted);
+    }
+
+    #[test]
+    fn persistent_jump_overrides_the_gate() {
+        // If the lane genuinely jumped (the wild value persists), the
+        // gate must not starve the loop forever: after
+        // MAX_REACQUIRE_REJECTS rejections the next frame is accepted.
+        let mut p = coast_policy();
+        for _ in 0..50 {
+            p.observe_with(Some(0.2), &input());
+        }
+        for _ in 0..10 {
+            p.observe_with(None, &input());
+        }
+        let mut reacquired_after = None;
+        for k in 0..=MAX_REACQUIRE_REJECTS + 1 {
+            let obs = p.observe_with(Some(2.0), &input());
+            if obs.reacquired {
+                reacquired_after = Some(k);
+                break;
+            }
+        }
+        assert_eq!(reacquired_after, Some(MAX_REACQUIRE_REJECTS), "gate must eventually yield");
+    }
+
+    #[test]
+    fn gated_rejection_mirrors_the_stale_hold_lesson() {
+        // The destabilization documented above: a stale constant pinned
+        // against a moving plant. Under the observer coast the
+        // equivalent attack (a wild constant fed at re-acquisition)
+        // never reaches the controller — every gated cycle hands back
+        // the model estimate instead.
+        let mut p = coast_policy();
+        for _ in 0..50 {
+            p.observe_with(Some(0.0), &input());
+        }
+        for _ in 0..10 {
+            p.observe_with(None, &input());
+        }
+        for _ in 0..MAX_REACQUIRE_REJECTS as usize - 1 {
+            let obs = p.observe_with(Some(1.5), &input());
+            assert!(obs.coasted, "stale constant is rejected");
+            assert!(obs.y_l.unwrap().abs() < 0.5, "controller never sees the 1.5 m fake");
+        }
+    }
+
+    #[test]
+    fn observer_redesigns_across_speed_changes() {
+        let mut p = coast_policy();
+        for _ in 0..20 {
+            p.observe_with(Some(0.1), &input());
+        }
+        // Knob switch to 30 km/h: the estimate must survive the
+        // redesign (no reset-to-zero glitch).
+        let slow = CoastInput { speed_kmph: 30.0, ..input() };
+        let obs = p.observe_with(None, &slow);
+        assert!(obs.y_l.is_some());
+        assert!((obs.y_l.unwrap() - 0.1).abs() < 0.05, "estimate survives the redesign");
     }
 }

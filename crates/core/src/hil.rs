@@ -12,13 +12,15 @@
 //! advances at the 5 ms Webots step throughout.
 
 use crate::cases::Case;
-use crate::degrade::{DegradationConfig, DegradationPolicy};
+use crate::degrade::{CoastInput, DegradationConfig, DegradationPolicy};
+use crate::errprofile::ProfileFitter;
 use crate::identify::{ClassifierBundle, SituationEstimate};
 use crate::knobs::{coarse_roi_for, fine_roi_for, speed_for, KnobTable, KnobTuning};
 use crate::qoc::QocAccumulator;
 use crate::tuner::{KnobTuner, TunerConfig, TunerEvent};
 use lkas_control::controller::{Controller, Measurement};
 use lkas_control::design::{design_controller_cached, ControllerConfig};
+use lkas_control::errprofile::PerceptionErrorProfile;
 use lkas_faults::{apply_bayer_fault, derive_cycle_seed, FaultPlan, Misprediction};
 use lkas_imaging::image::{RawImage, RgbImage};
 use lkas_imaging::isp::{IspConfig, IspPipeline};
@@ -127,6 +129,13 @@ pub struct HilConfig {
     /// published delta; with an auto-dump path configured the recorder
     /// writes itself out on safe-mode entry (`degraded_enter`).
     pub flight: Option<Arc<FlightRecorder>>,
+    /// Fit a [`PerceptionErrorProfile`] from this run: every cycle's
+    /// raw perception output (pre-degradation-substitution) is compared
+    /// against ground truth and the moments are returned in
+    /// [`HilResult::error_profile`]. Off by default. The fitter taps
+    /// the loop directly (not the drop-oldest telemetry stream), so the
+    /// fitted profile is exact and independent of stream consumers.
+    pub error_fit: bool,
 }
 
 /// One control sample of a recorded trace.
@@ -172,6 +181,7 @@ impl HilConfig {
             tuner: None,
             stream: None,
             flight: None,
+            error_fit: false,
         }
     }
 
@@ -274,6 +284,12 @@ impl HilConfig {
         self.flight = Some(recorder);
         self
     }
+
+    /// Enables perception-error-profile fitting (builder style).
+    pub fn with_error_fit(mut self, error_fit: bool) -> Self {
+        self.error_fit = error_fit;
+        self
+    }
 }
 
 /// Outcome of one HiL run.
@@ -306,6 +322,13 @@ pub struct HilResult {
     pub degraded_entries: u64,
     /// Misses bridged by the hold-and-extrapolate mechanism.
     pub measurement_holds: u64,
+    /// Past-budget misses (or gated glitch frames) bridged by the
+    /// degradation policy's observer coast instead of going blind
+    /// (0 under the legacy hold policy).
+    pub observer_coasts: u64,
+    /// Coast-ending measurements accepted through the re-acquisition
+    /// innovation gate.
+    pub observer_reacquisitions: u64,
     /// Cycles whose scene render was rejected with a typed
     /// `RenderError` (the loop coasts frameless instead of aborting).
     pub render_errors: u64,
@@ -320,6 +343,11 @@ pub struct HilResult {
     /// The tuner's updated knob store (present only when a tuner ran:
     /// the live, queryable output of online re-characterization).
     pub knob_store: Option<crate::characterize::KnobStore>,
+    /// Raw perception-error moments accumulated over this run (present
+    /// only under [`HilConfig::error_fit`]). Kept as moments rather
+    /// than a fitted profile so shard-split accumulations absorb
+    /// exactly; [`HilResult::error_profile`] fits on demand.
+    pub error_fit: Option<ProfileFitter>,
     /// Per-sample trace (empty unless [`HilConfig::record_trace`]).
     pub trace: Vec<TraceSample>,
 }
@@ -333,6 +361,13 @@ impl HilResult {
     /// MAE over non-crashed sectors (the paper's footnote-7 rule).
     pub fn mae_excluding_crashed(&self) -> Option<f64> {
         self.qoc.mae_excluding_crashed()
+    }
+
+    /// The perception error profile fitted from this run's accumulated
+    /// moments (`None` unless the run was configured with
+    /// [`HilConfig::error_fit`]).
+    pub fn error_profile(&self) -> Option<PerceptionErrorProfile> {
+        self.error_fit.as_ref().map(ProfileFitter::fit)
     }
 }
 
@@ -378,6 +413,7 @@ impl HilSimulator {
         let fault_plan = config.fault_plan.clone();
         let plan_seed = fault_plan.as_ref().map_or(0, |p| p.seed);
         let mut policy = config.degradation.map(DegradationPolicy::new);
+        let mut fitter = if config.error_fit { Some(ProfileFitter::new()) } else { None };
 
         // Initial knobs & controller.
         let mut estimate = match config.initial_estimate {
@@ -759,9 +795,23 @@ impl HilSimulator {
                     d.y_l_measured = raw_y_l;
                     d.y_l_true = Some(vehicle.true_y_l());
                 }
+                if let Some(f) = fitter.as_mut() {
+                    f.record(raw_y_l, vehicle.true_y_l());
+                }
                 let y_l = match policy.as_mut() {
                     Some(p) => {
-                        let obs = p.observe(raw_y_l);
+                        // The coast context: the command actuated over
+                        // the elapsed period, the (design-quantized)
+                        // speed the loop is scheduled for, and the
+                        // gyro — a separate device, live through camera
+                        // outages.
+                        let coast_input = CoastInput {
+                            steering: active_cmd,
+                            yaw_rate: vehicle.state().r,
+                            speed_kmph: design_speed,
+                            h_ms: controller_cfg.h_ms,
+                        };
+                        let obs = p.observe_with(raw_y_l, &coast_input);
                         if obs.held {
                             tally.incr(Counter::MeasurementHolds);
                             if let Some(s) = sink {
@@ -769,6 +819,24 @@ impl HilSimulator {
                             }
                             if let Some(d) = open_delta.as_mut() {
                                 d.labels.push("measurement_hold".to_string());
+                            }
+                        }
+                        if obs.coasted {
+                            tally.incr(Counter::ObserverCoasts);
+                            if let Some(s) = sink {
+                                s.instant(cycle, "observer_coast", None);
+                            }
+                            if let Some(d) = open_delta.as_mut() {
+                                d.labels.push("observer_coast".to_string());
+                            }
+                        }
+                        if obs.reacquired {
+                            tally.incr(Counter::ObserverReacquisitions);
+                            if let Some(s) = sink {
+                                s.instant(cycle, "observer_reacquire", None);
+                            }
+                            if let Some(d) = open_delta.as_mut() {
+                                d.labels.push("observer_reacquire".to_string());
                             }
                         }
                         if obs.entered {
@@ -889,6 +957,8 @@ impl HilSimulator {
             degraded_samples: tally.get(Counter::DegradedCycles),
             degraded_entries: tally.get(Counter::DegradedEntries),
             measurement_holds: tally.get(Counter::MeasurementHolds),
+            observer_coasts: tally.get(Counter::ObserverCoasts),
+            observer_reacquisitions: tally.get(Counter::ObserverReacquisitions),
             render_errors: tally.get(Counter::RenderErrors),
             tuner_decisions: tally.get(Counter::TunerDecisions),
             tuner_explorations: tally.get(Counter::TunerExplorations),
@@ -897,6 +967,7 @@ impl HilSimulator {
                 t.flush();
                 t.into_store()
             }),
+            error_fit: fitter,
             trace,
         }
     }
@@ -1144,7 +1215,10 @@ mod tests {
         assert_eq!(r.degraded_samples, 0);
         assert_eq!(r.degraded_entries, 0);
         assert_eq!(r.measurement_holds, 0);
+        assert_eq!(r.observer_coasts, 0);
+        assert_eq!(r.observer_reacquisitions, 0);
         assert_eq!(r.render_errors, 0);
+        assert!(r.error_fit.is_none(), "no moments without error_fit");
     }
 
     #[test]
@@ -1317,6 +1391,75 @@ mod tests {
         assert!(hardened.degraded_samples > 0);
         assert!(hardened.measurement_holds >= 1, "the first misses are bridged");
         assert!(hardened.frame_drops > 0);
+    }
+
+    #[test]
+    fn observer_coast_outlasts_hold_and_extrapolate_through_a_blind_burst() {
+        use crate::degrade::CoastPolicy;
+        // The Case-3 blind-burst acceptance scenario: a 10 s frame-drop
+        // burst on a straight at 50 km/h. The hold arm bridges 4 cycles,
+        // then goes honestly blind: the controller coasts open-loop,
+        // the estimate drifts from the noise-fed state it froze at, and
+        // re-acquisition finds the vehicle so far displaced that the
+        // recovery transient departs the lane. The observer arm coasts
+        // on the gyro-corrected Kalman estimate, keeps the controller's
+        // own observer measurement-fed throughout, re-acquires through
+        // the innovation gate, and finishes the track.
+        let run = |coast: CoastPolicy| {
+            let plan = Arc::new(FaultPlan::named("blind-burst", 7).drop_burst(200, 400));
+            let track = Track::for_situation(&TABLE3_SITUATIONS[0], 600.0);
+            let config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+                .with_camera(test_camera())
+                .with_seed(7)
+                .with_fault_plan(plan)
+                .with_degradation(DegradationConfig::default().with_coast(coast));
+            HilSimulator::new(track, config).run()
+        };
+        let hold = run(CoastPolicy::HoldAndExtrapolate);
+        let observer = run(CoastPolicy::ObserverCoast);
+        // The gated acceptance criterion: the observer coast survives
+        // the burst at least as long as hold-and-extrapolate (here:
+        // strictly longer — it does not crash at all).
+        assert!(hold.crashed, "the hold arm must depart during/after the burst");
+        assert!(!observer.crashed, "the observer arm must survive the same burst");
+        assert!(
+            observer.time_s >= hold.time_s,
+            "observer survival {:.2}s must be at least the hold arm's {:.2}s",
+            observer.time_s,
+            hold.time_s
+        );
+        assert!(observer.observer_coasts > 0, "past-budget misses must be coasted");
+        assert!(observer.observer_reacquisitions >= 1, "the burst end must re-acquire");
+        assert_eq!(hold.observer_coasts, 0, "the legacy arm never coasts");
+        // Both arms bridge the first misses identically.
+        assert!(hold.measurement_holds >= 4 && observer.measurement_holds >= 4);
+    }
+
+    #[test]
+    fn error_fit_recovers_perception_moments() {
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 150.0);
+        let config = HilConfig::new(Case::Case3, SituationSource::Oracle)
+            .with_camera(test_camera())
+            .with_seed(42)
+            .with_error_fit(true);
+        let r = HilSimulator::new(track, config).run();
+        let profile = r.error_profile().expect("error_fit must produce a profile");
+        // The perception stage is noisy but roughly unbiased on the
+        // benign straight, and it rarely misses.
+        assert!(profile.noise_std > 0.0 && profile.noise_std < 0.5, "σ = {}", profile.noise_std);
+        assert!(profile.bias.abs() < 0.2, "bias = {}", profile.bias);
+        assert!(profile.miss_rate < 0.1, "miss rate = {}", profile.miss_rate);
+        // Deterministic: the same run fits the same profile.
+        let again = HilSimulator::new(
+            Track::for_situation(&TABLE3_SITUATIONS[0], 150.0),
+            HilConfig::new(Case::Case3, SituationSource::Oracle)
+                .with_camera(test_camera())
+                .with_seed(42)
+                .with_error_fit(true),
+        )
+        .run();
+        assert_eq!(again.error_fit, r.error_fit);
+        assert_eq!(again.error_profile(), r.error_profile());
     }
 
     #[test]

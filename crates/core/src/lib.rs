@@ -50,6 +50,7 @@
 pub mod cases;
 pub mod characterize;
 pub mod degrade;
+pub mod errprofile;
 pub mod hil;
 pub mod identify;
 pub mod invocation;
@@ -60,7 +61,8 @@ pub mod tuner;
 
 pub use cases::Case;
 pub use characterize::{CharacterizeConfig, Characterizer, KnobStore, KNOB_STORE_SCHEMA};
-pub use degrade::{DegradationConfig, DegradationMode, DegradationPolicy};
+pub use degrade::{CoastPolicy, DegradationConfig, DegradationMode, DegradationPolicy};
+pub use errprofile::{ErrorProfileStore, ProfileFitter, ERROR_PROFILE_SCHEMA};
 pub use hil::{HilConfig, HilResult, HilSimulator, SituationSource};
 pub use knobs::{KnobTable, KnobTuning};
 pub use tuner::{KnobTuner, TunerConfig};

@@ -121,6 +121,13 @@ pub enum Counter {
     /// Perception misses bridged by the degradation policy's
     /// hold-and-extrapolate.
     MeasurementHolds,
+    /// Past-budget misses (or gated glitch frames) bridged by the
+    /// degradation policy's Kalman observer coast instead of going
+    /// blind.
+    ObserverCoasts,
+    /// Coast-ending measurements accepted through the degradation
+    /// policy's re-acquisition innovation gate.
+    ObserverReacquisitions,
     /// Transitions of the degradation policy into the safe fallback
     /// mode.
     DegradedEntries,
@@ -167,7 +174,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 33] = [
         Counter::Cycles,
         Counter::PerceptionFailures,
         Counter::SituationSwitches,
@@ -184,6 +191,8 @@ impl Counter {
         Counter::DeadlineOverruns,
         Counter::ActuationFaults,
         Counter::MeasurementHolds,
+        Counter::ObserverCoasts,
+        Counter::ObserverReacquisitions,
         Counter::DegradedEntries,
         Counter::DegradedExits,
         Counter::DegradedCycles,
@@ -220,6 +229,8 @@ impl Counter {
             Counter::DeadlineOverruns => "deadline_overruns",
             Counter::ActuationFaults => "actuation_faults",
             Counter::MeasurementHolds => "measurement_holds",
+            Counter::ObserverCoasts => "observer_coasts",
+            Counter::ObserverReacquisitions => "observer_reacquisitions",
             Counter::DegradedEntries => "degraded_entries",
             Counter::DegradedExits => "degraded_exits",
             Counter::DegradedCycles => "degraded_cycles",
@@ -253,10 +264,21 @@ impl Counter {
 /// *mergeable* ([`Metrics::merge_from`]): each worker can record into a
 /// local registry and fold it into the sweep's shared one, which is
 /// what [`crate::Executor::run_with_local`]-based sweeps do.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     stages: [LatencyHistogram; Stage::ALL.len()],
     counters: [AtomicU64; Counter::ALL.len()],
+}
+
+// Written out because `[T; N]: Default` stops at N = 32 and the counter
+// set has grown past it.
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            stages: std::array::from_fn(|_| LatencyHistogram::default()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Metrics {

@@ -19,6 +19,21 @@ TIMES=()
 RESULTS=()
 FAILED=0
 
+# Every fleetd spawned by a gate registers here; cleanup kills AND waits
+# (reaps) each one, so neither an early `return` in a gate nor an
+# interrupted run can leak a daemon past the script's lifetime. Safe to
+# call repeatedly — dead PIDs kill/wait as no-ops.
+FLEETD_PIDS=()
+cleanup_fleetd() {
+  local pid
+  for pid in "${FLEETD_PIDS[@]}"; do
+    kill "$pid" 2> /dev/null
+    wait "$pid" 2> /dev/null
+  done
+  FLEETD_PIDS=()
+}
+trap cleanup_fleetd EXIT
+
 stage() {
   local name="$1"
   shift
@@ -35,13 +50,22 @@ stage() {
   TIMES+=($((SECONDS - start)))
 }
 
+# The build stage compiles every workspace target (libs, bench bins,
+# examples' deps) exactly once; all later stages invoke the prebuilt
+# binaries directly instead of going through `cargo run`, so each gate
+# pays zero cargo lock/fingerprint overhead and the summary times
+# measure the gate, not the build system.
+build_all() {
+  cargo build --release --workspace
+}
+
 # Fast robustness-campaign smoke: quick grid, deterministic report.
 # Single worker on purpose: the report is byte-identical for any
 # --threads, but the CI box has one CPU, so extra workers time-slice
 # and inflate the stage latency histograms with preemption noise —
 # the telemetry gate should measure stage cost, not scheduler jitter.
 smoke_robustness() {
-  cargo run --release -p lkas-bench --bin robustness_campaign -- \
+  ./target/release/robustness_campaign \
     --quick --seed 7 --threads 1 --out artifacts/robustness_smoke.json \
     --metrics-out artifacts/telemetry_smoke_quick.json
 }
@@ -51,7 +75,7 @@ smoke_robustness() {
 # bounds (CI machines vary — this catches order-of-magnitude blowups,
 # not percent-level noise).
 gate_telemetry() {
-  cargo run --release -p lkas-bench --bin telemetry_report -- \
+  ./target/release/telemetry_report \
     diff BENCH_telemetry_baseline.json artifacts/telemetry_smoke_quick.json \
     --max-rel-mean 8 --max-rel-tail 25 --min-mean-us 2
 }
@@ -63,21 +87,21 @@ gate_telemetry() {
 # smoke telemetry.
 gate_shard_equivalence() {
   rm -f artifacts/ci_shard0.ckpt.jsonl artifacts/ci_shard1.ckpt.jsonl &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       --quick --seed 7 --threads 1 --shard 0/2 \
       --checkpoint artifacts/ci_shard0.ckpt.jsonl \
       --shard-out artifacts/ci_shard0.json &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       --quick --seed 7 --threads 1 --shard 1/2 \
       --checkpoint artifacts/ci_shard1.ckpt.jsonl \
       --shard-out artifacts/ci_shard1.json &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       merge artifacts/ci_shard0.json artifacts/ci_shard1.json \
       --out artifacts/ci_sharded_report.json \
       --metrics-out artifacts/ci_sharded_telemetry.json &&
     cmp artifacts/robustness_smoke.json artifacts/ci_sharded_report.json &&
     echo "sharded report is byte-identical to the unsharded smoke report" &&
-    cargo run --release -p lkas-bench --bin telemetry_report -- \
+    ./target/release/telemetry_report \
       diff artifacts/telemetry_smoke_quick.json artifacts/ci_sharded_telemetry.json \
       --max-rel-mean 8 --max-rel-tail 25 --min-mean-us 2
 }
@@ -93,7 +117,7 @@ gate_shard_equivalence() {
 # (d) the pinned Case-3 blind burst must conclude that observer
 #     coasting beats hold-and-extrapolate.
 gate_certificates() {
-  cargo run --release -p lkas-bench --bin robustness_campaign -- \
+  ./target/release/robustness_campaign \
     --quick --seed 7 --threads 4 --out artifacts/ci_cert_t4.json > /dev/null &&
     cmp artifacts/robustness_smoke.json artifacts/ci_cert_t4.json &&
     echo "certificate report is byte-identical across 1-vs-4 worker threads" &&
@@ -115,19 +139,19 @@ gate_certificates() {
 # (c) under the drifted sensor the tuned loop must strictly beat the
 #     frozen table (exit non-zero otherwise).
 gate_tuner_equivalence() {
-  cargo run --release -p lkas-bench --bin robustness_campaign -- \
+  ./target/release/robustness_campaign \
     drift --quick --seed 7 --knobs static --out artifacts/ci_drift_static.json &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       drift --quick --seed 7 --knobs tuned --epsilon 0 --out artifacts/ci_drift_eps0.json &&
     cmp artifacts/ci_drift_static.json artifacts/ci_drift_eps0.json &&
     echo "exploration-disabled tuner is byte-identical to the frozen table" &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       drift --quick --seed 7 --knobs tuned --out artifacts/ci_drift_tuned_a.json &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       drift --quick --seed 7 --knobs tuned --out artifacts/ci_drift_tuned_b.json &&
     cmp artifacts/ci_drift_tuned_a.json artifacts/ci_drift_tuned_b.json &&
     echo "tuned drift report is reproducible at a fixed seed" &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       drift --quick --seed 7 --compare
 }
 
@@ -140,24 +164,24 @@ gate_tuner_equivalence() {
 # (c) the stream-fed tuner at eps=0 must still be byte-identical to the
 #     frozen-table drift report from gate-tuner-equivalence.
 gate_stream_equivalence() {
-  cargo run --release -p lkas-bench --bin robustness_campaign -- \
+  ./target/release/robustness_campaign \
     drift --quick --seed 7 --knobs static \
     --stream-out artifacts/ci_stream_static.jsonl \
     --metrics-out artifacts/ci_stream_metrics.json \
     --out artifacts/ci_stream_report.json > /dev/null &&
-    cargo run --release -p lkas-bench --bin telemetry_report -- \
+    ./target/release/telemetry_report \
       fold artifacts/ci_stream_static.jsonl --out artifacts/ci_stream_folded.json &&
     cmp artifacts/ci_stream_metrics.json artifacts/ci_stream_folded.json &&
     echo "folded per-cycle stream is byte-identical to the end-of-run snapshot" &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       drift --quick --seed 7 --knobs static --tile-threads 1 \
       --stream-out artifacts/ci_stream_t1.jsonl > /dev/null &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       drift --quick --seed 7 --knobs static --tile-threads 4 \
       --stream-out artifacts/ci_stream_t4.jsonl > /dev/null &&
     cmp artifacts/ci_stream_t1.jsonl artifacts/ci_stream_t4.jsonl &&
     echo "per-cycle stream is byte-identical across tile-thread counts" &&
-    cargo run --release -p lkas-bench --bin robustness_campaign -- \
+    ./target/release/robustness_campaign \
       drift --quick --seed 7 --knobs tuned --epsilon 0 \
       --stream-out artifacts/ci_stream_eps0.jsonl \
       --out artifacts/ci_drift_stream_eps0.json > /dev/null &&
@@ -175,11 +199,11 @@ gate_stream_equivalence() {
 # (c) a capacity-0 daemon to reject a submission through admission
 #     control (exit code 3) instead of hanging or crashing.
 gate_fleet_smoke() {
-  cargo build --release -p lkas-bench --bin fleetd --bin fleetctl || return 1
   rm -f artifacts/ci_fleetd.log artifacts/ci_fleet_cold.json artifacts/ci_fleet_warm.json
   ./target/release/fleetd --addr 127.0.0.1:0 --workers 1 \
     > artifacts/ci_fleetd.log 2>> artifacts/ci_fleetd.log &
   local daemon=$!
+  FLEETD_PIDS+=("$daemon")
   local addr=""
   for _ in $(seq 1 100); do
     addr=$(sed -n 's/^fleetd listening on //p' artifacts/ci_fleetd.log)
@@ -188,7 +212,7 @@ gate_fleet_smoke() {
   done
   if [ -z "$addr" ]; then
     echo "error: fleetd did not report its address"
-    kill "$daemon" 2> /dev/null
+    cleanup_fleetd
     return 1
   fi
   local spec='{"kind": "campaign", "seed": 7, "quick": true}'
@@ -206,12 +230,16 @@ gate_fleet_smoke() {
     ok=1
   ./target/release/fleetctl shutdown --addr "$addr" > /dev/null || ok=1
   wait "$daemon" || ok=1
-  [ "$ok" -eq 0 ] || return 1
+  [ "$ok" -eq 0 ] || {
+    cleanup_fleetd
+    return 1
+  }
 
   # Admission control: a zero-capacity daemon must reject, not hang.
   ./target/release/fleetd --addr 127.0.0.1:0 --queue-capacity 0 \
     > artifacts/ci_fleetd0.log 2>> artifacts/ci_fleetd0.log &
   local daemon0=$!
+  FLEETD_PIDS+=("$daemon0")
   addr=""
   for _ in $(seq 1 100); do
     addr=$(sed -n 's/^fleetd listening on //p' artifacts/ci_fleetd0.log)
@@ -220,7 +248,7 @@ gate_fleet_smoke() {
   done
   if [ -z "$addr" ]; then
     echo "error: zero-capacity fleetd did not report its address"
-    kill "$daemon0" 2> /dev/null
+    cleanup_fleetd
     return 1
   fi
   ./target/release/fleetctl submit --addr "$addr" --spec "$spec" \
@@ -229,12 +257,29 @@ gate_fleet_smoke() {
   if [ "$code" -ne 3 ] || ! grep -q 'rejected:' artifacts/ci_fleet_reject.err; then
     echo "error: expected admission rejection (exit 3), got exit $code"
     ./target/release/fleetctl shutdown --addr "$addr" > /dev/null
-    wait "$daemon0"
+    cleanup_fleetd
     return 1
   fi
   echo "zero-capacity daemon rejected the submission through admission control"
   ./target/release/fleetctl shutdown --addr "$addr" > /dev/null &&
     wait "$daemon0"
+}
+
+# Kernel-equivalence gate: Scalar vs Lanes vs Lanes-Q14 across every ISP
+# configuration, perception ROI, and a fixed-seed classifier window set
+# (bit-identity for the exact backends, the declared tolerance band for
+# fixed-point, batched ≡ sequential inference). See DESIGN.md §17.
+gate_kernel_equivalence() {
+  ./target/release/kernel_equivalence
+}
+
+# ISP throughput gate: re-measure the pooled lane-backend frame path and
+# fail if any config (or the perception pipeline) regressed past a
+# generous multiple of the checked-in baseline. Like gate-telemetry,
+# this catches order-of-magnitude regressions, not scheduler noise.
+gate_isp_throughput() {
+  ./target/release/isp_throughput check \
+    --baseline BENCH_isp_baseline.json --max-rel 4 --iters 15
 }
 
 # Zero-allocation gate: the steady-state frame path (render → capture →
@@ -266,10 +311,12 @@ gate_hygiene() {
 }
 
 stage fmt cargo fmt --check
-stage build cargo build --release
+stage build build_all
 stage test cargo test -q --workspace
+stage gate-kernel-equivalence gate_kernel_equivalence
 stage smoke-robustness smoke_robustness
 stage gate-telemetry gate_telemetry
+stage gate-isp-throughput gate_isp_throughput
 stage gate-shard-equivalence gate_shard_equivalence
 stage gate-certificates gate_certificates
 stage gate-tuner-equivalence gate_tuner_equivalence

@@ -46,7 +46,10 @@ use lkas_bench::robustness::{
     report_from_merged, run_campaign_shard, run_drift, run_drift_hil_tapped, write_report,
     CampaignConfig, DriftKnobs, DriftTaps, RobustnessReport, DRIFT_SITUATIONS,
 };
-use lkas_bench::{arg_value, default_threads, render_table, write_metrics, Metrics, ARTIFACTS_DIR};
+use lkas_bench::{
+    arg_value, default_threads, kernel_backend_flag, render_table, write_metrics, Metrics,
+    ARTIFACTS_DIR,
+};
 use lkas_runtime::{
     merge_shard_files, read_shard_file, write_shard_file, FlightRecorder, Shard, TelemetryBus,
     DEFAULT_FLIGHT_CAPACITY,
@@ -80,7 +83,8 @@ fn main() {
         .with_threads(
             arg_value("--threads").and_then(|s| s.parse().ok()).unwrap_or_else(default_threads),
         )
-        .with_quick(args.iter().any(|a| a == "--quick"));
+        .with_quick(args.iter().any(|a| a == "--quick"))
+        .with_kernel_backend(kernel_backend_flag());
     let shard = match arg_value("--shard") {
         Some(text) => Shard::parse(&text).unwrap_or_else(|e| fail(&e)),
         None => Shard::full(),
@@ -148,7 +152,8 @@ fn merge(args: &[String]) {
 /// `--compare`.
 fn drift(args: &[String]) {
     let cfg = CampaignConfig::new(arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(7))
-        .with_quick(args.iter().any(|a| a == "--quick"));
+        .with_quick(args.iter().any(|a| a == "--quick"))
+        .with_kernel_backend(kernel_backend_flag());
     let epsilon = arg_value("--epsilon").map(|s| match s.parse::<f64>() {
         Ok(e) => e,
         Err(_) => fail(&format!("bad --epsilon `{s}`")),

@@ -155,7 +155,9 @@ impl HilJob {
         HilJob {
             label: label.into(),
             track,
-            config: HilConfig::new(case, source).with_seed(seed),
+            config: HilConfig::new(case, source)
+                .with_seed(seed)
+                .with_kernel_backend(kernel_backend_flag()),
             shared_metrics: None,
         }
     }
@@ -261,6 +263,25 @@ pub fn default_threads() -> usize {
 /// `true` if `--oracle` was passed (skip trained classifiers).
 pub fn oracle_flag() -> bool {
     std::env::args().any(|a| a == "--oracle")
+}
+
+/// Resolves the `--backend scalar|lanes|lanes-q14` flag: the kernel
+/// backend for the frame-path kernels, defaulting to the bit-exact lane
+/// backend. A runtime knob only — campaign fingerprints and result
+/// schemas do not include it (the default backend is byte-identical to
+/// scalar by construction, so reports do not drift).
+///
+/// # Panics
+///
+/// Panics on an unknown backend name (harness binaries want loud
+/// failures).
+pub fn kernel_backend_flag() -> lkas_imaging::KernelBackend {
+    match arg_value("--backend") {
+        Some(name) => lkas_imaging::KernelBackend::parse(&name).unwrap_or_else(|| {
+            panic!("unknown --backend {name:?} (expected scalar, lanes, or lanes-q14)")
+        }),
+        None => lkas_imaging::KernelBackend::default(),
+    }
 }
 
 /// Fetches `--arg value` style overrides from the command line.

@@ -20,6 +20,7 @@ use lkas::knobs::KnobTable;
 use lkas::tuner::TunerConfig;
 use lkas_faults::FaultPlan;
 use lkas_imaging::sensor::SensorConfig;
+use lkas_imaging::KernelBackend;
 use lkas_runtime::{
     run_campaign as run_campaign_engine, CampaignRun, CampaignSpec, Fingerprint, MergedShards,
     Shard,
@@ -57,12 +58,18 @@ pub struct CampaignConfig {
     pub threads: usize,
     /// Shrinks the grid (one case, four plans, short track) for CI.
     pub quick: bool,
+    /// Frame-path kernel backend. Like `threads`, a runtime knob that
+    /// never enters the fingerprint: the default lane backend is
+    /// byte-identical to scalar by construction (CI's
+    /// gate-kernel-equivalence holds it there), so the report cannot
+    /// depend on it.
+    pub kernel_backend: KernelBackend,
 }
 
 impl CampaignConfig {
     /// The default full-grid campaign at a seed.
     pub fn new(seed: u64) -> Self {
-        CampaignConfig { seed, threads: 1, quick: false }
+        CampaignConfig { seed, threads: 1, quick: false, kernel_backend: KernelBackend::default() }
     }
 
     /// Replaces the worker-thread count (builder style). Clamped to at
@@ -75,6 +82,12 @@ impl CampaignConfig {
     /// Switches the shrunk CI grid on or off (builder style).
     pub fn with_quick(mut self, quick: bool) -> Self {
         self.quick = quick;
+        self
+    }
+
+    /// Replaces the frame-path kernel backend (builder style).
+    pub fn with_kernel_backend(mut self, backend: KernelBackend) -> Self {
+        self.kernel_backend = backend;
         self
     }
 }
@@ -590,7 +603,7 @@ pub fn config_from_params(params: &Value) -> Result<CampaignConfig, String> {
         Value::Bool(b) => *b,
         _ => return Err("`quick` is not a bool".to_string()),
     };
-    Ok(CampaignConfig { seed, quick, threads: 1 })
+    Ok(CampaignConfig::new(seed).with_quick(quick))
 }
 
 /// Runs one shard of the campaign grid: restores checkpointed entries,
@@ -686,6 +699,7 @@ pub fn evaluate_job_tapped(
             let mut config = HilConfig::new(*case, SituationSource::Oracle)
                 .with_seed(cfg.seed)
                 .with_camera(camera.clone())
+                .with_kernel_backend(cfg.kernel_backend)
                 .with_error_fit(true);
             if !plan.is_empty() {
                 config = config.with_fault_plan(Arc::clone(plan));
@@ -706,6 +720,7 @@ pub fn evaluate_job_tapped(
             let mut config = HilConfig::new(Case::Case3, SituationSource::Oracle)
                 .with_seed(cfg.seed)
                 .with_camera(campaign_camera(true))
+                .with_kernel_backend(cfg.kernel_backend)
                 .with_fault_plan(Arc::new(blind_burst_plan(cfg.seed)))
                 .with_error_fit(true);
             if let Some(degradation) = arm.degradation() {
@@ -853,6 +868,7 @@ pub fn run_drift_hil_tapped(
     let mut config = HilConfig::new(Case::Case4, SituationSource::Oracle)
         .with_seed(cfg.seed)
         .with_camera(camera.clone())
+        .with_kernel_backend(cfg.kernel_backend)
         .with_sensor(drift_sensor())
         .with_initial_estimate(situation)
         .with_error_fit(true);

@@ -14,7 +14,7 @@
 use crate::cases::Case;
 use crate::degrade::{CoastInput, DegradationConfig, DegradationPolicy};
 use crate::errprofile::ProfileFitter;
-use crate::identify::{ClassifierBundle, SituationEstimate};
+use crate::identify::{BundleBatch, ClassifierBundle, SituationEstimate};
 use crate::knobs::{coarse_roi_for, fine_roi_for, speed_for, KnobTable, KnobTuning};
 use crate::qoc::QocAccumulator;
 use crate::tuner::{KnobTuner, TunerConfig, TunerEvent};
@@ -24,6 +24,7 @@ use lkas_control::errprofile::PerceptionErrorProfile;
 use lkas_faults::{apply_bayer_fault, derive_cycle_seed, FaultPlan, Misprediction};
 use lkas_imaging::image::{RawImage, RgbImage};
 use lkas_imaging::isp::{IspConfig, IspPipeline};
+use lkas_imaging::kernel::KernelBackend;
 use lkas_imaging::sensor::{Sensor, SensorConfig};
 use lkas_imaging::Scratch;
 use lkas_perception::pipeline::{Perception, PerceptionConfig, PerceptionScratch};
@@ -136,6 +137,14 @@ pub struct HilConfig {
     /// the loop directly (not the drop-oldest telemetry stream), so the
     /// fitted profile is exact and independent of stream consumers.
     pub error_fit: bool,
+    /// Kernel backend for the data-parallel frame-path kernels
+    /// (demosaic/denoise/gamut in the ISP, rectify/binarize in
+    /// perception). The default (`KernelBackend::lanes()`) is
+    /// bit-identical to `KernelBackend::Scalar`; the fixed-point
+    /// `lanes-q14` backend trades a documented tolerance band for
+    /// integer arithmetic. A runtime knob only — deliberately not part
+    /// of any campaign fingerprint.
+    pub kernel_backend: KernelBackend,
 }
 
 /// One control sample of a recorded trace.
@@ -182,6 +191,7 @@ impl HilConfig {
             stream: None,
             flight: None,
             error_fit: false,
+            kernel_backend: KernelBackend::default(),
         }
     }
 
@@ -288,6 +298,12 @@ impl HilConfig {
     /// Enables perception-error-profile fitting (builder style).
     pub fn with_error_fit(mut self, error_fit: bool) -> Self {
         self.error_fit = error_fit;
+        self
+    }
+
+    /// Selects the frame-path kernel backend (builder style).
+    pub fn with_kernel_backend(mut self, backend: KernelBackend) -> Self {
+        self.kernel_backend = backend;
         self
     }
 }
@@ -459,10 +475,19 @@ impl HilSimulator {
         // Plant, camera stack.
         let renderer = SceneRenderer::new(config.camera.clone());
         let mut sensor = Sensor::new(config.sensor.clone(), config.seed);
-        let mut isp = IspPipeline::new(knobs.isp);
+        let mut isp = IspPipeline::new(knobs.isp).with_backend(config.kernel_backend);
         let mut staged_isp: Option<IspConfig> = None;
         let mut perception =
-            Perception::new(PerceptionConfig::new(knobs.roi), config.camera.clone());
+            Perception::new(PerceptionConfig::new(knobs.roi), config.camera.clone())
+                .with_backend(config.kernel_backend);
+        // Batched-inference state for the trained classifier trio (one
+        // grouped GEMM per layer when a full re-identification window
+        // invokes all three). Built once per run; bit-identical to the
+        // sequential path.
+        let mut bundle_batch = match &config.source {
+            SituationSource::Trained(bundle) => Some(BundleBatch::new(bundle)),
+            _ => None,
+        };
         let mut vehicle = VehicleSim::new(track, VehicleState::centered(knobs.speed_kmph));
 
         // Reusable frame memory: every cycle writes into the same three
@@ -612,7 +637,15 @@ impl HilSimulator {
                     }
                     SituationSource::Trained(bundle) => {
                         if have_frame {
-                            estimate.update_from_frame(bundle, &rgb, &config.camera, invoked);
+                            let batch =
+                                bundle_batch.as_mut().expect("batch built for trained source");
+                            estimate.update_from_frame_with(
+                                bundle,
+                                batch,
+                                &rgb,
+                                &config.camera,
+                                invoked,
+                            );
                         }
                     }
                 });
@@ -703,7 +736,8 @@ impl HilSimulator {
                         perception = Perception::new(
                             PerceptionConfig::new(new_knobs.roi),
                             config.camera.clone(),
-                        );
+                        )
+                        .with_backend(config.kernel_backend);
                         tally.incr(Counter::PerceptionReconfigurations);
                         if let Some(s) = sink {
                             s.instant(cycle, "reconfig:perception", None);

@@ -9,6 +9,7 @@
 use lkas_imaging::image::RgbImage;
 use lkas_nn::classifiers::{LaneClassifier, RoadClassifier, SceneClassifier};
 use lkas_nn::features::extract;
+use lkas_nn::mlp::{BatchedMlps, MlpScratch};
 use lkas_platform::schedule::ClassifierSet;
 use lkas_scene::camera::Camera;
 use lkas_scene::situation::{LaneColor, LaneForm, RoadLayout, SceneKind, SituationFeatures};
@@ -43,6 +44,38 @@ impl ClassifierBundle {
     /// Returns deserialization errors from `serde_json`.
     pub fn from_json(json: &str) -> serde_json::Result<Self> {
         serde_json::from_str(json)
+    }
+}
+
+/// Batched-inference state for a [`ClassifierBundle`]: the three MLPs
+/// stacked road→lane→scene into one [`BatchedMlps`] plus the reusable
+/// input/scratch buffers, so a full re-identification window runs as
+/// one grouped GEMM per layer instead of three strided matmuls.
+///
+/// Predictions are bit-identical to the per-classifier path (the
+/// grouped GEMM accumulates in the same order as `Dense::forward` and
+/// softmax/argmax are shared) — asserted by
+/// `batched_update_matches_sequential` below and re-checked by the
+/// `gate-kernel-equivalence` CI stage.
+#[derive(Debug, Clone)]
+pub struct BundleBatch {
+    mlps: BatchedMlps,
+    xs: Vec<f32>,
+    scratch: MlpScratch,
+    preds: Vec<usize>,
+}
+
+impl BundleBatch {
+    /// Stacks the bundle's three classifiers (copies their weights into
+    /// contiguous per-layer buffers — build once per run, not per
+    /// frame).
+    pub fn new(bundle: &ClassifierBundle) -> Self {
+        BundleBatch {
+            mlps: BatchedMlps::new(&[bundle.road.mlp(), bundle.lane.mlp(), bundle.scene.mlp()]),
+            xs: Vec::new(),
+            scratch: MlpScratch::new(),
+            preds: Vec::new(),
+        }
     }
 }
 
@@ -101,6 +134,38 @@ impl SituationEstimate {
         if invoked.scene {
             self.current.scene = bundle.scene.classify_features(&features);
         }
+    }
+
+    /// [`SituationEstimate::update_from_frame`] with batched inference:
+    /// when all three classifiers are invoked (the full
+    /// re-identification window — the case where classifier latency
+    /// actually stacks), their normalized features are stacked and a
+    /// single grouped GEMM per layer produces all three predictions.
+    /// Partial invocations keep the per-classifier path, which skipping
+    /// classifiers already makes cheap.
+    pub fn update_from_frame_with(
+        &mut self,
+        bundle: &ClassifierBundle,
+        batch: &mut BundleBatch,
+        frame: &RgbImage,
+        camera: &Camera,
+        invoked: ClassifierSet,
+    ) {
+        if invoked.count() < 3 {
+            self.update_from_frame(bundle, frame, camera, invoked);
+            return;
+        }
+        let features = extract(frame, camera);
+        batch.xs.clear();
+        bundle.road.normalizer().apply_into(&features, &mut batch.xs);
+        bundle.lane.normalizer().apply_into(&features, &mut batch.xs);
+        bundle.scene.normalizer().apply_into(&features, &mut batch.xs);
+        batch.mlps.predict_into(&batch.xs, &mut batch.scratch, &mut batch.preds);
+        self.current.layout = RoadClassifier::class_of_index(batch.preds[0]);
+        let (color, form) = LaneClassifier::class_of_index(batch.preds[1]);
+        self.current.lane_color = color;
+        self.current.lane_form = form;
+        self.current.scene = SceneClassifier::class_of_index(batch.preds[2]);
     }
 
     /// Overwrites the whole estimate — the classifier-misprediction
@@ -184,6 +249,61 @@ mod tests {
             ClassifierSet::none(),
         );
         assert_eq!(e.current(), truth());
+    }
+
+    #[test]
+    fn batched_update_matches_sequential() {
+        use lkas_imaging::isp::{IspConfig, IspPipeline};
+        use lkas_imaging::sensor::{Sensor, SensorConfig};
+        use lkas_nn::classifiers::ClassifierSpec;
+        use lkas_scene::render::SceneRenderer;
+        use lkas_scene::track::Track;
+
+        // A deliberately tiny bundle: agreement between the batched and
+        // sequential paths is what's under test, not accuracy.
+        let spec = ClassifierSpec {
+            train_per_class: 12,
+            val_per_class: 0,
+            epochs: 6,
+            hidden: 12,
+            camera: Camera::new(256, 128, 150.0, 1.3, 6.0_f64.to_radians()),
+        };
+        let (road, _) = RoadClassifier::train(&spec, 41);
+        let (lane, _) = LaneClassifier::train(&spec, 42);
+        let (scene, _) = SceneClassifier::train(&spec, 43);
+        let bundle = ClassifierBundle { road, lane, scene };
+        let mut batch = BundleBatch::new(&bundle);
+
+        let isp = IspPipeline::new(IspConfig::S0);
+        for (i, sit) in lkas_scene::situation::TABLE3_SITUATIONS.iter().enumerate() {
+            let track = Track::for_situation(sit, 500.0);
+            let frame = SceneRenderer::new(spec.camera.clone()).render(&track, 20.0, 0.05, 0.0);
+            let raw = Sensor::new(SensorConfig::default(), i as u64).capture(&frame, 1.0);
+            let rgb = isp.process(&raw);
+            let mut seq = SituationEstimate::new();
+            seq.update_from_frame(&bundle, &rgb, &spec.camera, ClassifierSet::all());
+            let mut batched = SituationEstimate::new();
+            batched.update_from_frame_with(
+                &bundle,
+                &mut batch,
+                &rgb,
+                &spec.camera,
+                ClassifierSet::all(),
+            );
+            assert_eq!(seq.current(), batched.current(), "situation {i}");
+            // Partial invocation falls back to the per-classifier path.
+            let mut part_seq = SituationEstimate::new();
+            part_seq.update_from_frame(&bundle, &rgb, &spec.camera, ClassifierSet::road_only());
+            let mut part_batched = SituationEstimate::new();
+            part_batched.update_from_frame_with(
+                &bundle,
+                &mut batch,
+                &rgb,
+                &spec.camera,
+                ClassifierSet::road_only(),
+            );
+            assert_eq!(part_seq.current(), part_batched.current(), "partial, situation {i}");
+        }
     }
 
     #[test]

@@ -18,10 +18,40 @@
 //! tiled row-band parallel on the scratch's executor; every tile runs
 //! identical per-pixel arithmetic on disjoint rows, so the output is
 //! byte-identical for any thread count.
+//!
+//! # Kernel backends
+//!
+//! Each hot interior exists in the per-pixel scalar reference form and
+//! as a chunked-lane data-parallel kernel, selected per pipeline via
+//! [`KernelBackend`] (see `crate::kernel` for the policy). The exact
+//! lane kernels (`KernelBackend::lanes()`, the default) evaluate the
+//! scalar expressions in the same floating-point order — restructured
+//! only for vectorizable control flow — so they are bit-identical to
+//! the scalar reference. Two lane-only specializations carry most of
+//! the speedup:
+//!
+//! * the **final nonlinear stage is fused with the 8-bit quantizer**:
+//!   tone map and gamut map are monotone, so `round(clamp(f(x))·255)`
+//!   is a nondecreasing step function of `x`, and the 255 step
+//!   boundaries can be bisected *exactly* over the f32 bit space at
+//!   startup. The per-pixel `powf`/`exp` then collapses into a
+//!   branchless 8-probe binary search over a 256-entry threshold table
+//!   — bit-identical to stage-then-quantize by construction;
+//! * the non-final gamut map runs a **masked chunk kernel**: a chunk
+//!   whose maximum stays below the knee (the common case on road
+//!   scenes) is written back with the vectorized identity path, and
+//!   only knee-crossing chunks fall back to the scalar expression.
+//!
+//! The fixed-point backend (`KernelBackend::lanes_fixed()`) swaps the
+//! demosaic/denoise interiors for 16-bit Q2.14 integer lanes; those are
+//! tolerance-banded (see [`DM_Q14_EPS`] / [`DN_Q14_EPS`]) rather than
+//! bit-identical, and never run in the default pipeline.
 
 use crate::image::{BayerChannel, RawImage, RgbImage};
+use crate::kernel::KernelBackend;
 use crate::pool::Scratch;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// One ISP stage, in the paper's notation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -51,7 +81,8 @@ impl IspStage {
         }
     }
 
-    /// Applies this stage to an RGB frame in place.
+    /// Applies this stage to an RGB frame in place with the scalar
+    /// reference kernels.
     ///
     /// This is the single dispatch point for the RGB-domain stages
     /// (denoise takes its ping-pong buffer from the scratch pool and
@@ -60,12 +91,36 @@ impl IspStage {
     /// (RAW → RGB) and is driven by [`demosaic_into`] /
     /// [`IspPipeline::process_into`] instead.
     pub fn apply(&self, scratch: &mut Scratch, img: &mut RgbImage) {
-        match self {
-            IspStage::Demosaic => {}
-            IspStage::Denoise => denoise_in_place(img, scratch),
-            IspStage::ColorMap => color_map_in_place(img),
-            IspStage::GamutMap => gamut_map_in_place(img),
-            IspStage::ToneMap => tone_map_in_place(img),
+        self.apply_with(KernelBackend::Scalar, scratch, img);
+    }
+
+    /// Applies this stage with an explicit [`KernelBackend`].
+    ///
+    /// Exact backends produce bit-identical output; the fixed-point
+    /// backend substitutes the Q2.14 denoise interior (demosaic is not
+    /// an RGB-domain stage and dispatches in [`demosaic_into_with`]).
+    pub fn apply_with(&self, backend: KernelBackend, scratch: &mut Scratch, img: &mut RgbImage) {
+        match backend {
+            KernelBackend::Scalar => match self {
+                IspStage::Demosaic => {}
+                IspStage::Denoise => denoise_in_place(img, scratch, false),
+                IspStage::ColorMap => color_map_in_place(img),
+                IspStage::GamutMap => gamut_map_in_place(img),
+                IspStage::ToneMap => tone_map_in_place(img),
+            },
+            KernelBackend::Lanes { fixed_point } => match self {
+                IspStage::Demosaic => {}
+                IspStage::Denoise => {
+                    if fixed_point {
+                        denoise_in_place_q14(img, scratch);
+                    } else {
+                        denoise_in_place(img, scratch, true);
+                    }
+                }
+                IspStage::ColorMap => color_map_in_place(img),
+                IspStage::GamutMap => gamut_map_lanes(img),
+                IspStage::ToneMap => tone_map_in_place(img),
+            },
         }
     }
 }
@@ -167,6 +222,7 @@ pub const OUTPUT_LEVELS: u32 = 256;
 /// ```
 /// use lkas_imaging::image::RgbImage;
 /// use lkas_imaging::isp::{IspConfig, IspPipeline};
+/// use lkas_imaging::kernel::KernelBackend;
 /// use lkas_imaging::pool::Scratch;
 /// use lkas_imaging::sensor::{Sensor, SensorConfig};
 ///
@@ -174,21 +230,32 @@ pub const OUTPUT_LEVELS: u32 = 256;
 /// let raw = Sensor::new(SensorConfig::default(), 0).capture(&scene, 1.0);
 /// // One-shot convenience…
 /// let full = IspPipeline::new(IspConfig::S0).process(&raw);
-/// // …or the in-place path with reusable scratch memory.
+/// // …or the in-place path with reusable scratch memory, and an
+/// // explicit kernel backend (the scalar reference here).
 /// let mut scratch = Scratch::new();
 /// let mut approx = RgbImage::new(16, 16);
-/// IspPipeline::new(IspConfig::S5).process_into(&raw, &mut scratch, &mut approx);
+/// IspPipeline::new(IspConfig::S5)
+///     .with_backend(KernelBackend::Scalar)
+///     .process_into(&raw, &mut scratch, &mut approx);
 /// assert_eq!(full.width(), approx.width());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IspPipeline {
     config: IspConfig,
+    backend: KernelBackend,
 }
 
 impl IspPipeline {
-    /// Creates a pipeline running the given configuration.
+    /// Creates a pipeline running the given configuration on the default
+    /// (exact lane) kernel backend.
     pub fn new(config: IspConfig) -> Self {
-        IspPipeline { config }
+        IspPipeline { config, backend: KernelBackend::default() }
+    }
+
+    /// Selects the kernel backend (builder style).
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The active configuration.
@@ -196,9 +263,14 @@ impl IspPipeline {
         self.config
     }
 
+    /// The active kernel backend.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
+    }
+
     /// Replaces the active configuration (used by the runtime
     /// reconfiguration logic; the swap is free, matching a register write
-    /// on the real ISP).
+    /// on the real ISP). The kernel backend is preserved.
     pub fn set_config(&mut self, config: IspConfig) {
         self.config = config;
     }
@@ -210,13 +282,39 @@ impl IspPipeline {
     /// and a reused `out`, processing at stable frame dimensions
     /// performs no heap allocations (when `scratch` is single-threaded)
     /// and the output is byte-identical to [`IspPipeline::process`] at
-    /// any scratch thread count.
+    /// any scratch thread count. Exact backends (everything but the
+    /// fixed-point lanes) are additionally byte-identical to each other.
     pub fn process_into(&self, raw: &RawImage, scratch: &mut Scratch, out: &mut RgbImage) {
-        demosaic_into(raw, scratch, out);
-        for stage in self.config.stages() {
-            stage.apply(scratch, out);
+        demosaic_into_with(raw, scratch, out, self.backend);
+        match self.backend {
+            KernelBackend::Scalar => {
+                for stage in self.config.stages() {
+                    stage.apply(scratch, out);
+                }
+                out.quantize(OUTPUT_LEVELS);
+            }
+            KernelBackend::Lanes { .. } => {
+                let (last, rest) =
+                    self.config.stages().split_last().expect("every config demosaics");
+                for stage in rest {
+                    stage.apply_with(self.backend, scratch, out);
+                }
+                // A trailing tone map fuses with the quantizer: one
+                // table walk replaces the per-pixel `powf` plus the
+                // separate quantize pass, bit-identically. Only the
+                // tone map earns the fusion — its transcendental is
+                // unconditional, so the 8-probe table walk is a net
+                // win; a trailing gamut map is a near-free `max` for
+                // below-knee pixels and runs faster un-fused.
+                match last {
+                    IspStage::ToneMap => fused_quantize_in_place(out, tm_quant_thresholds()),
+                    stage => {
+                        stage.apply_with(self.backend, scratch, out);
+                        out.quantize(OUTPUT_LEVELS);
+                    }
+                }
+            }
         }
-        out.quantize(OUTPUT_LEVELS);
     }
 
     /// Runs the configured stages on a RAW frame and returns the
@@ -235,14 +333,13 @@ impl IspPipeline {
 }
 
 // ---------------------------------------------------------------------
-// Stage implementations (in place, tiled where it pays)
+// Demosaic (scalar reference + exact lane + Q2.14 lane kernels)
 // ---------------------------------------------------------------------
 
 /// Average of the in-bounds 3×3 neighbors holding channel `chan` — the
-/// border path of the demosaic (the interior kernels in
-/// [`demosaic_rows`] walk the same neighbors in the same row-major scan
-/// order, so interior and border agree bit-exactly wherever a pixel has
-/// all nine neighbors).
+/// border path of the demosaic (the interior kernels walk the same
+/// neighbors in the same row-major scan order, so interior and border
+/// agree bit-exactly wherever a pixel has all nine neighbors).
 fn dm_border_sample(raw: &RawImage, cx: i64, cy: i64, chan: BayerChannel) -> f32 {
     let (w, h) = (raw.width(), raw.height());
     let mut sum = 0.0;
@@ -271,14 +368,47 @@ fn dm_border_sample(raw: &RawImage, cx: i64, cy: i64, chan: BayerChannel) -> f32
     }
 }
 
+// The four interior phase kernels of the RGGB mosaic. Scalar and lane
+// rows call these same functions, so the two paths share one set of
+// floating-point expressions — bit-identity between the backends is
+// structural, not coincidental. Neighbor sums accumulate in the same
+// row-major scan order as `dm_border_sample`'s generic walk.
+
+/// Even row, even x: Red photosite.
+#[inline(always)]
+fn dm_even_even(above: &[f32], cur: &[f32], below: &[f32], x: usize, px: &mut [f32]) {
+    px[0] = cur[x];
+    px[1] = (above[x] + cur[x - 1] + cur[x + 1] + below[x]) / 4.0;
+    px[2] = (above[x - 1] + above[x + 1] + below[x - 1] + below[x + 1]) / 4.0;
+}
+
+/// Even row, odd x: GreenR photosite.
+#[inline(always)]
+fn dm_even_odd(above: &[f32], cur: &[f32], below: &[f32], x: usize, px: &mut [f32]) {
+    px[0] = (cur[x - 1] + cur[x + 1]) / 2.0;
+    px[1] = (above[x - 1] + above[x + 1] + cur[x] + below[x - 1] + below[x + 1]) / 5.0;
+    px[2] = (above[x] + below[x]) / 2.0;
+}
+
+/// Odd row, even x: GreenB photosite.
+#[inline(always)]
+fn dm_odd_even(above: &[f32], cur: &[f32], below: &[f32], x: usize, px: &mut [f32]) {
+    px[0] = (above[x] + below[x]) / 2.0;
+    px[1] = (above[x - 1] + above[x + 1] + cur[x] + below[x - 1] + below[x + 1]) / 5.0;
+    px[2] = (cur[x - 1] + cur[x + 1]) / 2.0;
+}
+
+/// Odd row, odd x: Blue photosite.
+#[inline(always)]
+fn dm_odd_odd(above: &[f32], cur: &[f32], below: &[f32], x: usize, px: &mut [f32]) {
+    px[0] = (above[x - 1] + above[x + 1] + below[x - 1] + below[x + 1]) / 4.0;
+    px[1] = (above[x] + cur[x - 1] + cur[x + 1] + below[x]) / 4.0;
+    px[2] = cur[x];
+}
+
 /// Demosaics the rows starting at absolute row `y0` into `band`
-/// (interleaved RGB, `band.len() / (3 * raw.width())` rows).
-///
-/// Interior pixels run a fully unrolled per-phase kernel over three raw
-/// row slices; neighbor sums accumulate in the same row-major scan
-/// order as [`dm_border_sample`]'s generic walk, so the result is
-/// bit-exact with it (asserted per pixel by the
-/// `demosaic_interior_matches_border_sampler` test).
+/// (interleaved RGB, `band.len() / (3 * raw.width())` rows) with the
+/// scalar reference interior (per-x parity branch).
 fn demosaic_rows(raw: &RawImage, band: &mut [f32], y0: usize) {
     let (w, h) = (raw.width(), raw.height());
     let data = raw.as_slice();
@@ -300,14 +430,9 @@ fn demosaic_rows(raw: &RawImage, band: &mut [f32], y0: usize) {
             for x in 1..w - 1 {
                 let px = &mut out_row[x * 3..x * 3 + 3];
                 if x & 1 == 0 {
-                    px[0] = cur[x];
-                    px[1] = (above[x] + cur[x - 1] + cur[x + 1] + below[x]) / 4.0;
-                    px[2] = (above[x - 1] + above[x + 1] + below[x - 1] + below[x + 1]) / 4.0;
+                    dm_even_even(above, cur, below, x, px);
                 } else {
-                    px[0] = (cur[x - 1] + cur[x + 1]) / 2.0;
-                    px[1] =
-                        (above[x - 1] + above[x + 1] + cur[x] + below[x - 1] + below[x + 1]) / 5.0;
-                    px[2] = (above[x] + below[x]) / 2.0;
+                    dm_even_odd(above, cur, below, x, px);
                 }
             }
         } else {
@@ -315,16 +440,61 @@ fn demosaic_rows(raw: &RawImage, band: &mut [f32], y0: usize) {
             for x in 1..w - 1 {
                 let px = &mut out_row[x * 3..x * 3 + 3];
                 if x & 1 == 0 {
-                    px[0] = (above[x] + below[x]) / 2.0;
-                    px[1] =
-                        (above[x - 1] + above[x + 1] + cur[x] + below[x - 1] + below[x + 1]) / 5.0;
-                    px[2] = (cur[x - 1] + cur[x + 1]) / 2.0;
+                    dm_odd_even(above, cur, below, x, px);
                 } else {
-                    px[0] = (above[x - 1] + above[x + 1] + below[x - 1] + below[x + 1]) / 4.0;
-                    px[1] = (above[x] + cur[x - 1] + cur[x + 1] + below[x]) / 4.0;
-                    px[2] = cur[x];
+                    dm_odd_odd(above, cur, below, x, px);
                 }
             }
+        }
+    }
+}
+
+/// Lane variant of [`demosaic_rows`]: the interior is phase-split into
+/// a branch-free pair loop (one even-x and one odd-x pixel per
+/// iteration, six contiguous output lanes) so the parity test leaves
+/// the hot loop and the neighbor loads are shared between the two
+/// phases. Same phase kernels, same expressions — bit-identical.
+fn demosaic_rows_lanes(raw: &RawImage, band: &mut [f32], y0: usize) {
+    let (w, h) = (raw.width(), raw.height());
+    if w < 4 {
+        return demosaic_rows(raw, band, y0);
+    }
+    let data = raw.as_slice();
+    for (ry, out_row) in band.chunks_exact_mut(w * 3).enumerate() {
+        let y = y0 + ry;
+        if y == 0 || y + 1 >= h {
+            for x in 0..w {
+                dm_border_pixel(raw, &mut out_row[x * 3..x * 3 + 3], x, y);
+            }
+            continue;
+        }
+        dm_border_pixel(raw, &mut out_row[0..3], 0, y);
+        dm_border_pixel(raw, &mut out_row[(w - 1) * 3..w * 3], w - 1, y);
+        let above = &data[(y - 1) * w..y * w];
+        let cur = &data[y * w..(y + 1) * w];
+        let below = &data[(y + 1) * w..(y + 2) * w];
+        // Interior x ∈ [1, w−2]: a lone odd column, then (even, odd)
+        // pairs, then the lone even column w−2 (w is even for Bayer).
+        if y & 1 == 0 {
+            dm_even_odd(above, cur, below, 1, &mut out_row[3..6]);
+            let mut x = 2;
+            while x + 1 < w - 1 {
+                let px = &mut out_row[x * 3..x * 3 + 6];
+                dm_even_even(above, cur, below, x, &mut px[0..3]);
+                dm_even_odd(above, cur, below, x + 1, &mut px[3..6]);
+                x += 2;
+            }
+            dm_even_even(above, cur, below, w - 2, &mut out_row[(w - 2) * 3..(w - 1) * 3]);
+        } else {
+            dm_odd_odd(above, cur, below, 1, &mut out_row[3..6]);
+            let mut x = 2;
+            while x + 1 < w - 1 {
+                let px = &mut out_row[x * 3..x * 3 + 6];
+                dm_odd_even(above, cur, below, x, &mut px[0..3]);
+                dm_odd_odd(above, cur, below, x + 1, &mut px[3..6]);
+                x += 2;
+            }
+            dm_odd_even(above, cur, below, w - 2, &mut out_row[(w - 2) * 3..(w - 1) * 3]);
         }
     }
 }
@@ -338,14 +508,36 @@ fn dm_border_pixel(raw: &RawImage, px: &mut [f32], x: usize, y: usize) {
 
 /// Bilinear demosaic of an RGGB Bayer mosaic into a caller-owned RGB
 /// frame (resized as needed), tiled row-band parallel on the scratch
-/// executor. Byte-identical output for any thread count.
+/// executor, using the scalar reference kernels. Byte-identical output
+/// for any thread count.
 pub fn demosaic_into(raw: &RawImage, scratch: &mut Scratch, out: &mut RgbImage) {
+    demosaic_into_with(raw, scratch, out, KernelBackend::Scalar);
+}
+
+/// [`demosaic_into`] with an explicit [`KernelBackend`].
+///
+/// The scalar and exact-lane backends are bit-identical and tile
+/// row-band parallel; the fixed-point backend runs the sequential
+/// Q2.14 kernel (see [`DM_Q14_EPS`] for its tolerance band).
+pub fn demosaic_into_with(
+    raw: &RawImage,
+    scratch: &mut Scratch,
+    out: &mut RgbImage,
+    backend: KernelBackend,
+) {
     let (w, h) = (raw.width(), raw.height());
     out.reshape(w, h);
+    let rows: fn(&RawImage, &mut [f32], usize) = match backend {
+        KernelBackend::Scalar => demosaic_rows,
+        KernelBackend::Lanes { fixed_point: false } => demosaic_rows_lanes,
+        KernelBackend::Lanes { fixed_point: true } => {
+            return demosaic_into_q14(raw, scratch, out);
+        }
+    };
     let exec = scratch.executor;
     if exec.threads() == 1 {
         // Sequential fast path: no job vectors, no allocations.
-        demosaic_rows(raw, out.as_mut_slice(), 0);
+        rows(raw, out.as_mut_slice(), 0);
         return;
     }
     let band_rows = (h + exec.threads() - 1) / exec.threads();
@@ -355,7 +547,135 @@ pub fn demosaic_into(raw: &RawImage, scratch: &mut Scratch, out: &mut RgbImage) 
         .enumerate()
         .map(|(i, band)| (i * band_rows, band))
         .collect();
-    exec.run(jobs, |(y0, band)| demosaic_rows(raw, band, y0));
+    exec.run(jobs, |(y0, band)| rows(raw, band, y0));
+}
+
+// ---------------------------------------------------------------------
+// Q2.14 fixed-point lanes (tolerance-banded, never the default)
+// ---------------------------------------------------------------------
+
+/// Q2.14 scale: 16-bit signed lanes covering (−2, +2) — signed because
+/// read noise drives RAW photosites slightly negative, and clamping
+/// them would cost far more accuracy than the format's quantization.
+const Q14_ONE: f32 = 16384.0;
+
+/// Declared tolerance band of the Q2.14 demosaic against the scalar
+/// f32 reference: |lanes-q14 − scalar| ≤ 2⁻¹⁰ per channel value.
+///
+/// Derivation: input quantization contributes ≤ 2⁻¹⁵ (half a Q2.14
+/// step), the rounded neighbor-average division ≤ 2⁻¹⁴, so the true
+/// worst case is ≲ 10⁻⁴; 2⁻¹⁰ ≈ 9.8·10⁻⁴ leaves an order-of-magnitude
+/// margin. Enforced by `gate-kernel-equivalence` and the imaging
+/// proptests.
+pub const DM_Q14_EPS: f32 = 1.0 / 1024.0;
+
+/// Declared tolerance band of the Q2.14 denoise against the scalar f32
+/// reference (same derivation as [`DM_Q14_EPS`], two rounded passes).
+pub const DN_Q14_EPS: f32 = 1.0 / 1024.0;
+
+#[inline(always)]
+fn to_q14(v: f32) -> i16 {
+    (v.clamp(-1.999, 1.999) * Q14_ONE).round() as i16
+}
+
+#[inline(always)]
+fn from_q14(q: i32) -> f32 {
+    // i32 → f32 is exact for these magnitudes; /2¹⁴ is a power of two.
+    q as f32 / Q14_ONE
+}
+
+#[inline(always)]
+fn rdiv2(s: i32) -> i32 {
+    (s + 1) >> 1
+}
+
+#[inline(always)]
+fn rdiv4(s: i32) -> i32 {
+    (s + 2) >> 2
+}
+
+#[inline(always)]
+fn rdiv5(s: i32) -> i32 {
+    (s + 2) / 5
+}
+
+/// Q2.14 demosaic: quantizes the RAW plane to 16-bit lanes, runs the
+/// integer phase kernels (exact shifts for /2 and /4, rounded division
+/// for /5), and dequantizes into the RGB output. Borders round-trip the
+/// scalar border sampler through Q2.14 so the whole frame shares one
+/// error model. Sequential (the integer interior outruns the tiled f32
+/// path on its own); within [`DM_Q14_EPS`] of [`demosaic_into`].
+fn demosaic_into_q14(raw: &RawImage, scratch: &mut Scratch, out: &mut RgbImage) {
+    let (w, h) = (raw.width(), raw.height());
+    let mut plane = scratch.pool.take_plane_i16(w * h);
+    for (q, &v) in plane.iter_mut().zip(raw.as_slice()) {
+        *q = to_q14(v);
+    }
+    let dst = out.as_mut_slice();
+    for y in 0..h {
+        let out_row = &mut dst[y * w * 3..(y + 1) * w * 3];
+        if y == 0 || y + 1 >= h {
+            for x in 0..w {
+                dm_border_pixel_q14(raw, &mut out_row[x * 3..x * 3 + 3], x, y);
+            }
+            continue;
+        }
+        dm_border_pixel_q14(raw, &mut out_row[0..3], 0, y);
+        dm_border_pixel_q14(raw, &mut out_row[(w - 1) * 3..w * 3], w - 1, y);
+        let above = &plane[(y - 1) * w..y * w];
+        let cur = &plane[y * w..(y + 1) * w];
+        let below = &plane[(y + 1) * w..(y + 2) * w];
+        let even_row = y & 1 == 0;
+        for x in 1..w - 1 {
+            let px = &mut out_row[x * 3..x * 3 + 3];
+            let (a0, a1, a2) = (above[x - 1] as i32, above[x] as i32, above[x + 1] as i32);
+            let (c0, c1, c2) = (cur[x - 1] as i32, cur[x] as i32, cur[x + 1] as i32);
+            let (b0, b1, b2) = (below[x - 1] as i32, below[x] as i32, below[x + 1] as i32);
+            let cross = rdiv4(a1 + c0 + c2 + b1);
+            let diag = rdiv4(a0 + a2 + b0 + b2);
+            let horiz = rdiv2(c0 + c2);
+            let vert = rdiv2(a1 + b1);
+            let plus = rdiv5(a0 + a2 + c1 + b0 + b2);
+            let (r, g, b) = match (even_row, x & 1 == 0) {
+                (true, true) => (c1, cross, diag),
+                (true, false) => (horiz, plus, vert),
+                (false, true) => (vert, plus, horiz),
+                (false, false) => (diag, cross, c1),
+            };
+            px[0] = from_q14(r);
+            px[1] = from_q14(g);
+            px[2] = from_q14(b);
+        }
+    }
+    scratch.pool.put_plane_i16(plane);
+}
+
+/// Border pixel of the Q2.14 demosaic: the scalar sampler's value,
+/// round-tripped through the Q2.14 format.
+fn dm_border_pixel_q14(raw: &RawImage, px: &mut [f32], x: usize, y: usize) {
+    let mut tmp = [0.0f32; 3];
+    dm_border_pixel(raw, &mut tmp, x, y);
+    for (d, v) in px.iter_mut().zip(tmp) {
+        *d = from_q14(to_q14(v) as i32);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Denoise (scalar reference + exact lane + Q2.14 lane kernels)
+// ---------------------------------------------------------------------
+
+/// The separable binomial denoise taps.
+const DN_K: [f32; 3] = [0.25, 0.5, 0.25];
+
+/// One 3-tap accumulation, shared verbatim by the scalar and lane rows
+/// (same operations in the same order ⇒ bit-identical backends).
+#[inline(always)]
+fn dn_tap3(a: f32, b: f32, c: f32) -> f32 {
+    let mut acc = 0.0f32;
+    acc += DN_K[0] * a;
+    acc += DN_K[1] * b;
+    acc += DN_K[2] * c;
+    acc
 }
 
 /// Horizontal pass of the separable denoise: reads `src`, writes the
@@ -365,50 +685,71 @@ pub fn demosaic_into(raw: &RawImage, scratch: &mut Scratch, out: &mut RgbImage) 
 /// unchanged, so the result stays bit-exact with the clamped walk);
 /// only the two border columns pay for it.
 fn denoise_horizontal_rows(src: &RgbImage, band: &mut [f32], y0: usize) {
-    const K: [f32; 3] = [0.25, 0.5, 0.25];
     let w = src.width();
     let data = src.as_slice();
-    let clamped = |row: &[f32], x: usize, out: &mut [f32]| {
-        let mut acc = [0.0f32; 3];
-        for (t, &k) in K.iter().enumerate() {
-            let xi = (x as i64 + t as i64 - 1).clamp(0, w as i64 - 1) as usize;
-            for c in 0..3 {
-                acc[c] += k * row[xi * 3 + c];
-            }
-        }
-        out.copy_from_slice(&acc);
-    };
     for (ry, out_row) in band.chunks_exact_mut(w * 3).enumerate() {
         let y = y0 + ry;
         let row = &data[y * w * 3..(y + 1) * w * 3];
         if w < 2 {
             for x in 0..w {
-                clamped(row, x, &mut out_row[x * 3..x * 3 + 3]);
+                dn_clamped_h(row, w, x, &mut out_row[x * 3..x * 3 + 3]);
             }
             continue;
         }
-        clamped(row, 0, &mut out_row[0..3]);
+        dn_clamped_h(row, w, 0, &mut out_row[0..3]);
         for x in 1..w - 1 {
             let i = x * 3;
             for c in 0..3 {
-                let mut acc = 0.0f32;
-                acc += K[0] * row[i - 3 + c];
-                acc += K[1] * row[i + c];
-                acc += K[2] * row[i + 3 + c];
-                out_row[i + c] = acc;
+                out_row[i + c] = dn_tap3(row[i - 3 + c], row[i + c], row[i + 3 + c]);
             }
         }
-        clamped(row, w - 1, &mut out_row[(w - 1) * 3..w * 3]);
+        dn_clamped_h(row, w, w - 1, &mut out_row[(w - 1) * 3..w * 3]);
     }
+}
+
+/// Lane variant of [`denoise_horizontal_rows`]: the interior flattens
+/// to one elementwise 3-tap loop over three shifted subslices — a pure
+/// map the compiler vectorizes across the full row. Same taps, same
+/// accumulation order — bit-identical to the scalar pass.
+fn denoise_horizontal_rows_lanes(src: &RgbImage, band: &mut [f32], y0: usize) {
+    let w = src.width();
+    if w < 2 {
+        return denoise_horizontal_rows(src, band, y0);
+    }
+    let data = src.as_slice();
+    let n = (w - 2) * 3;
+    for (ry, out_row) in band.chunks_exact_mut(w * 3).enumerate() {
+        let y = y0 + ry;
+        let row = &data[y * w * 3..(y + 1) * w * 3];
+        dn_clamped_h(row, w, 0, &mut out_row[0..3]);
+        let (left, mid, right) = (&row[..n], &row[3..3 + n], &row[6..6 + n]);
+        let dst = &mut out_row[3..3 + n];
+        for i in 0..n {
+            dst[i] = dn_tap3(left[i], mid[i], right[i]);
+        }
+        dn_clamped_h(row, w, w - 1, &mut out_row[(w - 1) * 3..w * 3]);
+    }
+}
+
+/// Clamped-tap horizontal border column.
+fn dn_clamped_h(row: &[f32], w: usize, x: usize, out: &mut [f32]) {
+    let mut acc = [0.0f32; 3];
+    for (t, &k) in DN_K.iter().enumerate() {
+        let xi = (x as i64 + t as i64 - 1).clamp(0, w as i64 - 1) as usize;
+        for c in 0..3 {
+            acc[c] += k * row[xi * 3 + c];
+        }
+    }
+    out.copy_from_slice(&acc);
 }
 
 /// Vertical pass of the separable denoise: reads `tmp` (the horizontal
 /// pass output), writes the rows starting at `y0` into `band`.
 ///
-/// Interior rows read three full row slices with no per-tap clamping;
-/// the first and last image rows use the generic clamped walk.
+/// Interior rows read three full row slices in one elementwise 3-tap
+/// loop (already the lane form — both backends share it); the first and
+/// last image rows use the generic clamped walk.
 fn denoise_vertical_rows(tmp: &RgbImage, band: &mut [f32], y0: usize) {
-    const K: [f32; 3] = [0.25, 0.5, 0.25];
     let (w, h) = (tmp.width(), tmp.height());
     let data = tmp.as_slice();
     for (ry, out_row) in band.chunks_exact_mut(w * 3).enumerate() {
@@ -416,7 +757,7 @@ fn denoise_vertical_rows(tmp: &RgbImage, band: &mut [f32], y0: usize) {
         if y == 0 || y + 1 >= h {
             for x in 0..w {
                 let mut acc = [0.0f32; 3];
-                for (t, &k) in K.iter().enumerate() {
+                for (t, &k) in DN_K.iter().enumerate() {
                     let yi = (y as i64 + t as i64 - 1).clamp(0, h as i64 - 1) as usize;
                     for c in 0..3 {
                         acc[c] += k * data[(yi * w + x) * 3 + c];
@@ -430,11 +771,7 @@ fn denoise_vertical_rows(tmp: &RgbImage, band: &mut [f32], y0: usize) {
         let cur = &data[y * w * 3..(y + 1) * w * 3];
         let below = &data[(y + 1) * w * 3..(y + 2) * w * 3];
         for i in 0..w * 3 {
-            let mut acc = 0.0f32;
-            acc += K[0] * above[i];
-            acc += K[1] * cur[i];
-            acc += K[2] * below[i];
-            out_row[i] = acc;
+            out_row[i] = dn_tap3(above[i], cur[i], below[i]);
         }
     }
 }
@@ -444,13 +781,16 @@ fn denoise_vertical_rows(tmp: &RgbImage, band: &mut [f32], y0: usize) {
 /// tile row-band parallel; the vertical pass starts only after the full
 /// horizontal pass finished (the executor joins its workers), so
 /// cross-band reads see complete data and the result is byte-identical
-/// for any thread count.
-fn denoise_in_place(img: &mut RgbImage, scratch: &mut Scratch) {
+/// for any thread count. `lanes` selects the flattened horizontal
+/// interior (bit-identical either way).
+fn denoise_in_place(img: &mut RgbImage, scratch: &mut Scratch, lanes: bool) {
     let (w, h) = (img.width(), img.height());
+    let horizontal: fn(&RgbImage, &mut [f32], usize) =
+        if lanes { denoise_horizontal_rows_lanes } else { denoise_horizontal_rows };
     let mut tmp = scratch.pool.take_rgb(w, h);
     let exec = scratch.executor;
     if exec.threads() == 1 {
-        denoise_horizontal_rows(img, tmp.as_mut_slice(), 0);
+        horizontal(img, tmp.as_mut_slice(), 0);
         denoise_vertical_rows(&tmp, img.as_mut_slice(), 0);
     } else {
         let band_rows = (h + exec.threads() - 1) / exec.threads();
@@ -461,7 +801,7 @@ fn denoise_in_place(img: &mut RgbImage, scratch: &mut Scratch) {
             .enumerate()
             .map(|(i, band)| (i * band_rows, band))
             .collect();
-        exec.run(jobs, |(y0, band)| denoise_horizontal_rows(src, band, y0));
+        exec.run(jobs, |(y0, band)| horizontal(src, band, y0));
         let jobs: Vec<(usize, &mut [f32])> = img
             .as_mut_slice()
             .chunks_mut(band_rows * w * 3)
@@ -474,6 +814,59 @@ fn denoise_in_place(img: &mut RgbImage, scratch: &mut Scratch) {
     scratch.pool.put_rgb(tmp);
 }
 
+/// Q2.14 denoise: quantizes the frame to 16-bit lanes and runs both
+/// binomial passes as exact integer shifts, `(a + 2b + c + 2) >> 2` —
+/// the (1, 2, 1)/4 taps are exactly representable, so the only error
+/// sources are the input quantization and the per-pass rounding.
+/// Sequential; within [`DN_Q14_EPS`] of the scalar reference.
+fn denoise_in_place_q14(img: &mut RgbImage, scratch: &mut Scratch) {
+    let (w, h) = (img.width(), img.height());
+    let n = w * h * 3;
+    let row_n = w * 3;
+    let mut a = scratch.pool.take_plane_i16(n);
+    let mut b = scratch.pool.take_plane_i16(n);
+    for (q, &v) in a.iter_mut().zip(img.as_slice()) {
+        *q = to_q14(v);
+    }
+    // Horizontal pass (a → b), clamped taps at the row ends.
+    for y in 0..h {
+        let src = &a[y * row_n..(y + 1) * row_n];
+        let dst = &mut b[y * row_n..(y + 1) * row_n];
+        for c in 0..3 {
+            dst[c] = dn_tap3_q14(src[c], src[c], src[3 + c]);
+            dst[row_n - 3 + c] =
+                dn_tap3_q14(src[row_n - 6 + c], src[row_n - 3 + c], src[row_n - 3 + c]);
+        }
+        for i in 3..row_n - 3 {
+            dst[i] = dn_tap3_q14(src[i - 3], src[i], src[i + 3]);
+        }
+    }
+    // Vertical pass (b → img), clamped taps at the first/last row.
+    let out = img.as_mut_slice();
+    for y in 0..h {
+        let y_up = y.saturating_sub(1);
+        let y_dn = (y + 1).min(h - 1);
+        let above = &b[y_up * row_n..(y_up + 1) * row_n];
+        let cur = &b[y * row_n..(y + 1) * row_n];
+        let below = &b[y_dn * row_n..(y_dn + 1) * row_n];
+        let dst = &mut out[y * row_n..(y + 1) * row_n];
+        for i in 0..row_n {
+            dst[i] = from_q14(dn_tap3_q14(above[i], cur[i], below[i]) as i32);
+        }
+    }
+    scratch.pool.put_plane_i16(a);
+    scratch.pool.put_plane_i16(b);
+}
+
+#[inline(always)]
+fn dn_tap3_q14(a: i16, b: i16, c: i16) -> i16 {
+    rdiv4(a as i32 + 2 * b as i32 + c as i32) as i16
+}
+
+// ---------------------------------------------------------------------
+// Elementwise stages (color map, gamut map, tone map, fused quantize)
+// ---------------------------------------------------------------------
+
 /// Color-correction matrix (inverse sensor crosstalk) applied in place.
 fn color_map_in_place(img: &mut RgbImage) {
     let ccm = ccm();
@@ -485,24 +878,199 @@ fn color_map_in_place(img: &mut RgbImage) {
     }
 }
 
-/// Soft-knee gamut compression applied in place.
-fn gamut_map_in_place(img: &mut RgbImage) {
-    const KNEE: f32 = 0.9;
-    for v in img.as_mut_slice() {
-        let x = v.max(0.0);
-        *v = if x <= KNEE {
-            x
-        } else {
-            // Asymptotic approach to 1.0 above the knee.
-            KNEE + (1.0 - KNEE) * (1.0 - (-(x - KNEE) / (1.0 - KNEE)).exp())
-        };
+/// Soft-knee threshold of the gamut map.
+const GM_KNEE: f32 = 0.9;
+
+/// The gamut map of one value (shared by every gamut-map kernel).
+#[inline(always)]
+fn gamut_map_one(v: f32) -> f32 {
+    let x = v.max(0.0);
+    if x <= GM_KNEE {
+        x
+    } else {
+        // Asymptotic approach to 1.0 above the knee.
+        GM_KNEE + (1.0 - GM_KNEE) * (1.0 - (-(x - GM_KNEE) / (1.0 - GM_KNEE)).exp())
     }
+}
+
+/// Soft-knee gamut compression applied in place (scalar reference).
+fn gamut_map_in_place(img: &mut RgbImage) {
+    for v in img.as_mut_slice() {
+        *v = gamut_map_one(*v);
+    }
+}
+
+/// Masked chunk kernel of the gamut map: a 16-lane chunk whose maximum
+/// stays at or below the knee (the overwhelmingly common case on road
+/// scenes) takes the vectorized identity path `x.max(0.0)`; only
+/// knee-crossing chunks fall back to the scalar expression per lane.
+/// In-gamut values are written as `v.max(0.0)` on both paths, so the
+/// output is bit-identical to [`gamut_map_in_place`].
+fn gamut_map_lanes(img: &mut RgbImage) {
+    const LANE: usize = 16;
+    let data = img.as_mut_slice();
+    let mut chunks = data.chunks_exact_mut(LANE);
+    for chunk in &mut chunks {
+        let mut m = [0.0f32; LANE];
+        for (d, &s) in m.iter_mut().zip(chunk.iter()) {
+            *d = s.max(0.0);
+        }
+        let mut hi = 0.0f32;
+        for &v in &m {
+            hi = hi.max(v);
+        }
+        if hi <= GM_KNEE {
+            chunk.copy_from_slice(&m);
+        } else {
+            for v in chunk.iter_mut() {
+                *v = gamut_map_one(*v);
+            }
+        }
+    }
+    for v in chunks.into_remainder() {
+        *v = gamut_map_one(*v);
+    }
+}
+
+/// The tone map of one value (shared by the scalar kernel and the
+/// fused-quantizer table builder).
+#[inline(always)]
+fn tone_map_one(v: f32) -> f32 {
+    v.max(0.0).powf(1.0 / 2.2)
 }
 
 /// sRGB-like gamma encoding (γ = 1/2.2) applied in place.
 fn tone_map_in_place(img: &mut RgbImage) {
     for v in img.as_mut_slice() {
-        *v = v.max(0.0).powf(1.0 / 2.2);
+        *v = tone_map_one(*v);
+    }
+}
+
+/// Bit pattern of +∞ — the top of the non-negative f32 bit space the
+/// threshold bisection searches (for non-negative floats, bit order is
+/// numeric order).
+const F32_INF_BITS: u32 = 0x7F80_0000;
+
+/// Probe window of the fused quantize search: after the prefix lookup
+/// narrows the code range, at most `QUANT_WINDOW − 1` codes remain and
+/// four dependent probes resolve them. Sufficient for any monotone
+/// stage with slope ≤ ~1.8 on [0, 1] (a 13-bit prefix bucket spans
+/// 2^−5 of its octave, so the quantized output moves by at most
+/// `255·slope/32` codes per bucket); the table builder asserts the
+/// actual bound.
+const QUANT_WINDOW: usize = 16;
+
+/// Bits of `f32::to_bits` used for the prefix lookup: sign-masked
+/// exponent plus the top 5 mantissa bits.
+const QUANT_PREFIX_SHIFT: u32 = 18;
+
+/// Entries in the prefix LUT (covers every non-negative finite f32 and
+/// +∞: `0x7F80_0000 >> 18` rounded up).
+const QUANT_LUT_LEN: usize = (F32_INF_BITS >> QUANT_PREFIX_SHIFT) as usize + 1;
+
+/// Fused stage+quantize lookup structure for one monotone stage.
+///
+/// `thresholds[k]` holds the smallest non-negative f32 (as bits) whose
+/// quantized stage output `round(clamp(stage(x), 0, 1)·255)` exceeds
+/// code `k` (so a value's code is the number of thresholds ≤ its bits —
+/// for non-negative floats, bit order is numeric order). Unreached
+/// codes and the window padding keep the `u32::MAX` sentinel.
+/// `prefix_lo[p]` pre-resolves the code of the smallest float with
+/// 13-bit prefix `p`, narrowing the per-pixel search to at most four
+/// probes; `values[c]` caches `c / 255.0`, the exact output the scalar
+/// `quantize` pass produces.
+struct QuantTable {
+    thresholds: [u32; OUTPUT_LEVELS as usize + QUANT_WINDOW],
+    prefix_lo: Box<[u8; QUANT_LUT_LEN]>,
+    values: [f32; OUTPUT_LEVELS as usize],
+}
+
+/// Builds the fused stage+quantize table for a monotone nondecreasing
+/// stage function. Each threshold is found by bisection over the f32
+/// bit space against the *actual* composed scalar expression, so the
+/// fused kernel is exact by construction — not within a tolerance, but
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if the stage is too steep for the probe window (no ISP stage
+/// is; the assert guards future stages).
+fn quantize_table(stage: impl Fn(f32) -> f32) -> QuantTable {
+    let q = (OUTPUT_LEVELS - 1) as f32;
+    let code =
+        |bits: u32| -> u32 { (stage(f32::from_bits(bits)).clamp(0.0, 1.0) * q).round() as u32 };
+    let mut t = [u32::MAX; OUTPUT_LEVELS as usize + QUANT_WINDOW];
+    let mut floor = 0u32; // highest bits known to map below the next code
+    for k in 0..(OUTPUT_LEVELS - 1) {
+        if code(F32_INF_BITS) < k + 1 {
+            break; // the stage saturates below this code; sentinels stay
+        }
+        let mut lo = floor; // code(lo) ≤ k
+        let mut hi = F32_INF_BITS; // code(hi) ≥ k + 1
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if code(mid) >= k + 1 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        t[k as usize] = hi;
+        floor = lo;
+    }
+    let mut prefix_lo = Box::new([0u8; QUANT_LUT_LEN]);
+    let mut c = 0usize; // running count of thresholds ≤ the prefix floor
+    for (p, slot) in prefix_lo.iter_mut().enumerate() {
+        let bucket_floor = (p as u32) << QUANT_PREFIX_SHIFT;
+        while c < OUTPUT_LEVELS as usize - 1 && t[c] <= bucket_floor {
+            c += 1;
+        }
+        *slot = c as u8;
+        // The windowed search covers codes [c, c + WINDOW); every value
+        // in this bucket must land there.
+        let bucket_ceil = bucket_floor | ((1 << QUANT_PREFIX_SHIFT) - 1);
+        let top = code(bucket_ceil.min(F32_INF_BITS)) as usize;
+        assert!(top < c + QUANT_WINDOW, "stage too steep for the quantize probe window");
+    }
+    let mut values = [0.0f32; OUTPUT_LEVELS as usize];
+    for (k, v) in values.iter_mut().enumerate() {
+        *v = k as f32 / q;
+    }
+    QuantTable { thresholds: t, prefix_lo, values }
+}
+
+fn tm_quant_thresholds() -> &'static QuantTable {
+    static TABLE: OnceLock<QuantTable> = OnceLock::new();
+    TABLE.get_or_init(|| quantize_table(tone_map_one))
+}
+
+/// Gamut-map table — kept (test-only) to prove the table machinery is
+/// exact for *any* monotone stage, though the production lanes path no
+/// longer fuses a trailing gamut map (for below-knee pixels the direct
+/// `max` + quantize is cheaper than the table walk).
+#[cfg(test)]
+fn gm_quant_thresholds() -> &'static QuantTable {
+    static TABLE: OnceLock<QuantTable> = OnceLock::new();
+    TABLE.get_or_init(|| quantize_table(gamut_map_one))
+}
+
+/// Fused trailing-stage + quantize kernel: maps every value through its
+/// stage's precomputed [`QuantTable`] — one prefix load plus four
+/// branchless probes per subpixel, replacing one transcendental plus
+/// one quantize pass. `v.max(0.0)` mirrors the stage functions' own
+/// clamp (it also normalizes NaN to 0 exactly like the scalar path);
+/// the sign-bit mask maps −0.0 onto +0.0's bit pattern so the integer
+/// compare stays order-preserving.
+fn fused_quantize_in_place(img: &mut RgbImage, qt: &QuantTable) {
+    let t = &qt.thresholds;
+    for v in img.as_mut_slice() {
+        let mb = v.max(0.0).to_bits() & 0x7FFF_FFFF;
+        let mut c = qt.prefix_lo[(mb >> QUANT_PREFIX_SHIFT) as usize] as usize;
+        c += ((t[c + 7] <= mb) as usize) << 3;
+        c += ((t[c + 3] <= mb) as usize) << 2;
+        c += ((t[c + 1] <= mb) as usize) << 1;
+        c += (t[c] <= mb) as usize;
+        *v = qt.values[c];
     }
 }
 
@@ -598,6 +1166,101 @@ mod tests {
     }
 
     #[test]
+    fn lane_demosaic_is_bit_identical_to_scalar() {
+        let mut s = Sensor::new(SensorConfig::default(), 17);
+        for (w, h) in [(4, 4), (6, 8), (32, 16), (62, 30)] {
+            let scene = RgbImage::filled(w, h, [0.4, 0.5, 0.3]);
+            let raw = s.capture(&scene, 1.0);
+            let mut scalar = RgbImage::new(w, h);
+            let mut lanes = RgbImage::new(w, h);
+            demosaic_into_with(&raw, &mut Scratch::new(), &mut scalar, KernelBackend::Scalar);
+            demosaic_into_with(&raw, &mut Scratch::new(), &mut lanes, KernelBackend::lanes());
+            assert_eq!(scalar, lanes, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn q14_demosaic_stays_in_band() {
+        let mut s = Sensor::new(SensorConfig::default(), 19);
+        let scene = RgbImage::filled(32, 16, [0.4, 0.5, 0.3]);
+        let raw = s.capture(&scene, 1.0);
+        let mut scalar = RgbImage::new(32, 16);
+        let mut q14 = RgbImage::new(32, 16);
+        demosaic_into_with(&raw, &mut Scratch::new(), &mut scalar, KernelBackend::Scalar);
+        demosaic_into_with(&raw, &mut Scratch::new(), &mut q14, KernelBackend::lanes_fixed());
+        for (a, b) in scalar.as_slice().iter().zip(q14.as_slice()) {
+            assert!((a - b).abs() <= DM_Q14_EPS, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_backends_are_byte_identical_per_config() {
+        let mut s = Sensor::new(SensorConfig::default(), 23);
+        let scene = RgbImage::filled(48, 24, [0.35, 0.5, 0.25]);
+        let raw = s.capture(&scene, 1.0);
+        for cfg in IspConfig::ALL {
+            let mut scalar = RgbImage::new(1, 1);
+            let mut lanes = RgbImage::new(1, 1);
+            IspPipeline::new(cfg).with_backend(KernelBackend::Scalar).process_into(
+                &raw,
+                &mut Scratch::new(),
+                &mut scalar,
+            );
+            IspPipeline::new(cfg).with_backend(KernelBackend::lanes()).process_into(
+                &raw,
+                &mut Scratch::new(),
+                &mut lanes,
+            );
+            assert_eq!(scalar, lanes, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn fused_quantize_matches_stage_then_quantize() {
+        // Sweep values across the interesting range (negatives, the
+        // knee, > 1 saturation, ±0.0) plus a dense grid; the fused
+        // kernel must match stage-then-quantize bit-for-bit.
+        let mut vals: Vec<f32> = vec![-0.5, -0.0, 0.0, 0.899, 0.9, 0.901, 1.0, 1.3, 5.0, f32::NAN];
+        for i in 0..4096 {
+            vals.push(i as f32 / 4096.0 * 1.5 - 0.1);
+        }
+        while vals.len() % 2 != 0 {
+            vals.push(0.0);
+        }
+        let w = vals.len() / 2;
+        let mut img = RgbImage::new(w, 2);
+        for (d, chunk) in img.as_mut_slice().chunks_exact_mut(1).zip(0..) {
+            d[0] = vals[chunk % vals.len()];
+        }
+        for (one, table) in [
+            (tone_map_one as fn(f32) -> f32, tm_quant_thresholds()),
+            (gamut_map_one as fn(f32) -> f32, gm_quant_thresholds()),
+        ] {
+            let mut reference = img.clone();
+            for v in reference.as_mut_slice() {
+                *v = one(*v);
+            }
+            reference.quantize(OUTPUT_LEVELS);
+            let mut fused = img.clone();
+            fused_quantize_in_place(&mut fused, table);
+            assert_eq!(reference, fused);
+        }
+    }
+
+    #[test]
+    fn lane_gamut_map_is_bit_identical() {
+        // Values straddling the knee in every chunk pattern.
+        let mut img = RgbImage::new(20, 3);
+        for (i, v) in img.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 * 0.037) % 1.4 - 0.1;
+        }
+        let mut scalar = img.clone();
+        gamut_map_in_place(&mut scalar);
+        gamut_map_lanes(&mut img);
+        assert_eq!(scalar, img);
+    }
+
+    #[test]
     fn tiled_stages_are_byte_identical_across_thread_counts() {
         let mut s = Sensor::new(SensorConfig::default(), 21);
         let scene = RgbImage::filled(64, 48, [0.3, 0.5, 0.2]);
@@ -669,6 +1332,32 @@ mod tests {
         let mut smooth = noisy.clone();
         IspStage::Denoise.apply(&mut Scratch::new(), &mut smooth);
         assert!(smooth.to_gray().std_dev() < 0.8 * noisy.to_gray().std_dev());
+    }
+
+    #[test]
+    fn lane_denoise_is_bit_identical_to_scalar() {
+        let mut s = Sensor::new(SensorConfig::default(), 29);
+        let raw = s.capture(&RgbImage::filled(34, 18, [0.4, 0.5, 0.3]), 1.0);
+        let base = dm(&raw);
+        let mut scalar = base.clone();
+        let mut lanes = base.clone();
+        IspStage::Denoise.apply_with(KernelBackend::Scalar, &mut Scratch::new(), &mut scalar);
+        IspStage::Denoise.apply_with(KernelBackend::lanes(), &mut Scratch::new(), &mut lanes);
+        assert_eq!(scalar, lanes);
+    }
+
+    #[test]
+    fn q14_denoise_stays_in_band() {
+        let mut s = Sensor::new(SensorConfig::default(), 31);
+        let raw = s.capture(&RgbImage::filled(34, 18, [0.4, 0.5, 0.3]), 1.0);
+        let base = dm(&raw);
+        let mut scalar = base.clone();
+        let mut q14 = base.clone();
+        IspStage::Denoise.apply_with(KernelBackend::Scalar, &mut Scratch::new(), &mut scalar);
+        IspStage::Denoise.apply_with(KernelBackend::lanes_fixed(), &mut Scratch::new(), &mut q14);
+        for (a, b) in scalar.as_slice().iter().zip(q14.as_slice()) {
+            assert!((a - b).abs() <= DN_Q14_EPS, "{a} vs {b}");
+        }
     }
 
     #[test]

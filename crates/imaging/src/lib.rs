@@ -18,6 +18,9 @@
 //! * [`isp`] — the five stages, the [`IspStage`](isp::IspStage) /
 //!   [`IspConfig`](isp::IspConfig) knobs (S0–S8) and the
 //!   [`IspPipeline`](isp::IspPipeline),
+//! * [`kernel`] — the [`KernelBackend`](kernel::KernelBackend) toggle
+//!   selecting scalar-reference vs. chunked-lane (and Q2.14
+//!   fixed-point) interiors for the hot kernels,
 //! * [`pool`] — the [`FramePool`](pool::FramePool) buffer arena and the
 //!   [`Scratch`](pool::Scratch) working memory of the zero-allocation
 //!   `*_into` frame path,
@@ -41,11 +44,13 @@
 
 pub mod image;
 pub mod isp;
+pub mod kernel;
 pub mod metrics;
 pub mod pool;
 pub mod sensor;
 
 pub use image::{GrayImage, RawImage, RgbImage};
 pub use isp::{IspConfig, IspPipeline, IspStage};
+pub use kernel::KernelBackend;
 pub use pool::{FramePool, PoolStats, Scratch};
 pub use sensor::{Sensor, SensorConfig};

@@ -3,7 +3,9 @@
 //! This crate provides exactly the numerical machinery the rest of the
 //! workspace needs, implemented from scratch on `f64`:
 //!
-//! * [`Mat`] — a dense row-major matrix with the usual arithmetic,
+//! * [`Mat`] — a dense row-major matrix with the usual arithmetic, plus
+//!   the [`sgemm_nt`] / [`sgemm_grouped_nt`] `f32` batched GEMM kernels
+//!   backing the classifier MLPs,
 //! * [`lu::Lu`] — LU factorization with partial pivoting (solve / inverse /
 //!   determinant),
 //! * [`expm::expm`] — matrix exponential (scaling & squaring + Padé), plus
@@ -45,7 +47,7 @@ pub mod riccati;
 
 pub use complex::Complex;
 pub use homography::Homography;
-pub use mat::Mat;
+pub use mat::{sgemm_grouped_nt, sgemm_nt, Mat};
 
 /// Errors produced by the numerical routines in this crate.
 #[derive(Debug, Clone, PartialEq)]

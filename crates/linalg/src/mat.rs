@@ -1,8 +1,99 @@
-//! Dense row-major `f64` matrix.
+//! Dense row-major `f64` matrix, plus the `f32` batched GEMM kernels
+//! backing the classifier MLPs.
 
 use crate::{LinalgError, Result};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// Batched "NT" GEMM over `f32` slices: for every input `i` of the
+/// batch and every weight row `r`,
+/// `out[i·rows + r] = bias[r] + Σ_c w[r·dim + c] · x[i·dim + c]`.
+///
+/// `x` holds `batch` row-major `dim`-vectors, `w` a row-major
+/// `rows × dim` weight matrix. Each output element accumulates
+/// sequentially over `c` from a `bias[r]` seed — the exact operation
+/// order of a one-sample matrix–vector product — so a batched forward
+/// pass is bit-identical to `batch` sequential ones. The weight row is
+/// hoisted across the batch (the blocking that turns `batch` strided
+/// matvecs into one cache-friendly sweep).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn sgemm_nt(
+    x: &[f32],
+    batch: usize,
+    dim: usize,
+    w: &[f32],
+    rows: usize,
+    bias: &[f32],
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(x.len(), batch * dim, "input batch length mismatch");
+    assert_eq!(w.len(), rows * dim, "weight matrix length mismatch");
+    assert_eq!(bias.len(), rows, "bias length mismatch");
+    out.clear();
+    out.resize(batch * rows, 0.0);
+    for r in 0..rows {
+        let row = &w[r * dim..(r + 1) * dim];
+        let seed = bias[r];
+        for i in 0..batch {
+            let xi = &x[i * dim..(i + 1) * dim];
+            let mut acc = seed;
+            for (wv, xv) in row.iter().zip(xi) {
+                acc += wv * xv;
+            }
+            out[i * rows + r] = acc;
+        }
+    }
+}
+
+/// Grouped "NT" GEMM over `f32` slices: `groups.len()` independent
+/// `(rows_g × cols_g)` weight blocks, stacked row-major in `w`, each
+/// multiplying its own `cols_g`-vector stacked in `x`, with stacked
+/// biases — one contiguous sweep over one weight buffer instead of
+/// `groups.len()` separate strided matmuls.
+///
+/// `groups[g] = (rows_g, cols_g)`. Expected lengths: `x` is
+/// `Σ cols_g`, `w` is `Σ rows_g·cols_g`, `bias` is `Σ rows_g`; `out`
+/// is resized to `Σ rows_g`. Per output element the accumulation order
+/// matches [`sgemm_nt`] (bias seed, then sequential over the columns),
+/// so grouped inference is bit-identical to per-group inference.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the group dimensions.
+pub fn sgemm_grouped_nt(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    groups: &[(usize, usize)],
+    out: &mut Vec<f32>,
+) {
+    let total_rows: usize = groups.iter().map(|&(r, _)| r).sum();
+    let total_cols: usize = groups.iter().map(|&(_, c)| c).sum();
+    let total_w: usize = groups.iter().map(|&(r, c)| r * c).sum();
+    assert_eq!(x.len(), total_cols, "stacked input length mismatch");
+    assert_eq!(w.len(), total_w, "stacked weight length mismatch");
+    assert_eq!(bias.len(), total_rows, "stacked bias length mismatch");
+    out.clear();
+    out.resize(total_rows, 0.0);
+    let (mut xo, mut wo, mut ro) = (0usize, 0usize, 0usize);
+    for &(rows, cols) in groups {
+        let xg = &x[xo..xo + cols];
+        for r in 0..rows {
+            let row = &w[wo + r * cols..wo + (r + 1) * cols];
+            let mut acc = bias[ro + r];
+            for (wv, xv) in row.iter().zip(xg) {
+                acc += wv * xv;
+            }
+            out[ro + r] = acc;
+        }
+        xo += cols;
+        wo += rows * cols;
+        ro += rows;
+    }
+}
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -487,5 +578,66 @@ mod tests {
     fn index_out_of_bounds_panics() {
         let a = Mat::zeros(2, 2);
         let _ = a[(2, 0)];
+    }
+
+    /// The scalar reference: one matvec, bias-seeded sequential dot.
+    fn matvec_ref(x: &[f32], w: &[f32], rows: usize, dim: usize, bias: &[f32]) -> Vec<f32> {
+        (0..rows)
+            .map(|r| {
+                let mut acc = bias[r];
+                for (wv, xv) in w[r * dim..(r + 1) * dim].iter().zip(x) {
+                    acc += wv * xv;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sgemm_nt_is_bit_identical_to_sequential_matvecs() {
+        let (batch, dim, rows) = (5, 7, 4);
+        let x: Vec<f32> = (0..batch * dim).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.13).collect();
+        let w: Vec<f32> = (0..rows * dim).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.07).collect();
+        let bias: Vec<f32> = (0..rows).map(|i| i as f32 * 0.31 - 0.4).collect();
+        let mut out = Vec::new();
+        sgemm_nt(&x, batch, dim, &w, rows, &bias, &mut out);
+        for i in 0..batch {
+            let expect = matvec_ref(&x[i * dim..(i + 1) * dim], &w, rows, dim, &bias);
+            assert_eq!(&out[i * rows..(i + 1) * rows], expect.as_slice(), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn sgemm_grouped_nt_is_bit_identical_to_per_group_matvecs() {
+        let groups = [(3usize, 4usize), (2, 6), (5, 4)];
+        let total_cols: usize = groups.iter().map(|&(_, c)| c).sum();
+        let total_w: usize = groups.iter().map(|&(r, c)| r * c).sum();
+        let total_rows: usize = groups.iter().map(|&(r, _)| r).sum();
+        let x: Vec<f32> = (0..total_cols).map(|i| ((i * 29 % 13) as f32 - 6.0) * 0.11).collect();
+        let w: Vec<f32> = (0..total_w).map(|i| ((i * 41 % 17) as f32 - 8.0) * 0.09).collect();
+        let bias: Vec<f32> = (0..total_rows).map(|i| i as f32 * 0.17 - 0.5).collect();
+        let mut out = Vec::new();
+        sgemm_grouped_nt(&x, &w, &bias, &groups, &mut out);
+        let (mut xo, mut wo, mut ro) = (0usize, 0usize, 0usize);
+        for (g, &(rows, cols)) in groups.iter().enumerate() {
+            let expect = matvec_ref(
+                &x[xo..xo + cols],
+                &w[wo..wo + rows * cols],
+                rows,
+                cols,
+                &bias[ro..ro + rows],
+            );
+            assert_eq!(&out[ro..ro + rows], expect.as_slice(), "group {g}");
+            xo += cols;
+            wo += rows * cols;
+            ro += rows;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn sgemm_nt_rejects_bad_lengths() {
+        let mut out = Vec::new();
+        sgemm_nt(&[1.0; 5], 2, 3, &[0.0; 6], 2, &[0.0; 2], &mut out);
     }
 }

@@ -119,8 +119,23 @@ impl Normalizer {
     ///
     /// Panics if the dimension differs from the fitted one.
     pub fn apply(&self, features: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(features.len());
+        self.apply_into(features, &mut out);
+        out
+    }
+
+    /// [`Normalizer::apply`] with *append* semantics into a caller-owned
+    /// buffer — the allocation-free path used when stacking the three
+    /// classifiers' inputs for the batched grouped GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension differs from the fitted one.
+    pub fn apply_into(&self, features: &[f32], out: &mut Vec<f32>) {
         assert_eq!(features.len(), self.mean.len(), "feature dimension mismatch");
-        features.iter().zip(&self.mean).zip(&self.inv_std).map(|((v, m), s)| (v - m) * s).collect()
+        out.extend(
+            features.iter().zip(&self.mean).zip(&self.inv_std).map(|((v, m), s)| (v - m) * s),
+        );
     }
 }
 
@@ -268,6 +283,25 @@ macro_rules! classifier {
             pub fn classify_features(&self, features: &[f32]) -> $classes {
                 let class_of = $class_of;
                 class_of(self.mlp.predict(&self.normalizer.apply(features)))
+            }
+
+            /// Maps a raw class index (e.g. a [`crate::mlp::BatchedMlps`]
+            /// prediction) to the typed class — the same mapping
+            /// [`Self::classify_features`] applies to its own argmax.
+            pub fn class_of_index(idx: usize) -> $classes {
+                let class_of = $class_of;
+                class_of(idx)
+            }
+
+            /// The underlying MLP (for stacking into a
+            /// [`crate::mlp::BatchedMlps`]).
+            pub fn mlp(&self) -> &Mlp {
+                &self.mlp
+            }
+
+            /// The fitted feature normalizer.
+            pub fn normalizer(&self) -> &Normalizer {
+                &self.normalizer
             }
         }
     };

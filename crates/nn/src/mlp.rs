@@ -123,12 +123,7 @@ impl Mlp {
     ///
     /// Panics if `x.len()` differs from [`Mlp::input_dim`].
     pub fn predict(&self, x: &[f32]) -> usize {
-        let p = self.probabilities(x);
-        p.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        argmax(&self.probabilities(x))
     }
 
     /// Forward pass keeping every layer's (post-activation) output.
@@ -270,6 +265,170 @@ fn softmax(logits: &[f32]) -> Vec<f32> {
     exps.into_iter().map(|e| e / sum).collect()
 }
 
+/// Index of the largest probability — the single argmax of the crate.
+/// Ties (and incomparable NaN pairs) resolve to the *last* maximal
+/// index, matching `Iterator::max_by`; the sequential and batched
+/// predictors share this function so their tie-breaking agrees.
+fn argmax(p: &[f32]) -> usize {
+    p.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Reusable ping-pong buffers of the batched forward passes: holding
+/// one `MlpScratch` across windows makes [`BatchedMlps::forward`]
+/// allocation-free in the steady state.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl MlpScratch {
+    /// Creates empty buffers; they grow to steady-state size on first
+    /// use.
+    pub fn new() -> Self {
+        MlpScratch::default()
+    }
+}
+
+/// One stacked layer of a [`BatchedMlps`]: the member networks' weight
+/// matrices concatenated row-major into one contiguous buffer, with
+/// their `(rows, cols)` block structure.
+#[derive(Debug, Clone)]
+struct GroupedLayer {
+    w: Vec<f32>,
+    b: Vec<f32>,
+    groups: Vec<(usize, usize)>,
+}
+
+/// Several MLPs of equal depth stacked for grouped batched inference:
+/// each layer of the stack runs as **one** grouped GEMM
+/// ([`lkas_linalg::sgemm_grouped_nt`]) over one contiguous weight
+/// buffer, instead of one strided matmul per member network — the
+/// batched path of the three situation classifiers.
+///
+/// Per output element the grouped GEMM accumulates in exactly the
+/// order of [`Mlp::probabilities`]'s per-layer forward, the inter-layer
+/// ReLU and the final softmax/argmax are the same functions, so
+/// batched results are bit-identical to running each member
+/// sequentially (asserted by the `gate-kernel-equivalence` CI stage).
+///
+/// # Example
+///
+/// ```
+/// use lkas_nn::mlp::{BatchedMlps, Mlp, MlpScratch};
+///
+/// let a = Mlp::new(&[3, 8, 2], 1);
+/// let b = Mlp::new(&[3, 6, 4], 2);
+/// let batched = BatchedMlps::new(&[&a, &b]);
+/// let xs = [0.1f32, -0.4, 0.7, /* second net's input: */ 0.2, 0.0, -0.9];
+/// let mut scratch = MlpScratch::new();
+/// let mut preds = Vec::new();
+/// batched.predict_into(&xs, &mut scratch, &mut preds);
+/// assert_eq!(preds, vec![a.predict(&xs[..3]), b.predict(&xs[3..])]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedMlps {
+    layers: Vec<GroupedLayer>,
+    input_dims: Vec<usize>,
+    class_counts: Vec<usize>,
+}
+
+impl BatchedMlps {
+    /// Stacks the given networks (copying their weights into contiguous
+    /// per-layer buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is empty or the networks have different depths.
+    pub fn new(nets: &[&Mlp]) -> Self {
+        assert!(!nets.is_empty(), "need at least one network to stack");
+        let depth = nets[0].layers.len();
+        assert!(
+            nets.iter().all(|n| n.layers.len() == depth),
+            "stacked networks must have equal depth"
+        );
+        let layers = (0..depth)
+            .map(|li| {
+                let mut w = Vec::new();
+                let mut b = Vec::new();
+                let mut groups = Vec::with_capacity(nets.len());
+                for net in nets {
+                    let layer = &net.layers[li];
+                    w.extend_from_slice(&layer.w);
+                    b.extend_from_slice(&layer.b);
+                    groups.push((layer.rows, layer.cols));
+                }
+                GroupedLayer { w, b, groups }
+            })
+            .collect();
+        BatchedMlps {
+            layers,
+            input_dims: nets.iter().map(|n| n.input_dim()).collect(),
+            class_counts: nets.iter().map(|n| n.n_classes()).collect(),
+        }
+    }
+
+    /// Input dimensionality of each member network, in stacking order.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// Class count of each member network, in stacking order.
+    pub fn class_counts(&self) -> &[usize] {
+        &self.class_counts
+    }
+
+    /// Grouped forward pass: `xs` holds the members' input vectors
+    /// concatenated in stacking order; returns the concatenated logits
+    /// (living in `scratch` — allocation-free once warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len()` differs from the sum of
+    /// [`BatchedMlps::input_dims`].
+    pub fn forward<'s>(&self, xs: &[f32], scratch: &'s mut MlpScratch) -> &'s [f32] {
+        let total: usize = self.input_dims.iter().sum();
+        assert_eq!(xs.len(), total, "stacked input dimension mismatch");
+        scratch.a.clear();
+        scratch.a.extend_from_slice(xs);
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            lkas_linalg::sgemm_grouped_nt(
+                &scratch.a,
+                &layer.w,
+                &layer.b,
+                &layer.groups,
+                &mut scratch.b,
+            );
+            if li < last {
+                for v in &mut scratch.b {
+                    *v = v.max(0.0); // ReLU, same expression as Mlp::forward_all
+                }
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        &scratch.a
+    }
+
+    /// Grouped prediction: runs [`BatchedMlps::forward`], then softmax +
+    /// argmax per member block, writing one class index per member into
+    /// `preds` (cleared first). Bit-identical to calling
+    /// [`Mlp::predict`] on each member.
+    pub fn predict_into(&self, xs: &[f32], scratch: &mut MlpScratch, preds: &mut Vec<usize>) {
+        self.forward(xs, scratch);
+        preds.clear();
+        let mut off = 0usize;
+        for &classes in &self.class_counts {
+            preds.push(argmax(&softmax(&scratch.a[off..off + classes])));
+            off += classes;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +511,70 @@ mod tests {
         let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
         let mut net = Mlp::new(&[2, 2], 0);
         net.train(&refs, &[5], &TrainConfig::default(), 0);
+    }
+
+    /// Three heterogeneous nets of equal depth, like the situation
+    /// classifier trio.
+    fn trio() -> (Mlp, Mlp, Mlp) {
+        (Mlp::new(&[7, 16, 3], 11), Mlp::new(&[7, 12, 4], 22), Mlp::new(&[7, 16, 5], 33))
+    }
+
+    fn trio_inputs(seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let vec7 = |salt: u64| {
+            (0..7u64)
+                .map(|i| ((seed * 31 + salt * 17 + i * 7) % 23) as f32 * 0.1 - 1.1)
+                .collect::<Vec<f32>>()
+        };
+        (vec7(0), vec7(1), vec7(2))
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_sequential() {
+        let (a, b, c) = trio();
+        let batched = BatchedMlps::new(&[&a, &b, &c]);
+        let mut scratch = MlpScratch::new();
+        for seed in 0..16 {
+            let (xa, xb, xc) = trio_inputs(seed);
+            let xs: Vec<f32> = [&xa[..], &xb, &xc].concat();
+            let logits = batched.forward(&xs, &mut scratch).to_vec();
+            let seq: Vec<f32> = [a.forward_all(&xa).0, b.forward_all(&xb).0, c.forward_all(&xc).0]
+                .into_iter()
+                .map(|acts| acts.last().unwrap().clone())
+                .collect::<Vec<_>>()
+                .concat();
+            assert_eq!(logits, seq, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batched_predict_matches_sequential_predict() {
+        let (a, b, c) = trio();
+        let batched = BatchedMlps::new(&[&a, &b, &c]);
+        assert_eq!(batched.input_dims(), &[7, 7, 7]);
+        assert_eq!(batched.class_counts(), &[3, 4, 5]);
+        let mut scratch = MlpScratch::new();
+        let mut preds = Vec::new();
+        for seed in 100..132 {
+            let (xa, xb, xc) = trio_inputs(seed);
+            let xs: Vec<f32> = [&xa[..], &xb, &xc].concat();
+            batched.predict_into(&xs, &mut scratch, &mut preds);
+            assert_eq!(preds, vec![a.predict(&xa), b.predict(&xb), c.predict(&xc)], "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal depth")]
+    fn batched_rejects_mismatched_depths() {
+        let shallow = Mlp::new(&[4, 2], 0);
+        let deep = Mlp::new(&[4, 8, 2], 0);
+        let _ = BatchedMlps::new(&[&shallow, &deep]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stacked input dimension")]
+    fn batched_rejects_wrong_stacked_input_len() {
+        let net = Mlp::new(&[4, 2], 0);
+        let batched = BatchedMlps::new(&[&net]);
+        let _ = batched.forward(&[0.0; 3], &mut MlpScratch::new());
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::roi::Roi;
 use lkas_imaging::image::RgbImage;
+use lkas_imaging::kernel::KernelBackend;
 use lkas_linalg::Homography;
 use lkas_scene::camera::Camera;
 
@@ -199,11 +200,42 @@ impl BirdsEye {
     /// Rectifies a camera frame into a caller-owned bird's-eye grid
     /// (resized to the default `BEV_WIDTH`×`BEV_HEIGHT`) — the
     /// allocation-free rectification path, using the sample points
-    /// precomputed at construction.
+    /// precomputed at construction. This is the scalar reference kernel.
     pub fn rectify_into(&self, frame: &RgbImage, out: &mut BevImage) {
         out.reshape(BEV_WIDTH, BEV_HEIGHT, self.roi);
         for (cell, &(u, v)) in out.as_mut_slice().iter_mut().zip(&self.samples) {
             *cell = marking_score(sample_bilinear(frame, u, v));
+        }
+    }
+
+    /// [`BirdsEye::rectify_into`] with an explicit [`KernelBackend`].
+    ///
+    /// The lane backends route through a cached tap table
+    /// ([`RectifyTaps`], rebuilt only when the frame dimensions or ROI
+    /// change): the per-cell clamp/floor/cast coordinate arithmetic is
+    /// hoisted out of the frame loop, leaving a flat gather + f32
+    /// interpolation kernel. Tap weights and the interpolation
+    /// expression are shared with the scalar path ([`bilin_tap`] /
+    /// [`bilin_eval`]), so every backend is bit-identical here
+    /// (perception has no fixed-point kernels; `lanes-q14` behaves like
+    /// `lanes`).
+    pub fn rectify_into_with(
+        &self,
+        frame: &RgbImage,
+        out: &mut BevImage,
+        backend: KernelBackend,
+        taps: &mut RectifyTaps,
+    ) {
+        match backend {
+            KernelBackend::Scalar => self.rectify_into(frame, out),
+            KernelBackend::Lanes { .. } => {
+                out.reshape(BEV_WIDTH, BEV_HEIGHT, self.roi);
+                taps.ensure(frame, &self.samples, self.roi);
+                let data = frame.as_slice();
+                for (cell, tap) in out.as_mut_slice().iter_mut().zip(&taps.taps) {
+                    *cell = marking_score(bilin_eval(data, tap));
+                }
+            }
         }
     }
 
@@ -245,13 +277,26 @@ pub fn marking_score(rgb: [f32; 3]) -> f32 {
     luma.max(1.6 * yellowness)
 }
 
-/// Bilinear sample with clamped borders. `u`/`v` are continuous image
-/// coordinates (pixel `i` covers `[i, i+1)`, center at `i + 0.5`), so
-/// they are shifted by half a pixel onto the data grid before
-/// interpolation.
-fn sample_bilinear(img: &RgbImage, u: f64, v: f64) -> [f32; 3] {
-    let w = img.width();
-    let h = img.height();
+/// One resolved bilinear sample: the four interleaved-RGB base offsets
+/// and the two interpolation weights. Depends only on the sample point
+/// and the frame dimensions, so it can be computed once and replayed
+/// per frame.
+#[derive(Debug, Clone, Copy)]
+struct BilinTap {
+    base00: u32,
+    base10: u32,
+    base01: u32,
+    base11: u32,
+    fx: f32,
+    fy: f32,
+}
+
+/// Resolves a continuous image coordinate (pixel `i` covers `[i, i+1)`,
+/// center at `i + 0.5`) into a clamped-border [`BilinTap`]. All
+/// coordinate arithmetic of the rectification lives here; both the
+/// scalar and the cached lane kernels consume its output.
+#[inline(always)]
+fn bilin_tap(w: usize, h: usize, u: f64, v: f64) -> BilinTap {
     let uc = (u - 0.5).clamp(0.0, (w - 1) as f64);
     let vc = (v - 0.5).clamp(0.0, (h - 1) as f64);
     let x0 = uc.floor() as usize;
@@ -260,17 +305,90 @@ fn sample_bilinear(img: &RgbImage, u: f64, v: f64) -> [f32; 3] {
     let y1 = (y0 + 1).min(h - 1);
     let fx = (uc - x0 as f64) as f32;
     let fy = (vc - y0 as f64) as f32;
-    let p00 = img.get(x0, y0);
-    let p10 = img.get(x1, y0);
-    let p01 = img.get(x0, y1);
-    let p11 = img.get(x1, y1);
+    BilinTap {
+        base00: ((y0 * w + x0) * 3) as u32,
+        base10: ((y0 * w + x1) * 3) as u32,
+        base01: ((y1 * w + x0) * 3) as u32,
+        base11: ((y1 * w + x1) * 3) as u32,
+        fx,
+        fy,
+    }
+}
+
+/// Evaluates a [`BilinTap`] against an interleaved-RGB pixel slice —
+/// the single bilinear-interpolation expression of the crate (shared by
+/// both kernel backends, so they agree bit-for-bit).
+#[inline(always)]
+fn bilin_eval(data: &[f32], t: &BilinTap) -> [f32; 3] {
+    let p00 = &data[t.base00 as usize..t.base00 as usize + 3];
+    let p10 = &data[t.base10 as usize..t.base10 as usize + 3];
+    let p01 = &data[t.base01 as usize..t.base01 as usize + 3];
+    let p11 = &data[t.base11 as usize..t.base11 as usize + 3];
     let mut out = [0.0f32; 3];
     for c in 0..3 {
-        let top = p00[c] * (1.0 - fx) + p10[c] * fx;
-        let bot = p01[c] * (1.0 - fx) + p11[c] * fx;
-        out[c] = top * (1.0 - fy) + bot * fy;
+        let top = p00[c] * (1.0 - t.fx) + p10[c] * t.fx;
+        let bot = p01[c] * (1.0 - t.fx) + p11[c] * t.fx;
+        out[c] = top * (1.0 - t.fy) + bot * t.fy;
     }
     out
+}
+
+/// Bilinear sample with clamped borders (scalar reference path).
+fn sample_bilinear(img: &RgbImage, u: f64, v: f64) -> [f32; 3] {
+    let t = bilin_tap(img.width(), img.height(), u, v);
+    bilin_eval(img.as_slice(), &t)
+}
+
+/// Cached tap table of the lane rectification kernel: the resolved
+/// [`BilinTap`]s of one (frame dimensions, ROI) pair. Lives in the
+/// caller's perception scratch and is rebuilt automatically by
+/// [`BirdsEye::rectify_into_with`] whenever its key stops matching (the
+/// first sample point doubles as a fingerprint, catching camera
+/// changes at equal dimensions).
+#[derive(Debug, Clone)]
+pub struct RectifyTaps {
+    frame_w: usize,
+    frame_h: usize,
+    roi: Option<Roi>,
+    fingerprint: (f64, f64),
+    taps: Vec<BilinTap>,
+}
+
+impl RectifyTaps {
+    /// An empty cache; the first rectification populates it.
+    pub fn empty() -> Self {
+        RectifyTaps {
+            frame_w: 0,
+            frame_h: 0,
+            roi: None,
+            fingerprint: (f64::NAN, f64::NAN),
+            taps: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, frame: &RgbImage, samples: &[(f64, f64)], roi: Roi) {
+        let (w, h) = (frame.width(), frame.height());
+        let fingerprint = samples.first().copied().unwrap_or((0.0, 0.0));
+        if self.roi == Some(roi)
+            && (self.frame_w, self.frame_h) == (w, h)
+            && self.fingerprint == fingerprint
+            && self.taps.len() == samples.len()
+        {
+            return;
+        }
+        self.taps.clear();
+        self.taps.extend(samples.iter().map(|&(u, v)| bilin_tap(w, h, u, v)));
+        self.frame_w = w;
+        self.frame_h = h;
+        self.roi = Some(roi);
+        self.fingerprint = fingerprint;
+    }
+}
+
+impl Default for RectifyTaps {
+    fn default() -> Self {
+        RectifyTaps::empty()
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +502,38 @@ mod tests {
         be.rectify_into(&frame, &mut reused);
         assert_eq!(reused.as_slice(), fresh.as_slice());
         assert_eq!(reused.roi(), Roi::Roi1);
+    }
+
+    #[test]
+    fn lane_rectify_is_bit_identical_to_scalar() {
+        let frame = rendered_frame();
+        for roi in [Roi::Roi1, Roi::Roi3] {
+            let be = BirdsEye::new(Camera::default_automotive(), roi).unwrap();
+            let scalar = be.rectify(&frame);
+            let mut lanes = BevImage::empty();
+            let mut taps = RectifyTaps::empty();
+            // Twice through the same cache: cold build, then warm replay.
+            for _ in 0..2 {
+                be.rectify_into_with(&frame, &mut lanes, KernelBackend::lanes(), &mut taps);
+                assert_eq!(scalar.as_slice(), lanes.as_slice(), "{roi}");
+            }
+        }
+    }
+
+    #[test]
+    fn tap_cache_rebuilds_on_frame_and_roi_change() {
+        let frame = rendered_frame();
+        let mut taps = RectifyTaps::empty();
+        let mut lanes = BevImage::empty();
+        // Prime the cache with a *smaller* frame and a different ROI…
+        let small = RgbImage::filled(64, 32, [0.3, 0.3, 0.3]);
+        let be2 = BirdsEye::new(Camera::default_automotive(), Roi::Roi2).unwrap();
+        be2.rectify_into_with(&small, &mut lanes, KernelBackend::lanes(), &mut taps);
+        // …then rectify the real frame with another ROI through the same
+        // cache: it must rebuild and match the scalar reference exactly.
+        let be = BirdsEye::new(Camera::default_automotive(), Roi::Roi1).unwrap();
+        be.rectify_into_with(&frame, &mut lanes, KernelBackend::lanes(), &mut taps);
+        assert_eq!(be.rectify(&frame).as_slice(), lanes.as_slice());
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! The full perception pipeline: frame in, lateral deviation out.
 
-use crate::bev::{BevImage, BirdsEye};
+use crate::bev::{BevImage, BirdsEye, RectifyTaps};
 use crate::roi::Roi;
 use crate::sliding::{sliding_window_search_with, SlidingScratch, SlidingWindowResult};
-use crate::threshold::{binarize_into, BinaryMask};
+use crate::threshold::{binarize_into_with, BinaryMask};
 use crate::LOOK_AHEAD;
 use lkas_imaging::image::RgbImage;
+use lkas_imaging::kernel::KernelBackend;
 use lkas_scene::camera::Camera;
 use lkas_scene::track::LANE_WIDTH;
 use serde::{Deserialize, Serialize};
@@ -69,6 +70,7 @@ pub struct PerceptionScratch {
     bev: BevImage,
     mask: BinaryMask,
     sliding: SlidingScratch,
+    taps: RectifyTaps,
 }
 
 impl PerceptionScratch {
@@ -79,6 +81,7 @@ impl PerceptionScratch {
             bev: BevImage::empty(),
             mask: BinaryMask::empty(),
             sliding: SlidingScratch::new(),
+            taps: RectifyTaps::empty(),
         }
     }
 }
@@ -98,10 +101,12 @@ impl Default for PerceptionScratch {
 pub struct Perception {
     config: PerceptionConfig,
     birds_eye: BirdsEye,
+    backend: KernelBackend,
 }
 
 impl Perception {
-    /// Creates the pipeline for a camera and configuration.
+    /// Creates the pipeline for a camera and configuration, on the
+    /// default (exact lane) kernel backend.
     ///
     /// # Panics
     ///
@@ -110,7 +115,20 @@ impl Perception {
     pub fn new(config: PerceptionConfig, camera: Camera) -> Self {
         let birds_eye =
             BirdsEye::new(camera, config.roi).expect("built-in ROIs must be rectifiable");
-        Perception { config, birds_eye }
+        Perception { config, birds_eye, backend: KernelBackend::default() }
+    }
+
+    /// Selects the kernel backend (builder style). Every perception
+    /// backend is bit-identical — the toggle exists so the scalar
+    /// reference stays exercised end to end.
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The active kernel backend.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
     }
 
     /// The active configuration.
@@ -143,8 +161,8 @@ impl Perception {
         frame: &RgbImage,
         scratch: &mut PerceptionScratch,
     ) -> Result<PerceptionOutput, PerceptionError> {
-        self.birds_eye.rectify_into(frame, &mut scratch.bev);
-        binarize_into(&scratch.bev, &mut scratch.mask);
+        self.birds_eye.rectify_into_with(frame, &mut scratch.bev, self.backend, &mut scratch.taps);
+        binarize_into_with(&scratch.bev, &mut scratch.mask, self.backend);
         let fits = sliding_window_search_with(&scratch.bev, &scratch.mask, &mut scratch.sliding);
         self.deviation_from_fits(&scratch.bev, &fits)
     }
@@ -283,6 +301,25 @@ mod tests {
             let fresh = pr.process(&rgb);
             let reused = pr.process_into(&rgb, &mut scratch);
             assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn backends_agree_end_to_end() {
+        let cam = Camera::default_automotive();
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+        let frame = SceneRenderer::new(cam.clone()).render(&track, 10.0, 0.1, 0.0);
+        let raw = Sensor::new(SensorConfig::default(), 9).capture(&frame, 1.0);
+        let rgb = IspPipeline::new(IspConfig::S0).process(&raw);
+        let config = PerceptionConfig::new(Roi::Roi1);
+        let reference = Perception::new(config, cam.clone())
+            .with_backend(lkas_imaging::KernelBackend::Scalar)
+            .process(&rgb);
+        for backend in lkas_imaging::KernelBackend::ALL {
+            let out = Perception::new(config, cam.clone())
+                .with_backend(backend)
+                .process_into(&rgb, &mut PerceptionScratch::new());
+            assert_eq!(reference, out, "{backend}");
         }
     }
 

@@ -7,6 +7,7 @@
 //! the situation-specific ISP knobs earn their keep.
 
 use crate::bev::BevImage;
+use lkas_imaging::kernel::KernelBackend;
 
 /// Multiplier on the standard deviation in the adaptive threshold.
 pub const K_SIGMA: f32 = 1.8;
@@ -92,8 +93,22 @@ pub fn binarize(bev: &BevImage) -> BinaryMask {
 }
 
 /// [`binarize`] into a caller-owned mask (resized as needed) — the
-/// allocation-free binarization path.
+/// allocation-free binarization path (scalar reference kernel).
 pub fn binarize_into(bev: &BevImage, mask: &mut BinaryMask) {
+    binarize_into_with(bev, mask, KernelBackend::Scalar);
+}
+
+/// [`binarize_into`] with an explicit [`KernelBackend`].
+///
+/// Every backend computes the mean/variance statistics with the *same
+/// sequential folds*: the threshold is a global statistic, and a
+/// lane-reassociated reduction would move it by a few ULPs — enough to
+/// flip borderline mask bits, which is a discrete (untolerable) change.
+/// The lane restructure is therefore confined to the elementwise
+/// compare, which becomes a flat store loop over a pre-sized buffer
+/// (compare + pack, no per-element push); output is bit-identical
+/// across all backends (perception has no fixed-point kernels).
+pub fn binarize_into_with(bev: &BevImage, mask: &mut BinaryMask, backend: KernelBackend) {
     let data = bev.as_slice();
     let n = data.len() as f32;
     let mean = data.iter().sum::<f32>() / n;
@@ -102,8 +117,18 @@ pub fn binarize_into(bev: &BevImage, mask: &mut BinaryMask) {
     mask.width = bev.width();
     mask.height = bev.height();
     mask.threshold = threshold;
-    mask.data.clear();
-    mask.data.extend(data.iter().map(|&v| v > threshold));
+    match backend {
+        KernelBackend::Scalar => {
+            mask.data.clear();
+            mask.data.extend(data.iter().map(|&v| v > threshold));
+        }
+        KernelBackend::Lanes { .. } => {
+            mask.data.resize(data.len(), false);
+            for (d, &v) in mask.data.iter_mut().zip(data) {
+                *d = v > threshold;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +187,23 @@ mod tests {
         let full = bev_for_situation(6, IspConfig::S0, 3);
         let bare = bev_for_situation(6, IspConfig::S4, 3); // no tone map
         assert!(full.count() >= bare.count(), "full {} vs bare {}", full.count(), bare.count());
+    }
+
+    #[test]
+    fn lane_binarize_is_bit_identical_to_scalar() {
+        let cam = Camera::default_automotive();
+        let track = Track::for_situation(&TABLE3_SITUATIONS[0], 500.0);
+        let frame = SceneRenderer::new(cam.clone()).render(&track, 10.0, 0.0, 0.0);
+        let raw = Sensor::new(SensorConfig::default(), 7).capture(&frame, 1.0);
+        let rgb = IspPipeline::new(IspConfig::S0).process(&raw);
+        let bev = BirdsEye::new(cam, Roi::Roi1).unwrap().rectify(&rgb);
+        let scalar = binarize(&bev);
+        // Through a stale, larger reused mask so the resize path shrinks.
+        let mut lanes = BinaryMask::empty();
+        lanes.data = vec![true; bev.as_slice().len() + 64];
+        binarize_into_with(&bev, &mut lanes, lkas_imaging::KernelBackend::lanes());
+        assert_eq!(scalar.data, lanes.data);
+        assert_eq!(scalar.threshold, lanes.threshold);
     }
 
     #[test]

@@ -74,6 +74,7 @@ cargo run --release -p lkas-bench --bin fig8_dynamic -- --seeds 3 --metrics-out 
 cargo run --release -p lkas-bench --bin lqg_study
 cargo run --release -p lkas-bench --bin ablation_isp
 cargo run --release -p lkas-bench --bin ablation_invocation
+cargo run --release -p lkas-bench --bin isp_throughput
 if [ -n "$FLEET" ]; then
   # Serve the campaign through the fleet daemon: same bytes as the
   # batch binary, but cached for repeat runs.
